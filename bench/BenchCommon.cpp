@@ -1,0 +1,35 @@
+//===- bench/BenchCommon.cpp ----------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace bpcr;
+
+std::vector<WorkloadData> bpcr::loadSuite(uint64_t Seed, uint64_t MaxEvents) {
+  std::vector<WorkloadData> Out;
+  for (const Workload &W : allWorkloads()) {
+    WorkloadData D;
+    D.W = &W;
+    D.M = std::make_unique<Module>();
+    D.T = traceWorkload(W, Seed, *D.M, MaxEvents);
+    D.PA = std::make_unique<ProgramAnalysis>(*D.M);
+    D.Plain = std::make_unique<ProfileSet>(D.PA->numBranches());
+    D.Plain->addTrace(D.T);
+    D.LoopAware =
+        std::make_unique<ProfileSet>(buildLoopAwareProfiles(*D.PA, D.T));
+    D.Stats = std::make_unique<TraceStats>(D.PA->numBranches());
+    D.Stats->addTrace(D.T);
+    Out.push_back(std::move(D));
+  }
+  return Out;
+}
+
+std::vector<std::string> bpcr::suiteHeader(const std::string &RowLabel) {
+  std::vector<std::string> H{RowLabel};
+  for (const Workload &W : allWorkloads())
+    H.push_back(W.Name);
+  return H;
+}

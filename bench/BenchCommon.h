@@ -1,0 +1,54 @@
+//===- bench/BenchCommon.h - Shared benchmark driver ------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared setup for the table/figure reproduction binaries: build and trace
+/// the eight-benchmark suite (capped at one million branch events, like the
+/// paper) and precompute the per-branch analyses everything consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_BENCH_BENCHCOMMON_H
+#define BPCR_BENCH_BENCHCOMMON_H
+
+#include "core/BranchProfiles.h"
+#include "core/LoopAwareProfiles.h"
+#include "core/ProgramAnalysis.h"
+#include "trace/TraceStats.h"
+#include "workloads/Workload.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+/// One traced benchmark with its analyses. The Module lives behind a
+/// unique_ptr so ProgramAnalysis' reference into it survives moves of this
+/// struct.
+struct WorkloadData {
+  const Workload *W = nullptr;
+  std::unique_ptr<Module> M;
+  Trace T;
+  std::unique_ptr<ProgramAnalysis> PA;
+  /// Whole-trace profiles: unbounded software history (Tables 1/2).
+  std::unique_ptr<ProfileSet> Plain;
+  /// Loop-aware profiles: history resets on loop re-entry, matching what
+  /// replication realizes (Tables 3/5, figures).
+  std::unique_ptr<ProfileSet> LoopAware;
+  std::unique_ptr<TraceStats> Stats;
+};
+
+/// Traces the whole suite. \p MaxEvents mirrors the paper's 1M-branch cap.
+std::vector<WorkloadData> loadSuite(uint64_t Seed = 1,
+                                    uint64_t MaxEvents = 1'000'000);
+
+/// Short column headers in the paper's order.
+std::vector<std::string> suiteHeader(const std::string &RowLabel);
+
+} // namespace bpcr
+
+#endif // BPCR_BENCH_BENCHCOMMON_H

@@ -1,0 +1,119 @@
+//===- bench/ablation_datasets.cpp - Ablation A2 --------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation from the paper's "Further Work": "Another work to be done is to
+// measure the influence of different data sets ... We assume that code
+// replicated programs are more sensitive to different data sets than the
+// original program."
+//
+// Every workload runs on two inputs (seeds). Semi-static predictors and
+// the per-branch machines are trained on the seed-1 trace and evaluated on
+// the seed-2 trace (Fisher/Freudenberger methodology). Reported: profile,
+// loop-correlation, and the machine-based strategy selection, each
+// self-trained vs cross-trained.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "core/StrategySelection.h"
+#include "predict/Evaluator.h"
+#include "predict/SemiStaticPredictors.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace bpcr;
+
+int main() {
+  std::vector<WorkloadData> Train = loadSuite(/*Seed=*/1);
+  std::vector<WorkloadData> Test = loadSuite(/*Seed=*/2);
+
+  TablePrinter Table("Ablation A2: dataset sensitivity — trained on input "
+                     "1, evaluated on input 2 (misprediction %)");
+  Table.setHeader(suiteHeader("strategy"));
+
+  auto Row = [&](const std::string &Name, auto Fn) {
+    std::vector<std::string> Cells{Name};
+    for (size_t WI = 0; WI < Train.size(); ++WI)
+      Cells.push_back(formatPercent(Fn(Train[WI], Test[WI])));
+    Table.addRow(std::move(Cells));
+  };
+
+  Row("profile (self)", [](const WorkloadData &, const WorkloadData &B) {
+    ProfilePredictor P;
+    return evaluateSelfTrained(P, B.T).mispredictionPercent();
+  });
+  Row("profile (cross)", [](const WorkloadData &A, const WorkloadData &B) {
+    ProfilePredictor P;
+    return evaluateTrained(P, A.T, B.T).mispredictionPercent();
+  });
+  Table.addSeparator();
+  Row("loop-correlation (self)",
+      [](const WorkloadData &, const WorkloadData &B) {
+        LoopCorrelationPredictor P;
+        return evaluateSelfTrained(P, B.T).mispredictionPercent();
+      });
+  Row("loop-correlation (cross)",
+      [](const WorkloadData &A, const WorkloadData &B) {
+        LoopCorrelationPredictor P;
+        return evaluateTrained(P, A.T, B.T).mispredictionPercent();
+      });
+  Table.addSeparator();
+
+  // Machine-based strategies: select on the training profiles, then
+  // replay the chosen machines against the test profiles.
+  Row("machines n=4 (self)",
+      [](const WorkloadData &, const WorkloadData &B) {
+        StrategyOptions Opts;
+        Opts.MaxStates = 4;
+        Opts.NodeBudget = 30'000;
+        auto S = selectStrategies(*B.PA, *B.LoopAware, B.T, Opts);
+        return totalStrategyStats(S).mispredictionPercent();
+      });
+  Row("machines n=4 (cross)",
+      [](const WorkloadData &A, const WorkloadData &B) {
+        StrategyOptions Opts;
+        Opts.MaxStates = 4;
+        Opts.NodeBudget = 30'000;
+        auto Strategies = selectStrategies(*A.PA, *A.LoopAware, A.T, Opts);
+        // Replay each trained machine on the test data.
+        PredictionStats Total;
+        for (const BranchStrategy &S : Strategies) {
+          const BranchProfile &TP = B.LoopAware->branch(S.BranchId);
+          const BranchProfile &TrainP = A.LoopAware->branch(S.BranchId);
+          switch (S.Kind) {
+          case StrategyKind::Profile: {
+            bool Pred = TrainP.executions() ? TrainP.majorityTaken() : true;
+            uint64_t Wrong =
+                Pred ? TP.executions() - TP.takenCount() : TP.takenCount();
+            Total.Predictions += TP.executions();
+            Total.Mispredictions += Wrong;
+            break;
+          }
+          case StrategyKind::IntraLoop:
+          case StrategyKind::LoopExit: {
+            PredictionStats R = S.Machine->simulateSegmented(TP);
+            Total += R;
+            break;
+          }
+          case StrategyKind::Correlated: {
+            PredictionStats R = evaluateCorrelatedMachine(*S.Corr, B.T);
+            Total += R;
+            break;
+          }
+          }
+        }
+        return Total.mispredictionPercent();
+      });
+
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("Fisher/Freudenberger expectation: cross-trained rates stay "
+              "close to self-trained ones when the inputs exercise the same "
+              "code paths; the machine rows quantify the extra sensitivity "
+              "the paper anticipated for replicated programs.\n\n");
+  return 0;
+}

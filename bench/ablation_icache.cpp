@@ -1,0 +1,69 @@
+//===- bench/ablation_icache.cpp - Ablation A3: cache cost ----------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The cost side of code replication, which the paper flags but defers
+// ("Furthermore we will ... evaluate the effects on runtime and
+// instruction cache behaviour"): every benchmark runs through a simulated
+// instruction cache before and after replication, at several cache sizes.
+// Replication grows the working set, so small caches pay for the accuracy
+// — exactly the tradeoff the paper's cost function is meant to weigh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "cache/ICacheRun.h"
+#include "core/Pipeline.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace bpcr;
+
+int main() {
+  std::vector<WorkloadData> Suite = loadSuite(/*Seed=*/1,
+                                              /*MaxEvents=*/200'000);
+
+  TablePrinter Table("Ablation A3: instruction cache miss rate in percent, "
+                     "original vs replicated (2-way, 4-word lines; programs are 60-300 words)");
+  Table.setHeader(suiteHeader("configuration"));
+
+  for (uint64_t Capacity : {32u, 64u, 160u}) {
+    for (bool Replicated : {false, true}) {
+      char Label[64];
+      std::snprintf(Label, sizeof(Label), "%s, %lluw cache",
+                    Replicated ? "replicated" : "original  ",
+                    static_cast<unsigned long long>(Capacity));
+      std::vector<std::string> Cells{Label};
+      for (const WorkloadData &D : Suite) {
+        Module Target = *D.M;
+        if (Replicated) {
+          PipelineOptions Opts;
+          Opts.Strategy.MaxStates = 6;
+          Opts.Strategy.NodeBudget = 20'000;
+          Opts.MaxSizeFactor = 2.0;
+          Target = replicateModule(*D.M, D.T, Opts).Transformed;
+        }
+        ICacheConfig Cfg;
+        Cfg.CapacityWords = Capacity;
+        Cfg.LineWords = 4;
+        Cfg.Ways = 2;
+        ExecOptions EO;
+        EO.MaxBranchEvents = 200'000;
+        ICacheRunResult R = runWithICache(Target, Cfg, EO);
+        Cells.push_back(formatPercent(R.missPercent()));
+      }
+      Table.addRow(std::move(Cells));
+    }
+    Table.addSeparator();
+  }
+
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("Reading: replication leaves the miss rate essentially "
+              "unchanged once the cache holds the enlarged hot loops; tiny "
+              "caches show the paper's feared degradation.\n\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- bench/fig_code_size.cpp - Paper Figures 6-13 -----------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the appendix figures ("Misprediction Rate vs. Code Size",
+// figures 6-13, one per benchmark): the greedy sweep adds machine states in
+// the order that buys the most correct predictions per added instruction
+// and reports the (size factor, misprediction %) curve. Each curve is also
+// written as fig_<benchmark>.csv for plotting.
+//
+// Expected shape (paper sec. 5): "The first states reduce the misprediction
+// rate substantially, later ones increase the [code size] considerably. ...
+// every program comes close to the best achievable by increasing the [size]
+// by less than 30%" (except abalone).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "core/SizeSweep.h"
+#include "support/Csv.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace bpcr;
+
+int main() {
+  std::vector<WorkloadData> Suite = loadSuite();
+
+  for (size_t WI = 0; WI < Suite.size(); ++WI) {
+    const WorkloadData &D = Suite[WI];
+    SweepOptions Opts;
+    Opts.MaxStates = 8;
+    Opts.MaxSizeFactor = 16.0;
+    Opts.NodeBudget = 30'000;
+    std::vector<SweepPoint> Points =
+        computeSizeSweep(*D.PA, *D.LoopAware, D.T, Opts);
+
+    TablePrinter Table("Figure " + std::to_string(6 + WI) + ": " +
+                       D.W->Name + " — misprediction rate vs. code size");
+    Table.setHeader({"step", "size factor", "mispredict %", "grown branch",
+                     "states"});
+    CsvWriter Csv;
+    Csv.addRow({"size_factor", "mispredict_percent", "branch", "states"});
+    for (size_t I = 0; I < Points.size(); ++I) {
+      const SweepPoint &P = Points[I];
+      char SF[32];
+      std::snprintf(SF, sizeof(SF), "%.3f", P.SizeFactor);
+      Table.addRow({std::to_string(I), SF,
+                    formatPercent(P.MispredictPercent),
+                    P.BranchId < 0 ? "-" : std::to_string(P.BranchId),
+                    std::to_string(P.NewStates)});
+      Csv.addRow({SF, formatPercent(P.MispredictPercent),
+                  std::to_string(P.BranchId), std::to_string(P.NewStates)});
+    }
+    std::printf("%s\n", Table.render().c_str());
+
+    std::string CsvPath = "fig_" + std::string(D.W->Name) + ".csv";
+    if (Csv.writeFile(CsvPath))
+      std::printf("  (series written to %s)\n\n", CsvPath.c_str());
+
+    if (Points.size() >= 2) {
+      double Start = Points.front().MispredictPercent;
+      double End = Points.back().MispredictPercent;
+      // Find the point where misprediction first comes within 10% of the
+      // final rate — the "knee" the paper highlights.
+      for (const SweepPoint &P : Points) {
+        if (P.MispredictPercent <= End + 0.1 * (Start - End)) {
+          std::printf("  knee: %.1f%% -> %.1f%% of %.1f%% final, at size "
+                      "factor %.2f\n\n",
+                      Start, P.MispredictPercent, End, P.SizeFactor);
+          break;
+        }
+      }
+    }
+  }
+  return 0;
+}

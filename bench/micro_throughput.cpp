@@ -1,0 +1,141 @@
+//===- bench/micro_throughput.cpp - Performance microbenchmarks -----------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark timings for the library's hot paths: interpreter
+// throughput, predictor update rates, trace codec, pattern-table
+// construction and machine search. The paper notes its tracing slows
+// programs ~3x and "the analysis of the trace is done in a few seconds";
+// these benches document where this implementation stands.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LoopAwareProfiles.h"
+#include "core/MachineSearch.h"
+#include "interp/Interpreter.h"
+#include "predict/DynamicPredictors.h"
+#include "predict/Evaluator.h"
+#include "predict/SemiStaticPredictors.h"
+#include "trace/Sinks.h"
+#include "trace/TraceFile.h"
+#include "workloads/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace bpcr;
+
+namespace {
+
+const Trace &sharedTrace() {
+  static Trace T = [] {
+    Module M;
+    return traceWorkload(allWorkloads()[3], 1, M, 200'000);
+  }();
+  return T;
+}
+
+void BM_InterpreterGhostview(benchmark::State &State) {
+  Module M = buildWorkload("ghostview", 1);
+  M.assignBranchIds();
+  uint64_t Instructions = 0;
+  for (auto _ : State) {
+    ExecOptions Opts;
+    Opts.MaxBranchEvents = 100'000;
+    ExecResult R = execute(M, nullptr, Opts);
+    benchmark::DoNotOptimize(R.ReturnValue);
+    Instructions += R.InstructionsExecuted;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instructions));
+}
+BENCHMARK(BM_InterpreterGhostview);
+
+void BM_TwoLevelPredictor(benchmark::State &State) {
+  const Trace &T = sharedTrace();
+  for (auto _ : State) {
+    TwoLevelPredictor P(TwoLevelConfig::paperDefault());
+    PredictionStats S = evaluatePredictor(P, T);
+    benchmark::DoNotOptimize(S.Mispredictions);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(T.size()));
+}
+BENCHMARK(BM_TwoLevelPredictor);
+
+void BM_LoopCorrelationTraining(benchmark::State &State) {
+  const Trace &T = sharedTrace();
+  for (auto _ : State) {
+    LoopCorrelationPredictor P;
+    P.train(T);
+    benchmark::DoNotOptimize(P.improvedBranchCount());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(T.size()));
+}
+BENCHMARK(BM_LoopCorrelationTraining);
+
+void BM_TraceEncode(benchmark::State &State) {
+  const Trace &T = sharedTrace();
+  for (auto _ : State) {
+    auto Buf = encodeTrace(T);
+    benchmark::DoNotOptimize(Buf.size());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(T.size()));
+}
+BENCHMARK(BM_TraceEncode);
+
+void BM_TraceDecode(benchmark::State &State) {
+  static std::vector<uint8_t> Buf = encodeTrace(sharedTrace());
+  Trace Out;
+  for (auto _ : State) {
+    bool Ok = decodeTrace(Buf, Out);
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(sharedTrace().size()));
+}
+BENCHMARK(BM_TraceDecode);
+
+void BM_LoopAwareProfiling(benchmark::State &State) {
+  static Module M = [] {
+    Module X;
+    traceWorkload(allWorkloads()[3], 1, X, 1);
+    return X;
+  }();
+  static ProgramAnalysis PA(M);
+  const Trace &T = sharedTrace();
+  for (auto _ : State) {
+    ProfileSet P = buildLoopAwareProfiles(PA, T);
+    benchmark::DoNotOptimize(P.totalExecutions());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(T.size()));
+}
+BENCHMARK(BM_LoopAwareProfiling);
+
+void BM_MachineSearchExact(benchmark::State &State) {
+  // A branch with rich history: ghostview's dispatch pattern.
+  static PatternTable Table = [] {
+    PatternTable T(9);
+    Module M;
+    Trace Tr = traceWorkload(allWorkloads()[3], 1, M, 200'000);
+    for (const BranchEvent &E : Tr)
+      if (E.BranchId == 0)
+        T.record(E.Taken);
+    return T;
+  }();
+  for (auto _ : State) {
+    MachineOptions MO;
+    MO.MaxStates = static_cast<unsigned>(State.range(0));
+    MO.NodeBudget = 100'000;
+    SuffixMachine M = buildIntraLoopMachine(Table, MO);
+    benchmark::DoNotOptimize(M.Correct);
+  }
+}
+BENCHMARK(BM_MachineSearchExact)->Arg(3)->Arg(5)->Arg(7);
+
+} // namespace
+
+BENCHMARK_MAIN();

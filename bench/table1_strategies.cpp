@@ -1,0 +1,121 @@
+//===- bench/table1_strategies.cpp - Paper Table 1 ------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Table 1: "misprediction rates of different branch prediction
+// strategies in percent", plus the static/executed/improved branch counts.
+// Dynamic strategies adapt while streaming the trace; semi-static ones are
+// trained and evaluated on the same trace (the paper's methodology).
+//
+// As an extension, the static heuristics the paper discusses in sec. 2.1
+// (Smith's heuristics, Ball-Larus) are reported in a second section.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "predict/DynamicPredictors.h"
+#include "predict/Evaluator.h"
+#include "predict/SemiStaticPredictors.h"
+#include "predict/StaticHeuristics.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <functional>
+
+using namespace bpcr;
+
+int main() {
+  std::vector<WorkloadData> Suite = loadSuite();
+
+  TablePrinter Table(
+      "Table 1: misprediction rates of different branch prediction "
+      "strategies in percent");
+  Table.setHeader(suiteHeader("strategy"));
+
+  auto Row = [&](const std::string &Name,
+                 const std::function<double(const WorkloadData &)> &Fn) {
+    std::vector<std::string> Cells{Name};
+    for (const WorkloadData &D : Suite)
+      Cells.push_back(formatPercent(Fn(D)));
+    Table.addRow(std::move(Cells));
+  };
+
+  // -- Dynamic strategies ------------------------------------------------------
+  Row("last direction", [](const WorkloadData &D) {
+    LastDirectionPredictor P;
+    return evaluatePredictor(P, D.T).mispredictionPercent();
+  });
+  Row("2 bit counter", [](const WorkloadData &D) {
+    CounterPredictor P(2);
+    return evaluatePredictor(P, D.T).mispredictionPercent();
+  });
+  Row("two level 4K bit", [](const WorkloadData &D) {
+    TwoLevelPredictor P(TwoLevelConfig::paperDefault());
+    return evaluatePredictor(P, D.T).mispredictionPercent();
+  });
+  Table.addSeparator();
+
+  // -- Semi-static strategies ---------------------------------------------------
+  Row("profile", [](const WorkloadData &D) {
+    ProfilePredictor P;
+    return evaluateSelfTrained(P, D.T).mispredictionPercent();
+  });
+  Row("1 bit correlation", [](const WorkloadData &D) {
+    CorrelationPredictor P(1);
+    return evaluateSelfTrained(P, D.T).mispredictionPercent();
+  });
+  Row("1 bit loop", [](const WorkloadData &D) {
+    LoopHistoryPredictor P(1);
+    return evaluateSelfTrained(P, D.T).mispredictionPercent();
+  });
+  Row("9 bit loop", [](const WorkloadData &D) {
+    LoopHistoryPredictor P(9);
+    return evaluateSelfTrained(P, D.T).mispredictionPercent();
+  });
+  Row("loop-correlation", [](const WorkloadData &D) {
+    LoopCorrelationPredictor P;
+    return evaluateSelfTrained(P, D.T).mispredictionPercent();
+  });
+  Table.addSeparator();
+
+  // -- Branch population --------------------------------------------------------
+  {
+    std::vector<std::string> Static{"static branches"};
+    std::vector<std::string> Executed{"executed branches"};
+    std::vector<std::string> Improved{"improved branches"};
+    for (const WorkloadData &D : Suite) {
+      Static.push_back(std::to_string(D.M->conditionalBranchCount()));
+      Executed.push_back(std::to_string(D.Stats->executedBranches()));
+      LoopCorrelationPredictor P;
+      P.train(D.T);
+      Improved.push_back(std::to_string(P.improvedBranchCount()));
+    }
+    Table.addRow(std::move(Static));
+    Table.addRow(std::move(Executed));
+    Table.addRow(std::move(Improved));
+  }
+
+  std::printf("%s\n", Table.render().c_str());
+
+  // -- Extension: static heuristics (paper sec. 2.1) ------------------------------
+  TablePrinter Ext("Extension: static (no-profile) heuristics, "
+                   "misprediction in percent");
+  Ext.setHeader(suiteHeader("heuristic"));
+  auto StaticRow = [&](const std::string &Name,
+                       StaticPredictions (*Fn)(const Module &)) {
+    std::vector<std::string> Cells{Name};
+    for (const WorkloadData &D : Suite)
+      Cells.push_back(formatPercent(
+          evaluateStaticPredictions(Fn(*D.M), D.T).mispredictionPercent()));
+    Ext.addRow(std::move(Cells));
+  };
+  StaticRow("always taken", predictAlwaysTaken);
+  StaticRow("backward taken", predictBackwardTaken);
+  StaticRow("opcode", predictOpcode);
+  StaticRow("Ball-Larus", predictBallLarus);
+  std::printf("%s\n", Ext.render().c_str());
+  return 0;
+}

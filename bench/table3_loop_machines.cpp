@@ -1,0 +1,156 @@
+//===- bench/table3_loop_machines.cpp - Paper Table 3 ---------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Table 3: "misprediction rates of loop and loop exit branches
+// in percent". For each history length k the paper groups three rows:
+//
+//   "k bit"            the full k-bit local history table over all loop
+//                      branches (intra + exit) — the accuracy ceiling,
+//   "k+1 states loop"  the best (k+1)-state intra-loop suffix machine,
+//                      over intra-loop branches,
+//   "k+1 states exit"  the best (k+1)-state loop-exit chain machine, over
+//                      loop-exit branches,
+//
+// "so we grouped always a history with n bits with a n+1 state machine to
+// show the effect of accuracy loss". A leading profile row gives the
+// single-state baseline. Loop-aware profiles are used throughout: the
+// history a replicated loop can carry resets on loop re-entry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "core/MachineSearch.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace bpcr;
+
+namespace {
+
+/// Accumulates (mispredicted, total) over a subset of branches.
+struct RateAcc {
+  uint64_t Miss = 0;
+  uint64_t Total = 0;
+
+  void add(uint64_t M, uint64_t T) {
+    Miss += M;
+    Total += T;
+  }
+
+  std::string percent() const {
+    if (Total == 0)
+      return "-";
+    return formatPercent(100.0 * static_cast<double>(Miss) /
+                         static_cast<double>(Total));
+  }
+};
+
+} // namespace
+
+int main() {
+  std::vector<WorkloadData> Suite = loadSuite();
+
+  TablePrinter Table("Table 3: misprediction rates of loop and loop exit "
+                     "branches in percent");
+  Table.setHeader(suiteHeader("strategy"));
+
+  // Profile baselines per population, so the machine rows are comparable.
+  auto ProfileRow = [&](const char *Label, BranchKind Wanted, bool All) {
+    std::vector<std::string> Cells{Label};
+    for (const WorkloadData &D : Suite) {
+      RateAcc Acc;
+      for (uint32_t Id = 0; Id < D.PA->numBranches(); ++Id) {
+        const BranchClass &C = D.PA->classOf(static_cast<int32_t>(Id));
+        if (C.Kind == BranchKind::NonLoop)
+          continue;
+        if (!All && C.Kind != Wanted)
+          continue;
+        const BranchProfile &P =
+            D.LoopAware->branch(static_cast<int32_t>(Id));
+        Acc.add(P.profileMispredictions(), P.executions());
+      }
+      Cells.push_back(Acc.percent());
+    }
+    Table.addRow(std::move(Cells));
+  };
+  ProfileRow("profile (loop branches)", BranchKind::NonLoop, /*All=*/true);
+  ProfileRow("profile (intra only)", BranchKind::IntraLoop, /*All=*/false);
+  ProfileRow("profile (exit only)", BranchKind::LoopExit, /*All=*/false);
+  Table.addSeparator();
+
+  for (unsigned K = 1; K <= 8; ++K) {
+    // Full k-bit history table over all loop branches.
+    {
+      std::vector<std::string> Cells{std::to_string(K) + " bit"};
+      for (const WorkloadData &D : Suite) {
+        RateAcc Acc;
+        for (uint32_t Id = 0; Id < D.PA->numBranches(); ++Id) {
+          const BranchClass &C = D.PA->classOf(static_cast<int32_t>(Id));
+          if (C.Kind == BranchKind::NonLoop)
+            continue;
+          const BranchProfile &P =
+              D.LoopAware->branch(static_cast<int32_t>(Id));
+          uint64_t Correct = fullHistoryCorrect(P.Table, K);
+          Acc.add(P.executions() - Correct, P.executions());
+        }
+        Cells.push_back(Acc.percent());
+      }
+      Table.addRow(std::move(Cells));
+    }
+
+    // (k+1)-state intra-loop machines over intra-loop branches.
+    {
+      std::vector<std::string> Cells{std::to_string(K + 1) + " states loop"};
+      for (const WorkloadData &D : Suite) {
+        RateAcc Acc;
+        for (uint32_t Id = 0; Id < D.PA->numBranches(); ++Id) {
+          const BranchClass &C = D.PA->classOf(static_cast<int32_t>(Id));
+          if (C.Kind != BranchKind::IntraLoop)
+            continue;
+          const BranchProfile &P =
+              D.LoopAware->branch(static_cast<int32_t>(Id));
+          if (P.executions() == 0)
+            continue;
+          MachineOptions MO;
+          MO.MaxStates = K + 1;
+          MO.NodeBudget = 50'000;
+          SuffixMachine M = buildIntraLoopMachine(P.Table, MO);
+          Acc.add(M.Total - M.Correct, M.Total);
+        }
+        Cells.push_back(Acc.percent());
+      }
+      Table.addRow(std::move(Cells));
+    }
+
+    // (k+1)-state exit machines over loop-exit branches.
+    {
+      std::vector<std::string> Cells{std::to_string(K + 1) + " states exit"};
+      for (const WorkloadData &D : Suite) {
+        RateAcc Acc;
+        for (uint32_t Id = 0; Id < D.PA->numBranches(); ++Id) {
+          const BranchClass &C = D.PA->classOf(static_cast<int32_t>(Id));
+          if (C.Kind != BranchKind::LoopExit)
+            continue;
+          const BranchProfile &P =
+              D.LoopAware->branch(static_cast<int32_t>(Id));
+          if (P.executions() == 0)
+            continue;
+          ExitChainMachine M =
+              buildExitMachine(P.Table, K + 1, !C.TakenExits);
+          Acc.add(M.Total - M.Correct, M.Total);
+        }
+        Cells.push_back(Acc.percent());
+      }
+      Table.addRow(std::move(Cells));
+      Table.addSeparator();
+    }
+  }
+
+  std::printf("%s\n", Table.render().c_str());
+  return 0;
+}

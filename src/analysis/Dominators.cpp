@@ -1,0 +1,69 @@
+//===- analysis/Dominators.cpp --------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+// Cooper, Harvey, Kennedy: "A Simple, Fast Dominance Algorithm" (2001).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+using namespace bpcr;
+
+Dominators::Dominators(const CFG &G) : G(G) {
+  uint32_t N = G.numBlocks();
+  IDom.assign(N, UINT32_MAX);
+  if (N == 0)
+    return;
+
+  const std::vector<uint32_t> &RPO = G.reversePostOrder();
+  if (RPO.empty())
+    return;
+
+  uint32_t Entry = RPO.front();
+  IDom[Entry] = Entry;
+
+  auto Intersect = [this, &G = this->G](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (G.rpoIndex(A) > G.rpoIndex(B))
+        A = IDom[A];
+      while (G.rpoIndex(B) > G.rpoIndex(A))
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : RPO) {
+      if (B == Entry)
+        continue;
+      uint32_t NewIDom = UINT32_MAX;
+      for (uint32_t P : G.predecessors(B)) {
+        if (IDom[P] == UINT32_MAX)
+          continue; // unprocessed or unreachable
+        NewIDom = (NewIDom == UINT32_MAX) ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != UINT32_MAX && IDom[B] != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Dominators::dominates(uint32_t A, uint32_t B) const {
+  if (A >= IDom.size() || B >= IDom.size())
+    return false;
+  if (IDom[A] == UINT32_MAX || IDom[B] == UINT32_MAX)
+    return false;
+  // Walk the dominator tree upward from B.
+  uint32_t Entry = G.reversePostOrder().front();
+  for (uint32_t Cur = B;; Cur = IDom[Cur]) {
+    if (Cur == A)
+      return true;
+    if (Cur == Entry)
+      return false;
+  }
+}

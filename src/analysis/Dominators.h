@@ -1,0 +1,44 @@
+//===- analysis/Dominators.h - Dominator tree -------------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate dominators via the Cooper-Harvey-Kennedy iterative algorithm.
+/// Needed to find back edges for natural loop detection (ASU86), the basis
+/// of the paper's loop-branch classification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_ANALYSIS_DOMINATORS_H
+#define BPCR_ANALYSIS_DOMINATORS_H
+
+#include "analysis/CFG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bpcr {
+
+/// Dominator tree over a CFG's reachable blocks.
+class Dominators {
+public:
+  explicit Dominators(const CFG &G);
+
+  /// Immediate dominator of \p Block; the entry dominates itself.
+  /// UINT32_MAX for unreachable blocks.
+  uint32_t immediateDominator(uint32_t Block) const { return IDom[Block]; }
+
+  /// True when \p A dominates \p B (reflexive). False when either block is
+  /// unreachable.
+  bool dominates(uint32_t A, uint32_t B) const;
+
+private:
+  const CFG &G;
+  std::vector<uint32_t> IDom;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_ANALYSIS_DOMINATORS_H

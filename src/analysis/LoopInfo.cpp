@@ -1,0 +1,135 @@
+//===- analysis/LoopInfo.cpp ----------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bpcr;
+
+bool Loop::contains(uint32_t Block) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), Block);
+}
+
+LoopInfo::LoopInfo(const CFG &G, const Dominators &D) {
+  uint32_t N = G.numBlocks();
+  Innermost.assign(N, -1);
+
+  // Find back edges and build one natural loop per header (merging the
+  // bodies of multiple back edges to the same header, per ASU86).
+  std::vector<int32_t> LoopOfHeader(N, -1);
+  for (uint32_t U = 0; U < N; ++U) {
+    if (!G.isReachable(U))
+      continue;
+    for (uint32_t H : G.successors(U)) {
+      if (!D.dominates(H, U))
+        continue;
+      // Back edge U -> H: the natural loop is H plus all blocks that reach
+      // U without passing through H.
+      int32_t LoopIdx = LoopOfHeader[H];
+      if (LoopIdx < 0) {
+        Loop L;
+        L.Header = H;
+        L.Blocks.push_back(H);
+        Loops.push_back(std::move(L));
+        LoopIdx = static_cast<int32_t>(Loops.size() - 1);
+        LoopOfHeader[H] = LoopIdx;
+      }
+      Loop &L = Loops[static_cast<size_t>(LoopIdx)];
+
+      std::vector<bool> InLoop(N, false);
+      for (uint32_t B : L.Blocks)
+        InLoop[B] = true;
+      std::vector<uint32_t> Work;
+      if (!InLoop[U]) {
+        InLoop[U] = true;
+        Work.push_back(U);
+      }
+      while (!Work.empty()) {
+        uint32_t B = Work.back();
+        Work.pop_back();
+        for (uint32_t P : G.predecessors(B)) {
+          if (!G.isReachable(P) || InLoop[P])
+            continue;
+          InLoop[P] = true;
+          Work.push_back(P);
+        }
+      }
+      L.Blocks.clear();
+      for (uint32_t B = 0; B < N; ++B)
+        if (InLoop[B])
+          L.Blocks.push_back(B);
+    }
+  }
+
+  // Establish nesting: parent = smallest strictly containing loop.
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    size_t BestSize = SIZE_MAX;
+    for (size_t J = 0; J < Loops.size(); ++J) {
+      if (I == J || Loops[J].Blocks.size() <= Loops[I].Blocks.size())
+        continue;
+      if (!Loops[J].contains(Loops[I].Header))
+        continue;
+      if (Loops[J].Blocks.size() < BestSize) {
+        BestSize = Loops[J].Blocks.size();
+        Loops[I].Parent = static_cast<int32_t>(J);
+      }
+    }
+  }
+  for (Loop &L : Loops) {
+    uint32_t Depth = 1;
+    for (int32_t P = L.Parent; P >= 0; P = Loops[static_cast<size_t>(P)].Parent)
+      ++Depth;
+    L.Depth = Depth;
+  }
+
+  // Innermost loop per block: deepest loop containing it.
+  for (size_t I = 0; I < Loops.size(); ++I)
+    for (uint32_t B : Loops[I].Blocks) {
+      int32_t Cur = Innermost[B];
+      if (Cur < 0 || Loops[static_cast<size_t>(Cur)].Depth < Loops[I].Depth)
+        Innermost[B] = static_cast<int32_t>(I);
+    }
+}
+
+void bpcr::classifyBranches(const Function &F, const CFG &G,
+                            const LoopInfo &LI,
+                            std::vector<BranchClass> &ByBranchId) {
+  for (uint32_t BI = 0; BI < F.Blocks.size(); ++BI) {
+    const BasicBlock &BB = F.Blocks[BI];
+    if (!BB.isComplete())
+      continue;
+    const Instruction &T = BB.terminator();
+    if (!T.isConditionalBranch())
+      continue;
+    assert(T.BranchId >= 0 && "branch ids not assigned");
+    if (static_cast<size_t>(T.BranchId) >= ByBranchId.size())
+      ByBranchId.resize(T.BranchId + 1);
+    BranchClass &C = ByBranchId[T.BranchId];
+
+    if (!G.isReachable(BI)) {
+      C = BranchClass();
+      continue;
+    }
+    int32_t L = LI.innermostLoop(BI);
+    if (L < 0) {
+      C.Kind = BranchKind::NonLoop;
+      C.LoopIdx = -1;
+      continue;
+    }
+    const Loop &Lp = LI.loops()[static_cast<size_t>(L)];
+    bool TrueIn = Lp.contains(T.TrueTarget);
+    bool FalseIn = Lp.contains(T.FalseTarget);
+    C.LoopIdx = L;
+    if (TrueIn && FalseIn) {
+      C.Kind = BranchKind::IntraLoop;
+    } else {
+      C.Kind = BranchKind::LoopExit;
+      C.TakenExits = !TrueIn;
+    }
+  }
+}

@@ -1,0 +1,83 @@
+//===- analysis/LoopInfo.h - Natural loop detection -------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loop analysis per Aho/Sethi/Ullman, the paper's cited method:
+/// back edges (u -> h with h dominating u) induce loops; loops with the same
+/// header merge; nesting follows containment. The paper divides loop
+/// branches into "intra loop branches that occur inside a loop, and exit
+/// loop branches which may leave the loop" — BranchClass captures that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_ANALYSIS_LOOPINFO_H
+#define BPCR_ANALYSIS_LOOPINFO_H
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bpcr {
+
+/// One natural loop.
+struct Loop {
+  uint32_t Header = 0;
+  /// Member blocks, sorted ascending; includes the header.
+  std::vector<uint32_t> Blocks;
+  /// Index of the innermost enclosing loop, or -1 at top level.
+  int32_t Parent = -1;
+  /// Nesting depth; outermost loops have depth 1.
+  uint32_t Depth = 1;
+
+  bool contains(uint32_t Block) const;
+};
+
+/// All natural loops of one function.
+class LoopInfo {
+public:
+  LoopInfo(const CFG &G, const Dominators &D);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Index of the innermost loop containing \p Block, or -1.
+  int32_t innermostLoop(uint32_t Block) const { return Innermost[Block]; }
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<int32_t> Innermost;
+};
+
+/// How a conditional branch relates to the loop structure (paper sec. 4).
+enum class BranchKind : uint8_t {
+  /// Not inside any loop: candidate for the correlated-branch machines.
+  NonLoop,
+  /// Both successors stay inside the innermost loop.
+  IntraLoop,
+  /// At least one successor leaves the innermost loop.
+  LoopExit,
+};
+
+/// Classification of one static branch.
+struct BranchClass {
+  BranchKind Kind = BranchKind::NonLoop;
+  /// Innermost loop index for IntraLoop/LoopExit; -1 otherwise.
+  int32_t LoopIdx = -1;
+  /// For LoopExit with the branch's *taken* edge leaving the loop this is
+  /// true; the exit machines need to know which direction means "exit".
+  bool TakenExits = false;
+};
+
+/// Classifies every conditional branch of \p F by BranchId.
+/// \returns a vector indexed by BranchId (ids must be assigned); branches
+/// belonging to other functions keep default entries.
+void classifyBranches(const Function &F, const CFG &G, const LoopInfo &LI,
+                      std::vector<BranchClass> &ByBranchId);
+
+} // namespace bpcr
+
+#endif // BPCR_ANALYSIS_LOOPINFO_H

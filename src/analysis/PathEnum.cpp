@@ -1,0 +1,79 @@
+//===- analysis/PathEnum.cpp ----------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PathEnum.h"
+
+#include <algorithm>
+
+using namespace bpcr;
+
+namespace {
+
+/// Recursive backward walk. \p Suffix accumulates steps newest-first; on
+/// emission it is reversed into oldest-first order.
+void walk(const Function &F, const CFG &G, uint32_t Block, unsigned Remaining,
+          unsigned JumpBudget, std::vector<PathStep> &Suffix,
+          std::vector<BranchPath> &Out) {
+  if (!Suffix.empty()) {
+    BranchPath P;
+    P.Steps.assign(Suffix.rbegin(), Suffix.rend());
+    Out.push_back(std::move(P));
+  }
+  if (Remaining == 0)
+    return;
+
+  for (uint32_t Pred : G.predecessors(Block)) {
+    if (!G.isReachable(Pred))
+      continue;
+    const Instruction &T = F.Blocks[Pred].terminator();
+    if (T.isConditionalBranch()) {
+      // The edge direction is determined by which target equals Block; a
+      // degenerate branch with both targets equal contributes both.
+      if (T.TrueTarget == Block) {
+        Suffix.push_back({T.BranchId, true});
+        walk(F, G, Pred, Remaining - 1, JumpBudget, Suffix, Out);
+        Suffix.pop_back();
+      }
+      if (T.FalseTarget == Block) {
+        Suffix.push_back({T.BranchId, false});
+        walk(F, G, Pred, Remaining - 1, JumpBudget, Suffix, Out);
+        Suffix.pop_back();
+      }
+    } else if (T.Op == Opcode::Jmp && JumpBudget > 0) {
+      // Jumps carry no decision; pass through without consuming length but
+      // bound the pass-through depth so jump cycles terminate.
+      walk(F, G, Pred, Remaining, JumpBudget - 1, Suffix, Out);
+    }
+  }
+}
+
+} // namespace
+
+std::vector<BranchPath> bpcr::enumerateBackwardPaths(const Function &F,
+                                                     const CFG &G,
+                                                     uint32_t Block,
+                                                     unsigned MaxLen,
+                                                     bool ThroughJumps) {
+  std::vector<BranchPath> Out;
+  std::vector<PathStep> Suffix;
+  walk(F, G, Block, MaxLen, /*JumpBudget=*/ThroughJumps ? 64 : 0, Suffix,
+       Out);
+
+  // Deduplicate (jump pass-throughs can produce the same decision list via
+  // different block sequences).
+  std::sort(Out.begin(), Out.end(), [](const BranchPath &A,
+                                       const BranchPath &B) {
+    return std::lexicographical_compare(
+        A.Steps.begin(), A.Steps.end(), B.Steps.begin(), B.Steps.end(),
+        [](const PathStep &X, const PathStep &Y) {
+          if (X.BranchId != Y.BranchId)
+            return X.BranchId < Y.BranchId;
+          return X.Taken < Y.Taken;
+        });
+  });
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===- analysis/PathEnum.h - Backward branch path enumeration ---*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumerates CFG paths of conditional-branch decisions leading into a
+/// block: "for all branches all predecessors with a path length less than
+/// the size of the state machine are collected" (paper sec. 5). These paths
+/// are the states of the correlated-branch machines and the shapes the
+/// correlated replication duplicates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_ANALYSIS_PATHENUM_H
+#define BPCR_ANALYSIS_PATHENUM_H
+
+#include "analysis/CFG.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bpcr {
+
+/// One decision along a path: branch \p BranchId went in direction \p Taken.
+struct PathStep {
+  int32_t BranchId = 0;
+  bool Taken = false;
+
+  bool operator==(const PathStep &O) const {
+    return BranchId == O.BranchId && Taken == O.Taken;
+  }
+};
+
+/// A sequence of decisions, oldest first, whose last step jumps into the
+/// target block.
+struct BranchPath {
+  std::vector<PathStep> Steps;
+
+  bool operator==(const BranchPath &O) const { return Steps == O.Steps; }
+};
+
+/// Enumerates distinct backward paths of up to \p MaxLen conditional-branch
+/// decisions that reach \p Block. With \p ThroughJumps, jump-only edges are
+/// traversed without consuming length; without it, only direct branch-edge
+/// chains are returned — the form the correlated replication transform can
+/// materialize. Paths that reach the function entry before collecting
+/// MaxLen decisions are returned shorter. Cyclic walks are cut off at
+/// MaxLen decisions, so the enumeration always terminates.
+///
+/// \returns all paths of length 1..MaxLen, deduplicated.
+std::vector<BranchPath> enumerateBackwardPaths(const Function &F, const CFG &G,
+                                               uint32_t Block, unsigned MaxLen,
+                                               bool ThroughJumps = true);
+
+} // namespace bpcr
+
+#endif // BPCR_ANALYSIS_PATHENUM_H

@@ -1,0 +1,23 @@
+//===- cache/AddressMap.cpp -----------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/AddressMap.h"
+
+using namespace bpcr;
+
+AddressMap::AddressMap(const Module &M) {
+  BlockBase.resize(M.Functions.size());
+  uint64_t Addr = 0;
+  for (size_t FI = 0; FI < M.Functions.size(); ++FI) {
+    const Function &F = M.Functions[FI];
+    BlockBase[FI].resize(F.Blocks.size());
+    for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+      BlockBase[FI][BI] = Addr;
+      Addr += F.Blocks[BI].Insts.size();
+    }
+  }
+  Total = Addr;
+}

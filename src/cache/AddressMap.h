@@ -1,0 +1,47 @@
+//===- cache/AddressMap.h - Instruction address layout ----------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assigns every instruction of a module a linear code address (one word
+/// per instruction, functions and blocks laid out in order). The paper's
+/// cost discussion is about exactly this layout: replicated copies push
+/// code apart and change instruction-cache behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_CACHE_ADDRESSMAP_H
+#define BPCR_CACHE_ADDRESSMAP_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bpcr {
+
+/// Linear code layout of a module.
+class AddressMap {
+public:
+  explicit AddressMap(const Module &M);
+
+  /// Address of instruction \p InstIdx in block \p BlockIdx of function
+  /// \p FuncIdx.
+  uint64_t address(uint32_t FuncIdx, uint32_t BlockIdx,
+                   uint32_t InstIdx) const {
+    return BlockBase[FuncIdx][BlockIdx] + InstIdx;
+  }
+
+  /// Total code size in words.
+  uint64_t codeSize() const { return Total; }
+
+private:
+  std::vector<std::vector<uint64_t>> BlockBase;
+  uint64_t Total = 0;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_CACHE_ADDRESSMAP_H

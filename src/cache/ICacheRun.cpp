@@ -1,0 +1,41 @@
+//===- cache/ICacheRun.cpp ------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/ICacheRun.h"
+
+using namespace bpcr;
+
+namespace {
+
+/// Feeds the fetch stream into the cache model.
+class CacheListener : public InstrListener {
+public:
+  CacheListener(const Module &M, const ICacheConfig &Cfg)
+      : Map(M), Sim(Cfg) {}
+
+  void onInstruction(uint32_t FuncIdx, uint32_t BlockIdx,
+                     uint32_t InstIdx) override {
+    Sim.access(Map.address(FuncIdx, BlockIdx, InstIdx));
+  }
+
+  AddressMap Map;
+  ICacheSim Sim;
+};
+
+} // namespace
+
+ICacheRunResult bpcr::runWithICache(const Module &M, const ICacheConfig &Cfg,
+                                    ExecOptions Opts) {
+  CacheListener Listener(M, Cfg);
+  Opts.Listener = &Listener;
+
+  ICacheRunResult R;
+  R.Exec = execute(M, nullptr, Opts);
+  R.Fetches = Listener.Sim.accesses();
+  R.Misses = Listener.Sim.misses();
+  R.CodeWords = Listener.Map.codeSize();
+  return R;
+}

@@ -1,0 +1,47 @@
+//===- cache/ICacheRun.h - Module-under-cache execution ---------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a module while simulating its instruction fetches through an
+/// i-cache: the measurement behind the paper's cost-function discussion
+/// (replication trades prediction accuracy against cache pressure).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_CACHE_ICACHERUN_H
+#define BPCR_CACHE_ICACHERUN_H
+
+#include "cache/AddressMap.h"
+#include "cache/ICacheSim.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+
+namespace bpcr {
+
+/// Outcome of a cached execution.
+struct ICacheRunResult {
+  ExecResult Exec;
+  uint64_t Fetches = 0;
+  uint64_t Misses = 0;
+  uint64_t CodeWords = 0;
+
+  double missPercent() const {
+    if (Fetches == 0)
+      return 0.0;
+    return 100.0 * static_cast<double>(Misses) /
+           static_cast<double>(Fetches);
+  }
+};
+
+/// Executes \p M feeding every instruction fetch through an ICacheSim with
+/// geometry \p Cfg. \p Opts may carry branch sinks and event caps; its
+/// Listener field is overridden.
+ICacheRunResult runWithICache(const Module &M, const ICacheConfig &Cfg,
+                              ExecOptions Opts = ExecOptions());
+
+} // namespace bpcr
+
+#endif // BPCR_CACHE_ICACHERUN_H

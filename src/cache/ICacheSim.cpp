@@ -1,0 +1,50 @@
+//===- cache/ICacheSim.cpp ------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/ICacheSim.h"
+
+#include <cstddef>
+
+using namespace bpcr;
+
+ICacheSim::ICacheSim(ICacheConfig CfgIn) : Cfg(CfgIn) {
+  assert(Cfg.LineWords > 0 && Cfg.Ways > 0 && "degenerate cache geometry");
+  uint64_t Lines = Cfg.CapacityWords / Cfg.LineWords;
+  assert(Lines >= Cfg.Ways && "capacity below one set");
+  NumSets = static_cast<uint32_t>(Lines / Cfg.Ways);
+  assert(NumSets > 0 && "cache needs at least one set");
+  Ways.assign(static_cast<size_t>(NumSets) * Cfg.Ways, Way());
+}
+
+void ICacheSim::access(uint64_t Address) {
+  ++Accesses;
+  ++Clock;
+  uint64_t Line = Address / Cfg.LineWords;
+  uint32_t Set = static_cast<uint32_t>(Line % NumSets);
+  uint64_t Tag = Line / NumSets;
+
+  Way *SetWays = &Ways[static_cast<size_t>(Set) * Cfg.Ways];
+  Way *Victim = &SetWays[0];
+  for (uint32_t W = 0; W < Cfg.Ways; ++W) {
+    if (SetWays[W].Tag == Tag) {
+      SetWays[W].LastUse = Clock;
+      return; // hit
+    }
+    if (SetWays[W].LastUse < Victim->LastUse)
+      Victim = &SetWays[W];
+  }
+
+  ++Misses;
+  Victim->Tag = Tag;
+  Victim->LastUse = Clock;
+}
+
+void ICacheSim::reset() {
+  Ways.assign(Ways.size(), Way());
+  Clock = 0;
+  Accesses = 0;
+  Misses = 0;
+}

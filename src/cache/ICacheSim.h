@@ -1,0 +1,73 @@
+//===- cache/ICacheSim.h - Instruction cache simulator ----------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative instruction cache with LRU replacement. The paper
+/// flags the cost side of code replication — "the increase in [code size]
+/// (negative impact on instruction cache miss rate)" — and names the
+/// i-cache evaluation as further work; this simulator plus the
+/// ablation_icache bench carry that evaluation out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_CACHE_ICACHESIM_H
+#define BPCR_CACHE_ICACHESIM_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace bpcr {
+
+/// Cache geometry. Sizes are in instruction words (the IR's code unit).
+struct ICacheConfig {
+  /// Total capacity in words.
+  uint64_t CapacityWords = 1024;
+  /// Words per cache line.
+  uint32_t LineWords = 8;
+  /// Associativity; 1 = direct mapped.
+  uint32_t Ways = 2;
+};
+
+/// Set-associative LRU instruction cache.
+class ICacheSim {
+public:
+  explicit ICacheSim(ICacheConfig Cfg = ICacheConfig());
+
+  /// Simulates one instruction fetch.
+  void access(uint64_t Address);
+
+  uint64_t accesses() const { return Accesses; }
+  uint64_t misses() const { return Misses; }
+
+  double missPercent() const {
+    if (Accesses == 0)
+      return 0.0;
+    return 100.0 * static_cast<double>(Misses) /
+           static_cast<double>(Accesses);
+  }
+
+  void reset();
+
+  const ICacheConfig &config() const { return Cfg; }
+
+private:
+  struct Way {
+    uint64_t Tag = UINT64_MAX;
+    uint64_t LastUse = 0;
+  };
+
+  ICacheConfig Cfg;
+  uint32_t NumSets;
+  std::vector<Way> Ways; // NumSets x Cfg.Ways
+  uint64_t Clock = 0;
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_CACHE_ICACHESIM_H

@@ -1,0 +1,68 @@
+//===- core/BranchProfiles.cpp --------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BranchProfiles.h"
+
+#include <unordered_set>
+
+using namespace bpcr;
+
+DirCounts PatternTable::countsFor(uint32_t Bits, unsigned Len) const {
+  DirCounts C;
+  uint32_t M = (Len >= 32) ? ~0U : ((1U << Len) - 1U);
+  for (const auto &[Pattern, Counts] : Full) {
+    if ((Pattern & M) != (Bits & M))
+      continue;
+    C.Taken += Counts.Taken;
+    C.NotTaken += Counts.NotTaken;
+  }
+  return C;
+}
+
+unsigned PatternTable::distinctPatterns(unsigned Bits) const {
+  uint32_t M = (Bits >= 32) ? ~0U : ((1U << Bits) - 1U);
+  std::unordered_set<uint32_t> Seen;
+  for (const auto &[Pattern, Counts] : Full)
+    Seen.insert(Pattern & M);
+  return static_cast<unsigned>(Seen.size());
+}
+
+ProfileSet::ProfileSet(uint32_t NumBranches, unsigned MaxBits)
+    : Profiles(NumBranches, BranchProfile(MaxBits)) {}
+
+void ProfileSet::addTrace(const Trace &T) {
+  for (const BranchEvent &E : T)
+    record(E.BranchId, E.Taken);
+}
+
+uint32_t ProfileSet::executedBranches() const {
+  uint32_t N = 0;
+  for (const BranchProfile &P : Profiles)
+    if (!P.Outcomes.empty())
+      ++N;
+  return N;
+}
+
+uint64_t ProfileSet::totalExecutions() const {
+  uint64_t N = 0;
+  for (const BranchProfile &P : Profiles)
+    N += P.executions();
+  return N;
+}
+
+double ProfileSet::fillRatePercent(unsigned Bits) const {
+  uint64_t Used = 0;
+  uint64_t Capacity = 0;
+  for (const BranchProfile &P : Profiles) {
+    if (P.Outcomes.empty())
+      continue;
+    Used += P.Table.distinctPatterns(Bits);
+    Capacity += (1ULL << Bits);
+  }
+  if (Capacity == 0)
+    return 0.0;
+  return 100.0 * static_cast<double>(Used) / static_cast<double>(Capacity);
+}

@@ -1,0 +1,142 @@
+//===- core/BranchProfiles.h - Per-branch history profiles ------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-branch outcome streams and local-history pattern tables built from a
+/// trace (paper sec. 3/4: "For each 9 bit pattern we collected the number of
+/// taken and not taken branches"), plus the fill-rate measurements of
+/// Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_CORE_BRANCHPROFILES_H
+#define BPCR_CORE_BRANCHPROFILES_H
+
+#include "predict/SemiStaticPredictors.h" // DirCounts
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace bpcr {
+
+/// Local-history pattern table of one branch: counts per full-width pattern.
+/// Shorter-pattern counts are derived by marginalizing over the high
+/// (older) bits.
+class PatternTable {
+public:
+  explicit PatternTable(unsigned MaxBits = 9) : MaxBits(MaxBits) {}
+
+  /// Records one outcome under the current local history, then shifts it.
+  /// The history starts zero-filled, matching the predictors in
+  /// predict/SemiStaticPredictors.
+  void record(bool Taken) {
+    Full[Hist].record(Taken);
+    Hist = ((Hist << 1) | (Taken ? 1U : 0U)) & mask();
+    ++Executions;
+  }
+
+  /// Zero-fills the running history. Loop-aware profiling calls this when
+  /// control left the branch's loop, because a replicated loop re-enters
+  /// through its initial-state copy and therefore forgets the history of
+  /// the previous invocation.
+  void resetHistory() { Hist = 0; }
+
+  /// Counts aggregated over all full patterns whose last \p Len outcomes
+  /// equal \p Bits (bit 0 = most recent).
+  DirCounts countsFor(uint32_t Bits, unsigned Len) const;
+
+  /// Number of distinct \p Bits-wide patterns observed: the numerator of
+  /// the paper's Table 2 fill rate.
+  unsigned distinctPatterns(unsigned Bits) const;
+
+  const std::unordered_map<uint32_t, DirCounts> &full() const { return Full; }
+  unsigned maxBits() const { return MaxBits; }
+  uint64_t executions() const { return Executions; }
+
+private:
+  uint32_t mask() const { return (1U << MaxBits) - 1U; }
+
+  unsigned MaxBits;
+  uint32_t Hist = 0;
+  uint64_t Executions = 0;
+  std::unordered_map<uint32_t, DirCounts> Full;
+};
+
+/// Everything the machine construction needs about one branch.
+struct BranchProfile {
+  /// Outcome stream in execution order (1 = taken).
+  std::vector<uint8_t> Outcomes;
+  /// Positions in Outcomes before which the history was reset (loop
+  /// re-entries); empty for plain whole-trace profiling.
+  std::vector<uint64_t> ResetPositions;
+  PatternTable Table;
+
+  explicit BranchProfile(unsigned MaxBits = 9) : Table(MaxBits) {}
+
+  uint64_t executions() const { return Outcomes.size(); }
+  uint64_t takenCount() const {
+    uint64_t N = 0;
+    for (uint8_t O : Outcomes)
+      N += O;
+    return N;
+  }
+  bool majorityTaken() const { return 2 * takenCount() >= executions(); }
+  /// Mispredictions of profile (majority) prediction.
+  uint64_t profileMispredictions() const {
+    uint64_t T = takenCount(), N = executions() - T;
+    return T < N ? T : N;
+  }
+};
+
+/// Profiles for every branch of a traced program.
+class ProfileSet {
+public:
+  /// \param NumBranches static branch count (ids are dense below this).
+  /// \param MaxBits pattern-table width (the paper uses 9).
+  ProfileSet(uint32_t NumBranches, unsigned MaxBits = 9);
+
+  /// Accumulates a whole trace.
+  void addTrace(const Trace &T);
+
+  /// Records one event.
+  void record(int32_t Id, bool Taken) {
+    BranchProfile &P = Profiles[static_cast<uint32_t>(Id)];
+    P.Outcomes.push_back(Taken ? 1 : 0);
+    P.Table.record(Taken);
+  }
+
+  /// Marks a loop re-entry for branch \p Id: the next recorded outcome
+  /// starts from a zero-filled history.
+  void resetHistory(int32_t Id) {
+    BranchProfile &P = Profiles[static_cast<uint32_t>(Id)];
+    P.ResetPositions.push_back(P.Outcomes.size());
+    P.Table.resetHistory();
+  }
+
+  const BranchProfile &branch(int32_t Id) const {
+    return Profiles[static_cast<uint32_t>(Id)];
+  }
+
+  uint32_t numBranches() const {
+    return static_cast<uint32_t>(Profiles.size());
+  }
+
+  uint32_t executedBranches() const;
+  uint64_t totalExecutions() const;
+
+  /// Table 2: percentage of the 2^Bits pattern-table entries of the
+  /// executed branches that were actually used.
+  double fillRatePercent(unsigned Bits) const;
+
+private:
+  std::vector<BranchProfile> Profiles;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_CORE_BRANCHPROFILES_H

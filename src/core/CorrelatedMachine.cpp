@@ -1,0 +1,172 @@
+//===- core/CorrelatedMachine.cpp -----------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CorrelatedMachine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace bpcr;
+
+namespace {
+
+/// Packs a decision step into one selection symbol.
+uint32_t encodeStep(const PathStep &S) {
+  return (static_cast<uint32_t>(S.BranchId) << 1) | (S.Taken ? 1U : 0U);
+}
+
+PathStep decodeStep(uint32_t Sym) {
+  return {static_cast<int32_t>(Sym >> 1), (Sym & 1U) != 0};
+}
+
+BranchPath decodePath(const SymbolString &S) {
+  BranchPath P;
+  P.Steps.reserve(S.size());
+  for (uint32_t Sym : S)
+    P.Steps.push_back(decodeStep(Sym));
+  return P;
+}
+
+} // namespace
+
+SymbolString bpcr::encodePathSteps(const BranchPath &P) {
+  SymbolString S;
+  S.reserve(P.Steps.size());
+  for (const PathStep &Step : P.Steps)
+    S.push_back(encodeStep(Step));
+  return S;
+}
+
+int CorrelatedMachine::match(const std::vector<PathStep> &Recent) const {
+  // Paths are sorted by (length, content); probe longest first.
+  for (size_t L = std::min<size_t>(Recent.size(), MaxPathLen); L >= 1; --L) {
+    BranchPath Probe;
+    Probe.Steps.assign(Recent.end() - static_cast<long>(L), Recent.end());
+    SymbolString Key = encodePathSteps(Probe);
+    for (size_t I = Paths.size(); I-- > 0;) {
+      if (Paths[I].Steps.size() != L)
+        continue;
+      if (encodePathSteps(Paths[I]) == Key)
+        return static_cast<int>(I);
+    }
+    if (L == 1)
+      break;
+  }
+  return -1;
+}
+
+std::vector<PathProfile> bpcr::profilePaths(
+    const std::vector<std::vector<BranchPath>> &CandidatesByBranch,
+    const Trace &T, unsigned MaxPathLen) {
+  size_t NumBranches = CandidatesByBranch.size();
+  std::vector<PathProfile> Out(NumBranches);
+
+  // Candidate lookup per branch; remember the longest candidate to bound
+  // the suffix probing.
+  std::vector<std::map<SymbolString, size_t>> Lookup(NumBranches);
+  std::vector<size_t> Longest(NumBranches, 0);
+  std::vector<std::map<SymbolString, DirCounts>> Accum(NumBranches);
+  for (size_t B = 0; B < NumBranches; ++B)
+    for (const BranchPath &P : CandidatesByBranch[B]) {
+      if (P.Steps.empty() || P.Steps.size() > MaxPathLen)
+        continue;
+      Lookup[B].emplace(encodePathSteps(P), 0);
+      Longest[B] = std::max(Longest[B], P.Steps.size());
+    }
+
+  // One pass; the window holds the last MaxPathLen encoded events.
+  SymbolString Window;
+  for (const BranchEvent &E : T) {
+    size_t B = static_cast<size_t>(E.BranchId);
+    if (B < NumBranches && !Lookup[B].empty()) {
+      bool Matched = false;
+      for (size_t L = std::min(Window.size(), Longest[B]); L >= 1; --L) {
+        SymbolString Key(Window.end() - static_cast<long>(L), Window.end());
+        if (Lookup[B].count(Key)) {
+          Accum[B][Key].record(E.Taken);
+          Matched = true;
+          break;
+        }
+        if (L == 1)
+          break;
+      }
+      if (!Matched)
+        Out[B].Unmatched.record(E.Taken);
+    } else if (B < NumBranches) {
+      Out[B].Unmatched.record(E.Taken);
+    }
+    if (Window.size() == MaxPathLen)
+      Window.erase(Window.begin());
+    Window.push_back(encodeStep({E.BranchId, E.Taken}));
+  }
+
+  for (size_t B = 0; B < NumBranches; ++B)
+    for (auto &[Key, Counts] : Accum[B])
+      Out[B].PerPath.emplace_back(Key, Counts);
+  return Out;
+}
+
+CorrelatedMachine
+bpcr::buildCorrelatedMachineFromProfile(int32_t BranchId,
+                                        const PathProfile &Profile,
+                                        const CorrelatedOptions &Opts) {
+  CorrelatedMachine M;
+  M.BranchId = BranchId;
+  M.MaxPathLen = Opts.MaxPathLen;
+
+  std::vector<ObservedPattern> Patterns;
+  for (const auto &[Key, Counts] : Profile.PerPath)
+    Patterns.push_back({Key, Counts});
+  if (Profile.Unmatched.total() > 0)
+    Patterns.push_back({SymbolString(), Profile.Unmatched});
+
+  SelectOptions Sel;
+  assert(Opts.MaxStates >= 2 && "need room for a path plus the catch-all");
+  Sel.MaxSelected = Opts.MaxStates - 1; // the catch-all takes one state
+  Sel.MinLen = 1;
+  Sel.MaxLen = Opts.MaxPathLen;
+  Sel.Exhaustive = Opts.Exhaustive;
+  Sel.NodeBudget = Opts.NodeBudget;
+
+  SuffixSelection Selected = selectSuffixStates(Patterns, {}, Sel);
+
+  for (size_t I = 0; I < Selected.States.size(); ++I) {
+    M.Paths.push_back(decodePath(Selected.States[I]));
+    M.PathPred.push_back(Selected.StatePred[I]);
+  }
+  M.DefaultPred = Selected.DefaultPred;
+  M.Correct = Selected.Correct;
+  M.Total = Selected.Total;
+  return M;
+}
+
+CorrelatedMachine
+bpcr::buildCorrelatedMachine(int32_t BranchId,
+                             const std::vector<BranchPath> &CandidatePaths,
+                             const Trace &T, const CorrelatedOptions &Opts) {
+  std::vector<std::vector<BranchPath>> ByBranch(
+      static_cast<size_t>(BranchId) + 1);
+  ByBranch[static_cast<size_t>(BranchId)] = CandidatePaths;
+  std::vector<PathProfile> Profiles =
+      profilePaths(ByBranch, T, Opts.MaxPathLen);
+  return buildCorrelatedMachineFromProfile(
+      BranchId, Profiles[static_cast<size_t>(BranchId)], Opts);
+}
+
+PredictionStats bpcr::evaluateCorrelatedMachine(const CorrelatedMachine &M,
+                                                const Trace &T) {
+  PredictionStats Stats;
+  std::vector<PathStep> Recent;
+  for (const BranchEvent &E : T) {
+    if (E.BranchId == M.BranchId)
+      Stats.record(M.predictFor(Recent) == E.Taken);
+    Recent.push_back({E.BranchId, E.Taken});
+    if (Recent.size() > M.MaxPathLen)
+      Recent.erase(Recent.begin());
+  }
+  return Stats;
+}

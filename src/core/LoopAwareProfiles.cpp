@@ -1,0 +1,67 @@
+//===- core/LoopAwareProfiles.cpp -----------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LoopAwareProfiles.h"
+
+#include <map>
+
+using namespace bpcr;
+
+ProfileSet bpcr::buildLoopAwareProfiles(const ProgramAnalysis &PA,
+                                        const Trace &T, unsigned MaxBits) {
+  uint32_t NumBranches = PA.numBranches();
+  ProfileSet P(NumBranches, MaxBits);
+
+  // Tracked loops: innermost loops of loop branches, keyed (func, loop).
+  using LoopKey = std::pair<uint32_t, int32_t>;
+  std::map<LoopKey, size_t> LoopIndex;
+  struct TrackedLoop {
+    uint32_t FuncIdx;
+    const Loop *L;
+    uint64_t LastOutside = 0;
+  };
+  std::vector<TrackedLoop> Loops;
+  std::vector<int32_t> LoopOfBranch(NumBranches, -1);
+
+  for (uint32_t Id = 0; Id < NumBranches; ++Id) {
+    const BranchClass &C = PA.classOf(static_cast<int32_t>(Id));
+    if (C.Kind == BranchKind::NonLoop)
+      continue;
+    LoopKey Key{PA.ref(static_cast<int32_t>(Id)).FuncIdx, C.LoopIdx};
+    auto [It, Inserted] = LoopIndex.emplace(Key, Loops.size());
+    if (Inserted)
+      Loops.push_back(
+          {Key.first,
+           &PA.loopInfoFor(static_cast<int32_t>(Id))
+                .loops()[static_cast<size_t>(C.LoopIdx)],
+           0});
+    LoopOfBranch[Id] = static_cast<int32_t>(It->second);
+  }
+
+  std::vector<uint64_t> LastExec(NumBranches, 0);
+  uint64_t Time = 0;
+  for (const BranchEvent &E : T) {
+    ++Time;
+    uint32_t Id = static_cast<uint32_t>(E.BranchId);
+    const BranchRef &R = PA.ref(E.BranchId);
+
+    // Update the outside markers of every tracked loop this event is not
+    // inside of.
+    for (TrackedLoop &TL : Loops) {
+      bool Inside = TL.FuncIdx == R.FuncIdx && TL.L->contains(R.BlockIdx);
+      if (!Inside)
+        TL.LastOutside = Time;
+    }
+
+    int32_t LI = LoopOfBranch[Id];
+    if (LI >= 0 &&
+        Loops[static_cast<size_t>(LI)].LastOutside > LastExec[Id])
+      P.resetHistory(E.BranchId);
+    P.record(E.BranchId, E.Taken);
+    LastExec[Id] = Time;
+  }
+  return P;
+}

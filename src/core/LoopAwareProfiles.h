@@ -1,0 +1,37 @@
+//===- core/LoopAwareProfiles.h - Invocation-aware profiling ----*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profiling that mirrors what loop replication can actually realize: a
+/// replicated loop re-enters through its initial-state copy, so the machine
+/// state of every loop branch resets whenever control leaves the loop.
+/// These profiles reset each loop branch's local history accordingly, which
+/// keeps the construction-time assignment scores honest about the accuracy
+/// the replicated program will achieve. Plain whole-trace profiles (the
+/// semi-static predictor tables of Table 1) deliberately do NOT reset —
+/// they model unbounded software history registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_CORE_LOOPAWAREPROFILES_H
+#define BPCR_CORE_LOOPAWAREPROFILES_H
+
+#include "core/BranchProfiles.h"
+#include "core/ProgramAnalysis.h"
+#include "trace/Trace.h"
+
+namespace bpcr {
+
+/// Builds per-branch profiles where a loop branch's history resets whenever
+/// an event outside its innermost loop occurred since its last execution.
+/// Events from other functions count as outside (a fresh call re-enters the
+/// loop through its header).
+ProfileSet buildLoopAwareProfiles(const ProgramAnalysis &PA, const Trace &T,
+                                  unsigned MaxBits = 9);
+
+} // namespace bpcr
+
+#endif // BPCR_CORE_LOOPAWAREPROFILES_H

@@ -1,0 +1,141 @@
+//===- core/Machines.h - Branch prediction state machines -------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's branch prediction state machines (sec. 4): small automata
+/// whose states are compacted history information and whose transitions are
+/// the branch outcomes. Code replication later materializes one loop copy
+/// per state.
+///
+///  - SuffixMachine: states are binary history strings matched by longest
+///    suffix (the intra-loop machines of figures 2-4).
+///  - ExitChainMachine: states count iterations since the last loop exit,
+///    saturating at the chain end or alternating between the two longest
+///    states for even/odd trip counts (figure 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_CORE_MACHINES_H
+#define BPCR_CORE_MACHINES_H
+
+#include "core/BranchProfiles.h"
+#include "core/SuffixSelect.h"
+#include "support/Statistics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+/// A per-branch prediction automaton. States are dense indexes; every state
+/// carries one static prediction — the property that lets replication give
+/// each loop copy a single predicted direction.
+class BranchMachine {
+public:
+  virtual ~BranchMachine();
+
+  virtual unsigned numStates() const = 0;
+  virtual unsigned initialState() const = 0;
+  virtual unsigned next(unsigned State, bool Taken) const = 0;
+  virtual bool predictTaken(unsigned State) const = 0;
+  virtual std::string describe() const = 0;
+  virtual std::unique_ptr<BranchMachine> clone() const = 0;
+
+  /// Replays an outcome stream through the machine and counts
+  /// mispredictions — the realized accuracy, as opposed to the assignment
+  /// score used during construction.
+  PredictionStats simulate(const std::vector<uint8_t> &Outcomes) const;
+
+  /// Like simulate(), but returns to the initial state at every recorded
+  /// loop re-entry — exactly the behaviour of the replicated program.
+  PredictionStats simulateSegmented(const BranchProfile &P) const;
+
+  /// States reachable from the initial state (replication prunes the rest,
+  /// like the paper discards blocks "2b" and "3a" in figure 1).
+  std::vector<uint8_t> reachableStates() const;
+
+  /// Construction-time assignment score.
+  uint64_t Correct = 0;
+  uint64_t Total = 0;
+};
+
+/// Intra-loop machine: states are history strings over {0,1} (oldest symbol
+/// first, most recent last), transition appends the outcome and rematches by
+/// longest suffix. Suffix closure (enforced by the search) makes this
+/// equivalent to tracking the longest state-suffix of the true history.
+class SuffixMachine : public BranchMachine {
+public:
+  /// Builds from a selection over bit symbols (each symbol 0 or 1).
+  static SuffixMachine fromSelection(const SuffixSelection &Sel);
+
+  unsigned numStates() const override {
+    return static_cast<unsigned>(States.size());
+  }
+  unsigned initialState() const override { return Initial; }
+  unsigned next(unsigned State, bool Taken) const override;
+  bool predictTaken(unsigned State) const override {
+    return Preds[State] != 0;
+  }
+  std::string describe() const override;
+  std::unique_ptr<BranchMachine> clone() const override {
+    return std::make_unique<SuffixMachine>(*this);
+  }
+
+  const std::vector<SymbolString> &states() const { return States; }
+
+private:
+  /// Sorted by (length, content); symbols are 0/1.
+  std::vector<SymbolString> States;
+  std::vector<uint8_t> Preds;
+  unsigned Initial = 0;
+  unsigned MaxLen = 1;
+};
+
+/// Loop-exit machine (paper figure 5): state k means "k loop iterations
+/// since the last exit", saturating at the chain end; the parity variant
+/// alternates between the two longest states to capture loops with a
+/// characteristic even/odd trip count.
+class ExitChainMachine : public BranchMachine {
+public:
+  /// Fits predictions for a chain of the given shape against a pattern
+  /// table. \p StayOnTaken gives the outcome polarity that continues the
+  /// loop (false when the taken edge exits).
+  static ExitChainMachine fit(const PatternTable &Table, unsigned ChainLen,
+                              bool Parity, bool StayOnTaken);
+
+  unsigned numStates() const override {
+    return ChainLen + 1 + (Parity ? 1 : 0);
+  }
+
+  /// The state matching a zero-filled (reset) history: state 0 when taken
+  /// continues the loop (zero trailing stays), the saturated chain end
+  /// otherwise (a zero history reads as all-stays). Keeping this aligned
+  /// with the zero-reset convention of the loop-aware profiles makes the
+  /// fit score match what replication realizes.
+  unsigned initialState() const override { return StayOnTaken ? 0 : ChainLen; }
+  unsigned next(unsigned State, bool Taken) const override;
+  bool predictTaken(unsigned State) const override {
+    return Preds[State] != 0;
+  }
+  std::string describe() const override;
+  std::unique_ptr<BranchMachine> clone() const override {
+    return std::make_unique<ExitChainMachine>(*this);
+  }
+
+  unsigned chainLen() const { return ChainLen; }
+  bool hasParity() const { return Parity; }
+
+private:
+  unsigned ChainLen = 1;
+  bool Parity = false;
+  bool StayOnTaken = true;
+  std::vector<uint8_t> Preds;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_CORE_MACHINES_H

@@ -1,0 +1,359 @@
+//===- core/Pipeline.cpp --------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "core/BranchProfiles.h"
+#include "core/JointMachine.h"
+#include "core/LoopAwareProfiles.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace bpcr;
+
+namespace {
+
+/// Finds the function and block of one instance of \p OrigId in \p M;
+/// returns false when absent.
+bool findInstance(const Module &M, int32_t OrigId, uint32_t &FuncIdx,
+                  uint32_t &BlockIdx) {
+  for (uint32_t FI = 0; FI < M.Functions.size(); ++FI) {
+    const Function &F = M.Functions[FI];
+    for (uint32_t BI = 0; BI < F.Blocks.size(); ++BI) {
+      if (!F.Blocks[BI].isComplete())
+        continue;
+      const Instruction &T = F.Blocks[BI].terminator();
+      if (T.isConditionalBranch() && T.OrigBranchId == OrigId) {
+        FuncIdx = FI;
+        BlockIdx = BI;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
+                                     const PipelineOptions &Opts) {
+  PipelineResult R;
+  R.Transformed = M;
+  R.OrigInstructions = M.instructionCount();
+
+  // Profile and select strategies on the original module. Loop-aware
+  // profiles keep the machine scores faithful to the replicated program
+  // (the machine state resets on loop re-entry).
+  ProgramAnalysis PA(M);
+  ProfileSet Profiles = buildLoopAwareProfiles(PA, T);
+  TraceStats Stats(PA.numBranches());
+  Stats.addTrace(T);
+
+  R.Strategies = selectStrategies(PA, Profiles, T, Opts.Strategy);
+
+  // Estimated instructions a strategy's replication adds: the paper's cost
+  // function weighing accuracy gain against code growth.
+  auto EstimateCost = [&](const BranchStrategy &S) -> uint64_t {
+    const BranchRef &Ref = PA.ref(S.BranchId);
+    const Function &F = M.Functions[Ref.FuncIdx];
+    if (S.Kind == StrategyKind::Correlated) {
+      uint64_t Cost = 0;
+      for (const BranchPath &Path : S.Corr->Paths) {
+        Cost += F.Blocks[Ref.BlockIdx].Insts.size(); // target copy
+        for (size_t PI = 1; PI < Path.Steps.size(); ++PI) {
+          const BranchRef &StepRef = PA.ref(Path.Steps[PI].BranchId);
+          Cost += M.Functions[StepRef.FuncIdx]
+                      .Blocks[StepRef.BlockIdx]
+                      .Insts.size();
+        }
+      }
+      return Cost;
+    }
+    // Loop machine: one loop copy per additional reachable state.
+    const BranchClass &C = PA.classOf(S.BranchId);
+    if (C.LoopIdx < 0 || !S.Machine)
+      return 1;
+    const Loop &L = PA.loopInfoFor(S.BranchId)
+                        .loops()[static_cast<size_t>(C.LoopIdx)];
+    uint64_t LoopSize = 0;
+    for (uint32_t B : L.Blocks)
+      LoopSize += F.Blocks[B].Insts.size();
+    unsigned Reachable = 0;
+    for (uint8_t Bit : S.Machine->reachableStates())
+      Reachable += Bit;
+    return LoopSize * (Reachable > 1 ? Reachable - 1 : 1);
+  };
+
+  auto Gain = [&R, &Profiles](size_t I) -> uint64_t {
+    const BranchStrategy &S = R.Strategies[I];
+    const BranchProfile &P = Profiles.branch(S.BranchId);
+    uint64_t ProfCorrect = P.executions() - P.profileMispredictions();
+    return S.Correct > ProfCorrect ? S.Correct - ProfCorrect : 0;
+  };
+
+  // Joint machines (paper sec. 6): when several branches of one loop earn
+  // loop machines, one joint machine replaces the multiplicative product of
+  // their per-branch copies. Members handled jointly leave the per-branch
+  // ordering below.
+  struct JointPlan {
+    std::vector<int32_t> Members;
+    std::vector<size_t> StrategyIndices;
+    JointLoopMachine Machine;
+    uint64_t Gain = 0;
+    uint64_t Cost = 1;
+  };
+  const uint64_t SizeCap = static_cast<uint64_t>(
+      static_cast<double>(R.OrigInstructions) * Opts.MaxSizeFactor);
+
+  std::vector<JointPlan> JointPlans;
+  std::vector<bool> HandledJointly(R.Strategies.size(), false);
+  if (Opts.UseJointMachines) {
+    std::map<std::pair<uint32_t, int32_t>, std::vector<size_t>> Groups;
+    for (size_t I = 0; I < R.Strategies.size(); ++I) {
+      const BranchStrategy &S = R.Strategies[I];
+      if (S.Kind != StrategyKind::IntraLoop &&
+          S.Kind != StrategyKind::LoopExit)
+        continue;
+      const BranchClass &C = PA.classOf(S.BranchId);
+      Groups[{PA.ref(S.BranchId).FuncIdx, C.LoopIdx}].push_back(I);
+    }
+    for (const auto &[Key, Indices] : Groups) {
+      if (Indices.size() < 2)
+        continue;
+      JointPlan Plan;
+      uint64_t ProfCorrect = 0;
+      for (size_t I : Indices) {
+        Plan.Members.push_back(R.Strategies[I].BranchId);
+        const BranchProfile &P = Profiles.branch(R.Strategies[I].BranchId);
+        ProfCorrect += P.executions() - P.profileMispredictions();
+      }
+      JointOptions JO;
+      JO.MaxStates = Opts.JointMaxStates;
+      JO.MaxLen = 4;
+      JO.Exhaustive = Opts.Strategy.Exhaustive;
+      JO.NodeBudget = Opts.Strategy.NodeBudget;
+      JointProfile JP = profileJointLoop(PA, Plan.Members, T, JO.MaxLen);
+      if (JP.Executions == 0)
+        continue;
+
+      // Loop size (for budget-aware machine sizing below).
+      const BranchClass &GroupClass = PA.classOf(
+          R.Strategies[Indices.front()].BranchId);
+      const Loop &GroupLoop =
+          PA.loopInfoFor(R.Strategies[Indices.front()].BranchId)
+              .loops()[static_cast<size_t>(GroupClass.LoopIdx)];
+      uint64_t GroupLoopSize = 0;
+      for (uint32_t B : GroupLoop.Blocks)
+        GroupLoopSize += M.Functions[Key.first].Blocks[B].Insts.size();
+
+      // Shrink the machine until its copies fit the size budget.
+      bool Fits = false;
+      for (unsigned States = Opts.JointMaxStates; States >= 3; --States) {
+        JO.MaxStates = States;
+        Plan.Machine = buildJointLoopMachine(Plan.Members, JP, JO);
+        uint64_t WorstCost =
+            GroupLoopSize * (Plan.Machine.numStates() > 1
+                                 ? Plan.Machine.numStates() - 1
+                                 : 1);
+        if (R.OrigInstructions + WorstCost <= SizeCap) {
+          Fits = true;
+          break;
+        }
+      }
+      if (!Fits || Plan.Machine.Correct <= ProfCorrect + Opts.MinGain)
+        continue;
+      Plan.Gain = Plan.Machine.Correct - ProfCorrect;
+
+      // Compete with the per-branch alternative on gain per instruction:
+      // separate machines pay the PRODUCT of their sizes in loop copies
+      // (paper sec. 6), the joint machine pays only its own state count.
+      uint64_t PerBranchGain = 0;
+      uint64_t PerBranchStatesProduct = 1;
+      for (size_t I : Indices) {
+        PerBranchGain += Gain(I);
+        PerBranchStatesProduct *= std::max(1u, R.Strategies[I].States);
+      }
+
+      // Cost: one loop copy per additional *reachable* state.
+      unsigned ReachableStates = 0;
+      {
+        std::vector<uint8_t> Seen(Plan.Machine.numStates(), 0);
+        std::vector<unsigned> Work{Plan.Machine.initialState()};
+        Seen[Plan.Machine.initialState()] = 1;
+        while (!Work.empty()) {
+          unsigned S = Work.back();
+          Work.pop_back();
+          for (size_t J = 0; J < Plan.Members.size(); ++J)
+            for (bool Taken : {false, true}) {
+              unsigned N = Plan.Machine.next(S, static_cast<int>(J), Taken);
+              if (!Seen[N]) {
+                Seen[N] = 1;
+                Work.push_back(N);
+              }
+            }
+        }
+        for (uint8_t B : Seen)
+          ReachableStates += B;
+      }
+      const BranchClass &C = PA.classOf(Plan.Members[0]);
+      const Loop &L = PA.loopInfoFor(Plan.Members[0])
+                          .loops()[static_cast<size_t>(C.LoopIdx)];
+      const Function &F = M.Functions[Key.first];
+      uint64_t LoopSize = 0;
+      for (uint32_t B : L.Blocks)
+        LoopSize += F.Blocks[B].Insts.size();
+      Plan.Cost = std::max<uint64_t>(
+          LoopSize * (ReachableStates > 1 ? ReachableStates - 1 : 1), 1);
+
+      uint64_t PerBranchCost = std::max<uint64_t>(
+          LoopSize * (PerBranchStatesProduct > 1
+                          ? PerBranchStatesProduct - 1
+                          : 1),
+          1);
+      double JointRatio = static_cast<double>(Plan.Gain) /
+                          static_cast<double>(Plan.Cost);
+      double SeparateRatio = static_cast<double>(PerBranchGain) /
+                             static_cast<double>(PerBranchCost);
+      if (JointRatio < SeparateRatio)
+        continue; // separate machines are the better deal here
+
+      Plan.StrategyIndices.assign(Indices.begin(), Indices.end());
+      for (size_t I : Indices)
+        HandledJointly[I] = true;
+      JointPlans.push_back(std::move(Plan));
+    }
+  }
+
+  // Joint plans first, best gain-per-instruction leading. A plan that is
+  // skipped releases its members back to the per-branch path below.
+  std::sort(JointPlans.begin(), JointPlans.end(),
+            [](const JointPlan &A, const JointPlan &B) {
+              return static_cast<double>(A.Gain) /
+                         static_cast<double>(A.Cost) >
+                     static_cast<double>(B.Gain) /
+                         static_cast<double>(B.Cost);
+            });
+  for (const JointPlan &Plan : JointPlans) {
+    bool Applied = false;
+    do {
+      if (R.Transformed.instructionCount() + Plan.Cost > SizeCap) {
+        ++R.SkippedBudget;
+        break;
+      }
+      uint32_t FuncIdx = 0, BlockIdx = 0;
+      if (!findInstance(R.Transformed, Plan.Members[0], FuncIdx,
+                        BlockIdx)) {
+        ++R.SkippedStructure;
+        break;
+      }
+      Function &F = R.Transformed.Functions[FuncIdx];
+      CFG G(F);
+      Dominators D(G);
+      LoopInfo LI(G, D);
+      int32_t LoopIdx = LI.innermostLoop(BlockIdx);
+      if (LoopIdx < 0) {
+        ++R.SkippedStructure;
+        break;
+      }
+      const Loop &L = LI.loops()[static_cast<size_t>(LoopIdx)];
+      if (!applyJointLoopReplication(F, L.Blocks, L.Header, Plan.Machine)
+               .Applied) {
+        ++R.SkippedStructure;
+        break;
+      }
+      ++R.JointReplications;
+      Applied = true;
+    } while (false);
+    if (!Applied)
+      for (size_t I : Plan.StrategyIndices)
+        HandledJointly[I] = false;
+  }
+
+  // Apply the best gain-per-instruction per-branch machines next.
+  std::vector<size_t> Order;
+  for (size_t I = 0; I < R.Strategies.size(); ++I)
+    if (R.Strategies[I].Kind != StrategyKind::Profile && !HandledJointly[I])
+      Order.push_back(I);
+  std::vector<uint64_t> Costs(R.Strategies.size(), 1);
+  for (size_t I : Order)
+    Costs[I] = std::max<uint64_t>(EstimateCost(R.Strategies[I]), 1);
+  std::sort(Order.begin(), Order.end(),
+            [&R, &Gain, &Costs](size_t A, size_t B) {
+              double RA = static_cast<double>(Gain(A)) /
+                          static_cast<double>(Costs[A]);
+              double RB = static_cast<double>(Gain(B)) /
+                          static_cast<double>(Costs[B]);
+              if (RA != RB)
+                return RA > RB;
+              return R.Strategies[A].BranchId < R.Strategies[B].BranchId;
+            });
+
+  for (size_t I : Order) {
+    const BranchStrategy &S = R.Strategies[I];
+    if (Gain(I) < Opts.MinGain)
+      continue;
+
+    uint32_t FuncIdx = 0, BlockIdx = 0;
+    if (!findInstance(R.Transformed, S.BranchId, FuncIdx, BlockIdx)) {
+      ++R.SkippedStructure;
+      continue;
+    }
+    Function &F = R.Transformed.Functions[FuncIdx];
+
+    if (S.Kind == StrategyKind::Correlated) {
+      if (R.Transformed.instructionCount() + Costs[I] > SizeCap) {
+        ++R.SkippedBudget;
+        continue;
+      }
+      ReplicationStats RS =
+          applyCorrelatedReplication(F, S.BranchId, *S.Corr);
+      if (RS.Applied)
+        ++R.CorrelatedReplications;
+      else
+        ++R.SkippedStructure;
+      continue;
+    }
+
+    // Loop replication: locate the instance's innermost loop in the
+    // *transformed* function.
+    CFG G(F);
+    Dominators D(G);
+    LoopInfo LI(G, D);
+    int32_t LoopIdx = LI.innermostLoop(BlockIdx);
+    if (LoopIdx < 0) {
+      ++R.SkippedStructure;
+      continue;
+    }
+    const Loop &L = LI.loops()[static_cast<size_t>(LoopIdx)];
+
+    // Budget check against the *current* loop size: replicating a loop a
+    // second branch shares multiplies the copies (paper sec. 6).
+    uint64_t LoopSize = 0;
+    for (uint32_t B : L.Blocks)
+      LoopSize += F.Blocks[B].Insts.size();
+    unsigned Reachable = 0;
+    for (uint8_t Bit : S.Machine->reachableStates())
+      Reachable += Bit;
+    uint64_t Cost = LoopSize * (Reachable > 1 ? Reachable - 1 : 1);
+    if (R.Transformed.instructionCount() + Cost > SizeCap) {
+      ++R.SkippedBudget;
+      continue;
+    }
+
+    ReplicationStats RS =
+        applyLoopReplication(F, L.Blocks, L.Header, S.BranchId, *S.Machine);
+    if (RS.Applied)
+      ++R.LoopReplications;
+    else
+      ++R.SkippedStructure;
+  }
+
+  annotateProfilePredictions(R.Transformed, Stats);
+  R.Transformed.assignBranchIds();
+  R.NewInstructions = R.Transformed.instructionCount();
+  return R;
+}

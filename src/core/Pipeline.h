@@ -1,0 +1,73 @@
+//===- core/Pipeline.h - Profile -> replicate -> annotate -------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end optimizer of paper sec. 5: profile a module, choose the
+/// best prediction strategy per branch, replicate code for the branches
+/// where the accuracy gain justifies the size increase ("an optimizer using
+/// code replication ... will not improve the whole program, but only
+/// certain branches. ... A cost function will calculate whether the
+/// increase in [code size] is worth the gain"), and annotate every
+/// remaining branch with its profile prediction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_CORE_PIPELINE_H
+#define BPCR_CORE_PIPELINE_H
+
+#include "core/Replication.h"
+#include "core/StrategySelection.h"
+#include "ir/Module.h"
+#include "trace/Trace.h"
+
+namespace bpcr {
+
+/// Pipeline parameters.
+struct PipelineOptions {
+  StrategyOptions Strategy;
+  /// Minimum training-trace gain (extra correct predictions) a machine must
+  /// deliver before its branch is replicated.
+  uint64_t MinGain = 1;
+  /// Replication stops when the transformed module would exceed this factor
+  /// of the original instruction count.
+  double MaxSizeFactor = 4.0;
+  /// When several branches of one loop earn machines, build a single joint
+  /// machine for the whole loop instead of multiplying per-branch copies
+  /// (the paper's "Further Work" sec. 6; see bench/ablation_joint).
+  bool UseJointMachines = true;
+  /// State budget for joint machines.
+  unsigned JointMaxStates = 8;
+};
+
+/// Outcome of replicateModule.
+struct PipelineResult {
+  Module Transformed;
+  std::vector<BranchStrategy> Strategies;
+  unsigned LoopReplications = 0;
+  unsigned JointReplications = 0;
+  unsigned CorrelatedReplications = 0;
+  unsigned SkippedBudget = 0;
+  unsigned SkippedStructure = 0;
+  uint64_t OrigInstructions = 0;
+  uint64_t NewInstructions = 0;
+
+  double sizeFactor() const {
+    return OrigInstructions
+               ? static_cast<double>(NewInstructions) /
+                     static_cast<double>(OrigInstructions)
+               : 1.0;
+  }
+};
+
+/// Profiles \p M with trace \p T, replicates the profitable branches and
+/// annotates everything else with profile predictions. \p M must have
+/// branch ids assigned and \p T must stem from it.
+PipelineResult replicateModule(const Module &M, const Trace &T,
+                               const PipelineOptions &Opts);
+
+} // namespace bpcr
+
+#endif // BPCR_CORE_PIPELINE_H

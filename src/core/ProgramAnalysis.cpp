@@ -1,0 +1,59 @@
+//===- core/ProgramAnalysis.cpp -------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProgramAnalysis.h"
+
+using namespace bpcr;
+
+ProgramAnalysis::ProgramAnalysis(const Module &M) : M(M) {
+  Refs = M.branchLocations();
+  Classes.resize(Refs.size());
+
+  CFGs.reserve(M.Functions.size());
+  for (const Function &F : M.Functions) {
+    CFGs.push_back(std::make_unique<CFG>(F));
+    Doms.push_back(std::make_unique<Dominators>(*CFGs.back()));
+    Loops.push_back(std::make_unique<LoopInfo>(*CFGs.back(), *Doms.back()));
+    classifyBranches(F, *CFGs.back(), *Loops.back(), Classes);
+  }
+
+  // Recursion: FuncIdx is recursive when it can reach itself in the call
+  // graph. N is small, so one DFS per function is fine.
+  size_t N = M.Functions.size();
+  std::vector<std::vector<uint32_t>> Callees(N);
+  for (size_t FI = 0; FI < N; ++FI)
+    for (const BasicBlock &BB : M.Functions[FI].Blocks)
+      for (const Instruction &I : BB.Insts)
+        if (I.Op == Opcode::Call)
+          Callees[FI].push_back(I.Callee);
+  Recursive.assign(N, false);
+  for (size_t Start = 0; Start < N; ++Start) {
+    std::vector<bool> Seen(N, false);
+    std::vector<uint32_t> Work = Callees[Start];
+    while (!Work.empty()) {
+      uint32_t Cur = Work.back();
+      Work.pop_back();
+      if (Cur == Start) {
+        Recursive[Start] = true;
+        break;
+      }
+      if (Seen[Cur])
+        continue;
+      Seen[Cur] = true;
+      for (uint32_t Next : Callees[Cur])
+        Work.push_back(Next);
+    }
+  }
+}
+
+std::vector<BranchPath>
+ProgramAnalysis::backwardPaths(int32_t Id, unsigned MaxLen,
+                               bool ThroughJumps) const {
+  const BranchRef &R = ref(Id);
+  const Function &F = M.Functions[R.FuncIdx];
+  return enumerateBackwardPaths(F, *CFGs[R.FuncIdx], R.BlockIdx, MaxLen,
+                                ThroughJumps);
+}

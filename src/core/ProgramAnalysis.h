@@ -1,0 +1,85 @@
+//===- core/ProgramAnalysis.h - Whole-program branch analysis ---*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bundles the per-function analyses (CFG, dominators, natural loops,
+/// branch classification, backward paths) into one module-level view keyed
+/// by BranchId — the information the paper's profiling tool writes next to
+/// the trace ("the description of branches, a control flow graph and loop
+/// information").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_CORE_PROGRAMANALYSIS_H
+#define BPCR_CORE_PROGRAMANALYSIS_H
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/PathEnum.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <vector>
+
+namespace bpcr {
+
+/// Module-wide analysis snapshot. Invalidated by IR mutation.
+class ProgramAnalysis {
+public:
+  /// \pre Branch ids are assigned.
+  explicit ProgramAnalysis(const Module &M);
+
+  uint32_t numBranches() const {
+    return static_cast<uint32_t>(Refs.size());
+  }
+
+  /// Location of branch \p Id.
+  const BranchRef &ref(int32_t Id) const {
+    return Refs[static_cast<uint32_t>(Id)];
+  }
+
+  /// Loop classification of branch \p Id.
+  const BranchClass &classOf(int32_t Id) const {
+    return Classes[static_cast<uint32_t>(Id)];
+  }
+
+  /// The loops of the function owning branch \p Id.
+  const LoopInfo &loopInfoFor(int32_t Id) const {
+    return *Loops[Refs[static_cast<uint32_t>(Id)].FuncIdx];
+  }
+
+  const CFG &cfgFor(int32_t Id) const {
+    return *CFGs[Refs[static_cast<uint32_t>(Id)].FuncIdx];
+  }
+
+  /// CFG-valid backward decision paths into the block of branch \p Id.
+  /// \param ThroughJumps pass false to restrict to paths the correlated
+  ///        replication can materialize (direct branch edges only).
+  std::vector<BranchPath> backwardPaths(int32_t Id, unsigned MaxLen,
+                                        bool ThroughJumps = true) const;
+
+  /// True when \p FuncIdx can (transitively) call itself. Loop replication
+  /// in recursive functions realizes a per-activation state that trace
+  /// profiling cannot model, so strategy selection avoids loop machines
+  /// there.
+  bool isRecursive(uint32_t FuncIdx) const { return Recursive[FuncIdx]; }
+
+  const Module &module() const { return M; }
+
+private:
+  const Module &M;
+  std::vector<BranchRef> Refs;
+  std::vector<BranchClass> Classes;
+  std::vector<std::unique_ptr<CFG>> CFGs;
+  std::vector<std::unique_ptr<Dominators>> Doms;
+  std::vector<std::unique_ptr<LoopInfo>> Loops;
+  std::vector<bool> Recursive;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_CORE_PROGRAMANALYSIS_H

@@ -1,0 +1,92 @@
+//===- core/Replication.h - Code replication transforms ---------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central contribution: transforms that encode a branch
+/// prediction state machine into the program counter by replicating code.
+///
+///  - Loop replication (figure 1): one copy of the loop body per machine
+///    state; the improved branch's edges switch between copies according to
+///    the machine transitions, and each copy of the branch carries a single
+///    static prediction. Copies unreachable from the initial state are
+///    discarded, exactly as the paper discards blocks "2b" and "3a".
+///
+///  - Correlated replication (sec. 4.3, after Mueller/Whalley): the
+///    selected decision paths into the branch's block are materialized by
+///    tail-duplicating the blocks along each path, so that arriving through
+///    a given path reaches a dedicated copy of the branch with its own
+///    prediction; all other arrivals reach the original copy (the
+///    catch-all state).
+///
+/// Both transforms preserve program behavior exactly — replicated blocks
+/// are instruction-identical and only control-flow targets are remapped —
+/// which the property tests verify by co-executing original and transformed
+/// modules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_CORE_REPLICATION_H
+#define BPCR_CORE_REPLICATION_H
+
+#include "core/CorrelatedMachine.h"
+#include "core/Machines.h"
+#include "interp/Interpreter.h"
+#include "ir/Module.h"
+#include "trace/TraceStats.h"
+
+#include <cstdint>
+
+namespace bpcr {
+
+/// Outcome of one replication transform.
+struct ReplicationStats {
+  bool Applied = false;
+  uint32_t BlocksAdded = 0;
+  uint32_t BlocksPruned = 0;
+  /// Machine states that received a copy (reachable states).
+  unsigned StatesMaterialized = 0;
+};
+
+/// Replicates the natural loop \p LoopBlocks (header \p Header) of \p F so
+/// that every instance of the branch with original id \p TargetOrigId
+/// switches between one loop copy per state of \p M.
+///
+/// The original blocks serve as the initial-state copy, so edges entering
+/// the loop need no rewiring (natural loops are only entered through their
+/// header). Unreachable copies are pruned afterwards.
+ReplicationStats applyLoopReplication(Function &F,
+                                      const std::vector<uint32_t> &LoopBlocks,
+                                      uint32_t Header, int32_t TargetOrigId,
+                                      const BranchMachine &M);
+
+/// Materializes the correlated machine \p M for the branch with original id
+/// \p TargetOrigId by tail-duplicating the blocks along each selected path,
+/// including any jump-only pass-through blocks between the path decisions
+/// (Mueller/Whalley-style). Skips (without modifying \p F) when a path
+/// branch cannot be located uniquely or a jump cycle intervenes.
+ReplicationStats applyCorrelatedReplication(Function &F,
+                                            int32_t TargetOrigId,
+                                            const CorrelatedMachine &M);
+
+/// Removes blocks unreachable from the entry block and remaps all targets.
+/// \returns the number of removed blocks.
+uint32_t pruneUnreachableBlocks(Function &F);
+
+/// Fills the Predicted annotation of every still-unannotated conditional
+/// branch with the majority direction of its *original* branch from
+/// \p Stats (indexed by OrigBranchId). Replicated copies that already carry
+/// a state prediction are left alone.
+void annotateProfilePredictions(Module &M, const TraceStats &Stats);
+
+/// Executes \p M and scores its Predicted annotations against the actual
+/// outcomes: the realized semi-static misprediction rate of a replicated
+/// program. Unknown annotations count as predict-taken.
+PredictionStats measureAnnotatedPredictions(const Module &M,
+                                            const ExecOptions &Opts);
+
+} // namespace bpcr
+
+#endif // BPCR_CORE_REPLICATION_H

@@ -1,0 +1,265 @@
+//===- core/SizeSweep.cpp -------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SizeSweep.h"
+
+#include "core/CorrelatedMachine.h"
+#include "core/MachineSearch.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace bpcr;
+
+namespace {
+
+/// Identifies a natural loop across functions.
+using LoopKey = std::pair<uint32_t, int32_t>; // (function, loop index)
+
+/// One branch's machine ladder: best training-correct per state count, the
+/// family it uses, and the per-size correlated cost.
+struct Ladder {
+  int32_t BranchId = -1;
+  StrategyKind Kind = StrategyKind::Profile;
+  /// Correct[n] for n states, n = 1..MaxStates (index 0 unused).
+  std::vector<uint64_t> Correct;
+  /// For the Correlated family: estimated added instructions per size.
+  std::vector<uint64_t> CorrCost;
+  /// For loop families: the loop this branch's copies multiply.
+  LoopKey Loop{UINT32_MAX, -1};
+  uint64_t LoopSize = 0;
+  unsigned CurStates = 1;
+};
+
+uint64_t loopInstructionCount(const Function &F, const Loop &L) {
+  uint64_t N = 0;
+  for (uint32_t B : L.Blocks)
+    N += F.Blocks[B].Insts.size();
+  return N;
+}
+
+/// Estimated instructions added by materializing \p M: duplicated blocks
+/// along every selected path plus one branch-block copy per path.
+uint64_t estimateCorrelatedCost(const CorrelatedMachine &M,
+                                const ProgramAnalysis &PA) {
+  const Module &Mod = PA.module();
+  uint64_t Cost = 0;
+  for (const BranchPath &P : M.Paths) {
+    // One copy of the target block per path.
+    const BranchRef &XR = PA.ref(M.BranchId);
+    Cost += Mod.Functions[XR.FuncIdx].Blocks[XR.BlockIdx].Insts.size();
+    // Copies of the intermediate decision blocks (steps 2..len).
+    for (size_t I = 1; I < P.Steps.size(); ++I) {
+      const BranchRef &R = PA.ref(P.Steps[I].BranchId);
+      Cost += Mod.Functions[R.FuncIdx].Blocks[R.BlockIdx].Insts.size();
+    }
+  }
+  return Cost;
+}
+
+} // namespace
+
+std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
+                                               const ProfileSet &Profiles,
+                                               const Trace &T,
+                                               const SweepOptions &Opts) {
+  const Module &Mod = PA.module();
+  const uint64_t OrigSize = Mod.instructionCount();
+  const uint64_t TotalExec = Profiles.totalExecutions();
+
+  unsigned PathLen = std::min<unsigned>(4, Opts.MaxStates);
+
+  // Batch path profiles for the correlated family.
+  std::vector<std::vector<BranchPath>> Candidates(PA.numBranches());
+  for (uint32_t Id = 0; Id < PA.numBranches(); ++Id) {
+    const BranchProfile &P = Profiles.branch(static_cast<int32_t>(Id));
+    if (P.executions() < Opts.MinExecutions)
+      continue;
+    const BranchClass &C = PA.classOf(static_cast<int32_t>(Id));
+    if (C.Kind != BranchKind::NonLoop && !Opts.CorrelatedForLoopBranches)
+      continue;
+    Candidates[Id] = PA.backwardPaths(static_cast<int32_t>(Id), PathLen,
+                                      /*ThroughJumps=*/true);
+  }
+  std::vector<PathProfile> Paths = profilePaths(Candidates, T, PathLen);
+
+  // Build ladders.
+  std::vector<Ladder> Ladders;
+  for (uint32_t Id = 0; Id < PA.numBranches(); ++Id) {
+    const BranchProfile &P = Profiles.branch(static_cast<int32_t>(Id));
+    Ladder L;
+    L.BranchId = static_cast<int32_t>(Id);
+    L.Correct.assign(Opts.MaxStates + 1, 0);
+    L.Correct[1] = P.executions() - P.profileMispredictions();
+    L.CorrCost.assign(Opts.MaxStates + 1, 0);
+
+    if (P.executions() < Opts.MinExecutions) {
+      for (unsigned N = 2; N <= Opts.MaxStates; ++N)
+        L.Correct[N] = L.Correct[1];
+      Ladders.push_back(std::move(L));
+      continue;
+    }
+
+    const BranchClass &C = PA.classOf(static_cast<int32_t>(Id));
+
+    // Decide the family by the best achievable correct at the deepest size.
+    uint64_t BestLoopCorrect = 0;
+    uint64_t BestCorrCorrect = 0;
+    if (C.Kind == BranchKind::IntraLoop) {
+      MachineOptions MO;
+      MO.MaxStates = Opts.MaxStates;
+      MO.Exhaustive = Opts.Exhaustive;
+      MO.NodeBudget = Opts.NodeBudget;
+      BestLoopCorrect = buildIntraLoopMachine(P.Table, MO).Correct;
+    } else if (C.Kind == BranchKind::LoopExit) {
+      BestLoopCorrect =
+          buildExitMachine(P.Table, Opts.MaxStates, !C.TakenExits).Correct;
+    }
+    if (!Candidates[Id].empty()) {
+      CorrelatedOptions CO;
+      CO.MaxStates = Opts.MaxStates;
+      CO.MaxPathLen = PathLen;
+      CO.Exhaustive = Opts.Exhaustive;
+      CO.NodeBudget = Opts.NodeBudget;
+      BestCorrCorrect =
+          buildCorrelatedMachineFromProfile(L.BranchId, Paths[Id], CO)
+              .Correct;
+    }
+
+    bool UseLoopFamily = (C.Kind != BranchKind::NonLoop) &&
+                         BestLoopCorrect >= BestCorrCorrect &&
+                         BestLoopCorrect > L.Correct[1];
+    bool UseCorrFamily =
+        !UseLoopFamily && BestCorrCorrect > L.Correct[1];
+
+    if (UseLoopFamily) {
+      L.Kind = (C.Kind == BranchKind::IntraLoop) ? StrategyKind::IntraLoop
+                                                 : StrategyKind::LoopExit;
+      const BranchRef &R = PA.ref(L.BranchId);
+      L.Loop = {R.FuncIdx, C.LoopIdx};
+      L.LoopSize = loopInstructionCount(
+          Mod.Functions[R.FuncIdx],
+          PA.loopInfoFor(L.BranchId).loops()[static_cast<size_t>(C.LoopIdx)]);
+      for (unsigned N = 2; N <= Opts.MaxStates; ++N) {
+        uint64_t Corr;
+        if (C.Kind == BranchKind::IntraLoop) {
+          MachineOptions MO;
+          MO.MaxStates = N;
+          MO.Exhaustive = Opts.Exhaustive;
+          MO.NodeBudget = Opts.NodeBudget;
+          Corr = buildIntraLoopMachine(P.Table, MO).Correct;
+        } else {
+          Corr = buildExitMachine(P.Table, N, !C.TakenExits).Correct;
+        }
+        L.Correct[N] = std::max(Corr, L.Correct[N - 1]);
+      }
+    } else if (UseCorrFamily) {
+      L.Kind = StrategyKind::Correlated;
+      for (unsigned N = 2; N <= Opts.MaxStates; ++N) {
+        CorrelatedOptions CO;
+        CO.MaxStates = N;
+        CO.MaxPathLen = PathLen;
+        CO.Exhaustive = Opts.Exhaustive;
+        CO.NodeBudget = Opts.NodeBudget;
+        CorrelatedMachine CM =
+            buildCorrelatedMachineFromProfile(L.BranchId, Paths[Id], CO);
+        L.Correct[N] = std::max(CM.Correct, L.Correct[N - 1]);
+        L.CorrCost[N] = estimateCorrelatedCost(CM, PA);
+      }
+    } else {
+      for (unsigned N = 2; N <= Opts.MaxStates; ++N)
+        L.Correct[N] = L.Correct[1];
+    }
+    Ladders.push_back(std::move(L));
+  }
+
+  // Greedy sweep.
+  std::map<LoopKey, std::vector<size_t>> LoopMembers;
+  for (size_t I = 0; I < Ladders.size(); ++I)
+    if (Ladders[I].Kind == StrategyKind::IntraLoop ||
+        Ladders[I].Kind == StrategyKind::LoopExit)
+      LoopMembers[Ladders[I].Loop].push_back(I);
+
+  auto LoopStateProduct = [&](const LoopKey &K, size_t Exclude,
+                              unsigned Override) -> uint64_t {
+    uint64_t Prod = 1;
+    for (size_t I : LoopMembers[K])
+      Prod *= (I == Exclude) ? Override : Ladders[I].CurStates;
+    return Prod;
+  };
+
+  auto CurrentSize = [&]() -> double {
+    uint64_t Size = OrigSize;
+    for (const auto &[K, Members] : LoopMembers) {
+      uint64_t Prod = 1;
+      for (size_t I : Members)
+        Prod *= Ladders[I].CurStates;
+      Size += Ladders[Members.front()].LoopSize * (Prod - 1);
+    }
+    for (const Ladder &L : Ladders)
+      if (L.Kind == StrategyKind::Correlated)
+        Size += L.CorrCost[L.CurStates];
+    return static_cast<double>(Size) / static_cast<double>(OrigSize);
+  };
+
+  auto CurrentMispredict = [&]() -> double {
+    uint64_t Correct = 0;
+    for (const Ladder &L : Ladders)
+      Correct += L.Correct[L.CurStates];
+    if (TotalExec == 0)
+      return 0.0;
+    return 100.0 * static_cast<double>(TotalExec - Correct) /
+           static_cast<double>(TotalExec);
+  };
+
+  std::vector<SweepPoint> Points;
+  Points.push_back({CurrentSize(), CurrentMispredict(), -1, 1});
+
+  for (unsigned Step = 0; Step < Opts.MaxSteps; ++Step) {
+    double BestRatio = 0.0;
+    size_t BestIdx = SIZE_MAX;
+    unsigned BestTarget = 0;
+    for (size_t I = 0; I < Ladders.size(); ++I) {
+      Ladder &L = Ladders[I];
+      // The next level with a strict gain.
+      for (unsigned Target = L.CurStates + 1; Target <= Opts.MaxStates;
+           ++Target) {
+        uint64_t Gain = L.Correct[Target] - L.Correct[L.CurStates];
+        if (Gain == 0)
+          continue;
+        double Cost = 1.0;
+        if (L.Kind == StrategyKind::IntraLoop ||
+            L.Kind == StrategyKind::LoopExit) {
+          uint64_t Before = LoopStateProduct(L.Loop, I, L.CurStates);
+          uint64_t After = LoopStateProduct(L.Loop, I, Target);
+          Cost = static_cast<double>(L.LoopSize) *
+                 static_cast<double>(After - Before);
+        } else if (L.Kind == StrategyKind::Correlated) {
+          Cost = static_cast<double>(L.CorrCost[Target] -
+                                     L.CorrCost[L.CurStates]);
+        }
+        Cost = std::max(Cost, 1.0);
+        double Ratio = static_cast<double>(Gain) / Cost;
+        if (Ratio > BestRatio) {
+          BestRatio = Ratio;
+          BestIdx = I;
+          BestTarget = Target;
+        }
+        break; // evaluate only the next beneficial level per branch
+      }
+    }
+    if (BestIdx == SIZE_MAX)
+      break;
+
+    Ladders[BestIdx].CurStates = BestTarget;
+    double Size = CurrentSize();
+    Points.push_back(
+        {Size, CurrentMispredict(), Ladders[BestIdx].BranchId, BestTarget});
+    if (Size > Opts.MaxSizeFactor)
+      break;
+  }
+  return Points;
+}

@@ -1,0 +1,131 @@
+//===- core/StrategySelection.cpp -----------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StrategySelection.h"
+
+#include <cassert>
+
+using namespace bpcr;
+
+const char *bpcr::strategyKindName(StrategyKind K) {
+  switch (K) {
+  case StrategyKind::Profile:
+    return "profile";
+  case StrategyKind::IntraLoop:
+    return "intra-loop";
+  case StrategyKind::LoopExit:
+    return "loop-exit";
+  case StrategyKind::Correlated:
+    return "correlated";
+  }
+  return "<bad>";
+}
+
+std::vector<BranchStrategy>
+bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
+                       const Trace &T, const StrategyOptions &Opts) {
+  assert(Opts.MaxStates >= 2 && "strategy selection needs a state budget");
+  unsigned PathLen = Opts.MaxPathLen
+                         ? Opts.MaxPathLen
+                         : std::min<unsigned>(Opts.MaxStates, 4);
+
+  // Collect correlated-path candidates for every eligible branch, then
+  // profile them in a single trace pass.
+  std::vector<std::vector<BranchPath>> Candidates(PA.numBranches());
+  for (uint32_t Id = 0; Id < PA.numBranches(); ++Id) {
+    const BranchProfile &P = Profiles.branch(static_cast<int32_t>(Id));
+    if (P.executions() < Opts.MinExecutions)
+      continue;
+    const BranchClass &C = PA.classOf(static_cast<int32_t>(Id));
+    if (C.Kind != BranchKind::NonLoop && !Opts.CorrelatedForLoopBranches)
+      continue;
+    Candidates[Id] = PA.backwardPaths(static_cast<int32_t>(Id), PathLen,
+                                      !Opts.DirectPathsOnly);
+  }
+  std::vector<PathProfile> PathProfiles = profilePaths(Candidates, T, PathLen);
+
+  std::vector<BranchStrategy> Out;
+  Out.reserve(PA.numBranches());
+
+  for (uint32_t Id = 0; Id < PA.numBranches(); ++Id) {
+    const BranchProfile &P = Profiles.branch(static_cast<int32_t>(Id));
+    BranchStrategy S;
+    S.BranchId = static_cast<int32_t>(Id);
+    S.Kind = StrategyKind::Profile;
+    S.Total = P.executions();
+    S.Correct = P.executions() - P.profileMispredictions();
+    S.States = 1;
+
+    if (P.executions() < Opts.MinExecutions) {
+      Out.push_back(std::move(S));
+      continue;
+    }
+
+    const BranchClass &C = PA.classOf(static_cast<int32_t>(Id));
+    bool LoopMachinesOk =
+        Opts.LoopMachinesInRecursiveFunctions ||
+        !PA.isRecursive(PA.ref(static_cast<int32_t>(Id)).FuncIdx);
+
+    if (!LoopMachinesOk) {
+      // Fall through to the correlated candidates only.
+    } else if (C.Kind == BranchKind::IntraLoop) {
+      MachineOptions MO;
+      MO.MaxStates = Opts.MaxStates;
+      MO.MaxPatternLen = P.Table.maxBits();
+      MO.Exhaustive = Opts.Exhaustive;
+      MO.NodeBudget = Opts.NodeBudget;
+      SuffixMachine M = buildIntraLoopMachine(P.Table, MO);
+      if (M.Correct > S.Correct) {
+        S.Kind = StrategyKind::IntraLoop;
+        S.Correct = M.Correct;
+        S.Total = M.Total;
+        S.States = M.numStates();
+        S.Machine = std::make_unique<SuffixMachine>(std::move(M));
+      }
+    } else if (C.Kind == BranchKind::LoopExit) {
+      ExitChainMachine M =
+          buildExitMachine(P.Table, Opts.MaxStates, !C.TakenExits);
+      if (M.Correct > S.Correct) {
+        S.Kind = StrategyKind::LoopExit;
+        S.Correct = M.Correct;
+        S.Total = M.Total;
+        S.States = M.numStates();
+        S.Machine = std::make_unique<ExitChainMachine>(std::move(M));
+      }
+    }
+
+    if (!Candidates[Id].empty()) {
+      CorrelatedOptions CO;
+      CO.MaxStates = Opts.MaxStates;
+      CO.MaxPathLen = PathLen;
+      CO.Exhaustive = Opts.Exhaustive;
+      CO.NodeBudget = Opts.NodeBudget;
+      CorrelatedMachine CM = buildCorrelatedMachineFromProfile(
+          static_cast<int32_t>(Id), PathProfiles[Id], CO);
+      if (CM.Correct > S.Correct) {
+        S.Kind = StrategyKind::Correlated;
+        S.Correct = CM.Correct;
+        S.Total = CM.Total;
+        S.States = CM.numStates();
+        S.Machine.reset();
+        S.Corr = std::make_unique<CorrelatedMachine>(std::move(CM));
+      }
+    }
+
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+PredictionStats
+bpcr::totalStrategyStats(const std::vector<BranchStrategy> &S) {
+  PredictionStats Stats;
+  for (const BranchStrategy &B : S) {
+    Stats.Predictions += B.Total;
+    Stats.Mispredictions += B.Total - B.Correct;
+  }
+  return Stats;
+}

@@ -1,0 +1,91 @@
+//===- core/StrategySelection.h - Per-branch strategy choice ----*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "With this information the state machines for loop exit and intra loop
+/// branches are selected. For all branches all predecessors with a path
+/// length less than the size of the state machine are collected, and the
+/// correlated branch state machines are selected. The best available
+/// strategy for each branch is chosen." (paper sec. 5)
+///
+/// This module builds, per branch, the best machine of each applicable
+/// family within a state budget and picks the winner; Table 5 aggregates
+/// the result, and the replication pipeline materializes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_CORE_STRATEGYSELECTION_H
+#define BPCR_CORE_STRATEGYSELECTION_H
+
+#include "core/BranchProfiles.h"
+#include "core/CorrelatedMachine.h"
+#include "core/MachineSearch.h"
+#include "core/ProgramAnalysis.h"
+#include "trace/Trace.h"
+
+#include <memory>
+#include <vector>
+
+namespace bpcr {
+
+/// Which prediction scheme a branch ended up with.
+enum class StrategyKind : uint8_t { Profile, IntraLoop, LoopExit, Correlated };
+
+const char *strategyKindName(StrategyKind K);
+
+/// The chosen strategy for one branch.
+struct BranchStrategy {
+  int32_t BranchId = -1;
+  StrategyKind Kind = StrategyKind::Profile;
+  /// Machine for IntraLoop/LoopExit strategies.
+  std::unique_ptr<BranchMachine> Machine;
+  /// Machine for the Correlated strategy.
+  std::unique_ptr<CorrelatedMachine> Corr;
+  /// Training-trace assignment score of the chosen strategy.
+  uint64_t Correct = 0;
+  uint64_t Total = 0;
+  /// States the strategy uses (1 for Profile).
+  unsigned States = 1;
+
+  uint64_t mispredicted() const { return Total - Correct; }
+};
+
+/// Selection parameters.
+struct StrategyOptions {
+  /// State budget per branch.
+  unsigned MaxStates = 4;
+  /// Maximum correlated path length; 0 derives min(MaxStates, 4) like the
+  /// paper ("a maximum path length of n for an n state machine").
+  unsigned MaxPathLen = 0;
+  /// Restrict correlated paths to direct branch edges. The replication
+  /// transform also materializes jump-mediated paths (it clones the jump
+  /// chains), so the default admits them.
+  bool DirectPathsOnly = false;
+  /// Also consider correlated machines for loop branches.
+  bool CorrelatedForLoopBranches = true;
+  /// Allow loop machines for branches in recursive functions. Off by
+  /// default: the replicated per-activation state cannot be modelled by
+  /// trace profiling, so the trained scores would be unreliable.
+  bool LoopMachinesInRecursiveFunctions = false;
+  bool Exhaustive = true;
+  uint64_t NodeBudget = 200'000;
+  /// Branches executed fewer times keep the plain profile strategy; very
+  /// cold branches cannot amortize any replication.
+  uint64_t MinExecutions = 16;
+};
+
+/// Chooses the best strategy for every branch.
+std::vector<BranchStrategy> selectStrategies(const ProgramAnalysis &PA,
+                                             const ProfileSet &Profiles,
+                                             const Trace &T,
+                                             const StrategyOptions &Opts);
+
+/// Aggregated accuracy of a strategy assignment (Table 5 entries).
+PredictionStats totalStrategyStats(const std::vector<BranchStrategy> &S);
+
+} // namespace bpcr
+
+#endif // BPCR_CORE_STRATEGYSELECTION_H

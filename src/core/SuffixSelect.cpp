@@ -1,0 +1,364 @@
+//===- core/SuffixSelect.cpp ----------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Implementation notes. All suffixes of the observed patterns are interned
+// once; every pattern precomputes its suffix-id list (longest first), so one
+// assignment-score evaluation is a few integer ops per (pattern, length)
+// pair. The exact search is DFS over include/exclude decisions per
+// candidate with an admissible bound (score of the current set plus every
+// remaining candidate — the assignment score is monotone in the set because
+// adding states only refines the pattern partition).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SuffixSelect.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace bpcr;
+
+namespace {
+
+bool stringLess(const SymbolString &A, const SymbolString &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size();
+  return A < B;
+}
+
+SymbolString suffixOf(const SymbolString &S, size_t Len) {
+  assert(Len <= S.size() && "suffix longer than string");
+  return SymbolString(S.end() - static_cast<long>(Len), S.end());
+}
+
+/// Interned-suffix search context.
+class Search {
+public:
+  Search(const std::vector<ObservedPattern> &Patterns,
+         const std::vector<SymbolString> &Forced, const SelectOptions &Opts)
+      : Patterns(Patterns), Opts(Opts) {
+    // Intern forced states and every candidate suffix.
+    for (const SymbolString &F : Forced) {
+      int Id = intern(F);
+      IsForced[static_cast<size_t>(Id)] = true;
+    }
+    for (const ObservedPattern &P : Patterns) {
+      size_t MaxL = std::min<size_t>(P.Syms.size(), Opts.MaxLen);
+      for (size_t L = Opts.MinLen; L <= MaxL; ++L)
+        intern(suffixOf(P.Syms, L));
+      if (Opts.SubstringClosure) {
+        // Also make every contiguous substring available, so a long state
+        // can always be reached through its prefixes.
+        for (size_t Start = 0; Start < P.Syms.size(); ++Start)
+          for (size_t L = Opts.MinLen;
+               L <= Opts.MaxLen && Start + L <= P.Syms.size(); ++L)
+            intern(SymbolString(P.Syms.begin() + static_cast<long>(Start),
+                                P.Syms.begin() +
+                                    static_cast<long>(Start + L)));
+      }
+    }
+
+    // Parent links: suffix parent (drop oldest) and, for substring
+    // closure, the init parent (drop newest).
+    Parent.assign(Strings.size(), -1);
+    InitParent.assign(Strings.size(), -1);
+    for (size_t Id = 0; Id < Strings.size(); ++Id) {
+      const SymbolString &S = Strings[Id];
+      if (S.size() <= Opts.MinLen)
+        continue;
+      auto It = Ids.find(suffixOf(S, S.size() - 1));
+      if (It != Ids.end())
+        Parent[Id] = It->second;
+      auto It2 = Ids.find(SymbolString(S.begin(), S.end() - 1));
+      if (It2 != Ids.end())
+        InitParent[Id] = It2->second;
+    }
+
+    // Per-pattern suffix-id lists, longest first.
+    PatternSuffixes.resize(Patterns.size());
+    for (size_t PI = 0; PI < Patterns.size(); ++PI) {
+      const SymbolString &S = Patterns[PI].Syms;
+      size_t MaxL = std::min<size_t>(S.size(), Opts.MaxLen);
+      for (size_t L = MaxL; L >= 1 && L + 1 > 0; --L) {
+        auto It = Ids.find(suffixOf(S, L));
+        if (It != Ids.end())
+          PatternSuffixes[PI].push_back(It->second);
+        if (L == 1)
+          break;
+      }
+    }
+
+    // Candidate order: by (length, content) so parents precede children.
+    for (size_t Id = 0; Id < Strings.size(); ++Id)
+      if (!IsForced[Id])
+        Candidates.push_back(static_cast<int>(Id));
+    std::sort(Candidates.begin(), Candidates.end(), [this](int A, int B) {
+      return stringLess(Strings[static_cast<size_t>(A)],
+                        Strings[static_cast<size_t>(B)]);
+    });
+
+    InSet.assign(Strings.size(), 0);
+    for (size_t Id = 0; Id < Strings.size(); ++Id)
+      if (IsForced[Id])
+        InSet[Id] = 1;
+    NumForced = Forced.size();
+
+    AccTaken.assign(Strings.size(), 0);
+    AccNotTaken.assign(Strings.size(), 0);
+    Stamp.assign(Strings.size(), 0);
+  }
+
+  /// Runs greedy then (optionally) exact search; returns the best set.
+  std::vector<SymbolString> run(bool &BudgetExhaustedOut) {
+    greedy();
+    if (Opts.Exhaustive) {
+      SelectedCount = 0;
+      for (int C : Candidates)
+        InSet[static_cast<size_t>(C)] = 0;
+      dfs(0);
+    }
+    BudgetExhaustedOut = BudgetExhausted;
+    std::vector<SymbolString> Out;
+    for (size_t Id : BestIds)
+      Out.push_back(Strings[Id]);
+    return Out;
+  }
+
+private:
+  int intern(const SymbolString &S) {
+    auto [It, Inserted] = Ids.emplace(S, static_cast<int>(Strings.size()));
+    if (Inserted) {
+      Strings.push_back(S);
+      IsForced.push_back(false);
+    }
+    return It->second;
+  }
+
+  /// Assignment score of the current InSet.
+  uint64_t score() {
+    ++Epoch;
+    Touched.clear();
+    uint64_t DefT = 0, DefN = 0;
+    for (size_t PI = 0; PI < Patterns.size(); ++PI) {
+      int Assigned = -1;
+      for (int Id : PatternSuffixes[PI])
+        if (InSet[static_cast<size_t>(Id)]) {
+          Assigned = Id;
+          break;
+        }
+      const DirCounts &C = Patterns[PI].Counts;
+      if (Assigned < 0) {
+        DefT += C.Taken;
+        DefN += C.NotTaken;
+        continue;
+      }
+      size_t Id = static_cast<size_t>(Assigned);
+      if (Stamp[Id] != Epoch) {
+        Stamp[Id] = Epoch;
+        AccTaken[Id] = 0;
+        AccNotTaken[Id] = 0;
+        Touched.push_back(Id);
+      }
+      AccTaken[Id] += C.Taken;
+      AccNotTaken[Id] += C.NotTaken;
+    }
+    uint64_t S = std::max(DefT, DefN);
+    for (size_t Id : Touched)
+      S += std::max(AccTaken[Id], AccNotTaken[Id]);
+    return S;
+  }
+
+  /// Score with every candidate at position >= From temporarily included.
+  uint64_t scoreWithRest(size_t From) {
+    std::vector<size_t> Flipped;
+    for (size_t I = From; I < Candidates.size(); ++I) {
+      size_t Id = static_cast<size_t>(Candidates[I]);
+      if (!InSet[Id]) {
+        InSet[Id] = 1;
+        Flipped.push_back(Id);
+      }
+    }
+    uint64_t S = score();
+    for (size_t Id : Flipped)
+      InSet[Id] = 0;
+    return S;
+  }
+
+  bool isLegal(int CandId) const {
+    const SymbolString &S = Strings[static_cast<size_t>(CandId)];
+    if (S.size() <= Opts.MinLen)
+      return true;
+    int P = Parent[static_cast<size_t>(CandId)];
+    if (P < 0 || !InSet[static_cast<size_t>(P)])
+      return false;
+    if (Opts.SubstringClosure) {
+      int IP = InitParent[static_cast<size_t>(CandId)];
+      if (IP < 0 || !InSet[static_cast<size_t>(IP)])
+        return false;
+    }
+    return true;
+  }
+
+  unsigned budgetLeft() const {
+    size_t Used = SelectedCount + NumForced;
+    return Opts.MaxSelected > Used
+               ? static_cast<unsigned>(Opts.MaxSelected - Used)
+               : 0;
+  }
+
+  void consider() {
+    uint64_t S = score();
+    if (S > BestScore || BestIds.empty()) {
+      BestScore = S;
+      BestIds.clear();
+      for (size_t Id = 0; Id < Strings.size(); ++Id)
+        if (InSet[Id])
+          BestIds.push_back(Id);
+    }
+  }
+
+  void dfs(size_t Idx) {
+    if (BudgetExhausted)
+      return;
+    if (++Nodes > Opts.NodeBudget) {
+      BudgetExhausted = true;
+      return;
+    }
+    consider();
+    if (Idx >= Candidates.size() || budgetLeft() == 0)
+      return;
+    if (scoreWithRest(Idx) <= BestScore)
+      return;
+
+    int Id = Candidates[Idx];
+    if (isLegal(Id)) {
+      InSet[static_cast<size_t>(Id)] = 1;
+      ++SelectedCount;
+      dfs(Idx + 1);
+      InSet[static_cast<size_t>(Id)] = 0;
+      --SelectedCount;
+      if (BudgetExhausted)
+        return;
+    }
+    dfs(Idx + 1);
+  }
+
+  void greedy() {
+    consider();
+    while (budgetLeft() > 0) {
+      uint64_t Base = score();
+      uint64_t BestGain = 0;
+      int BestCand = -1;
+      for (int C : Candidates) {
+        size_t Id = static_cast<size_t>(C);
+        if (InSet[Id] || !isLegal(C))
+          continue;
+        InSet[Id] = 1;
+        uint64_t S = score();
+        InSet[Id] = 0;
+        if (S > Base && S - Base > BestGain) {
+          BestGain = S - Base;
+          BestCand = C;
+        }
+      }
+      if (BestCand < 0)
+        break;
+      InSet[static_cast<size_t>(BestCand)] = 1;
+      ++SelectedCount;
+      consider();
+    }
+    // Reset selection state (greedy shares InSet with the exact phase).
+    for (int C : Candidates)
+      InSet[static_cast<size_t>(C)] = 0;
+    SelectedCount = 0;
+  }
+
+  const std::vector<ObservedPattern> &Patterns;
+  const SelectOptions &Opts;
+
+  std::map<SymbolString, int> Ids;
+  std::vector<SymbolString> Strings;
+  std::vector<bool> IsForced;
+  std::vector<int> Parent;
+  std::vector<int> InitParent;
+  std::vector<std::vector<int>> PatternSuffixes;
+  std::vector<int> Candidates;
+
+  std::vector<uint8_t> InSet;
+  size_t SelectedCount = 0;
+  size_t NumForced = 0;
+
+  std::vector<uint64_t> AccTaken, AccNotTaken;
+  std::vector<uint32_t> Stamp;
+  std::vector<size_t> Touched;
+  uint32_t Epoch = 0;
+
+  uint64_t BestScore = 0;
+  std::vector<size_t> BestIds;
+  uint64_t Nodes = 0;
+  bool BudgetExhausted = false;
+};
+
+} // namespace
+
+SuffixSelection
+bpcr::scoreStateSet(const std::vector<ObservedPattern> &Patterns,
+                    const std::vector<SymbolString> &States) {
+  SuffixSelection Out;
+  Out.States = States;
+  std::sort(Out.States.begin(), Out.States.end(), stringLess);
+  Out.States.erase(std::unique(Out.States.begin(), Out.States.end()),
+                   Out.States.end());
+
+  auto FindAssigned = [&Out](const SymbolString &Syms) -> long {
+    // Longest selected suffix.
+    for (size_t L = Syms.size(); L >= 1; --L) {
+      SymbolString Probe = suffixOf(Syms, L);
+      auto It = std::lower_bound(Out.States.begin(), Out.States.end(), Probe,
+                                 stringLess);
+      if (It != Out.States.end() && *It == Probe)
+        return It - Out.States.begin();
+      if (L == 1)
+        break;
+    }
+    return -1;
+  };
+
+  Out.StateCounts.assign(Out.States.size(), DirCounts());
+  for (const ObservedPattern &P : Patterns) {
+    long Idx = P.Syms.empty() ? -1 : FindAssigned(P.Syms);
+    DirCounts &G =
+        Idx < 0 ? Out.DefaultCounts : Out.StateCounts[static_cast<size_t>(Idx)];
+    G.Taken += P.Counts.Taken;
+    G.NotTaken += P.Counts.NotTaken;
+  }
+
+  Out.StatePred.resize(Out.States.size());
+  for (size_t I = 0; I < Out.States.size(); ++I) {
+    Out.StatePred[I] = Out.StateCounts[I].majorityTaken() ? 1 : 0;
+    Out.Correct +=
+        std::max(Out.StateCounts[I].Taken, Out.StateCounts[I].NotTaken);
+    Out.Total += Out.StateCounts[I].total();
+  }
+  Out.DefaultPred = Out.DefaultCounts.majorityTaken() ? 1 : 0;
+  Out.Correct += std::max(Out.DefaultCounts.Taken, Out.DefaultCounts.NotTaken);
+  Out.Total += Out.DefaultCounts.total();
+  return Out;
+}
+
+SuffixSelection
+bpcr::selectSuffixStates(const std::vector<ObservedPattern> &Patterns,
+                         const std::vector<SymbolString> &Forced,
+                         const SelectOptions &Opts) {
+  Search S(Patterns, Forced, Opts);
+  bool BudgetExhausted = false;
+  std::vector<SymbolString> Best = S.run(BudgetExhausted);
+
+  SuffixSelection Out = scoreStateSet(Patterns, Best);
+  Out.BudgetExhausted = BudgetExhausted;
+  return Out;
+}

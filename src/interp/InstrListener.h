@@ -1,0 +1,36 @@
+//===- interp/InstrListener.h - Per-instruction hook ------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An optional per-instruction callback from the interpreter, used by the
+/// instruction-cache simulation to observe the fetch stream. Unlike
+/// TraceSink (branches only), this hook fires for every executed
+/// instruction and therefore costs real time — only the cache ablation
+/// enables it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_INTERP_INSTRLISTENER_H
+#define BPCR_INTERP_INSTRLISTENER_H
+
+#include <cstdint>
+
+namespace bpcr {
+
+/// Receives one callback per executed instruction.
+class InstrListener {
+public:
+  virtual ~InstrListener();
+
+  /// Called before instruction \p InstIdx of block \p BlockIdx in function
+  /// \p FuncIdx executes.
+  virtual void onInstruction(uint32_t FuncIdx, uint32_t BlockIdx,
+                             uint32_t InstIdx) = 0;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_INTERP_INSTRLISTENER_H

@@ -1,0 +1,34 @@
+//===- interp/TraceSink.h - Branch event consumer ---------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hook through which the interpreter reports every executed conditional
+/// branch, mirroring the paper's inserted trace code that "writes trace
+/// information to a file ... the branch number and the branch direction".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_INTERP_TRACESINK_H
+#define BPCR_INTERP_TRACESINK_H
+
+#include "ir/Instruction.h"
+
+namespace bpcr {
+
+/// Receives one callback per executed conditional branch.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+
+  /// Called after the branch condition of \p Br was evaluated to \p Taken.
+  /// The instruction carries BranchId, OrigBranchId and any static
+  /// prediction annotation.
+  virtual void onBranch(const Instruction &Br, bool Taken) = 0;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_INTERP_TRACESINK_H

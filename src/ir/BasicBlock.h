@@ -1,0 +1,63 @@
+//===- ir/BasicBlock.h - IR basic blocks ------------------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block: a named straight-line instruction sequence ending in a
+/// terminator. Blocks are indexed by position within their function; all
+/// control-flow targets are such indexes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_IR_BASICBLOCK_H
+#define BPCR_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+/// A straight-line sequence of instructions ending in Br/Jmp/Ret.
+struct BasicBlock {
+  std::string Name;
+  std::vector<Instruction> Insts;
+
+  /// The block terminator. Only valid once the block is complete.
+  const Instruction &terminator() const {
+    assert(!Insts.empty() && "block has no instructions");
+    assert(Insts.back().isTerminator() && "block lacks a terminator");
+    return Insts.back();
+  }
+
+  Instruction &terminator() {
+    assert(!Insts.empty() && Insts.back().isTerminator() &&
+           "block lacks a terminator");
+    return Insts.back();
+  }
+
+  /// True once the block ends in a terminator.
+  bool isComplete() const {
+    return !Insts.empty() && Insts.back().isTerminator();
+  }
+
+  /// Successor block indexes in (true, false) order; empty for Ret.
+  std::vector<uint32_t> successors() const {
+    const Instruction &T = terminator();
+    switch (T.Op) {
+    case Opcode::Br:
+      return {T.TrueTarget, T.FalseTarget};
+    case Opcode::Jmp:
+      return {T.TrueTarget};
+    default:
+      return {};
+    }
+  }
+};
+
+} // namespace bpcr
+
+#endif // BPCR_IR_BASICBLOCK_H

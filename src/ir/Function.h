@@ -1,0 +1,54 @@
+//===- ir/Function.h - IR functions -----------------------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function: a register count, a parameter count and a vector of basic
+/// blocks. Block 0 is the entry. Registers are mutable locals (the IR is not
+/// SSA), which keeps block cloning for code replication free of phi rewiring.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_IR_FUNCTION_H
+#define BPCR_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+/// A function with entry block 0. Arguments arrive in registers
+/// 0..NumParams-1.
+struct Function {
+  std::string Name;
+  uint32_t NumParams = 0;
+  uint32_t NumRegs = 0;
+  std::vector<BasicBlock> Blocks;
+
+  /// Total static instruction count: the paper's code-size measure.
+  uint64_t instructionCount() const {
+    uint64_t N = 0;
+    for (const BasicBlock &BB : Blocks)
+      N += BB.Insts.size();
+    return N;
+  }
+
+  /// Number of static conditional branches.
+  uint64_t conditionalBranchCount() const {
+    uint64_t N = 0;
+    for (const BasicBlock &BB : Blocks)
+      for (const Instruction &I : BB.Insts)
+        if (I.isConditionalBranch())
+          ++N;
+    return N;
+  }
+};
+
+} // namespace bpcr
+
+#endif // BPCR_IR_FUNCTION_H

@@ -1,0 +1,186 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A builder that appends instructions to a function's blocks. The synthetic
+/// workloads and all tests construct their programs through this interface.
+///
+/// Typical usage:
+/// \code
+///   Module M;
+///   uint32_t FIdx = M.addFunction("main", 0);
+///   IRBuilder B(M, FIdx);
+///   uint32_t Entry = B.newBlock("entry");
+///   uint32_t Loop = B.newBlock("loop");
+///   B.setInsertPoint(Entry);
+///   Reg I = B.newReg();
+///   B.movImm(I, 0);
+///   B.jmp(Loop);
+///   ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_IR_IRBUILDER_H
+#define BPCR_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+#include <cassert>
+#include <string>
+
+namespace bpcr {
+
+/// Appends instructions into one function of a module.
+class IRBuilder {
+public:
+  IRBuilder(Module &M, uint32_t FuncIdx) : M(M), FuncIdx(FuncIdx) {
+    assert(FuncIdx < M.Functions.size() && "no such function");
+  }
+
+  Function &func() { return M.Functions[FuncIdx]; }
+  uint32_t funcIdx() const { return FuncIdx; }
+
+  /// Allocates a fresh virtual register.
+  Reg newReg() {
+    assert(func().NumRegs < 65535 && "register space exhausted");
+    return static_cast<Reg>(func().NumRegs++);
+  }
+
+  /// Appends an empty block; \returns its index.
+  uint32_t newBlock(std::string Name) {
+    BasicBlock BB;
+    BB.Name = std::move(Name);
+    func().Blocks.push_back(std::move(BB));
+    return static_cast<uint32_t>(func().Blocks.size() - 1);
+  }
+
+  /// Directs subsequent instructions into \p BlockIdx.
+  void setInsertPoint(uint32_t BlockIdx) {
+    assert(BlockIdx < func().Blocks.size() && "no such block");
+    Cur = BlockIdx;
+  }
+
+  uint32_t insertPoint() const { return Cur; }
+
+  // -- Data movement -------------------------------------------------------
+
+  void mov(Reg Dst, Operand Src) { emitAB(Opcode::Mov, Dst, Src, {}); }
+  void movImm(Reg Dst, int64_t V) { mov(Dst, Operand::imm(V)); }
+  void movReg(Reg Dst, Reg Src) { mov(Dst, Operand::reg(Src)); }
+
+  // -- Arithmetic / logic ----------------------------------------------------
+
+  void add(Reg Dst, Operand A, Operand B) { emitAB(Opcode::Add, Dst, A, B); }
+  void sub(Reg Dst, Operand A, Operand B) { emitAB(Opcode::Sub, Dst, A, B); }
+  void mul(Reg Dst, Operand A, Operand B) { emitAB(Opcode::Mul, Dst, A, B); }
+  void div(Reg Dst, Operand A, Operand B) { emitAB(Opcode::Div, Dst, A, B); }
+  void rem(Reg Dst, Operand A, Operand B) { emitAB(Opcode::Rem, Dst, A, B); }
+  void band(Reg Dst, Operand A, Operand B) { emitAB(Opcode::And, Dst, A, B); }
+  void bor(Reg Dst, Operand A, Operand B) { emitAB(Opcode::Or, Dst, A, B); }
+  void bxor(Reg Dst, Operand A, Operand B) { emitAB(Opcode::Xor, Dst, A, B); }
+  void shl(Reg Dst, Operand A, Operand B) { emitAB(Opcode::Shl, Dst, A, B); }
+  void shr(Reg Dst, Operand A, Operand B) { emitAB(Opcode::Shr, Dst, A, B); }
+
+  // -- Comparisons -----------------------------------------------------------
+
+  void cmp(Opcode CmpOp, Reg Dst, Operand A, Operand B, bool PtrCmp = false) {
+    assert(isCompare(CmpOp) && "not a comparison opcode");
+    Instruction I;
+    I.Op = CmpOp;
+    I.Dst = Dst;
+    I.A = A;
+    I.B = B;
+    I.PtrCmp = PtrCmp;
+    append(std::move(I));
+  }
+
+  void cmpEq(Reg Dst, Operand A, Operand B) { cmp(Opcode::CmpEq, Dst, A, B); }
+  void cmpNe(Reg Dst, Operand A, Operand B) { cmp(Opcode::CmpNe, Dst, A, B); }
+  void cmpLt(Reg Dst, Operand A, Operand B) { cmp(Opcode::CmpLt, Dst, A, B); }
+  void cmpLe(Reg Dst, Operand A, Operand B) { cmp(Opcode::CmpLe, Dst, A, B); }
+  void cmpGt(Reg Dst, Operand A, Operand B) { cmp(Opcode::CmpGt, Dst, A, B); }
+  void cmpGe(Reg Dst, Operand A, Operand B) { cmp(Opcode::CmpGe, Dst, A, B); }
+
+  // -- Memory ----------------------------------------------------------------
+
+  /// Dst = Mem[Base + Off].
+  void load(Reg Dst, Operand Base, Operand Off) {
+    emitAB(Opcode::Load, Dst, Base, Off);
+  }
+
+  /// Mem[Base + Off] = Val.
+  void store(Operand Base, Operand Off, Operand Val) {
+    Instruction I;
+    I.Op = Opcode::Store;
+    I.A = Base;
+    I.B = Off;
+    I.C = Val;
+    append(std::move(I));
+  }
+
+  // -- Calls -----------------------------------------------------------------
+
+  void call(Reg Dst, uint32_t Callee, std::vector<Operand> Args) {
+    Instruction I;
+    I.Op = Opcode::Call;
+    I.Dst = Dst;
+    I.Callee = Callee;
+    I.Args = std::move(Args);
+    append(std::move(I));
+  }
+
+  // -- Terminators -----------------------------------------------------------
+
+  /// if (Cond != 0) goto TrueBlock else FalseBlock.
+  void br(Operand Cond, uint32_t TrueBlock, uint32_t FalseBlock) {
+    Instruction I;
+    I.Op = Opcode::Br;
+    I.A = Cond;
+    I.TrueTarget = TrueBlock;
+    I.FalseTarget = FalseBlock;
+    append(std::move(I));
+  }
+
+  void jmp(uint32_t Target) {
+    Instruction I;
+    I.Op = Opcode::Jmp;
+    I.TrueTarget = Target;
+    append(std::move(I));
+  }
+
+  void ret(Operand Val = Operand::none()) {
+    Instruction I;
+    I.Op = Opcode::Ret;
+    I.A = Val;
+    append(std::move(I));
+  }
+
+private:
+  void emitAB(Opcode Op, Reg Dst, Operand A, Operand B) {
+    Instruction I;
+    I.Op = Op;
+    I.Dst = Dst;
+    I.A = A;
+    I.B = B;
+    append(std::move(I));
+  }
+
+  void append(Instruction I) {
+    assert(Cur < func().Blocks.size() && "no insertion point set");
+    BasicBlock &BB = func().Blocks[Cur];
+    assert(!BB.isComplete() && "appending past a terminator");
+    BB.Insts.push_back(std::move(I));
+  }
+
+  Module &M;
+  uint32_t FuncIdx;
+  uint32_t Cur = ~0U;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_IR_IRBUILDER_H

@@ -1,0 +1,100 @@
+//===- ir/Instruction.h - IR instructions and operands ----------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single IR instruction. Instructions are plain values (copyable), which
+/// keeps the code-replication transform — the heart of the paper — a matter
+/// of copying vectors and remapping block targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_IR_INSTRUCTION_H
+#define BPCR_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace bpcr {
+
+/// Virtual register index within a function.
+using Reg = uint16_t;
+
+/// A register or immediate operand.
+struct Operand {
+  enum class Kind : uint8_t { None, Reg, Imm };
+
+  Kind K = Kind::None;
+  int64_t Val = 0;
+
+  static Operand reg(Reg R) { return {Kind::Reg, static_cast<int64_t>(R)}; }
+  static Operand imm(int64_t V) { return {Kind::Imm, V}; }
+  static Operand none() { return {}; }
+
+  bool isReg() const { return K == Kind::Reg; }
+  bool isImm() const { return K == Kind::Imm; }
+  bool isNone() const { return K == Kind::None; }
+
+  Reg asReg() const {
+    assert(isReg() && "operand is not a register");
+    return static_cast<Reg>(Val);
+  }
+
+  bool operator==(const Operand &O) const { return K == O.K && Val == O.Val; }
+};
+
+/// Marker for an unassigned branch id.
+inline constexpr int32_t NoBranchId = -1;
+
+/// Static prediction attached to a conditional branch.
+enum class Prediction : int8_t { Unknown = -1, NotTaken = 0, Taken = 1 };
+
+/// One IR instruction. Field use by opcode:
+///  - ALU/compare:  Dst = A op B
+///  - Mov:          Dst = A
+///  - Load:         Dst = Mem[A + B]
+///  - Store:        Mem[A + B] = C
+///  - Call:         Dst = Functions[Callee](Args...)
+///  - Br:           if (A) goto TrueTarget else FalseTarget
+///  - Jmp:          goto TrueTarget
+///  - Ret:          return A (0 when A is None)
+struct Instruction {
+  Opcode Op = Opcode::Mov;
+  Reg Dst = 0;
+  Operand A, B, C;
+
+  /// Block indexes within the parent function.
+  uint32_t TrueTarget = 0;
+  uint32_t FalseTarget = 0;
+
+  /// Function index within the module (Call only).
+  uint32_t Callee = 0;
+  std::vector<Operand> Args;
+
+  /// Stable module-wide id of a conditional branch; NoBranchId otherwise.
+  int32_t BranchId = NoBranchId;
+
+  /// For branches created by code replication: the id of the branch in the
+  /// original program this one is a copy of. Equal to BranchId for
+  /// unreplicated branches once ids are assigned.
+  int32_t OrigBranchId = NoBranchId;
+
+  /// Semi-static prediction annotation consumed by the evaluation harness.
+  Prediction Predicted = Prediction::Unknown;
+
+  /// True on comparisons whose operands are pointers; drives the Ball-Larus
+  /// "pointer" heuristic.
+  bool PtrCmp = false;
+
+  bool isTerminator() const { return bpcr::isTerminator(Op); }
+  bool isConditionalBranch() const { return Op == Opcode::Br; }
+};
+
+} // namespace bpcr
+
+#endif // BPCR_IR_INSTRUCTION_H

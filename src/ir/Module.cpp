@@ -1,0 +1,43 @@
+//===- ir/Module.cpp ------------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+using namespace bpcr;
+
+uint32_t Module::assignBranchIds() {
+  int32_t Next = 0;
+  for (Function &F : Functions)
+    for (BasicBlock &BB : F.Blocks)
+      for (Instruction &I : BB.Insts)
+        if (I.isConditionalBranch()) {
+          I.BranchId = Next;
+          if (I.OrigBranchId == NoBranchId)
+            I.OrigBranchId = Next;
+          ++Next;
+        }
+  return static_cast<uint32_t>(Next);
+}
+
+std::vector<BranchRef> Module::branchLocations() const {
+  std::vector<BranchRef> Refs;
+  for (uint32_t FI = 0; FI < Functions.size(); ++FI) {
+    const Function &F = Functions[FI];
+    for (uint32_t BI = 0; BI < F.Blocks.size(); ++BI) {
+      const BasicBlock &BB = F.Blocks[BI];
+      for (uint32_t II = 0; II < BB.Insts.size(); ++II) {
+        const Instruction &I = BB.Insts[II];
+        if (!I.isConditionalBranch())
+          continue;
+        assert(I.BranchId >= 0 && "branch ids not assigned");
+        if (static_cast<size_t>(I.BranchId) >= Refs.size())
+          Refs.resize(I.BranchId + 1);
+        Refs[I.BranchId] = {FI, BI, II};
+      }
+    }
+  }
+  return Refs;
+}

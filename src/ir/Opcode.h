@@ -1,0 +1,79 @@
+//===- ir/Opcode.h - IR operation codes -------------------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operation set of the small register-machine IR used as the substrate
+/// for the paper's profiling and code-replication experiments. The set is
+/// deliberately close to what the paper's MIPS-level tool saw: ALU ops,
+/// comparisons, memory, calls and the three terminators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_IR_OPCODE_H
+#define BPCR_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace bpcr {
+
+/// IR operation codes.
+enum class Opcode : uint8_t {
+  // Dst = A.
+  Mov,
+  // Dst = A op B (signed 64-bit; Div/Rem by zero yield 0).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  // Dst = (A cmp B) ? 1 : 0 (signed).
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  // Dst = Mem[A + B].
+  Load,
+  // Mem[A + B] = C.
+  Store,
+  // Dst = call Callee(Args...).
+  Call,
+  // Terminators: if (A != 0) goto TrueTarget else goto FalseTarget.
+  Br,
+  // goto TrueTarget.
+  Jmp,
+  // return A.
+  Ret,
+};
+
+/// \returns a short mnemonic for \p Op ("add", "br", ...).
+const char *opcodeName(Opcode Op);
+
+/// \returns true for Br/Jmp/Ret, the instructions that end a basic block.
+inline bool isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::Jmp || Op == Opcode::Ret;
+}
+
+/// \returns true for the six comparison opcodes.
+inline bool isCompare(Opcode Op) {
+  return Op >= Opcode::CmpEq && Op <= Opcode::CmpGe;
+}
+
+/// \returns true for opcodes that write a destination register.
+inline bool writesRegister(Opcode Op) {
+  return Op == Opcode::Mov || (Op >= Opcode::Add && Op <= Opcode::CmpGe) ||
+         Op == Opcode::Load || Op == Opcode::Call;
+}
+
+} // namespace bpcr
+
+#endif // BPCR_IR_OPCODE_H

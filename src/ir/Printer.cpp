@@ -1,0 +1,126 @@
+//===- ir/Printer.cpp -----------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <cstdio>
+
+using namespace bpcr;
+
+namespace {
+
+std::string printOperand(const Operand &O) {
+  char Buf[32];
+  switch (O.K) {
+  case Operand::Kind::None:
+    return "_";
+  case Operand::Kind::Reg:
+    std::snprintf(Buf, sizeof(Buf), "r%lld", static_cast<long long>(O.Val));
+    return Buf;
+  case Operand::Kind::Imm:
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(O.Val));
+    return Buf;
+  }
+  return "?";
+}
+
+std::string blockLabel(const Function &F, uint32_t Idx) {
+  char Buf[64];
+  if (Idx < F.Blocks.size() && !F.Blocks[Idx].Name.empty()) {
+    std::snprintf(Buf, sizeof(Buf), "%%%u(%s)", Idx,
+                  F.Blocks[Idx].Name.c_str());
+    return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%%%u", Idx);
+  return Buf;
+}
+
+} // namespace
+
+std::string bpcr::printInstruction(const Instruction &I, const Function &F,
+                                   const Module *M) {
+  std::string S;
+  char Buf[64];
+
+  switch (I.Op) {
+  case Opcode::Br:
+    S = "br ";
+    S += printOperand(I.A);
+    S += " ? " + blockLabel(F, I.TrueTarget);
+    S += " : " + blockLabel(F, I.FalseTarget);
+    if (I.BranchId != NoBranchId) {
+      std::snprintf(Buf, sizeof(Buf), "  ; id=%d", I.BranchId);
+      S += Buf;
+      if (I.OrigBranchId != I.BranchId) {
+        std::snprintf(Buf, sizeof(Buf), " orig=%d", I.OrigBranchId);
+        S += Buf;
+      }
+    }
+    if (I.Predicted != Prediction::Unknown)
+      S += (I.Predicted == Prediction::Taken) ? " predict=T" : " predict=N";
+    return S;
+  case Opcode::Jmp:
+    return "jmp " + blockLabel(F, I.TrueTarget);
+  case Opcode::Ret:
+    return "ret " + printOperand(I.A);
+  case Opcode::Store:
+    return "store [" + printOperand(I.A) + " + " + printOperand(I.B) +
+           "] = " + printOperand(I.C);
+  case Opcode::Load:
+    std::snprintf(Buf, sizeof(Buf), "r%u = load [", I.Dst);
+    return Buf + printOperand(I.A) + " + " + printOperand(I.B) + "]";
+  case Opcode::Call: {
+    const char *Callee = "?";
+    if (M && I.Callee < M->Functions.size())
+      Callee = M->Functions[I.Callee].Name.c_str();
+    std::snprintf(Buf, sizeof(Buf), "r%u = call %s(", I.Dst, Callee);
+    S = Buf;
+    for (size_t AI = 0; AI < I.Args.size(); ++AI) {
+      if (AI)
+        S += ", ";
+      S += printOperand(I.Args[AI]);
+    }
+    S += ")";
+    return S;
+  }
+  case Opcode::Mov:
+    std::snprintf(Buf, sizeof(Buf), "r%u = ", I.Dst);
+    return Buf + printOperand(I.A);
+  default:
+    std::snprintf(Buf, sizeof(Buf), "r%u = %s ", I.Dst, opcodeName(I.Op));
+    S = Buf + printOperand(I.A) + ", " + printOperand(I.B);
+    if (I.PtrCmp)
+      S += "  ; ptr";
+    return S;
+  }
+}
+
+std::string bpcr::printFunction(const Function &F, const Module *M) {
+  std::string S;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "func %s(params=%u, regs=%u) {\n",
+                F.Name.c_str(), F.NumParams, F.NumRegs);
+  S = Buf;
+  for (uint32_t BI = 0; BI < F.Blocks.size(); ++BI) {
+    const BasicBlock &BB = F.Blocks[BI];
+    std::snprintf(Buf, sizeof(Buf), "%%%u %s:\n", BI, BB.Name.c_str());
+    S += Buf;
+    for (const Instruction &I : BB.Insts) {
+      S += "  ";
+      S += printInstruction(I, F, M);
+      S += '\n';
+    }
+  }
+  S += "}\n";
+  return S;
+}
+
+std::string bpcr::printModule(const Module &M) {
+  std::string S = "module " + M.Name + "\n";
+  for (const Function &F : M.Functions)
+    S += printFunction(F, &M);
+  return S;
+}

@@ -1,0 +1,34 @@
+//===- ir/Printer.h - Textual IR dump ---------------------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders functions and modules as readable text. The examples print small
+/// flow graphs (like the paper's figure 1) before and after replication.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_IR_PRINTER_H
+#define BPCR_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace bpcr {
+
+/// Renders a single instruction (no trailing newline).
+std::string printInstruction(const Instruction &I, const Function &F,
+                             const Module *M = nullptr);
+
+/// Renders a function: one header line, then blocks with indexed labels.
+std::string printFunction(const Function &F, const Module *M = nullptr);
+
+/// Renders every function in the module.
+std::string printModule(const Module &M);
+
+} // namespace bpcr
+
+#endif // BPCR_IR_PRINTER_H

@@ -1,0 +1,60 @@
+//===- ir/Serializer.h - Textual module format ------------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parseable textual format for modules, so programs (and their
+/// replicated transforms) can be saved and reloaded — the file-based
+/// workflow of the paper's tooling. The format is line-based:
+///
+/// \code
+/// module compress
+/// mem 12384
+/// entry 1
+/// data 0 100000
+/// data 1 4 4 11 ...
+/// func verify params 0 regs 6
+/// block entry
+///   mov r0, 0
+///   jmp 1
+/// block outer
+///   cmpge r3, r0, 99992
+///   br r3, 5, 2 predict N id 7
+/// ...
+/// endfunc
+/// \endcode
+///
+/// Blocks are referenced by index within their function; `data` lines give
+/// runs of initial memory words starting at an address. parseModuleText
+/// reports the first error with its line number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_IR_SERIALIZER_H
+#define BPCR_IR_SERIALIZER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace bpcr {
+
+/// Renders \p M in the textual module format.
+std::string writeModuleText(const Module &M);
+
+/// Parses a module from the textual format.
+/// \param[out] Error on failure, a message prefixed with the line number.
+/// \returns true on success (and \p Out is fully populated).
+bool parseModuleText(const std::string &Text, Module &Out,
+                     std::string &Error);
+
+/// Convenience file wrappers. \returns false on I/O or parse failure.
+bool writeModuleFile(const std::string &Path, const Module &M);
+bool readModuleFile(const std::string &Path, Module &Out,
+                    std::string &Error);
+
+} // namespace bpcr
+
+#endif // BPCR_IR_SERIALIZER_H

@@ -1,0 +1,121 @@
+//===- ir/Verifier.cpp ----------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace bpcr;
+
+namespace {
+
+/// Collects verifier diagnostics with printf-style formatting.
+class Diag {
+public:
+  std::vector<std::string> Messages;
+
+  void error(const char *Fmt, ...) __attribute__((format(printf, 2, 3))) {
+    va_list Ap;
+    va_start(Ap, Fmt);
+    char Buf[512];
+    std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+    va_end(Ap);
+    Messages.push_back(Buf);
+  }
+};
+
+void checkOperand(Diag &D, const Function &F, const char *FName,
+                  const Operand &O, const char *Role, size_t BI, size_t II) {
+  if (O.isReg() && O.Val >= static_cast<int64_t>(F.NumRegs))
+    D.error("%s: block %zu inst %zu: %s register r%lld out of range (%u regs)",
+            FName, BI, II, Role, static_cast<long long>(O.Val), F.NumRegs);
+}
+
+} // namespace
+
+std::vector<std::string> bpcr::verifyModule(const Module &M) {
+  Diag D;
+
+  if (M.Functions.empty())
+    D.error("module has no functions");
+  if (M.EntryFunction >= M.Functions.size())
+    D.error("entry function index %u out of range", M.EntryFunction);
+  if (M.InitialMemory.size() > M.MemWords)
+    D.error("initial memory image (%zu words) exceeds MemWords (%llu)",
+            M.InitialMemory.size(),
+            static_cast<unsigned long long>(M.MemWords));
+
+  for (const Function &F : M.Functions) {
+    const char *FName = F.Name.c_str();
+    if (F.Blocks.empty()) {
+      D.error("%s: function has no blocks", FName);
+      continue;
+    }
+    if (F.NumParams > F.NumRegs)
+      D.error("%s: %u params but only %u registers", FName, F.NumParams,
+              F.NumRegs);
+
+    for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+      const BasicBlock &BB = F.Blocks[BI];
+      if (BB.Insts.empty()) {
+        D.error("%s: block %zu (%s) is empty", FName, BI, BB.Name.c_str());
+        continue;
+      }
+      if (!BB.Insts.back().isTerminator())
+        D.error("%s: block %zu (%s) does not end in a terminator", FName, BI,
+                BB.Name.c_str());
+
+      for (size_t II = 0; II < BB.Insts.size(); ++II) {
+        const Instruction &I = BB.Insts[II];
+        if (I.isTerminator() && II + 1 != BB.Insts.size())
+          D.error("%s: block %zu inst %zu: terminator in mid-block", FName, BI,
+                  II);
+
+        checkOperand(D, F, FName, I.A, "A", BI, II);
+        checkOperand(D, F, FName, I.B, "B", BI, II);
+        checkOperand(D, F, FName, I.C, "C", BI, II);
+        if (writesRegister(I.Op) && I.Dst >= F.NumRegs)
+          D.error("%s: block %zu inst %zu: dst register r%u out of range",
+                  FName, BI, II, I.Dst);
+
+        switch (I.Op) {
+        case Opcode::Br:
+          if (I.TrueTarget >= F.Blocks.size() ||
+              I.FalseTarget >= F.Blocks.size())
+            D.error("%s: block %zu: branch target out of range", FName, BI);
+          if (I.A.isNone())
+            D.error("%s: block %zu: branch without a condition", FName, BI);
+          break;
+        case Opcode::Jmp:
+          if (I.TrueTarget >= F.Blocks.size())
+            D.error("%s: block %zu: jump target out of range", FName, BI);
+          break;
+        case Opcode::Call: {
+          if (I.Callee >= M.Functions.size()) {
+            D.error("%s: block %zu inst %zu: callee index %u out of range",
+                    FName, BI, II, I.Callee);
+            break;
+          }
+          const Function &Callee = M.Functions[I.Callee];
+          if (I.Args.size() != Callee.NumParams)
+            D.error("%s: block %zu inst %zu: call to %s passes %zu args, "
+                    "expected %u",
+                    FName, BI, II, Callee.Name.c_str(), I.Args.size(),
+                    Callee.NumParams);
+          for (const Operand &Arg : I.Args)
+            checkOperand(D, F, FName, Arg, "arg", BI, II);
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+  }
+
+  return std::move(D.Messages);
+}

@@ -1,0 +1,33 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural checks run by tests after every construction and after every
+/// replication transform: complete blocks, in-range targets/registers,
+/// consistent call signatures, valid entry points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_IR_VERIFIER_H
+#define BPCR_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+/// Checks \p M for structural validity.
+/// \returns a human-readable message per violation; empty when valid.
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Convenience wrapper: true when verifyModule reports nothing.
+inline bool isModuleValid(const Module &M) { return verifyModule(M).empty(); }
+
+} // namespace bpcr
+
+#endif // BPCR_IR_VERIFIER_H

@@ -1,0 +1,99 @@
+//===- predict/DynamicPredictors.cpp --------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/DynamicPredictors.h"
+
+#include <cassert>
+
+using namespace bpcr;
+
+Predictor::~Predictor() = default;
+
+TwoLevelPredictor::TwoLevelPredictor(TwoLevelConfig Cfg) : Cfg(Cfg) {
+  assert(Cfg.HistoryBits >= 1 && Cfg.HistoryBits <= 20 &&
+         "history width out of range");
+  reset();
+}
+
+void TwoLevelPredictor::reset() {
+  uint32_t HistCount = 1;
+  if (Cfg.HistoryScope != Scope::Global)
+    HistCount = Cfg.HistoryEntries;
+  Histories.assign(HistCount, 0);
+
+  FixedTables.clear();
+  PerBranchTables.clear();
+  uint32_t TableCount = 0;
+  if (Cfg.PatternScope == Scope::Global)
+    TableCount = 1;
+  else if (Cfg.PatternScope == Scope::Set)
+    TableCount = Cfg.PatternSets;
+  FixedTables.assign(
+      TableCount, std::vector<SaturatingCounter>(
+                      1U << Cfg.HistoryBits, SaturatingCounter(Cfg.CounterBits)));
+}
+
+uint32_t TwoLevelPredictor::historyIndex(int32_t BranchId) const {
+  if (Cfg.HistoryScope == Scope::Global)
+    return 0;
+  // Set and PerBranch scopes both index a finite table; PerBranch models an
+  // ideally sized table, so collisions only matter for Set.
+  return static_cast<uint32_t>(BranchId) % Cfg.HistoryEntries;
+}
+
+uint32_t TwoLevelPredictor::patternTableIndex(int32_t BranchId) const {
+  if (Cfg.PatternScope == Scope::Global)
+    return 0;
+  return static_cast<uint32_t>(BranchId) % Cfg.PatternSets;
+}
+
+SaturatingCounter &TwoLevelPredictor::counterFor(int32_t BranchId) {
+  uint32_t Hist = Histories[historyIndex(BranchId)];
+  if (Cfg.PatternScope == Scope::PerBranch) {
+    auto It = PerBranchTables.find(BranchId);
+    if (It == PerBranchTables.end())
+      It = PerBranchTables
+               .emplace(BranchId,
+                        std::vector<SaturatingCounter>(
+                            1U << Cfg.HistoryBits,
+                            SaturatingCounter(Cfg.CounterBits)))
+               .first;
+    return It->second[Hist];
+  }
+  return FixedTables[patternTableIndex(BranchId)][Hist];
+}
+
+bool TwoLevelPredictor::predict(int32_t BranchId) {
+  return counterFor(BranchId).predictTaken();
+}
+
+void TwoLevelPredictor::update(int32_t BranchId, bool Taken) {
+  counterFor(BranchId).update(Taken);
+  uint32_t &H = Histories[historyIndex(BranchId)];
+  H = ((H << 1) | (Taken ? 1U : 0U)) & ((1U << Cfg.HistoryBits) - 1U);
+}
+
+std::string TwoLevelPredictor::name() const {
+  auto ScopeChar = [](Scope S) {
+    switch (S) {
+    case Scope::Global:
+      return 'G';
+    case Scope::Set:
+      return 'S';
+    case Scope::PerBranch:
+      return 'P';
+    }
+    return '?';
+  };
+  std::string N = "two level ";
+  N += ScopeChar(Cfg.HistoryScope);
+  N += 'A';
+  N += (Cfg.PatternScope == Scope::Global
+            ? 'g'
+            : (Cfg.PatternScope == Scope::Set ? 's' : 'p'));
+  N += " h" + std::to_string(Cfg.HistoryBits);
+  return N;
+}

@@ -1,0 +1,129 @@
+//===- predict/DynamicPredictors.h - Hardware-style predictors --*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic prediction strategies the paper compares against (sec. 2.3):
+/// last-direction, n-bit saturating counters (Smith 1981) and two-level
+/// adaptive predictors in all nine Yeh/Patt combinations of history-register
+/// and pattern-table scope (global / per-set / per-branch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_PREDICT_DYNAMICPREDICTORS_H
+#define BPCR_PREDICT_DYNAMICPREDICTORS_H
+
+#include "predict/Predictor.h"
+#include "support/SaturatingCounter.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace bpcr {
+
+/// "Predict that a branch will take the same direction as on its last
+/// execution" (Smith 1981). Ideal (per-branch, no aliasing) table.
+class LastDirectionPredictor : public Predictor {
+public:
+  void reset() override { Last.clear(); }
+
+  bool predict(int32_t BranchId) override {
+    auto It = Last.find(BranchId);
+    return It == Last.end() ? true : It->second;
+  }
+
+  void update(int32_t BranchId, bool Taken) override {
+    Last[BranchId] = Taken;
+  }
+
+  std::string name() const override { return "last direction"; }
+
+private:
+  std::unordered_map<int32_t, bool> Last;
+};
+
+/// Per-branch n-bit saturating counter (Smith 1981); 2 bits by default, the
+/// width Smith found best.
+class CounterPredictor : public Predictor {
+public:
+  explicit CounterPredictor(unsigned Bits = 2) : Bits(Bits) {}
+
+  void reset() override { Counters.clear(); }
+
+  bool predict(int32_t BranchId) override {
+    return counter(BranchId).predictTaken();
+  }
+
+  void update(int32_t BranchId, bool Taken) override {
+    counter(BranchId).update(Taken);
+  }
+
+  std::string name() const override {
+    return std::to_string(Bits) + " bit counter";
+  }
+
+private:
+  SaturatingCounter &counter(int32_t Id) {
+    auto It = Counters.find(Id);
+    if (It == Counters.end())
+      It = Counters.emplace(Id, SaturatingCounter(Bits)).first;
+    return It->second;
+  }
+
+  unsigned Bits;
+  std::unordered_map<int32_t, SaturatingCounter> Counters;
+};
+
+/// Scope of a two-level predictor resource (Yeh/Patt 1993 terminology:
+/// G = one global instance, S = per-set, P = per-branch address).
+enum class Scope : uint8_t { Global, Set, PerBranch };
+
+/// Configuration of a two-level adaptive predictor.
+struct TwoLevelConfig {
+  Scope HistoryScope = Scope::PerBranch;
+  Scope PatternScope = Scope::Global;
+  /// History register width; the pattern tables have 2^HistoryBits entries.
+  unsigned HistoryBits = 9;
+  /// Rows in the first-level history table (Set/PerBranch scopes index it
+  /// with BranchId modulo this, modelling the paper's 1K-entry table).
+  uint32_t HistoryEntries = 1024;
+  /// Number of pattern tables for Scope::Set.
+  uint32_t PatternSets = 16;
+  unsigned CounterBits = 2;
+
+  /// The paper's "two level 4K bit" configuration: a 1K-entry 9-bit history
+  /// register table and a 1K-entry pattern table with 2-bit counters.
+  static TwoLevelConfig paperDefault() { return TwoLevelConfig(); }
+};
+
+/// Two-level adaptive predictor (Yeh/Patt 1992/1993, Pan/So/Rahmeh 1992).
+class TwoLevelPredictor : public Predictor {
+public:
+  explicit TwoLevelPredictor(TwoLevelConfig Cfg = TwoLevelConfig());
+
+  void reset() override;
+  bool predict(int32_t BranchId) override;
+  void update(int32_t BranchId, bool Taken) override;
+  std::string name() const override;
+
+  const TwoLevelConfig &config() const { return Cfg; }
+
+private:
+  uint32_t historyIndex(int32_t BranchId) const;
+  uint32_t patternTableIndex(int32_t BranchId) const;
+  SaturatingCounter &counterFor(int32_t BranchId);
+
+  TwoLevelConfig Cfg;
+  /// First level: history registers (index per HistoryScope).
+  std::vector<uint32_t> Histories;
+  /// Second level: pattern tables of counters. Tables for Global/Set live in
+  /// FixedTables; PerBranch tables are allocated on demand.
+  std::vector<std::vector<SaturatingCounter>> FixedTables;
+  std::unordered_map<int32_t, std::vector<SaturatingCounter>> PerBranchTables;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_PREDICT_DYNAMICPREDICTORS_H

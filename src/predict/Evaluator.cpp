@@ -1,0 +1,39 @@
+//===- predict/Evaluator.cpp ----------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/Evaluator.h"
+
+using namespace bpcr;
+
+PredictionStats bpcr::evaluatePredictor(Predictor &P, const Trace &T) {
+  PredictionStats S;
+  for (const BranchEvent &E : T) {
+    S.record(P.predict(E.BranchId) == E.Taken);
+    P.update(E.BranchId, E.Taken);
+  }
+  return S;
+}
+
+std::vector<PredictionStats>
+bpcr::evaluatePredictorPerBranch(Predictor &P, const Trace &T,
+                                 uint32_t NumBranches) {
+  std::vector<PredictionStats> Per(NumBranches);
+  for (const BranchEvent &E : T) {
+    bool Correct = P.predict(E.BranchId) == E.Taken;
+    P.update(E.BranchId, E.Taken);
+    if (static_cast<uint32_t>(E.BranchId) < NumBranches)
+      Per[E.BranchId].record(Correct);
+  }
+  return Per;
+}
+
+PredictionStats bpcr::evaluateTrained(TrainablePredictor &P,
+                                      const Trace &TrainTrace,
+                                      const Trace &TestTrace) {
+  P.train(TrainTrace);
+  P.reset();
+  return evaluatePredictor(P, TestTrace);
+}

@@ -1,0 +1,49 @@
+//===- predict/Evaluator.h - Prediction evaluation driver -------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives predictors over traces and aggregates misprediction statistics,
+/// total and per branch. Semi-static predictors are trained and evaluated
+/// on the same trace by default, matching the paper's methodology; the
+/// dataset-sensitivity ablation trains on one input and evaluates on
+/// another (Fisher/Freudenberger style).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_PREDICT_EVALUATOR_H
+#define BPCR_PREDICT_EVALUATOR_H
+
+#include "predict/Predictor.h"
+#include "support/Statistics.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace bpcr {
+
+/// Streams \p T through \p P (predict, compare, update per event).
+PredictionStats evaluatePredictor(Predictor &P, const Trace &T);
+
+/// Like evaluatePredictor but also splits the statistics per branch.
+/// \param NumBranches upper bound on branch ids in \p T.
+std::vector<PredictionStats>
+evaluatePredictorPerBranch(Predictor &P, const Trace &T, uint32_t NumBranches);
+
+/// Trains a semi-static predictor on \p TrainTrace, resets its history
+/// registers, then evaluates on \p TestTrace.
+PredictionStats evaluateTrained(TrainablePredictor &P, const Trace &TrainTrace,
+                                const Trace &TestTrace);
+
+/// Self-prediction: train and evaluate on the same trace (the paper's
+/// default methodology).
+inline PredictionStats evaluateSelfTrained(TrainablePredictor &P,
+                                           const Trace &T) {
+  return evaluateTrained(P, T, T);
+}
+
+} // namespace bpcr
+
+#endif // BPCR_PREDICT_EVALUATOR_H

@@ -1,0 +1,141 @@
+//===- predict/SemiStaticPredictors.cpp -----------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/SemiStaticPredictors.h"
+
+using namespace bpcr;
+
+// -- ProfilePredictor --------------------------------------------------------
+
+void ProfilePredictor::train(const Trace &T) {
+  for (const BranchEvent &E : T)
+    Counts[E.BranchId].record(E.Taken);
+}
+
+bool ProfilePredictor::predict(int32_t BranchId) {
+  auto It = Counts.find(BranchId);
+  return It == Counts.end() ? true : It->second.majorityTaken();
+}
+
+void ProfilePredictor::update(int32_t, bool) {}
+
+// -- CorrelationPredictor ----------------------------------------------------
+
+void CorrelationPredictor::train(const Trace &T) {
+  BitHistory H(HistoryBits);
+  for (const BranchEvent &E : T) {
+    Table[key(E.BranchId, H.value())].record(E.Taken);
+    Fallback[E.BranchId].record(E.Taken);
+    H.push(E.Taken);
+  }
+}
+
+bool CorrelationPredictor::predict(int32_t BranchId) {
+  auto It = Table.find(key(BranchId, History.value()));
+  if (It != Table.end() && It->second.total() > 0)
+    return It->second.majorityTaken();
+  auto FIt = Fallback.find(BranchId);
+  return FIt == Fallback.end() ? true : FIt->second.majorityTaken();
+}
+
+void CorrelationPredictor::update(int32_t, bool Taken) {
+  History.push(Taken);
+}
+
+// -- LoopHistoryPredictor ----------------------------------------------------
+
+uint32_t &LoopHistoryPredictor::history(int32_t BranchId) {
+  return Histories[BranchId];
+}
+
+void LoopHistoryPredictor::train(const Trace &T) {
+  std::unordered_map<int32_t, uint32_t> H;
+  uint32_t Mask = (HistoryBits >= 32) ? ~0U : ((1U << HistoryBits) - 1U);
+  for (const BranchEvent &E : T) {
+    uint32_t &Pattern = H[E.BranchId];
+    Table[key(E.BranchId, Pattern)].record(E.Taken);
+    Fallback[E.BranchId].record(E.Taken);
+    Pattern = ((Pattern << 1) | (E.Taken ? 1U : 0U)) & Mask;
+  }
+}
+
+bool LoopHistoryPredictor::predict(int32_t BranchId) {
+  auto It = Table.find(key(BranchId, history(BranchId)));
+  if (It != Table.end() && It->second.total() > 0)
+    return It->second.majorityTaken();
+  auto FIt = Fallback.find(BranchId);
+  return FIt == Fallback.end() ? true : FIt->second.majorityTaken();
+}
+
+void LoopHistoryPredictor::update(int32_t BranchId, bool Taken) {
+  uint32_t Mask = (HistoryBits >= 32) ? ~0U : ((1U << HistoryBits) - 1U);
+  uint32_t &Pattern = history(BranchId);
+  Pattern = ((Pattern << 1) | (Taken ? 1U : 0U)) & Mask;
+}
+
+// -- LoopCorrelationPredictor ------------------------------------------------
+
+LoopCorrelationPredictor::LoopCorrelationPredictor(unsigned CorrelationBits,
+                                                   unsigned LoopBits)
+    : Corr(CorrelationBits), Loop(LoopBits) {}
+
+void LoopCorrelationPredictor::train(const Trace &T) {
+  Corr.train(T);
+  Loop.train(T);
+
+  // Second pass: count per-branch mispredictions of each trained scheme and
+  // of profile, then pick per branch.
+  std::unordered_map<int32_t, uint64_t> CorrMiss, LoopMiss, ProfMiss;
+  std::unordered_map<int32_t, DirCounts> Counts;
+  for (const BranchEvent &E : T)
+    Counts[E.BranchId].record(E.Taken);
+
+  Corr.reset();
+  Loop.reset();
+  for (const BranchEvent &E : T) {
+    if (Corr.predict(E.BranchId) != E.Taken)
+      ++CorrMiss[E.BranchId];
+    if (Loop.predict(E.BranchId) != E.Taken)
+      ++LoopMiss[E.BranchId];
+    Corr.update(E.BranchId, E.Taken);
+    Loop.update(E.BranchId, E.Taken);
+  }
+
+  ImprovedBranches = 0;
+  for (const auto &[Id, C] : Counts) {
+    uint64_t CM = CorrMiss.count(Id) ? CorrMiss[Id] : 0;
+    uint64_t LM = LoopMiss.count(Id) ? LoopMiss[Id] : 0;
+    UseLoop[Id] = LM <= CM;
+    uint64_t Best = LM <= CM ? LM : CM;
+    if (Best < C.minority())
+      ++ImprovedBranches;
+  }
+
+  Corr.reset();
+  Loop.reset();
+}
+
+void LoopCorrelationPredictor::reset() {
+  Corr.reset();
+  Loop.reset();
+}
+
+bool LoopCorrelationPredictor::usesLoopScheme(int32_t BranchId) const {
+  auto It = UseLoop.find(BranchId);
+  return It == UseLoop.end() ? true : It->second;
+}
+
+bool LoopCorrelationPredictor::predict(int32_t BranchId) {
+  return usesLoopScheme(BranchId) ? Loop.predict(BranchId)
+                                  : Corr.predict(BranchId);
+}
+
+void LoopCorrelationPredictor::update(int32_t BranchId, bool Taken) {
+  // Both history registers advance; only the chosen one's prediction is
+  // consulted for this branch.
+  Corr.update(BranchId, Taken);
+  Loop.update(BranchId, Taken);
+}

@@ -1,0 +1,76 @@
+//===- support/BitHistory.h - Shift-register branch history ----*- C++ -*-===//
+//
+// Part of the bpcr project: a reproduction of Krall, "Improving Semi-static
+// Branch Prediction by Code Replication", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-width shift register recording the most recent branch outcomes.
+/// The most recent outcome occupies the least significant bit, matching the
+/// paper's convention that "the rightmost digit represents the direction of
+/// the last iteration".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SUPPORT_BITHISTORY_H
+#define BPCR_SUPPORT_BITHISTORY_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace bpcr {
+
+/// A shift register of branch outcomes, at most 31 bits wide.
+///
+/// After fewer than width() outcomes have been pushed the register is "cold";
+/// callers that must not consult partially filled histories should check
+/// isWarm() first.
+class BitHistory {
+public:
+  static constexpr unsigned MaxWidth = 31;
+
+  explicit BitHistory(unsigned Width) : Width(Width) {
+    assert(Width >= 1 && Width <= MaxWidth && "history width out of range");
+  }
+
+  /// Records one branch outcome; the previous outcomes shift left.
+  void push(bool Taken) {
+    Bits = ((Bits << 1) | (Taken ? 1U : 0U)) & mask();
+    if (Filled < Width)
+      ++Filled;
+  }
+
+  /// The last width() outcomes packed with the most recent in bit 0.
+  uint32_t value() const { return Bits; }
+
+  /// The last \p Len outcomes (Len <= width()).
+  uint32_t lowBits(unsigned Len) const {
+    assert(Len <= Width && "requested more bits than the history holds");
+    return Bits & ((Len >= 32) ? ~0U : ((1U << Len) - 1U));
+  }
+
+  unsigned width() const { return Width; }
+
+  /// Number of outcomes recorded so far, saturating at width().
+  unsigned filled() const { return Filled; }
+
+  /// True once width() outcomes have been recorded.
+  bool isWarm() const { return Filled == Width; }
+
+  void clear() {
+    Bits = 0;
+    Filled = 0;
+  }
+
+private:
+  uint32_t mask() const { return (Width >= 32) ? ~0U : ((1U << Width) - 1U); }
+
+  uint32_t Bits = 0;
+  unsigned Width;
+  unsigned Filled = 0;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_SUPPORT_BITHISTORY_H

@@ -1,0 +1,48 @@
+//===- support/Csv.cpp ----------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include <cstdio>
+
+using namespace bpcr;
+
+static bool needsQuoting(const std::string &Cell) {
+  for (char C : Cell)
+    if (C == ',' || C == '"' || C == '\n')
+      return true;
+  return false;
+}
+
+void CsvWriter::addRow(const std::vector<std::string> &Cells) {
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    if (I)
+      Body += ',';
+    if (!needsQuoting(Cells[I])) {
+      Body += Cells[I];
+      continue;
+    }
+    Body += '"';
+    for (char C : Cells[I]) {
+      if (C == '"')
+        Body += '"';
+      Body += C;
+    }
+    Body += '"';
+  }
+  Body += '\n';
+}
+
+bool CsvWriter::writeFile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Body.data(), 1, Body.size(), F);
+  bool Ok = (Written == Body.size()) && (std::fclose(F) == 0);
+  if (!Ok)
+    return false;
+  return true;
+}

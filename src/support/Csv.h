@@ -1,0 +1,38 @@
+//===- support/Csv.h - CSV emission for plotting ----------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal CSV writer used to dump the figure series (misprediction rate vs
+/// code size) in a form that gnuplot or a spreadsheet can consume directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SUPPORT_CSV_H
+#define BPCR_SUPPORT_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+/// Builds a CSV document in memory; writeFile() persists it.
+class CsvWriter {
+public:
+  void addRow(const std::vector<std::string> &Cells);
+
+  /// The document rendered with RFC-4180 style quoting where needed.
+  std::string str() const { return Body; }
+
+  /// Writes the document to \p Path. \returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  std::string Body;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_SUPPORT_CSV_H

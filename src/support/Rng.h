@@ -1,0 +1,58 @@
+//===- support/Rng.h - Deterministic random number generator ---*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic generator (splitmix64) used by the synthetic
+/// workloads so that every experiment is exactly reproducible from a seed.
+/// std::mt19937 is avoided deliberately: its state is large and its exact
+/// stream is easy to perturb accidentally across standard library versions
+/// when combined with distribution objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SUPPORT_RNG_H
+#define BPCR_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace bpcr {
+
+/// splitmix64: passes BigCrush, two ops per word, trivially seedable.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound); Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_SUPPORT_RNG_H

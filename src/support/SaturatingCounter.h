@@ -1,0 +1,57 @@
+//===- support/SaturatingCounter.h - n-bit saturating counter ---*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic n-bit saturating up/down counter used by Smith-style dynamic
+/// branch predictors: increment on taken, decrement on not taken, predict
+/// taken while the value is in the upper half of the range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SUPPORT_SATURATINGCOUNTER_H
+#define BPCR_SUPPORT_SATURATINGCOUNTER_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace bpcr {
+
+/// An n-bit saturating counter (1 <= n <= 8).
+class SaturatingCounter {
+public:
+  /// \param Bits counter width; a 2-bit counter gives the paper's best
+  ///        single-counter predictor.
+  /// \param Initial starting value; defaults to the weakly-not-taken middle.
+  explicit SaturatingCounter(unsigned Bits = 2, int Initial = -1)
+      : Bits(Bits) {
+    assert(Bits >= 1 && Bits <= 8 && "counter width out of range");
+    Value = (Initial < 0) ? (max() / 2) : static_cast<uint8_t>(Initial);
+    assert(Value <= max() && "initial value exceeds counter range");
+  }
+
+  /// Updates the counter with one branch outcome, saturating at the ends.
+  void update(bool Taken) {
+    if (Taken && Value < max())
+      ++Value;
+    else if (!Taken && Value > 0)
+      --Value;
+  }
+
+  /// True when the counter value lies in the upper half of its range.
+  bool predictTaken() const { return Value > max() / 2; }
+
+  uint8_t value() const { return Value; }
+  unsigned bits() const { return Bits; }
+  uint8_t max() const { return static_cast<uint8_t>((1U << Bits) - 1U); }
+
+private:
+  uint8_t Value;
+  unsigned Bits;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_SUPPORT_SATURATINGCOUNTER_H

@@ -1,0 +1,17 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cstdio>
+
+using namespace bpcr;
+
+std::string bpcr::formatPercent(double Percent) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", Percent);
+  return std::string(Buf);
+}

@@ -1,0 +1,56 @@
+//===- support/Statistics.h - Prediction accounting ------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulators for prediction outcomes. Every table in the paper reports
+/// misprediction rates in percent; PredictionStats is the common currency all
+/// predictors and state machines report in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SUPPORT_STATISTICS_H
+#define BPCR_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <string>
+
+namespace bpcr {
+
+/// Counts of predicted branch executions and how many were wrong.
+struct PredictionStats {
+  uint64_t Predictions = 0;
+  uint64_t Mispredictions = 0;
+
+  void record(bool Correct) {
+    ++Predictions;
+    if (!Correct)
+      ++Mispredictions;
+  }
+
+  /// Merges another accumulator into this one.
+  PredictionStats &operator+=(const PredictionStats &Other) {
+    Predictions += Other.Predictions;
+    Mispredictions += Other.Mispredictions;
+    return *this;
+  }
+
+  /// Misprediction rate in percent; 0 when nothing was predicted.
+  double mispredictionPercent() const {
+    if (Predictions == 0)
+      return 0.0;
+    return 100.0 * static_cast<double>(Mispredictions) /
+           static_cast<double>(Predictions);
+  }
+
+  uint64_t correct() const { return Predictions - Mispredictions; }
+};
+
+/// Formats a rate like the paper's tables: one decimal place.
+std::string formatPercent(double Percent);
+
+} // namespace bpcr
+
+#endif // BPCR_SUPPORT_STATISTICS_H

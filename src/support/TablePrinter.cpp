@@ -1,0 +1,84 @@
+//===- support/TablePrinter.cpp -------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+
+using namespace bpcr;
+
+void TablePrinter::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), false});
+}
+
+void TablePrinter::addSeparator() {
+  Row R;
+  R.Separator = true;
+  Rows.push_back(std::move(R));
+}
+
+std::string TablePrinter::render() const {
+  // Column widths over the header and every row.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const Row &R : Rows)
+    Grow(R.Cells);
+
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+
+  std::string Out;
+  Out += Title;
+  Out += '\n';
+  Out.append(Total, '=');
+  Out += '\n';
+
+  auto Emit = [&](const std::vector<std::string> &Cells, bool AlignLeftFirst) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      // Row labels flush left, numeric cells flush right.
+      if (I == 0 && AlignLeftFirst) {
+        Out += Cell;
+        Out.append(Widths[I] - Cell.size() + 2, ' ');
+      } else {
+        Out.append(Widths[I] - Cell.size(), ' ');
+        Out += Cell;
+        Out.append(2, ' ');
+      }
+    }
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  if (!Header.empty()) {
+    Emit(Header, true);
+    Out.append(Total, '-');
+    Out += '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.Separator) {
+      Out.append(Total, '-');
+      Out += '\n';
+      continue;
+    }
+    Emit(R.Cells, true);
+  }
+  Out.append(Total, '=');
+  Out += '\n';
+  return Out;
+}

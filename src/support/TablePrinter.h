@@ -1,0 +1,53 @@
+//===- support/TablePrinter.h - Aligned text tables -------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the paper-style tables (benchmarks as columns, strategies as rows)
+/// as aligned monospaced text. The bench binaries print these so that each
+/// table in the paper has a directly comparable textual twin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SUPPORT_TABLEPRINTER_H
+#define BPCR_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+class TablePrinter {
+public:
+  /// \param Title caption printed above the table.
+  explicit TablePrinter(std::string Title) : Title(std::move(Title)) {}
+
+  /// Sets the header row (first cell labels the row-name column).
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends one data row; the first cell is the row label.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Inserts a horizontal separator before the next row.
+  void addSeparator();
+
+  /// Renders the table; every column is padded to its widest cell.
+  std::string render() const;
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool Separator = false;
+  };
+
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,85 @@
+//===- trace/Sinks.h - Concrete trace sinks ---------------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TraceSink implementations: collect events into a Trace, count them, or
+/// fan out to several sinks at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_TRACE_SINKS_H
+#define BPCR_TRACE_SINKS_H
+
+#include "interp/TraceSink.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace bpcr {
+
+/// Appends every event to an in-memory Trace.
+class CollectingSink : public TraceSink {
+public:
+  void onBranch(const Instruction &Br, bool Taken) override {
+    Events.push_back({Br.BranchId, Taken});
+  }
+
+  const Trace &trace() const { return Events; }
+  Trace takeTrace() { return std::move(Events); }
+
+private:
+  Trace Events;
+};
+
+/// Like CollectingSink but records the *original* branch ids, so that a
+/// replicated program produces a trace comparable with its source program.
+class OrigIdCollectingSink : public TraceSink {
+public:
+  void onBranch(const Instruction &Br, bool Taken) override {
+    Events.push_back({Br.OrigBranchId, Taken});
+  }
+
+  const Trace &trace() const { return Events; }
+  Trace takeTrace() { return std::move(Events); }
+
+private:
+  Trace Events;
+};
+
+/// Counts events without storing them.
+class CountingSink : public TraceSink {
+public:
+  void onBranch(const Instruction &, bool Taken) override {
+    ++Total;
+    if (Taken)
+      ++TakenCount;
+  }
+
+  uint64_t total() const { return Total; }
+  uint64_t taken() const { return TakenCount; }
+
+private:
+  uint64_t Total = 0;
+  uint64_t TakenCount = 0;
+};
+
+/// Forwards every event to each registered sink in order.
+class TeeSink : public TraceSink {
+public:
+  void add(TraceSink *S) { Sinks.push_back(S); }
+
+  void onBranch(const Instruction &Br, bool Taken) override {
+    for (TraceSink *S : Sinks)
+      S->onBranch(Br, Taken);
+  }
+
+private:
+  std::vector<TraceSink *> Sinks;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_TRACE_SINKS_H

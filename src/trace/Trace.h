@@ -1,0 +1,38 @@
+//===- trace/Trace.h - Branch traces ----------------------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The branch trace: the sequence of (branch id, direction) events a program
+/// run produces. This is the paper's central data structure — every
+/// prediction strategy and every state machine is trained on and evaluated
+/// against such traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_TRACE_TRACE_H
+#define BPCR_TRACE_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bpcr {
+
+/// One executed conditional branch.
+struct BranchEvent {
+  int32_t BranchId = 0;
+  bool Taken = false;
+
+  bool operator==(const BranchEvent &O) const {
+    return BranchId == O.BranchId && Taken == O.Taken;
+  }
+};
+
+/// A program run's branch event sequence, in execution order.
+using Trace = std::vector<BranchEvent>;
+
+} // namespace bpcr
+
+#endif // BPCR_TRACE_TRACE_H

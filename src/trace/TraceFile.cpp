@@ -1,0 +1,144 @@
+//===- trace/TraceFile.cpp ------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Format:
+//   magic "BPCT", u8 version (1), varint event count, then event groups.
+//   Each group: varint header = (zigzag(id - prevId) << 1 | taken), then
+//   varint runLength - 1 for how many additional times the identical event
+//   repeats. Id deltas keep hot loops (which alternate among nearby ids)
+//   to one byte per group; runs collapse long streaks of a loop branch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceFile.h"
+
+#include <cstdio>
+
+using namespace bpcr;
+
+namespace {
+
+void putVarint(std::vector<uint8_t> &Buf, uint64_t V) {
+  while (V >= 0x80) {
+    Buf.push_back(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  Buf.push_back(static_cast<uint8_t>(V));
+}
+
+bool getVarint(const std::vector<uint8_t> &Buf, size_t &Pos, uint64_t &V) {
+  V = 0;
+  unsigned Shift = 0;
+  while (Pos < Buf.size()) {
+    uint8_t B = Buf[Pos++];
+    if (Shift >= 63 && (B & 0x7f) > 1)
+      return false; // overflow
+    V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+    if (!(B & 0x80))
+      return true;
+    Shift += 7;
+  }
+  return false; // truncated
+}
+
+uint64_t zigzag(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^
+         static_cast<uint64_t>(V >> 63);
+}
+
+int64_t unzigzag(uint64_t V) {
+  return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
+}
+
+constexpr uint8_t Magic[4] = {'B', 'P', 'C', 'T'};
+constexpr uint8_t Version = 1;
+
+} // namespace
+
+std::vector<uint8_t> bpcr::encodeTrace(const Trace &T) {
+  std::vector<uint8_t> Buf;
+  Buf.reserve(16 + T.size() / 2);
+  for (uint8_t B : Magic)
+    Buf.push_back(B);
+  Buf.push_back(Version);
+  putVarint(Buf, T.size());
+
+  int32_t PrevId = 0;
+  size_t I = 0;
+  while (I < T.size()) {
+    const BranchEvent &E = T[I];
+    size_t Run = 1;
+    while (I + Run < T.size() && T[I + Run] == E)
+      ++Run;
+    uint64_t Header =
+        (zigzag(static_cast<int64_t>(E.BranchId) - PrevId) << 1) |
+        (E.Taken ? 1 : 0);
+    putVarint(Buf, Header);
+    putVarint(Buf, Run - 1);
+    PrevId = E.BranchId;
+    I += Run;
+  }
+  return Buf;
+}
+
+bool bpcr::decodeTrace(const std::vector<uint8_t> &Buf, Trace &Out) {
+  Out.clear();
+  if (Buf.size() < 5)
+    return false;
+  for (int I = 0; I < 4; ++I)
+    if (Buf[I] != Magic[I])
+      return false;
+  if (Buf[4] != Version)
+    return false;
+
+  size_t Pos = 5;
+  uint64_t Count = 0;
+  if (!getVarint(Buf, Pos, Count))
+    return false;
+  Out.reserve(Count);
+
+  int64_t PrevId = 0;
+  while (Out.size() < Count) {
+    uint64_t Header = 0, RunMinus1 = 0;
+    if (!getVarint(Buf, Pos, Header) || !getVarint(Buf, Pos, RunMinus1))
+      return false;
+    bool Taken = Header & 1;
+    int64_t Id = PrevId + unzigzag(Header >> 1);
+    if (Id < 0 || Id > INT32_MAX)
+      return false;
+    uint64_t Run = RunMinus1 + 1;
+    if (Out.size() + Run > Count)
+      return false;
+    for (uint64_t K = 0; K < Run; ++K)
+      Out.push_back({static_cast<int32_t>(Id), Taken});
+    PrevId = Id;
+  }
+  return Pos == Buf.size();
+}
+
+bool bpcr::writeTraceFile(const std::string &Path, const Trace &T) {
+  std::vector<uint8_t> Buf = encodeTrace(T);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Buf.data(), 1, Buf.size(), F);
+  bool Ok = Written == Buf.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+bool bpcr::readTraceFile(const std::string &Path, Trace &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::vector<uint8_t> Buf;
+  uint8_t Chunk[65536];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Buf.insert(Buf.end(), Chunk, Chunk + N);
+  std::fclose(F);
+  return decodeTrace(Buf, Out);
+}

@@ -1,0 +1,42 @@
+//===- trace/TraceFile.h - Compressed trace serialization -------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact binary trace encoding (varint branch-id deltas plus run-length
+/// coding of repeated events). The paper notes that "in compressed form a
+/// trace of 5 million branches occupies about [a] MB"; this format achieves
+/// the same order of density on the synthetic workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_TRACE_TRACEFILE_H
+#define BPCR_TRACE_TRACEFILE_H
+
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+/// Encodes \p T into the compact binary format.
+std::vector<uint8_t> encodeTrace(const Trace &T);
+
+/// Decodes a buffer produced by encodeTrace.
+/// \param[out] Out receives the decoded events.
+/// \returns false if the buffer is truncated or malformed.
+bool decodeTrace(const std::vector<uint8_t> &Buf, Trace &Out);
+
+/// Writes \p T to \p Path. \returns false on I/O failure.
+bool writeTraceFile(const std::string &Path, const Trace &T);
+
+/// Reads a trace from \p Path. \returns false on I/O or format failure.
+bool readTraceFile(const std::string &Path, Trace &Out);
+
+} // namespace bpcr
+
+#endif // BPCR_TRACE_TRACEFILE_H

@@ -1,0 +1,259 @@
+//===- workloads/Abalone.cpp - Alpha-beta game-tree search ---------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Models the paper's "abalone" benchmark: "a board game employing
+// alpha-beta search". A recursive negamax walks an implicit random game
+// tree; node values and branching factors derive from a mixing hash of the
+// node id, so the tree is deterministic per seed without being stored.
+//
+// Branch behaviour: child loops with small variable trip counts (loop-exit
+// machines), beta-cutoff tests whose outcome correlates with move order,
+// and best-value updates that fire mostly on the first child.
+//
+// Memory map:  [0] result accumulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace bpcr;
+
+Module bpcr::buildAbalone(uint64_t Seed) {
+  Module M;
+  M.Name = "abalone";
+  M.MemWords = 64;
+
+  auto R = [](Reg X) { return Operand::reg(X); };
+  auto K = [](int64_t V) { return Operand::imm(V); };
+
+  // -- evalLeaf(node) ---------------------------------------------------------
+  // Board evaluation: a constant-trip feature loop (8 features) with a
+  // biased presence test — the predictable leaf work a real evaluator has.
+  uint32_t EvalLeaf = M.addFunction("eval_leaf", 1);
+  {
+    IRBuilder B(M, EvalLeaf);
+    Reg Node = 0;
+    Reg H = B.newReg(), Feat = B.newReg(), Score = B.newReg();
+    Reg T = B.newReg(), Cond = B.newReg();
+
+    uint32_t Entry = B.newBlock("entry");
+    uint32_t Loop = B.newBlock("feat_loop");
+    uint32_t Body = B.newBlock("feat_body");
+    uint32_t Present = B.newBlock("present");
+    uint32_t Absent = B.newBlock("absent");
+    uint32_t Next = B.newBlock("next");
+    uint32_t Done = B.newBlock("done");
+
+    B.setInsertPoint(Entry);
+    B.mul(H, R(Node), K(0x9e3779b97f4a7c15LL));
+    B.shr(T, R(H), K(31));
+    B.bxor(H, R(H), R(T));
+    B.band(H, R(H), K(0x7fffffffffffLL));
+    B.movImm(Feat, 0);
+    B.movImm(Score, 0);
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.cmpGe(Cond, R(Feat), K(8)); // constant trip count
+    B.br(R(Cond), Done, Body);
+
+    B.setInsertPoint(Body);
+    // Feature present ~ 7/8 of the time: a strongly biased branch.
+    B.shr(T, R(H), R(Feat));
+    B.band(T, R(T), K(7));
+    B.cmpNe(Cond, R(T), K(0));
+    B.br(R(Cond), Present, Absent);
+
+    B.setInsertPoint(Present);
+    B.add(Score, R(Score), R(Feat));
+    B.jmp(Next);
+
+    B.setInsertPoint(Absent);
+    B.sub(Score, R(Score), K(2));
+    B.jmp(Next);
+
+    B.setInsertPoint(Next);
+    B.add(Feat, R(Feat), K(1));
+    B.jmp(Loop);
+
+    B.setInsertPoint(Done);
+    B.rem(T, R(H), K(201));
+    B.sub(T, R(T), K(100));
+    B.add(Score, R(Score), R(T));
+    B.ret(R(Score));
+  }
+
+  // -- negamax(node, depth, alpha, beta) -------------------------------------
+  uint32_t Negamax = M.addFunction("negamax", 4);
+  {
+    IRBuilder B(M, Negamax);
+    Reg Node = 0, Depth = 1, Alpha = 2, Beta = 3;
+    Reg H = B.newReg();       // mixing hash of the node
+    Reg Children = B.newReg();
+    Reg Best = B.newReg();
+    Reg I = B.newReg();
+    Reg Child = B.newReg();
+    Reg V = B.newReg();
+    Reg T = B.newReg();
+    Reg Cond = B.newReg();
+
+    uint32_t Entry = B.newBlock("entry");
+    uint32_t Leaf = B.newBlock("leaf");
+    uint32_t Inner = B.newBlock("inner");
+    uint32_t Loop = B.newBlock("loop");
+    uint32_t Body = B.newBlock("body");
+    uint32_t Improve = B.newBlock("improve");
+    uint32_t AfterBest = B.newBlock("after_best");
+    uint32_t Cut = B.newBlock("cut");
+    uint32_t Next = B.newBlock("next");
+    uint32_t Done = B.newBlock("done");
+
+    B.setInsertPoint(Entry);
+    // h = mix(node): h = node * C; h ^= h >> 29; h *= C2; h ^= h >> 32.
+    B.mul(H, R(Node), K(0x5851f42d4c957f2dLL));
+    B.shr(T, R(H), K(29));
+    B.bxor(H, R(H), R(T));
+    B.mul(H, R(H), K(0x14057b7ef767814fLL));
+    B.shr(T, R(H), K(32));
+    B.bxor(H, R(H), R(T));
+    // Positive hash for modulo work.
+    B.band(H, R(H), K(0x7fffffffffffLL));
+    B.cmpEq(Cond, R(Depth), K(0));
+    B.br(R(Cond), Leaf, Inner);
+
+    B.setInsertPoint(Leaf);
+    B.call(V, EvalLeaf, {R(Node)});
+    B.ret(R(V));
+
+    B.setInsertPoint(Inner);
+    // children = 2 + h % 3 (2..4 moves).
+    B.rem(Children, R(H), K(3));
+    B.add(Children, R(Children), K(2));
+    B.movImm(Best, -100000);
+    B.movImm(I, 0);
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.cmpGe(Cond, R(I), R(Children));
+    B.br(R(Cond), Done, Body);
+
+    B.setInsertPoint(Body);
+    // child id = node * 4 + i + 1 (implicit tree).
+    B.mul(Child, R(Node), K(4));
+    B.add(Child, R(Child), R(I));
+    B.add(Child, R(Child), K(1));
+    // lower = max(alpha, best).
+    B.cmpGt(Cond, R(Best), R(Alpha));
+    Reg Lower = B.newReg();
+    B.mov(Lower, R(Alpha));
+    // Conditional move via arithmetic select: lower += cond*(best-alpha).
+    B.sub(T, R(Best), R(Alpha));
+    B.mul(T, R(T), R(Cond));
+    B.add(Lower, R(Lower), R(T));
+    // v = -negamax(child, depth-1, -beta, -lower).
+    Reg NegBeta = B.newReg(), NegLower = B.newReg(), DepthM1 = B.newReg();
+    B.sub(NegBeta, K(0), R(Beta));
+    B.sub(NegLower, K(0), R(Lower));
+    B.sub(DepthM1, R(Depth), K(1));
+    B.call(V, Negamax, {R(Child), R(DepthM1), R(NegBeta), R(NegLower)});
+    B.sub(V, K(0), R(V));
+    B.cmpGt(Cond, R(V), R(Best));
+    B.br(R(Cond), Improve, AfterBest);
+
+    B.setInsertPoint(Improve);
+    B.mov(Best, R(V));
+    B.jmp(AfterBest);
+
+    B.setInsertPoint(AfterBest);
+    // Beta cutoff.
+    B.cmpGe(Cond, R(Best), R(Beta));
+    B.br(R(Cond), Cut, Next);
+
+    B.setInsertPoint(Cut);
+    B.ret(R(Best));
+
+    B.setInsertPoint(Next);
+    B.add(I, R(I), K(1));
+    B.jmp(Loop);
+
+    B.setInsertPoint(Done);
+    B.ret(R(Best));
+  }
+
+  // -- main: search a series of root positions -------------------------------
+  uint32_t Main = M.addFunction("main", 0);
+  M.EntryFunction = Main;
+  {
+    IRBuilder B(M, Main);
+    Reg Root = B.newReg();
+    Reg Acc = B.newReg();
+    Reg V = B.newReg();
+    Reg Cond = B.newReg();
+
+    uint32_t Entry = B.newBlock("entry");
+    uint32_t Loop = B.newBlock("roots");
+    uint32_t Body = B.newBlock("search");
+    uint32_t Checkpoint = B.newBlock("checkpoint");
+    uint32_t Improved = B.newBlock("improved");
+    uint32_t NotImproved = B.newBlock("not_improved");
+    uint32_t Next = B.newBlock("next");
+    uint32_t Done = B.newBlock("done");
+
+    const int64_t NumRoots = 600;
+    const int64_t Depth = 5;
+    int64_t SeedBase = static_cast<int64_t>(Seed % 100000) * 131;
+
+    Reg BestRoot = B.newReg();
+    Reg T = B.newReg();
+
+    B.setInsertPoint(Entry);
+    B.movImm(Root, 0);
+    B.movImm(Acc, 0);
+    B.movImm(BestRoot, -1000000);
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.cmpGe(Cond, R(Root), K(NumRoots));
+    B.br(R(Cond), Done, Body);
+
+    B.setInsertPoint(Body);
+    Reg Node = B.newReg();
+    B.mul(Node, R(Root), K(977));
+    B.add(Node, R(Node), K(SeedBase + 7));
+    B.call(V, Negamax, {R(Node), K(Depth), K(-100000), K(100000)});
+    B.add(Acc, R(Acc), R(V));
+    // Periodic checkpoint every 8 root moves: a period-8 local pattern an
+    // intra-loop machine can capture.
+    B.band(T, R(Root), K(7));
+    B.cmpEq(Cond, R(T), K(7));
+    B.br(R(Cond), Checkpoint, Next);
+
+    B.setInsertPoint(Checkpoint);
+    B.store(K(1), K(0), R(Acc));
+    // New best root line? Biased: improvements get rarer as search runs.
+    B.cmpGt(Cond, R(V), R(BestRoot));
+    B.br(R(Cond), Improved, NotImproved);
+
+    B.setInsertPoint(Improved);
+    B.mov(BestRoot, R(V));
+    B.jmp(Next);
+
+    B.setInsertPoint(NotImproved);
+    B.jmp(Next);
+
+    B.setInsertPoint(Next);
+    B.add(Root, R(Root), K(1));
+    B.jmp(Loop);
+
+    B.setInsertPoint(Done);
+    B.store(K(0), K(0), R(Acc));
+    B.ret(R(Acc));
+  }
+
+  return M;
+}

@@ -1,0 +1,481 @@
+//===- workloads/CCompiler.cpp - Lexer/parser front end -------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Models the paper's "c-compiler" benchmark ("the lcc compiler front end of
+// Fraser & Hanson"): a lexer scans synthetic source text with a character
+// classification cascade, identifier/number continuation loops, and a
+// symbol-table hash insert; a second pass parses the token stream with a
+// dispatch whose outcomes follow token bigrams, nesting-depth guards and a
+// constant-trip operator-chain loop.
+//
+// Branch behaviour: dispatch cascades following the character/token
+// distributions, continuation loops with word-length trip counts, hash
+// probe hit/miss correlation, biased guards, and a fixed-trip inner loop.
+//
+// Memory map:
+//   [0]            text length N
+//   [1..N]         character codes
+//   [HASH..+8192]  symbol table keys
+//   [TOK]          token count (written by the lexer)
+//   [TOK+1..]      token kinds: 0 ident, 1 number, 2 punct, 3 semi,
+//                  4 open brace, 5 close brace, 6 assign
+//   [CNT..+8]      result counters
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+using namespace bpcr;
+
+Module bpcr::buildCCompiler(uint64_t Seed) {
+  Module M;
+  M.Name = "c-compiler";
+
+  // -- Synthetic source text --------------------------------------------------
+  const int64_t N = 110000;
+  const int64_t Text = 1;
+  // Sized so the at most ~3040 distinct identifiers keep the probe chains
+  // short and the table never fills (linear probing must terminate).
+  const int64_t HashSize = 8192;
+  const int64_t Hash = Text + N;
+  const int64_t Tok = Hash + HashSize;
+  const int64_t MaxTokens = N; // every char could be a token at worst
+  const int64_t Counters = Tok + 1 + MaxTokens;
+  M.MemWords = static_cast<uint64_t>(Counters + 8);
+
+  Rng Gen(Seed * 0x9e3779b97f4a7c15ULL + 17);
+  std::vector<int64_t> Mem(static_cast<size_t>(Counters + 8), 0);
+  Mem[0] = N;
+  {
+    int64_t I = 0;
+    auto Put = [&Mem, &I, N](int64_t C) {
+      if (I < N)
+        Mem[static_cast<size_t>(Text + I++)] = C;
+    };
+    // Emit statement templates, not independent tokens: real source has
+    // strong token bigrams (after '=' comes an expression, statements end
+    // in ';', blocks nest), which is what the parse pass' correlated
+    // machines feed on.
+    auto PutIdent = [&] {
+      // A small pool of hot names makes the symbol-table probes mostly
+      // hits, like real source.
+      uint64_t Word =
+          Gen.below(10) < 7 ? Gen.below(40) : 40 + Gen.below(3000);
+      uint64_t Len = 2 + Word % 8; // length is a property of the word
+      Rng WordGen(Word * 771247 + 13);
+      for (uint64_t J = 0; J < Len; ++J)
+        Put(static_cast<int64_t>(97 + WordGen.below(26)));
+      Put(32);
+    };
+    auto PutNumber = [&] {
+      uint64_t Len = 1 + Gen.below(5);
+      for (uint64_t J = 0; J < Len; ++J)
+        Put(static_cast<int64_t>(48 + Gen.below(10)));
+      Put(32);
+    };
+    int BraceDepth = 0;
+    while (I < N) {
+      uint64_t Kind = Gen.below(100);
+      if (Kind < 55) {
+        // Assignment statement: ident = <operand> [+ <operand>] ;
+        PutIdent();
+        Put(61); // '='
+        Gen.chance(1, 2) ? PutIdent() : PutNumber();
+        if (Gen.chance(2, 5)) {
+          Put(43); // '+'
+          Gen.chance(1, 2) ? PutIdent() : PutNumber();
+        }
+        Put(59); // ';'
+        Put(10);
+      } else if (Kind < 75) {
+        // Call statement: ident ( ident , number ) ;
+        PutIdent();
+        Put(40);
+        PutIdent();
+        Put(44);
+        PutNumber();
+        Put(41);
+        Put(59);
+        Put(10);
+      } else if (Kind < 88 && BraceDepth < 6) {
+        // Block open: if-like header then '{'.
+        PutIdent();
+        Put(40);
+        PutIdent();
+        Put(41);
+        Put(123);
+        Put(10);
+        ++BraceDepth;
+      } else if (BraceDepth > 0) {
+        Put(125); // '}'
+        Put(10);
+        --BraceDepth;
+      } else {
+        Put(10); // blank line
+      }
+    }
+  }
+  M.InitialMemory = std::move(Mem);
+
+  auto R = [](Reg X) { return Operand::reg(X); };
+  auto K = [](int64_t V) { return Operand::imm(V); };
+
+  // -- parse(): second pass over the token stream ------------------------------
+  uint32_t Parse = M.addFunction("parse", 0);
+  {
+    IRBuilder B(M, Parse);
+    Reg I = B.newReg(), Count = B.newReg(), Kind = B.newReg();
+    Reg Depth = B.newReg(), Stmts = B.newReg(), Exprs = B.newReg();
+    Reg T = B.newReg(), Cond = B.newReg(), J = B.newReg();
+
+    uint32_t Entry = B.newBlock("entry");
+    uint32_t Loop = B.newBlock("tok_loop");
+    uint32_t Fetch = B.newBlock("fetch");
+    uint32_t D1 = B.newBlock("d_number");
+    uint32_t D2 = B.newBlock("d_semi");
+    uint32_t D3 = B.newBlock("d_open");
+    uint32_t D4 = B.newBlock("d_close");
+    uint32_t D5 = B.newBlock("d_assign");
+    uint32_t HIdent = B.newBlock("h_ident");
+    uint32_t HNumber = B.newBlock("h_number");
+    uint32_t HSemi = B.newBlock("h_semi");
+    uint32_t HOpen = B.newBlock("h_open");
+    uint32_t HClose = B.newBlock("h_close");
+    uint32_t DepthOk = B.newBlock("depth_ok");
+    uint32_t DepthBad = B.newBlock("depth_bad");
+    uint32_t HAssign = B.newBlock("h_assign");
+    uint32_t ChainLoop = B.newBlock("chain_loop");
+    uint32_t ChainBody = B.newBlock("chain_body");
+    uint32_t HOther = B.newBlock("h_other");
+    uint32_t Next = B.newBlock("next");
+    uint32_t Done = B.newBlock("done");
+
+    B.setInsertPoint(Entry);
+    B.load(Count, K(Tok), K(0));
+    B.movImm(I, 0);
+    B.movImm(Depth, 0);
+    B.movImm(Stmts, 0);
+    B.movImm(Exprs, 0);
+    B.jmp(Loop);
+
+    B.setInsertPoint(Loop);
+    B.cmpGe(Cond, R(I), R(Count));
+    B.br(R(Cond), Done, Fetch);
+
+    // Dispatch cascade ordered by token frequency; outcomes follow the
+    // token bigrams of the source.
+    B.setInsertPoint(Fetch);
+    B.load(Kind, K(Tok + 1), R(I));
+    B.cmpEq(Cond, R(Kind), K(0));
+    B.br(R(Cond), HIdent, D1);
+
+    B.setInsertPoint(D1);
+    B.cmpEq(Cond, R(Kind), K(1));
+    B.br(R(Cond), HNumber, D2);
+
+    B.setInsertPoint(D2);
+    B.cmpEq(Cond, R(Kind), K(3));
+    B.br(R(Cond), HSemi, D3);
+
+    B.setInsertPoint(D3);
+    B.cmpEq(Cond, R(Kind), K(4));
+    B.br(R(Cond), HOpen, D4);
+
+    B.setInsertPoint(D4);
+    B.cmpEq(Cond, R(Kind), K(5));
+    B.br(R(Cond), HClose, D5);
+
+    B.setInsertPoint(D5);
+    B.cmpEq(Cond, R(Kind), K(6));
+    B.br(R(Cond), HAssign, HOther);
+
+    B.setInsertPoint(HIdent);
+    B.add(Exprs, R(Exprs), K(1));
+    B.jmp(Next);
+
+    B.setInsertPoint(HNumber);
+    B.add(Exprs, R(Exprs), K(1));
+    B.jmp(Next);
+
+    B.setInsertPoint(HSemi);
+    B.add(Stmts, R(Stmts), K(1));
+    B.jmp(Next);
+
+    B.setInsertPoint(HOpen);
+    B.add(Depth, R(Depth), K(1));
+    // Deep nesting is rare: a strongly biased guard.
+    B.cmpGt(Cond, R(Depth), K(40));
+    B.br(R(Cond), DepthBad, DepthOk);
+
+    B.setInsertPoint(DepthBad);
+    B.movImm(Depth, 40);
+    B.jmp(Next);
+
+    B.setInsertPoint(DepthOk);
+    B.jmp(Next);
+
+    B.setInsertPoint(HClose);
+    B.sub(Depth, R(Depth), K(1));
+    B.cmpLt(Cond, R(Depth), K(0));
+    B.br(R(Cond), DepthBad, Next);
+
+    // Assignment: fold a fixed-length operator chain (constant-trip inner
+    // loop, perfect for an exit-chain machine).
+    B.setInsertPoint(HAssign);
+    B.movImm(J, 0);
+    B.jmp(ChainLoop);
+
+    B.setInsertPoint(ChainLoop);
+    B.cmpGe(Cond, R(J), K(3));
+    B.br(R(Cond), Next, ChainBody);
+
+    B.setInsertPoint(ChainBody);
+    B.add(Exprs, R(Exprs), K(1));
+    B.add(J, R(J), K(1));
+    B.jmp(ChainLoop);
+
+    B.setInsertPoint(HOther);
+    B.jmp(Next);
+
+    B.setInsertPoint(Next);
+    B.add(I, R(I), K(1));
+    B.jmp(Loop);
+
+    B.setInsertPoint(Done);
+    B.store(K(Counters), K(5), R(Stmts));
+    B.store(K(Counters), K(6), R(Exprs));
+    B.add(T, R(Stmts), R(Exprs));
+    B.ret(R(T));
+  }
+
+  // -- main: the lexer ---------------------------------------------------------
+  uint32_t Main = M.addFunction("main", 0);
+  M.EntryFunction = Main;
+  IRBuilder B(M, Main);
+
+  Reg I = B.newReg();
+  Reg C = B.newReg();
+  Reg T = B.newReg();
+  Reg T2 = B.newReg();
+  Reg Cond = B.newReg();
+  Reg Idents = B.newReg();
+  Reg Nums = B.newReg();
+  Reg Puncts = B.newReg();
+  Reg Lines = B.newReg();
+  Reg HashVal = B.newReg();
+  Reg Slot = B.newReg();
+  Reg Key = B.newReg();
+  Reg NTok = B.newReg();
+  Reg ParseRes = B.newReg();
+
+  auto EmitToken = [&](int64_t Kind) {
+    B.store(K(Tok + 1), R(NTok), K(Kind));
+    B.add(NTok, R(NTok), K(1));
+  };
+
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t Scan = B.newBlock("scan");
+  uint32_t Classify = B.newBlock("classify");
+  uint32_t NotLetter = B.newBlock("not_letter");
+  uint32_t NotDigit = B.newBlock("not_digit");
+  uint32_t NotNl = B.newBlock("not_nl");
+  uint32_t Space = B.newBlock("space");
+  uint32_t Punct = B.newBlock("punct");
+  uint32_t OpenBrace = B.newBlock("open_brace");
+  uint32_t CheckClose = B.newBlock("check_close");
+  uint32_t CloseBrace = B.newBlock("close_brace");
+  uint32_t CheckSemi = B.newBlock("check_semi");
+  uint32_t Semi = B.newBlock("semi");
+  uint32_t CheckAssign = B.newBlock("check_assign");
+  uint32_t Assign = B.newBlock("assign");
+  uint32_t OtherPunct = B.newBlock("other_punct");
+  uint32_t PunctDone = B.newBlock("punct_done");
+  uint32_t Newline = B.newBlock("newline");
+  uint32_t Ident = B.newBlock("ident");
+  uint32_t IdentLoop = B.newBlock("ident_loop");
+  uint32_t IdentChk = B.newBlock("ident_chk");
+  uint32_t IdentEnd = B.newBlock("ident_end");
+  uint32_t Probe = B.newBlock("probe");
+  uint32_t ProbeNext = B.newBlock("probe_next");
+  uint32_t ProbeMiss = B.newBlock("probe_miss");
+  uint32_t ProbeAdvance = B.newBlock("probe_advance");
+  uint32_t Number = B.newBlock("number");
+  uint32_t NumLoop = B.newBlock("num_loop");
+  uint32_t NumChk = B.newBlock("num_chk");
+  uint32_t NumEnd = B.newBlock("num_end");
+  uint32_t RunParse = B.newBlock("run_parse");
+  uint32_t Done = B.newBlock("done");
+
+  B.setInsertPoint(Entry);
+  B.movImm(I, 0);
+  B.movImm(Idents, 0);
+  B.movImm(Nums, 0);
+  B.movImm(Puncts, 0);
+  B.movImm(Lines, 0);
+  B.movImm(NTok, 0);
+  B.jmp(Scan);
+
+  B.setInsertPoint(Scan);
+  B.cmpGe(Cond, R(I), K(N));
+  B.br(R(Cond), RunParse, Classify);
+
+  B.setInsertPoint(Classify);
+  B.load(C, K(Text), R(I));
+  // isLetter: 97 <= c <= 122.
+  B.cmpGe(T, R(C), K(97));
+  B.cmpLe(T2, R(C), K(122));
+  B.band(Cond, R(T), R(T2));
+  B.br(R(Cond), Ident, NotLetter);
+
+  B.setInsertPoint(NotLetter);
+  B.cmpGe(T, R(C), K(48));
+  B.cmpLe(T2, R(C), K(57));
+  B.band(Cond, R(T), R(T2));
+  B.br(R(Cond), Number, NotDigit);
+
+  B.setInsertPoint(NotDigit);
+  B.cmpEq(Cond, R(C), K(10));
+  B.br(R(Cond), Newline, NotNl);
+
+  B.setInsertPoint(NotNl);
+  B.cmpEq(Cond, R(C), K(32));
+  B.br(R(Cond), Space, Punct);
+
+  B.setInsertPoint(Space);
+  B.add(I, R(I), K(1));
+  B.jmp(Scan);
+
+  B.setInsertPoint(Punct);
+  B.add(Puncts, R(Puncts), K(1));
+  B.cmpEq(Cond, R(C), K(123)); // '{'
+  B.br(R(Cond), OpenBrace, CheckClose);
+
+  B.setInsertPoint(OpenBrace);
+  EmitToken(4);
+  B.jmp(PunctDone);
+
+  B.setInsertPoint(CheckClose);
+  B.cmpEq(Cond, R(C), K(125)); // '}'
+  B.br(R(Cond), CloseBrace, CheckSemi);
+
+  B.setInsertPoint(CloseBrace);
+  EmitToken(5);
+  B.jmp(PunctDone);
+
+  B.setInsertPoint(CheckSemi);
+  B.cmpEq(Cond, R(C), K(59)); // ';'
+  B.br(R(Cond), Semi, CheckAssign);
+
+  B.setInsertPoint(Semi);
+  EmitToken(3);
+  B.jmp(PunctDone);
+
+  B.setInsertPoint(CheckAssign);
+  B.cmpEq(Cond, R(C), K(61)); // '='
+  B.br(R(Cond), Assign, OtherPunct);
+
+  B.setInsertPoint(Assign);
+  EmitToken(6);
+  B.jmp(PunctDone);
+
+  B.setInsertPoint(OtherPunct);
+  EmitToken(2);
+  B.jmp(PunctDone);
+
+  B.setInsertPoint(PunctDone);
+  B.add(I, R(I), K(1));
+  B.jmp(Scan);
+
+  B.setInsertPoint(Newline);
+  B.add(Lines, R(Lines), K(1));
+  B.add(I, R(I), K(1));
+  B.jmp(Scan);
+
+  // Identifier: accumulate a hash while consuming letters.
+  B.setInsertPoint(Ident);
+  B.add(Idents, R(Idents), K(1));
+  EmitToken(0);
+  B.movImm(HashVal, 5381);
+  B.jmp(IdentLoop);
+
+  B.setInsertPoint(IdentLoop);
+  B.mul(HashVal, R(HashVal), K(33));
+  B.add(HashVal, R(HashVal), R(C));
+  B.add(I, R(I), K(1));
+  B.cmpGe(Cond, R(I), K(N));
+  B.br(R(Cond), IdentEnd, IdentChk);
+
+  B.setInsertPoint(IdentChk);
+  B.load(C, K(Text), R(I));
+  B.cmpGe(T, R(C), K(97));
+  B.cmpLe(T2, R(C), K(122));
+  B.band(Cond, R(T), R(T2));
+  B.br(R(Cond), IdentLoop, IdentEnd);
+
+  // Symbol-table insert with linear probing.
+  B.setInsertPoint(IdentEnd);
+  B.band(HashVal, R(HashVal), K(0x7fffffff));
+  B.rem(Key, R(HashVal), K(999983));
+  B.add(Key, R(Key), K(1)); // keys are nonzero
+  B.rem(Slot, R(HashVal), K(HashSize));
+  B.jmp(Probe);
+
+  B.setInsertPoint(Probe);
+  B.load(T, K(Hash), R(Slot));
+  B.cmpEq(Cond, R(T), R(Key));
+  B.br(R(Cond), Scan, ProbeNext); // hit: known identifier
+
+  B.setInsertPoint(ProbeNext);
+  B.cmpEq(Cond, R(T), K(0));
+  B.br(R(Cond), ProbeMiss, ProbeAdvance);
+
+  B.setInsertPoint(ProbeMiss);
+  B.store(K(Hash), R(Slot), R(Key));
+  B.jmp(Scan);
+
+  B.setInsertPoint(ProbeAdvance);
+  B.add(Slot, R(Slot), K(1));
+  B.rem(Slot, R(Slot), K(HashSize));
+  B.jmp(Probe);
+
+  B.setInsertPoint(Number);
+  B.add(Nums, R(Nums), K(1));
+  EmitToken(1);
+  B.jmp(NumLoop);
+
+  B.setInsertPoint(NumLoop);
+  B.add(I, R(I), K(1));
+  B.cmpGe(Cond, R(I), K(N));
+  B.br(R(Cond), NumEnd, NumChk);
+
+  B.setInsertPoint(NumChk);
+  B.load(C, K(Text), R(I));
+  B.cmpGe(T, R(C), K(48));
+  B.cmpLe(T2, R(C), K(57));
+  B.band(Cond, R(T), R(T2));
+  B.br(R(Cond), NumLoop, NumEnd);
+
+  B.setInsertPoint(NumEnd);
+  B.jmp(Scan);
+
+  B.setInsertPoint(RunParse);
+  B.store(K(Tok), K(0), R(NTok));
+  B.call(ParseRes, Parse, {});
+  B.jmp(Done);
+
+  B.setInsertPoint(Done);
+  B.store(K(Counters), K(0), R(Idents));
+  B.store(K(Counters), K(1), R(Nums));
+  B.store(K(Counters), K(2), R(Puncts));
+  B.store(K(Counters), K(3), R(Lines));
+  B.store(K(Counters), K(4), R(ParseRes));
+  B.ret(R(ParseRes));
+
+  return M;
+}

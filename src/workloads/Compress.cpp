@@ -1,0 +1,265 @@
+//===- workloads/Compress.cpp - LZW-style compression ---------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Models the paper's "compress" benchmark (the SPEC file compression
+// utility): LZW with an open-addressing dictionary over data that mixes
+// fresh bytes with repeated earlier phrases, like real files.
+//
+// Branch behaviour: dictionary probe hit/miss whose outcome correlates with
+// the repetitiveness of the input, linear-probe loops with short
+// data-dependent trip counts, and a rare dictionary-reset path that clears
+// the table (a long burst of one-direction branches).
+//
+// Memory map:
+//   [0]              input length
+//   [1..N]           input bytes (0..15)
+//   [KEYS..+TS]      dictionary keys (0 = empty)
+//   [VALS..+TS]      dictionary codes
+//   [OUT..+4]        statistics
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+using namespace bpcr;
+
+Module bpcr::buildCompress(uint64_t Seed) {
+  Module M;
+  M.Name = "compress";
+
+  const int64_t N = 100000;
+  const int64_t Data = 1;
+  const int64_t TS = 4096; // dictionary size
+  const int64_t Keys = Data + N;
+  const int64_t Vals = Keys + TS;
+  const int64_t Out = Vals + TS;
+  M.MemWords = static_cast<uint64_t>(Out + 4);
+
+  // Input: alternate fresh random bytes with copies of earlier phrases.
+  Rng Gen(Seed * 0x2545f4914f6cdd1dULL + 99);
+  std::vector<int64_t> Mem(static_cast<size_t>(Out + 4), 0);
+  Mem[0] = N;
+  {
+    int64_t I = 0;
+    while (I < N) {
+      if (I > 64 && Gen.chance(65, 100)) {
+        // Repeat an earlier phrase of 4-40 bytes.
+        int64_t Src = static_cast<int64_t>(Gen.below(I - 48));
+        int64_t Len = 4 + static_cast<int64_t>(Gen.below(37));
+        for (int64_t J = 0; J < Len && I < N; ++J, ++I)
+          Mem[static_cast<size_t>(Data + I)] =
+              Mem[static_cast<size_t>(Data + Src + J)];
+      } else {
+        Mem[static_cast<size_t>(Data + I++)] =
+            static_cast<int64_t>(Gen.below(16));
+      }
+    }
+  }
+  M.InitialMemory = std::move(Mem);
+
+  auto R = [](Reg X) { return Operand::reg(X); };
+  auto K = [](int64_t V) { return Operand::imm(V); };
+
+  // -- verify(): checksum pass over the input ---------------------------------
+  // Fixed 8-byte windows (constant-trip inner loop) with a biased marker
+  // test — the kind of post-pass a real utility runs to validate output.
+  uint32_t Verify = M.addFunction("verify", 0);
+  {
+    IRBuilder B(M, Verify);
+    Reg I = B.newReg(), J = B.newReg(), Sum = B.newReg();
+    Reg Byte = B.newReg(), Cond = B.newReg(), Markers = B.newReg();
+
+    uint32_t Entry = B.newBlock("entry");
+    uint32_t Outer = B.newBlock("outer");
+    uint32_t Inner = B.newBlock("inner");
+    uint32_t InnerBody = B.newBlock("inner_body");
+    uint32_t LaneEven = B.newBlock("lane_even");
+    uint32_t LaneOdd = B.newBlock("lane_odd");
+    uint32_t LaneJoin = B.newBlock("lane_join");
+    uint32_t Marker = B.newBlock("marker");
+    uint32_t NoMarker = B.newBlock("no_marker");
+    uint32_t InnerNext = B.newBlock("inner_next");
+    uint32_t OuterNext = B.newBlock("outer_next");
+    uint32_t Done = B.newBlock("done");
+
+    B.setInsertPoint(Entry);
+    B.movImm(I, 0);
+    B.movImm(Sum, 0);
+    B.movImm(Markers, 0);
+    B.jmp(Outer);
+
+    B.setInsertPoint(Outer);
+    B.cmpGe(Cond, R(I), K(N - 8));
+    B.br(R(Cond), Done, Inner);
+
+    B.setInsertPoint(Inner);
+    B.movImm(J, 0);
+    B.jmp(InnerBody);
+
+    B.setInsertPoint(InnerBody);
+    B.cmpGe(Cond, R(J), K(8)); // constant trip count
+    B.br(R(Cond), OuterNext, InnerNext);
+
+    B.setInsertPoint(InnerNext);
+    Reg Addr = B.newReg();
+    B.add(Addr, R(I), R(J));
+    B.load(Byte, K(Data), R(Addr));
+    // Interleaved checksum lanes: the lane flips every byte — an
+    // alternating branch profile cannot predict but a 2-state machine can.
+    B.band(Cond, R(J), K(1));
+    B.br(R(Cond), LaneOdd, LaneEven);
+
+    B.setInsertPoint(LaneEven);
+    B.add(Sum, R(Sum), R(Byte));
+    B.jmp(LaneJoin);
+
+    B.setInsertPoint(LaneOdd);
+    B.mul(Byte, R(Byte), K(3));
+    B.add(Sum, R(Sum), R(Byte));
+    B.jmp(LaneJoin);
+
+    B.setInsertPoint(LaneJoin);
+    // Byte value 15 is a rare "marker": ~1/16 of bytes.
+    B.cmpEq(Cond, R(Byte), K(15));
+    B.br(R(Cond), Marker, NoMarker);
+
+    B.setInsertPoint(Marker);
+    B.add(Markers, R(Markers), K(1));
+    B.jmp(NoMarker);
+
+    B.setInsertPoint(NoMarker);
+    B.add(J, R(J), K(1));
+    B.jmp(InnerBody);
+
+    B.setInsertPoint(OuterNext);
+    B.add(I, R(I), K(8));
+    B.jmp(Outer);
+
+    B.setInsertPoint(Done);
+    B.store(K(Out), K(2), R(Sum));
+    B.store(K(Out), K(3), R(Markers));
+    B.ret(R(Sum));
+  }
+
+  uint32_t Main = M.addFunction("main", 0);
+  M.EntryFunction = Main;
+  IRBuilder B(M, Main);
+
+  Reg I = B.newReg();
+  Reg Ch = B.newReg();
+  Reg Prefix = B.newReg();
+  Reg Key = B.newReg();
+  Reg H = B.newReg();
+  Reg Slot = B.newReg();
+  Reg T = B.newReg();
+  Reg Cond = B.newReg();
+  Reg NextCode = B.newReg();
+  Reg Codes = B.newReg();
+  Reg Resets = B.newReg();
+  Reg Clr = B.newReg();
+
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t Loop = B.newBlock("loop");
+  uint32_t Body = B.newBlock("body");
+  uint32_t Probe = B.newBlock("probe");
+  uint32_t ProbeNe = B.newBlock("probe_ne");
+  uint32_t Advance = B.newBlock("probe_advance");
+  uint32_t Found = B.newBlock("found");
+  uint32_t Miss = B.newBlock("miss");
+  uint32_t CheckFull = B.newBlock("check_full");
+  uint32_t Reset = B.newBlock("reset");
+  uint32_t ClearLoop = B.newBlock("clear_loop");
+  uint32_t ClearBody = B.newBlock("clear_body");
+  uint32_t AfterMiss = B.newBlock("after_miss");
+  uint32_t Done = B.newBlock("done");
+
+  B.setInsertPoint(Entry);
+  B.load(Prefix, K(Data), K(0));
+  B.movImm(I, 1);
+  B.movImm(NextCode, 16);
+  B.movImm(Codes, 0);
+  B.movImm(Resets, 0);
+  B.jmp(Loop);
+
+  B.setInsertPoint(Loop);
+  B.cmpGe(Cond, R(I), K(N));
+  B.br(R(Cond), Done, Body);
+
+  B.setInsertPoint(Body);
+  B.load(Ch, K(Data), R(I));
+  // key = (prefix + 1) * 16 + ch; never zero.
+  B.add(Key, R(Prefix), K(1));
+  B.mul(Key, R(Key), K(16));
+  B.add(Key, R(Key), R(Ch));
+  // h = (key * 40503) & (TS - 1).
+  B.mul(H, R(Key), K(40503));
+  B.band(Slot, R(H), K(TS - 1));
+  B.jmp(Probe);
+
+  B.setInsertPoint(Probe);
+  B.load(T, K(Keys), R(Slot));
+  B.cmpEq(Cond, R(T), R(Key));
+  B.br(R(Cond), Found, ProbeNe);
+
+  B.setInsertPoint(ProbeNe);
+  B.cmpEq(Cond, R(T), K(0));
+  B.br(R(Cond), Miss, Advance);
+
+  B.setInsertPoint(Advance);
+  B.add(Slot, R(Slot), K(1));
+  B.band(Slot, R(Slot), K(TS - 1));
+  B.jmp(Probe);
+
+  B.setInsertPoint(Found);
+  B.load(Prefix, K(Vals), R(Slot));
+  B.add(I, R(I), K(1));
+  B.jmp(Loop);
+
+  B.setInsertPoint(Miss);
+  B.store(K(Keys), R(Slot), R(Key));
+  B.store(K(Vals), R(Slot), R(NextCode));
+  B.add(NextCode, R(NextCode), K(1));
+  B.add(Codes, R(Codes), K(1)); // emit code for prefix
+  B.mov(Prefix, R(Ch));
+  B.add(I, R(I), K(1));
+  B.jmp(CheckFull);
+
+  B.setInsertPoint(CheckFull);
+  // Reset when the dictionary is 3/4 full (keeps probes terminating).
+  B.cmpGe(Cond, R(NextCode), K(16 + (TS * 3) / 4));
+  B.br(R(Cond), Reset, AfterMiss);
+
+  B.setInsertPoint(Reset);
+  B.add(Resets, R(Resets), K(1));
+  B.movImm(NextCode, 16);
+  B.movImm(Clr, 0);
+  B.jmp(ClearLoop);
+
+  B.setInsertPoint(ClearLoop);
+  B.cmpGe(Cond, R(Clr), K(TS));
+  B.br(R(Cond), AfterMiss, ClearBody);
+
+  B.setInsertPoint(ClearBody);
+  B.store(K(Keys), R(Clr), K(0));
+  B.add(Clr, R(Clr), K(1));
+  B.jmp(ClearLoop);
+
+  B.setInsertPoint(AfterMiss);
+  B.jmp(Loop);
+
+  B.setInsertPoint(Done);
+  B.store(K(Out), K(0), R(Codes));
+  B.store(K(Out), K(1), R(Resets));
+  Reg Check = B.newReg();
+  B.call(Check, Verify, {});
+  B.add(Check, R(Check), R(Codes));
+  B.ret(R(Check));
+
+  return M;
+}

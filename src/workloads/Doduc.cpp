@@ -1,0 +1,198 @@
+//===- workloads/Doduc.cpp - Fixed-point numeric simulation ---------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Models the paper's "doduc" benchmark (the SPEC hydrocode simulation, the
+// suite's single floating-point program). Arithmetic is 16.16 fixed point;
+// the control flow is what matters: long regular loops with constant trip
+// counts, an iterative relaxation whose convergence test is strongly
+// biased, a monotone table search, and a rarely taken clamping branch.
+// This is the workload where every predictor does well and the exit-chain
+// machines reach near-zero misprediction.
+//
+// Memory map:
+//   [0]       array size N
+//   [A..+N]   state array (fixed point)
+//   [B..+N]   scratch array
+//   [TBL..+T] monotone lookup table
+//   [OUT..+4] checksums
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+using namespace bpcr;
+
+Module bpcr::buildDoduc(uint64_t Seed) {
+  Module M;
+  M.Name = "doduc";
+
+  const int64_t N = 1200;
+  const int64_t TblN = 64;
+  const int64_t A = 1;
+  const int64_t Bb = A + N;
+  const int64_t Tbl = Bb + N;
+  const int64_t Out = Tbl + TblN;
+  M.MemWords = static_cast<uint64_t>(Out + 4);
+
+  Rng Gen(Seed * 0xd6e8feb86659fd93ULL + 5);
+  std::vector<int64_t> Mem(static_cast<size_t>(Out + 4), 0);
+  Mem[0] = N;
+  for (int64_t I = 0; I < N; ++I)
+    Mem[static_cast<size_t>(A + I)] =
+        static_cast<int64_t>(Gen.below(1 << 20)) + (1 << 12);
+  // Monotone table (for the interpolation search).
+  {
+    int64_t Acc = 0;
+    for (int64_t I = 0; I < TblN; ++I) {
+      Acc += 1 + static_cast<int64_t>(Gen.below(1 << 14));
+      Mem[static_cast<size_t>(Tbl + I)] = Acc;
+    }
+  }
+  M.InitialMemory = std::move(Mem);
+
+  auto R = [](Reg X) { return Operand::reg(X); };
+  auto K = [](int64_t C) { return Operand::imm(C); };
+
+  uint32_t Main = M.addFunction("main", 0);
+  M.EntryFunction = Main;
+  IRBuilder B(M, Main);
+
+  Reg Step = B.newReg(), I = B.newReg(), J = B.newReg();
+  Reg X = B.newReg(), Y = B.newReg(), Z = B.newReg();
+  Reg Resid = B.newReg(), Cond = B.newReg(), Sum = B.newReg();
+
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t StepLoop = B.newBlock("step_loop");
+  uint32_t RelaxInit = B.newBlock("relax_init");
+  uint32_t Relax = B.newBlock("relax");
+  uint32_t RelaxBody = B.newBlock("relax_body");
+  uint32_t Clamp = B.newBlock("clamp");
+  uint32_t NoClamp = B.newBlock("no_clamp");
+  uint32_t RelaxNext = B.newBlock("relax_next");
+  uint32_t CopyInit = B.newBlock("copy_init");
+  uint32_t Copy = B.newBlock("copy");
+  uint32_t CopyBody = B.newBlock("copy_body");
+  uint32_t Converge = B.newBlock("converge");
+  uint32_t SearchInit = B.newBlock("search_init");
+  uint32_t Search = B.newBlock("search");
+  uint32_t SearchBody = B.newBlock("search_body");
+  uint32_t SearchHit = B.newBlock("search_hit");
+  uint32_t SearchNext = B.newBlock("search_next");
+  uint32_t StepNext = B.newBlock("step_next");
+  uint32_t Done = B.newBlock("done");
+
+  const int64_t Steps = 26;
+
+  B.setInsertPoint(Entry);
+  B.movImm(Step, 0);
+  B.movImm(Sum, 0);
+  B.jmp(StepLoop);
+
+  B.setInsertPoint(StepLoop);
+  B.cmpGe(Cond, R(Step), K(Steps));
+  B.br(R(Cond), Done, RelaxInit);
+
+  // One relaxation sweep: b[i] = (a[i-1] + 2 a[i] + a[i+1]) / 4, clamped.
+  B.setInsertPoint(RelaxInit);
+  B.movImm(I, 1);
+  B.movImm(Resid, 0);
+  B.jmp(Relax);
+
+  B.setInsertPoint(Relax);
+  B.cmpGe(Cond, R(I), K(N - 1));
+  B.br(R(Cond), CopyInit, RelaxBody);
+
+  B.setInsertPoint(RelaxBody);
+  Reg Im1 = B.newReg(), Ip1 = B.newReg();
+  B.sub(Im1, R(I), K(1));
+  B.add(Ip1, R(I), K(1));
+  B.load(X, K(A), R(Im1));
+  B.load(Y, K(A), R(I));
+  B.load(Z, K(A), R(Ip1));
+  B.mul(Y, R(Y), K(2));
+  B.add(X, R(X), R(Y));
+  B.add(X, R(X), R(Z));
+  B.shr(X, R(X), K(2));
+  // Rarely taken clamp (values drift down toward the mean).
+  B.cmpGt(Cond, R(X), K(1 << 21));
+  B.br(R(Cond), Clamp, NoClamp);
+
+  B.setInsertPoint(Clamp);
+  B.movImm(X, 1 << 21);
+  B.jmp(NoClamp);
+
+  B.setInsertPoint(NoClamp);
+  B.store(K(Bb), R(I), R(X));
+  // Residual accumulates |change| (approximated by the difference).
+  B.load(Y, K(A), R(I));
+  B.sub(Y, R(X), R(Y));
+  B.mul(Y, R(Y), R(Y));
+  B.shr(Y, R(Y), K(16));
+  B.add(Resid, R(Resid), R(Y));
+  B.jmp(RelaxNext);
+
+  B.setInsertPoint(RelaxNext);
+  B.add(I, R(I), K(1));
+  B.jmp(Relax);
+
+  B.setInsertPoint(CopyInit);
+  B.movImm(I, 1);
+  B.jmp(Copy);
+
+  B.setInsertPoint(Copy);
+  B.cmpGe(Cond, R(I), K(N - 1));
+  B.br(R(Cond), Converge, CopyBody);
+
+  B.setInsertPoint(CopyBody);
+  B.load(X, K(Bb), R(I));
+  B.store(K(A), R(I), R(X));
+  B.add(I, R(I), K(1));
+  B.jmp(Copy);
+
+  // Convergence test: strongly biased (residual shrinks monotonically).
+  B.setInsertPoint(Converge);
+  B.cmpLt(Cond, R(Resid), K(64));
+  B.br(R(Cond), Done, SearchInit);
+
+  // Table interpolation: linear scan of the monotone table for a probe
+  // value derived from the state (short, biased search loops).
+  B.setInsertPoint(SearchInit);
+  B.load(X, K(A), K(7));
+  B.band(X, R(X), K((1 << 19) - 1));
+  B.movImm(J, 0);
+  B.jmp(Search);
+
+  B.setInsertPoint(Search);
+  B.cmpGe(Cond, R(J), K(TblN));
+  B.br(R(Cond), StepNext, SearchBody);
+
+  B.setInsertPoint(SearchBody);
+  B.load(Y, K(Tbl), R(J));
+  B.cmpGe(Cond, R(Y), R(X));
+  B.br(R(Cond), SearchHit, SearchNext);
+
+  B.setInsertPoint(SearchHit);
+  B.add(Sum, R(Sum), R(J));
+  B.jmp(StepNext);
+
+  B.setInsertPoint(SearchNext);
+  B.add(J, R(J), K(1));
+  B.jmp(Search);
+
+  B.setInsertPoint(StepNext);
+  B.add(Step, R(Step), K(1));
+  B.jmp(StepLoop);
+
+  B.setInsertPoint(Done);
+  B.store(K(Out), K(0), R(Sum));
+  B.store(K(Out), K(1), R(Resid));
+  B.ret(R(Sum));
+
+  return M;
+}

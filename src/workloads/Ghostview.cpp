@@ -1,0 +1,305 @@
+//===- workloads/Ghostview.cpp - PostScript-style op dispatch -------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Models the paper's "ghostview" benchmark (an X PostScript previewer): an
+// interpreter loop dispatching page-description operators. The operator
+// stream follows a bigram Markov chain (after a MOVETO mostly LINETOs,
+// paths end with STROKE or FILL, ...), giving the dispatch cascade strongly
+// correlated branch behaviour — the sweet spot of the correlated-branch
+// machines.
+//
+// Operators: 0 MOVETO, 1 LINETO, 2 CURVETO, 3 CLOSE, 4 STROKE, 5 FILL,
+//            6 SETGRAY, 7 SHOWPAGE.
+//
+// Memory map:
+//   [0]        op count
+//   [1..N]     operator stream
+//   [ARG..]    per-op argument words
+//   [OUT..+8]  statistics
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+using namespace bpcr;
+
+Module bpcr::buildGhostview(uint64_t Seed) {
+  Module M;
+  M.Name = "ghostview";
+
+  const int64_t N = 90000;
+  const int64_t Ops = 1;
+  const int64_t Args = Ops + N;
+  const int64_t Out = Args + N;
+  M.MemWords = static_cast<uint64_t>(Out + 8);
+
+  // Bigram transition table (percent): rows = current op, entries sum 100.
+  static const int Trans[8][8] = {
+      // MOVE LINE CURVE CLOSE STROKE FILL GRAY PAGE
+      {2, 72, 14, 6, 3, 2, 1, 0},   // after MOVETO
+      {1, 62, 10, 18, 6, 2, 1, 0},  // after LINETO
+      {1, 30, 48, 14, 5, 1, 1, 0},  // after CURVETO
+      {10, 2, 1, 2, 48, 32, 4, 1},  // after CLOSE
+      {58, 4, 2, 1, 2, 2, 28, 3},   // after STROKE
+      {62, 3, 2, 1, 2, 2, 25, 3},   // after FILL
+      {78, 8, 4, 1, 2, 2, 2, 3},    // after SETGRAY
+      {92, 2, 1, 1, 1, 1, 1, 1},    // after SHOWPAGE
+  };
+
+  Rng Gen(Seed * 0x6a09e667f3bcc909ULL + 3);
+  std::vector<int64_t> Mem(static_cast<size_t>(Out + 8), 0);
+  Mem[0] = N;
+  {
+    int Cur = 0; // start with MOVETO
+    for (int64_t I = 0; I < N; ++I) {
+      Mem[static_cast<size_t>(Ops + I)] = Cur;
+      Mem[static_cast<size_t>(Args + I)] =
+          static_cast<int64_t>(Gen.below(4096));
+      int Dice = static_cast<int>(Gen.below(100));
+      int Acc = 0;
+      for (int Next = 0; Next < 8; ++Next) {
+        Acc += Trans[Cur][Next];
+        if (Dice < Acc) {
+          Cur = Next;
+          break;
+        }
+      }
+    }
+  }
+  M.InitialMemory = std::move(Mem);
+
+  auto R = [](Reg X) { return Operand::reg(X); };
+  auto K = [](int64_t V) { return Operand::imm(V); };
+
+  // -- transform(x, y): device-space mapping with a clip test ------------------
+  // A 2-iteration constant loop (matrix rows) and a strongly biased
+  // clip-bounds guard (~9/10 inside).
+  uint32_t Transform = M.addFunction("transform", 2);
+  {
+    IRBuilder B(M, Transform);
+    Reg Xa = 0, Ya = 1;
+    Reg Rw = B.newReg(), Acc = B.newReg(), Cond = B.newReg();
+    Reg T = B.newReg();
+
+    uint32_t Entry = B.newBlock("entry");
+    uint32_t RowLoop = B.newBlock("row_loop");
+    uint32_t RowBody = B.newBlock("row_body");
+    uint32_t Clip = B.newBlock("clip");
+    uint32_t Inside = B.newBlock("inside");
+    uint32_t Outside = B.newBlock("outside");
+
+    B.setInsertPoint(Entry);
+    B.movImm(Rw, 0);
+    B.movImm(Acc, 0);
+    B.jmp(RowLoop);
+
+    B.setInsertPoint(RowLoop);
+    B.cmpGe(Cond, R(Rw), K(2)); // constant trip count
+    B.br(R(Cond), Clip, RowBody);
+
+    B.setInsertPoint(RowBody);
+    B.mul(T, R(Xa), K(3));
+    B.add(T, R(T), R(Ya));
+    B.add(T, R(T), R(Rw));
+    B.add(Acc, R(Acc), R(T));
+    B.add(Rw, R(Rw), K(1));
+    B.jmp(RowLoop);
+
+    B.setInsertPoint(Clip);
+    // Device space is 0..8191; coordinates rarely clip.
+    B.band(T, R(Acc), K(8191));
+    B.cmpGt(Cond, R(T), K(7400));
+    B.br(R(Cond), Outside, Inside);
+
+    B.setInsertPoint(Inside);
+    B.ret(R(Acc));
+
+    B.setInsertPoint(Outside);
+    B.band(Acc, R(Acc), K(4095));
+    B.ret(R(Acc));
+  }
+
+  uint32_t Main = M.addFunction("main", 0);
+  M.EntryFunction = Main;
+  IRBuilder B(M, Main);
+
+  Reg I = B.newReg();
+  Reg Op = B.newReg();
+  Reg Arg = B.newReg();
+  Reg Cond = B.newReg();
+  Reg X = B.newReg();
+  Reg Y = B.newReg();
+  Reg Segs = B.newReg();   // segments in the current path
+  Reg Gray = B.newReg();
+  Reg Pixels = B.newReg(); // accumulated "rendering" work
+  Reg Pages = B.newReg();
+  Reg J = B.newReg();
+
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t Loop = B.newBlock("loop");
+  uint32_t Fetch = B.newBlock("fetch");
+  uint32_t D1 = B.newBlock("d_moveto");
+  uint32_t D2 = B.newBlock("d_lineto");
+  uint32_t D3 = B.newBlock("d_curveto");
+  uint32_t D4 = B.newBlock("d_close");
+  uint32_t D5 = B.newBlock("d_stroke");
+  uint32_t D6 = B.newBlock("d_fill");
+  uint32_t D7 = B.newBlock("d_setgray");
+  uint32_t HMove = B.newBlock("h_moveto");
+  uint32_t HLine = B.newBlock("h_lineto");
+  uint32_t HCurve = B.newBlock("h_curveto");
+  uint32_t HCurveLoop = B.newBlock("h_curve_loop");
+  uint32_t HCurveBody = B.newBlock("h_curve_body");
+  uint32_t HClose = B.newBlock("h_close");
+  uint32_t HStroke = B.newBlock("h_stroke");
+  uint32_t HStrokeLoop = B.newBlock("h_stroke_loop");
+  uint32_t HStrokeBody = B.newBlock("h_stroke_body");
+  uint32_t HStrokeInk = B.newBlock("h_stroke_ink");
+  uint32_t HStrokeGap = B.newBlock("h_stroke_gap");
+  uint32_t HFill = B.newBlock("h_fill");
+  uint32_t HGray = B.newBlock("h_setgray");
+  uint32_t HPage = B.newBlock("h_showpage");
+  uint32_t NextOp = B.newBlock("next");
+  uint32_t Done = B.newBlock("done");
+
+  B.setInsertPoint(Entry);
+  B.movImm(I, 0);
+  B.movImm(X, 0);
+  B.movImm(Y, 0);
+  B.movImm(Segs, 0);
+  B.movImm(Gray, 0);
+  B.movImm(Pixels, 0);
+  B.movImm(Pages, 0);
+  B.jmp(Loop);
+
+  B.setInsertPoint(Loop);
+  B.cmpGe(Cond, R(I), K(N));
+  B.br(R(Cond), Done, Fetch);
+
+  // Dispatch cascade ordered by static frequency.
+  B.setInsertPoint(Fetch);
+  B.load(Op, K(Ops), R(I));
+  B.load(Arg, K(Args), R(I));
+  B.cmpEq(Cond, R(Op), K(1));
+  B.br(R(Cond), HLine, D1);
+
+  B.setInsertPoint(D1);
+  B.cmpEq(Cond, R(Op), K(0));
+  B.br(R(Cond), HMove, D2);
+
+  B.setInsertPoint(D2);
+  B.cmpEq(Cond, R(Op), K(2));
+  B.br(R(Cond), HCurve, D3);
+
+  B.setInsertPoint(D3);
+  B.cmpEq(Cond, R(Op), K(3));
+  B.br(R(Cond), HClose, D4);
+
+  B.setInsertPoint(D4);
+  B.cmpEq(Cond, R(Op), K(4));
+  B.br(R(Cond), HStroke, D5);
+
+  B.setInsertPoint(D5);
+  B.cmpEq(Cond, R(Op), K(5));
+  B.br(R(Cond), HFill, D6);
+
+  B.setInsertPoint(D6);
+  B.cmpEq(Cond, R(Op), K(6));
+  B.br(R(Cond), HGray, D7);
+
+  B.setInsertPoint(D7);
+  B.jmp(HPage);
+
+  B.setInsertPoint(HMove);
+  B.band(X, R(Arg), K(63));
+  B.shr(Y, R(Arg), K(6));
+  Reg Dev = B.newReg();
+  B.call(Dev, Transform, {R(X), R(Y)});
+  B.band(X, R(Dev), K(63));
+  B.jmp(NextOp);
+
+  B.setInsertPoint(HLine);
+  B.add(X, R(X), K(1));
+  B.add(Segs, R(Segs), K(1));
+  B.jmp(NextOp);
+
+  // CURVETO: flatten into 4 segments.
+  B.setInsertPoint(HCurve);
+  B.movImm(J, 0);
+  B.jmp(HCurveLoop);
+
+  B.setInsertPoint(HCurveLoop);
+  B.cmpGe(Cond, R(J), K(4));
+  B.br(R(Cond), NextOp, HCurveBody);
+
+  B.setInsertPoint(HCurveBody);
+  B.add(Segs, R(Segs), K(1));
+  B.add(Y, R(Y), R(J));
+  B.add(J, R(J), K(1));
+  B.jmp(HCurveLoop);
+
+  B.setInsertPoint(HClose);
+  B.add(Segs, R(Segs), K(1));
+  B.jmp(NextOp);
+
+  // STROKE: rasterize each segment of the current path.
+  B.setInsertPoint(HStroke);
+  B.movImm(J, 0);
+  B.jmp(HStrokeLoop);
+
+  B.setInsertPoint(HStrokeLoop);
+  B.cmpGe(Cond, R(J), R(Segs));
+  B.br(R(Cond), HFill, HStrokeBody); // fall through to reset in HFill
+
+  B.setInsertPoint(HStrokeBody);
+  B.add(Pixels, R(Pixels), R(Gray));
+  B.add(Pixels, R(Pixels), K(3));
+  // Dash pattern: every other segment is inked — a perfectly alternating
+  // intra-loop branch (the paper's figure-1 situation).
+  B.band(Cond, R(J), K(1));
+  B.br(R(Cond), HStrokeGap, HStrokeInk);
+
+  B.setInsertPoint(HStrokeInk);
+  B.add(Pixels, R(Pixels), K(2));
+  B.add(J, R(J), K(1));
+  B.jmp(HStrokeLoop);
+
+  B.setInsertPoint(HStrokeGap);
+  B.add(J, R(J), K(1));
+  B.jmp(HStrokeLoop);
+
+  // FILL (also the tail of STROKE): account area, reset the path.
+  B.setInsertPoint(HFill);
+  B.mul(Cond, R(Segs), K(2));
+  B.add(Pixels, R(Pixels), R(Cond));
+  B.movImm(Segs, 0);
+  B.jmp(NextOp);
+
+  B.setInsertPoint(HGray);
+  B.band(Gray, R(Arg), K(7));
+  B.jmp(NextOp);
+
+  B.setInsertPoint(HPage);
+  B.add(Pages, R(Pages), K(1));
+  B.movImm(Segs, 0);
+  B.jmp(NextOp);
+
+  B.setInsertPoint(NextOp);
+  B.add(I, R(I), K(1));
+  B.jmp(Loop);
+
+  B.setInsertPoint(Done);
+  B.store(K(Out), K(0), R(Pixels));
+  B.store(K(Out), K(1), R(Pages));
+  B.store(K(Out), K(2), R(X));
+  B.store(K(Out), K(3), R(Y));
+  B.ret(R(Pixels));
+
+  return M;
+}

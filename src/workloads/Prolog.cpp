@@ -1,0 +1,198 @@
+//===- workloads/Prolog.cpp - Backtracking constraint search --------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Models the paper's "prolog" benchmark (the minivip Prolog interpreter):
+// the characteristic workload of a Prolog engine is depth-first search
+// with unification failure and backtracking. The program solves N-queens
+// by explicit choice-point backtracking; conflict checks play the role of
+// failing unifications.
+//
+// Branch behaviour: conflict tests that are mostly "no conflict" early in a
+// row and flip deeper in the board (correlated with depth), column
+// exhaustion (loop exit), and a rare solution branch.
+//
+// Memory map:
+//   [0]       board size
+//   [1..n]    column of the queen in each row
+//   [OUT..+2] solutions found, nodes visited
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace bpcr;
+
+Module bpcr::buildProlog(uint64_t Seed) {
+  Module M;
+  M.Name = "prolog";
+
+  // The seed permutes the column probe order via a stride that is coprime
+  // with n, so different seeds explore the tree in different orders.
+  const int64_t NQ = 9;
+  const int64_t Cols = 1;
+  const int64_t Out = Cols + NQ;
+  M.MemWords = static_cast<uint64_t>(Out + 4);
+  std::vector<int64_t> Mem(static_cast<size_t>(Out + 4), 0);
+  Mem[0] = NQ;
+  M.InitialMemory = std::move(Mem);
+
+  // Strides coprime with NQ=9 so the probe order is a permutation.
+  static const int64_t StrideTable[] = {1, 2, 4, 5, 7, 8};
+  const int64_t Stride = StrideTable[Seed % 6];
+
+  auto R = [](Reg X) { return Operand::reg(X); };
+  auto K = [](int64_t V) { return Operand::imm(V); };
+
+  uint32_t Main = M.addFunction("main", 0);
+  M.EntryFunction = Main;
+  IRBuilder B(M, Main);
+
+  Reg Row = B.newReg();
+  Reg Probe = B.newReg(); // probe index 0..NQ (not the column itself)
+  Reg Col = B.newReg();
+  Reg Rr = B.newReg();
+  Reg Cc = B.newReg();
+  Reg D1 = B.newReg();
+  Reg D2 = B.newReg();
+  Reg Cond = B.newReg();
+  Reg Solutions = B.newReg();
+  Reg Nodes = B.newReg();
+  Reg T = B.newReg();
+
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t Advance = B.newBlock("advance");
+  uint32_t TryCol = B.newBlock("try_col");
+  uint32_t TrailA = B.newBlock("trail_a");
+  uint32_t TrailB = B.newBlock("trail_b");
+  uint32_t TryCol2 = B.newBlock("try_col2");
+  uint32_t Chk = B.newBlock("chk");
+  uint32_t ChkBody = B.newBlock("chk_body");
+  uint32_t ChkDiag = B.newBlock("chk_diag");
+  uint32_t AbsNeg = B.newBlock("abs_neg");
+  uint32_t AbsDone = B.newBlock("abs_done");
+  uint32_t ChkNext = B.newBlock("chk_next");
+  uint32_t Safe = B.newBlock("safe");
+  uint32_t Solution = B.newBlock("solution");
+  uint32_t RecLoop = B.newBlock("rec_loop");
+  uint32_t RecBody = B.newBlock("rec_body");
+  uint32_t RecDone = B.newBlock("rec_done");
+  uint32_t Descend = B.newBlock("descend");
+  uint32_t Backtrack = B.newBlock("backtrack");
+  uint32_t Done = B.newBlock("done");
+
+  B.setInsertPoint(Entry);
+  B.movImm(Row, 0);
+  B.movImm(Solutions, 0);
+  B.movImm(Nodes, 0);
+  // probe[0] starts at -1; stored probe indexes live in Cols[row].
+  B.store(K(Cols), K(0), K(-1));
+  B.jmp(Advance);
+
+  // Advance: try the next column in the current row.
+  B.setInsertPoint(Advance);
+  B.load(Probe, K(Cols), R(Row));
+  B.add(Probe, R(Probe), K(1));
+  B.store(K(Cols), R(Row), R(Probe));
+  B.cmpGe(Cond, R(Probe), K(NQ));
+  B.br(R(Cond), Backtrack, TryCol);
+
+  B.setInsertPoint(TryCol);
+  B.add(Nodes, R(Nodes), K(1));
+  // Choice points alternate between two trail segments (probe parity): an
+  // alternating branch within the advance loop.
+  B.band(T, R(Probe), K(1));
+  B.cmpNe(Cond, R(T), K(0));
+  B.br(R(Cond), TrailB, TrailA);
+
+  B.setInsertPoint(TrailA);
+  B.store(K(Out), K(3), R(Probe));
+  B.jmp(TryCol2);
+
+  B.setInsertPoint(TrailB);
+  B.store(K(Out), K(2), R(Probe));
+  B.jmp(TryCol2);
+
+  B.setInsertPoint(TryCol2);
+  // col = (probe * stride) % NQ.
+  B.mul(Col, R(Probe), K(Stride));
+  B.rem(Col, R(Col), K(NQ));
+  B.movImm(Rr, 0);
+  B.jmp(Chk);
+
+  B.setInsertPoint(Chk);
+  B.cmpGe(Cond, R(Rr), R(Row));
+  B.br(R(Cond), Safe, ChkBody);
+
+  B.setInsertPoint(ChkBody);
+  // Column of the queen in row rr (stored as probe; translate).
+  B.load(T, K(Cols), R(Rr));
+  B.mul(Cc, R(T), K(Stride));
+  B.rem(Cc, R(Cc), K(NQ));
+  B.cmpEq(Cond, R(Cc), R(Col));
+  B.br(R(Cond), Advance, ChkDiag); // column conflict -> fail
+
+  B.setInsertPoint(ChkDiag);
+  B.sub(D1, R(Cc), R(Col));
+  B.cmpLt(Cond, R(D1), K(0));
+  B.br(R(Cond), AbsNeg, AbsDone);
+
+  B.setInsertPoint(AbsNeg);
+  B.sub(D1, K(0), R(D1));
+  B.jmp(AbsDone);
+
+  B.setInsertPoint(AbsDone);
+  B.sub(D2, R(Row), R(Rr));
+  B.cmpEq(Cond, R(D1), R(D2));
+  B.br(R(Cond), Advance, ChkNext); // diagonal conflict -> fail
+
+  B.setInsertPoint(ChkNext);
+  B.add(Rr, R(Rr), K(1));
+  B.jmp(Chk);
+
+  B.setInsertPoint(Safe);
+  B.add(Row, R(Row), K(1));
+  B.cmpGe(Cond, R(Row), K(NQ));
+  B.br(R(Cond), Solution, Descend);
+
+  // A solution: record the bindings (constant-trip loop over the board,
+  // executed rarely — like a Prolog engine materializing an answer).
+  B.setInsertPoint(Solution);
+  B.add(Solutions, R(Solutions), K(1));
+  B.movImm(Rr, 0);
+  B.jmp(RecLoop);
+
+  B.setInsertPoint(RecLoop);
+  B.cmpGe(Cond, R(Rr), K(NQ)); // constant trip count
+  B.br(R(Cond), RecDone, RecBody);
+
+  B.setInsertPoint(RecBody);
+  B.load(T, K(Cols), R(Rr));
+  B.store(K(Out), K(2), R(T)); // record the binding
+  B.add(Rr, R(Rr), K(1));
+  B.jmp(RecLoop);
+
+  B.setInsertPoint(RecDone);
+  B.sub(Row, R(Row), K(1));
+  B.jmp(Advance);
+
+  B.setInsertPoint(Descend);
+  B.store(K(Cols), R(Row), K(-1));
+  B.jmp(Advance);
+
+  B.setInsertPoint(Backtrack);
+  B.sub(Row, R(Row), K(1));
+  B.cmpLt(Cond, R(Row), K(0));
+  B.br(R(Cond), Done, Advance);
+
+  B.setInsertPoint(Done);
+  B.store(K(Out), K(0), R(Solutions));
+  B.store(K(Out), K(1), R(Nodes));
+  B.ret(R(Solutions));
+
+  return M;
+}

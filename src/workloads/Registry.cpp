@@ -1,0 +1,49 @@
+//===- workloads/Registry.cpp - Workload suite registry -------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "interp/Interpreter.h"
+#include "trace/Sinks.h"
+
+#include <cassert>
+
+using namespace bpcr;
+
+const std::vector<Workload> &bpcr::allWorkloads() {
+  static const std::vector<Workload> Suite = {
+      {"abalone", "board game employing alpha-beta search", buildAbalone},
+      {"c-compiler", "lcc-style compiler front end (lexer)", buildCCompiler},
+      {"compress", "LZW file compression utility", buildCompress},
+      {"ghostview", "PostScript-style operator interpreter", buildGhostview},
+      {"predict", "branch trace profiling/analysis tool", buildPredictTool},
+      {"prolog", "backtracking constraint search", buildProlog},
+      {"scheduler", "list instruction scheduler", buildScheduler},
+      {"doduc", "hydrocode simulation (fixed point)", buildDoduc},
+  };
+  return Suite;
+}
+
+Module bpcr::buildWorkload(const std::string &Name, uint64_t Seed) {
+  for (const Workload &W : allWorkloads())
+    if (Name == W.Name)
+      return W.Build(Seed);
+  assert(false && "unknown workload name");
+  return Module();
+}
+
+Trace bpcr::traceWorkload(const Workload &W, uint64_t Seed, Module &OutModule,
+                          uint64_t MaxBranchEvents) {
+  OutModule = W.Build(Seed);
+  OutModule.assignBranchIds();
+  CollectingSink Sink;
+  ExecOptions Opts;
+  Opts.MaxBranchEvents = MaxBranchEvents;
+  ExecResult R = execute(OutModule, &Sink, Opts);
+  assert(R.Ok && "workload execution failed");
+  (void)R;
+  return Sink.takeTrace();
+}

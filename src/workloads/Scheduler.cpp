@@ -1,0 +1,312 @@
+//===- workloads/Scheduler.cpp - List instruction scheduler ---------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Models the paper's "scheduler" benchmark (an instruction scheduler): list
+// scheduling over a stream of random dependence DAGs. Every cycle the
+// ready list is scanned for the highest-priority ready node; issuing a
+// node decrements its successors' predecessor counts.
+//
+// Branch behaviour: ready-scan tests whose outcome density changes as the
+// DAG drains (correlated with progress), priority-compare branches, and
+// per-DAG loops with similar trip counts.
+//
+// Memory map:
+//   [0]           DAG count G
+//   [1]           nodes per DAG V
+//   [DESC..]      packed successor slots: (g*V + v)*E + e -> succ id
+//                 (own id = empty slot)
+//   [LAT..]       per-(g,v) latency 1..3
+//   [NPRED..+V]   working: remaining predecessor counts
+//   [READY..+V]   working: earliest issue cycle
+//   [DONE..+V]    working: scheduled flag
+//   [OUT..+2]     total cycles, issued nodes
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+using namespace bpcr;
+
+Module bpcr::buildScheduler(uint64_t Seed) {
+  Module M;
+  M.Name = "scheduler";
+
+  const int64_t G = 120; // DAGs
+  const int64_t V = 36;  // nodes per DAG
+  const int64_t E = 3;   // successor slots per node
+  const int64_t Desc = 2;
+  const int64_t Lat = Desc + G * V * E;
+  const int64_t NPred = Lat + G * V;
+  const int64_t Ready = NPred + V;
+  const int64_t DoneF = Ready + V;
+  const int64_t Out = DoneF + V;
+  M.MemWords = static_cast<uint64_t>(Out + 4);
+
+  Rng Gen(Seed * 0x94d049bb133111ebULL + 31);
+  std::vector<int64_t> Mem(static_cast<size_t>(Out + 4), 0);
+  Mem[0] = G;
+  Mem[1] = V;
+  for (int64_t GI = 0; GI < G; ++GI)
+    for (int64_t VI = 0; VI < V; ++VI) {
+      Mem[static_cast<size_t>(Lat + GI * V + VI)] =
+          1 + static_cast<int64_t>(Gen.below(3));
+      for (int64_t EI = 0; EI < E; ++EI) {
+        int64_t Succ = VI; // empty slot
+        if (VI + 1 < V && Gen.chance(55, 100))
+          Succ = VI + 1 + static_cast<int64_t>(
+                              Gen.below(static_cast<uint64_t>(V - VI - 1)));
+        Mem[static_cast<size_t>(Desc + (GI * V + VI) * E + EI)] = Succ;
+      }
+    }
+  M.InitialMemory = std::move(Mem);
+
+  auto R = [](Reg X) { return Operand::reg(X); };
+  auto K = [](int64_t C) { return Operand::imm(C); };
+
+  uint32_t Main = M.addFunction("main", 0);
+  M.EntryFunction = Main;
+  IRBuilder B(M, Main);
+
+  Reg Gi = B.newReg(), Vi = B.newReg(), Ei = B.newReg();
+  Reg Cycle = B.newReg(), Left = B.newReg();
+  Reg BestN = B.newReg(), BestP = B.newReg();
+  Reg Base = B.newReg(), Succ = B.newReg();
+  Reg T = B.newReg(), T2 = B.newReg(), Cond = B.newReg();
+  Reg TotCycles = B.newReg(), Issued = B.newReg();
+
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t GraphLoop = B.newBlock("graph_loop");
+  uint32_t ResetInit = B.newBlock("reset_init");
+  uint32_t ResetLoop = B.newBlock("reset_loop");
+  uint32_t ResetBody = B.newBlock("reset_body");
+  uint32_t CountInit = B.newBlock("count_init");
+  uint32_t CountNode = B.newBlock("count_node");
+  uint32_t CountEdgeInit = B.newBlock("count_edge_init");
+  uint32_t CountEdge = B.newBlock("count_edge");
+  uint32_t CountEdgeBody = B.newBlock("count_edge_body");
+  uint32_t CountEdgeInc = B.newBlock("count_edge_inc");
+  uint32_t CountEdgeNext = B.newBlock("count_edge_next");
+  uint32_t CountNodeNext = B.newBlock("count_node_next");
+  uint32_t SchedInit = B.newBlock("sched_init");
+  uint32_t ScanInit = B.newBlock("scan_init");
+  uint32_t ScanLoop = B.newBlock("scan_loop");
+  uint32_t ScanDoneChk = B.newBlock("scan_done_chk");
+  uint32_t ScanPredChk = B.newBlock("scan_pred_chk");
+  uint32_t ScanTimeChk = B.newBlock("scan_time_chk");
+  uint32_t ScanPrio = B.newBlock("scan_prio");
+  uint32_t ScanTake = B.newBlock("scan_take");
+  uint32_t ScanNext = B.newBlock("scan_next");
+  uint32_t BankA = B.newBlock("bank_a");
+  uint32_t BankB = B.newBlock("bank_b");
+  uint32_t AfterScan = B.newBlock("after_scan");
+  uint32_t Stall = B.newBlock("stall");
+  uint32_t Issue = B.newBlock("issue");
+  uint32_t IssueEdge = B.newBlock("issue_edge");
+  uint32_t IssueEdgeBody = B.newBlock("issue_edge_body");
+  uint32_t IssueUpd = B.newBlock("issue_upd");
+  uint32_t StoreReady = B.newBlock("store_ready");
+  uint32_t IssueEdgeNext = B.newBlock("issue_edge_next");
+  uint32_t CycleAdv = B.newBlock("cycle_adv");
+  uint32_t GraphAdv = B.newBlock("graph_adv");
+  uint32_t StatsDump = B.newBlock("stats_dump");
+  uint32_t GraphNext = B.newBlock("graph_next");
+  uint32_t AllDone = B.newBlock("all_done");
+
+  B.setInsertPoint(Entry);
+  B.movImm(Gi, 0);
+  B.movImm(TotCycles, 0);
+  B.movImm(Issued, 0);
+  B.jmp(GraphLoop);
+
+  B.setInsertPoint(GraphLoop);
+  B.cmpGe(Cond, R(Gi), K(G));
+  B.br(R(Cond), AllDone, ResetInit);
+
+  B.setInsertPoint(ResetInit);
+  B.mul(Base, R(Gi), K(V));
+  B.movImm(Vi, 0);
+  B.jmp(ResetLoop);
+
+  B.setInsertPoint(ResetLoop);
+  B.cmpGe(Cond, R(Vi), K(V));
+  B.br(R(Cond), CountInit, ResetBody);
+
+  B.setInsertPoint(ResetBody);
+  B.store(K(NPred), R(Vi), K(0));
+  B.store(K(Ready), R(Vi), K(0));
+  B.store(K(DoneF), R(Vi), K(0));
+  B.add(Vi, R(Vi), K(1));
+  B.jmp(ResetLoop);
+
+  B.setInsertPoint(CountInit);
+  B.movImm(Vi, 0);
+  B.jmp(CountNode);
+
+  B.setInsertPoint(CountNode);
+  B.cmpGe(Cond, R(Vi), K(V));
+  B.br(R(Cond), SchedInit, CountEdgeInit);
+
+  B.setInsertPoint(CountEdgeInit);
+  B.movImm(Ei, 0);
+  B.jmp(CountEdge);
+
+  B.setInsertPoint(CountEdge);
+  B.cmpGe(Cond, R(Ei), K(E));
+  B.br(R(Cond), CountNodeNext, CountEdgeBody);
+
+  B.setInsertPoint(CountEdgeBody);
+  B.add(T, R(Base), R(Vi));
+  B.mul(T, R(T), K(E));
+  B.add(T, R(T), R(Ei));
+  B.load(Succ, K(Desc), R(T));
+  B.cmpEq(Cond, R(Succ), R(Vi));
+  B.br(R(Cond), CountEdgeNext, CountEdgeInc);
+
+  B.setInsertPoint(CountEdgeInc);
+  B.load(T2, K(NPred), R(Succ));
+  B.add(T2, R(T2), K(1));
+  B.store(K(NPred), R(Succ), R(T2));
+  B.jmp(CountEdgeNext);
+
+  B.setInsertPoint(CountEdgeNext);
+  B.add(Ei, R(Ei), K(1));
+  B.jmp(CountEdge);
+
+  B.setInsertPoint(CountNodeNext);
+  B.add(Vi, R(Vi), K(1));
+  B.jmp(CountNode);
+
+  B.setInsertPoint(SchedInit);
+  B.movImm(Cycle, 0);
+  B.movImm(Left, V);
+  B.jmp(ScanInit);
+
+  B.setInsertPoint(ScanInit);
+  B.movImm(BestN, -1);
+  B.movImm(BestP, -1);
+  B.movImm(Vi, 0);
+  B.jmp(ScanLoop);
+
+  B.setInsertPoint(ScanLoop);
+  B.cmpGe(Cond, R(Vi), K(V));
+  B.br(R(Cond), AfterScan, ScanDoneChk);
+
+  B.setInsertPoint(ScanDoneChk);
+  B.load(T, K(DoneF), R(Vi));
+  B.cmpNe(Cond, R(T), K(0));
+  B.br(R(Cond), ScanNext, ScanPredChk);
+
+  B.setInsertPoint(ScanPredChk);
+  B.load(T, K(NPred), R(Vi));
+  B.cmpNe(Cond, R(T), K(0));
+  B.br(R(Cond), ScanNext, ScanTimeChk);
+
+  B.setInsertPoint(ScanTimeChk);
+  B.load(T, K(Ready), R(Vi));
+  B.cmpGt(Cond, R(T), R(Cycle));
+  B.br(R(Cond), ScanNext, ScanPrio);
+
+  B.setInsertPoint(ScanPrio);
+  B.add(T, R(Base), R(Vi));
+  B.load(T, K(Lat), R(T));
+  B.cmpGt(Cond, R(T), R(BestP));
+  B.br(R(Cond), ScanTake, ScanNext);
+
+  B.setInsertPoint(ScanTake);
+  B.mov(BestP, R(T));
+  B.mov(BestN, R(Vi));
+  B.jmp(ScanNext);
+
+  B.setInsertPoint(ScanNext);
+  // Two register banks: nodes alternate banks by index. The bank check
+  // flips every scan step — alternation an intra-loop machine removes.
+  B.band(T, R(Vi), K(1));
+  B.cmpNe(Cond, R(T), K(0));
+  B.br(R(Cond), BankB, BankA);
+
+  B.setInsertPoint(BankA);
+  B.add(Vi, R(Vi), K(1));
+  B.jmp(ScanLoop);
+
+  B.setInsertPoint(BankB);
+  B.add(Vi, R(Vi), K(1));
+  B.jmp(ScanLoop);
+
+  B.setInsertPoint(AfterScan);
+  B.cmpLt(Cond, R(BestN), K(0));
+  B.br(R(Cond), Stall, Issue);
+
+  B.setInsertPoint(Stall);
+  B.add(Cycle, R(Cycle), K(1));
+  B.jmp(ScanInit);
+
+  B.setInsertPoint(Issue);
+  B.store(K(DoneF), R(BestN), K(1));
+  B.sub(Left, R(Left), K(1));
+  B.add(Issued, R(Issued), K(1));
+  B.movImm(Ei, 0);
+  B.jmp(IssueEdge);
+
+  B.setInsertPoint(IssueEdge);
+  B.cmpGe(Cond, R(Ei), K(E));
+  B.br(R(Cond), CycleAdv, IssueEdgeBody);
+
+  B.setInsertPoint(IssueEdgeBody);
+  B.add(T, R(Base), R(BestN));
+  B.mul(T, R(T), K(E));
+  B.add(T, R(T), R(Ei));
+  B.load(Succ, K(Desc), R(T));
+  B.cmpEq(Cond, R(Succ), R(BestN));
+  B.br(R(Cond), IssueEdgeNext, IssueUpd);
+
+  B.setInsertPoint(IssueUpd);
+  B.load(T2, K(NPred), R(Succ));
+  B.sub(T2, R(T2), K(1));
+  B.store(K(NPred), R(Succ), R(T2));
+  // ready[succ] = max(ready[succ], cycle + latency(best)).
+  B.add(T, R(Cycle), R(BestP));
+  B.load(T2, K(Ready), R(Succ));
+  B.cmpGt(Cond, R(T), R(T2));
+  B.br(R(Cond), StoreReady, IssueEdgeNext);
+
+  B.setInsertPoint(StoreReady);
+  B.store(K(Ready), R(Succ), R(T));
+  B.jmp(IssueEdgeNext);
+
+  B.setInsertPoint(IssueEdgeNext);
+  B.add(Ei, R(Ei), K(1));
+  B.jmp(IssueEdge);
+
+  B.setInsertPoint(CycleAdv);
+  B.add(Cycle, R(Cycle), K(1));
+  B.cmpGt(Cond, R(Left), K(0));
+  B.br(R(Cond), ScanInit, GraphAdv);
+
+  B.setInsertPoint(GraphAdv);
+  B.add(TotCycles, R(TotCycles), R(Cycle));
+  // Emit statistics every 8th DAG: a period-8 pattern in the graph loop.
+  B.band(T, R(Gi), K(7));
+  B.cmpEq(Cond, R(T), K(7));
+  B.br(R(Cond), StatsDump, GraphNext);
+
+  B.setInsertPoint(StatsDump);
+  B.store(K(Out), K(2), R(TotCycles));
+  B.jmp(GraphNext);
+
+  B.setInsertPoint(GraphNext);
+  B.add(Gi, R(Gi), K(1));
+  B.jmp(GraphLoop);
+
+  B.setInsertPoint(AllDone);
+  B.store(K(Out), K(0), R(TotCycles));
+  B.store(K(Out), K(1), R(Issued));
+  B.ret(R(TotCycles));
+
+  return M;
+}

@@ -1,0 +1,365 @@
+//===- tests/test_analysis.cpp - CFG, dominators, loops, paths ------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/PathEnum.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace bpcr;
+
+namespace {
+
+Operand R(Reg X) { return Operand::reg(X); }
+Operand K(int64_t V) { return Operand::imm(V); }
+
+/// A diamond: entry -> (left | right) -> join -> ret.
+Module diamond() {
+  Module M;
+  M.MemWords = 1;
+  uint32_t Main = M.addFunction("main", 0);
+  IRBuilder B(M, Main);
+  Reg C = B.newReg();
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t Left = B.newBlock("left");
+  uint32_t Right = B.newBlock("right");
+  uint32_t Join = B.newBlock("join");
+  B.setInsertPoint(Entry);
+  B.movImm(C, 1);
+  B.br(R(C), Left, Right);
+  B.setInsertPoint(Left);
+  B.jmp(Join);
+  B.setInsertPoint(Right);
+  B.jmp(Join);
+  B.setInsertPoint(Join);
+  B.ret(K(0));
+  M.assignBranchIds();
+  return M;
+}
+
+/// entry -> header; header -> (body | exit); body -> header.
+Module simpleLoop() {
+  Module M;
+  M.MemWords = 1;
+  uint32_t Main = M.addFunction("main", 0);
+  IRBuilder B(M, Main);
+  Reg I = B.newReg(), C = B.newReg();
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t Header = B.newBlock("header");
+  uint32_t Body = B.newBlock("body");
+  uint32_t Exit = B.newBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(I, 0);
+  B.jmp(Header);
+  B.setInsertPoint(Header);
+  B.cmpLt(C, R(I), K(10));
+  B.br(R(C), Body, Exit);
+  B.setInsertPoint(Body);
+  B.add(I, R(I), K(1));
+  B.jmp(Header);
+  B.setInsertPoint(Exit);
+  B.ret(R(I));
+  M.assignBranchIds();
+  return M;
+}
+
+/// Nested loops: outer header 1 (blocks 1-5), inner header 2 (blocks 2-3).
+Module nestedLoops() {
+  Module M;
+  M.MemWords = 1;
+  uint32_t Main = M.addFunction("main", 0);
+  IRBuilder B(M, Main);
+  Reg I = B.newReg(), J = B.newReg(), C = B.newReg();
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t Outer = B.newBlock("outer");
+  uint32_t Inner = B.newBlock("inner");
+  uint32_t InnerBody = B.newBlock("inner_body");
+  uint32_t OuterLatch = B.newBlock("outer_latch");
+  uint32_t Exit = B.newBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(I, 0);
+  B.jmp(Outer);
+  B.setInsertPoint(Outer);
+  B.movImm(J, 0);
+  B.jmp(Inner);
+  B.setInsertPoint(Inner);
+  B.cmpLt(C, R(J), K(3));
+  B.br(R(C), InnerBody, OuterLatch);
+  B.setInsertPoint(InnerBody);
+  B.add(J, R(J), K(1));
+  B.jmp(Inner);
+  B.setInsertPoint(OuterLatch);
+  B.add(I, R(I), K(1));
+  B.cmpLt(C, R(I), K(5));
+  B.br(R(C), Outer, Exit);
+  B.setInsertPoint(Exit);
+  B.ret(R(I));
+  M.assignBranchIds();
+  return M;
+}
+
+} // namespace
+
+// -- CFG ---------------------------------------------------------------------
+
+TEST(CFG, DiamondEdges) {
+  Module M = diamond();
+  CFG G(M.Functions[0]);
+  EXPECT_EQ(G.successors(0), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(G.predecessors(3), (std::vector<uint32_t>{1, 2}));
+  EXPECT_TRUE(G.successors(3).empty());
+}
+
+TEST(CFG, ReversePostOrderStartsAtEntry) {
+  Module M = diamond();
+  CFG G(M.Functions[0]);
+  const auto &RPO = G.reversePostOrder();
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), 0u);
+  // Join comes after both left and right.
+  EXPECT_GT(G.rpoIndex(3), G.rpoIndex(1));
+  EXPECT_GT(G.rpoIndex(3), G.rpoIndex(2));
+}
+
+TEST(CFG, UnreachableBlockDetected) {
+  Module M = diamond();
+  // Add a block nothing targets.
+  IRBuilder B(M, 0);
+  uint32_t Dead = B.newBlock("dead");
+  B.setInsertPoint(Dead);
+  B.ret(K(0));
+  CFG G(M.Functions[0]);
+  EXPECT_FALSE(G.isReachable(Dead));
+  EXPECT_TRUE(G.isReachable(0));
+  EXPECT_EQ(G.rpoIndex(Dead), UINT32_MAX);
+}
+
+// -- Dominators -----------------------------------------------------------------
+
+TEST(Dominators, DiamondStructure) {
+  Module M = diamond();
+  CFG G(M.Functions[0]);
+  Dominators D(G);
+  EXPECT_EQ(D.immediateDominator(0), 0u);
+  EXPECT_EQ(D.immediateDominator(1), 0u);
+  EXPECT_EQ(D.immediateDominator(2), 0u);
+  EXPECT_EQ(D.immediateDominator(3), 0u); // join's idom is the entry
+  EXPECT_TRUE(D.dominates(0, 3));
+  EXPECT_FALSE(D.dominates(1, 3));
+  EXPECT_TRUE(D.dominates(2, 2));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  Module M = simpleLoop();
+  CFG G(M.Functions[0]);
+  Dominators D(G);
+  EXPECT_TRUE(D.dominates(1, 2)); // header dominates body
+  EXPECT_TRUE(D.dominates(1, 3)); // and the exit
+  EXPECT_FALSE(D.dominates(2, 1));
+}
+
+// -- LoopInfo -------------------------------------------------------------------
+
+TEST(LoopInfo, FindsSimpleLoop) {
+  Module M = simpleLoop();
+  CFG G(M.Functions[0]);
+  Dominators D(G);
+  LoopInfo LI(G, D);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.Header, 1u);
+  EXPECT_EQ(L.Blocks, (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(L.Depth, 1u);
+  EXPECT_EQ(LI.innermostLoop(2), 0);
+  EXPECT_EQ(LI.innermostLoop(0), -1);
+  EXPECT_EQ(LI.innermostLoop(3), -1);
+}
+
+TEST(LoopInfo, NestedLoopsAndDepths) {
+  Module M = nestedLoops();
+  CFG G(M.Functions[0]);
+  Dominators D(G);
+  LoopInfo LI(G, D);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  const Loop *Outer = nullptr, *Inner = nullptr;
+  for (const Loop &L : LI.loops())
+    (L.Header == 1 ? Outer : Inner) = &L;
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->Header, 2u);
+  EXPECT_EQ(Outer->Depth, 1u);
+  EXPECT_EQ(Inner->Depth, 2u);
+  EXPECT_TRUE(Outer->contains(2));
+  EXPECT_TRUE(Outer->contains(4));
+  EXPECT_FALSE(Inner->contains(4));
+  // The inner body belongs to the inner loop first.
+  const Loop &InnermostOf3 =
+      LI.loops()[static_cast<size_t>(LI.innermostLoop(3))];
+  EXPECT_EQ(InnermostOf3.Header, 2u);
+}
+
+TEST(LoopInfo, AcyclicFunctionHasNoLoops) {
+  Module M = diamond();
+  CFG G(M.Functions[0]);
+  Dominators D(G);
+  LoopInfo LI(G, D);
+  EXPECT_TRUE(LI.loops().empty());
+}
+
+// -- Branch classification -------------------------------------------------------
+
+TEST(BranchClass, LoopExitAndNonLoop) {
+  Module M = simpleLoop();
+  const Function &F = M.Functions[0];
+  CFG G(F);
+  Dominators D(G);
+  LoopInfo LI(G, D);
+  std::vector<BranchClass> Classes;
+  classifyBranches(F, G, LI, Classes);
+  ASSERT_EQ(Classes.size(), 1u);
+  EXPECT_EQ(Classes[0].Kind, BranchKind::LoopExit);
+  EXPECT_EQ(Classes[0].LoopIdx, 0);
+  // The taken edge goes to the body (stays); not-taken exits.
+  EXPECT_FALSE(Classes[0].TakenExits);
+}
+
+TEST(BranchClass, IntraLoopBranch) {
+  // Loop with an if inside: header -> (exit | body); body -> (a|b) -> header.
+  Module M;
+  M.MemWords = 1;
+  uint32_t Main = M.addFunction("main", 0);
+  IRBuilder B(M, Main);
+  Reg I = B.newReg(), C = B.newReg(), C2 = B.newReg();
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t Header = B.newBlock("header");
+  uint32_t Body = B.newBlock("body");
+  uint32_t ThenB = B.newBlock("then");
+  uint32_t ElseB = B.newBlock("else");
+  uint32_t Exit = B.newBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(I, 0);
+  B.jmp(Header);
+  B.setInsertPoint(Header);
+  B.cmpLt(C, R(I), K(8));
+  B.br(R(C), Body, Exit);
+  B.setInsertPoint(Body);
+  B.band(C2, R(I), K(1));
+  B.br(R(C2), ThenB, ElseB);
+  B.setInsertPoint(ThenB);
+  B.add(I, R(I), K(1));
+  B.jmp(Header);
+  B.setInsertPoint(ElseB);
+  B.add(I, R(I), K(1));
+  B.jmp(Header);
+  B.setInsertPoint(Exit);
+  B.ret(R(I));
+  M.assignBranchIds();
+
+  const Function &F = M.Functions[0];
+  CFG G(F);
+  Dominators D(G);
+  LoopInfo LI(G, D);
+  std::vector<BranchClass> Classes;
+  classifyBranches(F, G, LI, Classes);
+  ASSERT_EQ(Classes.size(), 2u);
+  EXPECT_EQ(Classes[0].Kind, BranchKind::LoopExit);
+  EXPECT_EQ(Classes[1].Kind, BranchKind::IntraLoop);
+}
+
+TEST(BranchClass, NonLoopBranch) {
+  Module M = diamond();
+  const Function &F = M.Functions[0];
+  CFG G(F);
+  Dominators D(G);
+  LoopInfo LI(G, D);
+  std::vector<BranchClass> Classes;
+  classifyBranches(F, G, LI, Classes);
+  ASSERT_EQ(Classes.size(), 1u);
+  EXPECT_EQ(Classes[0].Kind, BranchKind::NonLoop);
+}
+
+// -- Path enumeration -------------------------------------------------------------
+
+TEST(PathEnum, DiamondJoinHasTwoSingleStepPaths) {
+  Module M = diamond();
+  const Function &F = M.Functions[0];
+  CFG G(F);
+  // Paths into the join pass through the jumps of left/right, carrying the
+  // decision of branch 0.
+  std::vector<BranchPath> Paths = enumerateBackwardPaths(F, G, 3, 2);
+  ASSERT_EQ(Paths.size(), 2u);
+  for (const BranchPath &P : Paths) {
+    ASSERT_EQ(P.Steps.size(), 1u);
+    EXPECT_EQ(P.Steps[0].BranchId, 0);
+  }
+  EXPECT_NE(Paths[0].Steps[0].Taken, Paths[1].Steps[0].Taken);
+}
+
+TEST(PathEnum, DirectModeSkipsJumpMediatedPaths) {
+  Module M = diamond();
+  const Function &F = M.Functions[0];
+  CFG G(F);
+  // Without jump traversal, the only predecessors of the join are the
+  // jump-terminated blocks, so no decision paths are found.
+  std::vector<BranchPath> Paths =
+      enumerateBackwardPaths(F, G, 3, 2, /*ThroughJumps=*/false);
+  EXPECT_TRUE(Paths.empty());
+}
+
+TEST(PathEnum, ChainOfBranchesYieldsLongPaths) {
+  // b0 -> (x|y), both -> b1 block with a branch -> target.
+  Module M;
+  M.MemWords = 1;
+  uint32_t Main = M.addFunction("main", 0);
+  IRBuilder B(M, Main);
+  Reg C = B.newReg();
+  uint32_t Entry = B.newBlock("entry");  // branch 0
+  uint32_t Mid = B.newBlock("mid");      // branch 1
+  uint32_t Other = B.newBlock("other");  // branch 2 (also targets Mid)
+  uint32_t Target = B.newBlock("target");
+  uint32_t End = B.newBlock("end");
+  B.setInsertPoint(Entry);
+  B.movImm(C, 1);
+  B.br(R(C), Mid, Other);
+  B.setInsertPoint(Other);
+  B.br(R(C), Mid, End);
+  B.setInsertPoint(Mid);
+  B.br(R(C), Target, End);
+  B.setInsertPoint(Target);
+  B.ret(K(0));
+  B.setInsertPoint(End);
+  B.ret(K(1));
+  M.assignBranchIds();
+
+  const Function &F = M.Functions[0];
+  CFG G(F);
+  std::vector<BranchPath> Paths = enumerateBackwardPaths(F, G, Target, 2);
+  // Length-1: (mid, taken). Length-2: (entry taken, mid taken) and
+  // (other taken, mid taken).
+  ASSERT_EQ(Paths.size(), 3u);
+  int Len1 = 0, Len2 = 0;
+  for (const BranchPath &P : Paths)
+    (P.Steps.size() == 1 ? Len1 : Len2)++;
+  EXPECT_EQ(Len1, 1);
+  EXPECT_EQ(Len2, 2);
+}
+
+TEST(PathEnum, TerminatesOnCycles) {
+  Module M = simpleLoop();
+  const Function &F = M.Functions[0];
+  CFG G(F);
+  // Walking backward from the header cycles through the body; the length
+  // cap must terminate the walk.
+  std::vector<BranchPath> Paths = enumerateBackwardPaths(F, G, 1, 4);
+  EXPECT_FALSE(Paths.empty());
+  for (const BranchPath &P : Paths)
+    EXPECT_LE(P.Steps.size(), 4u);
+}

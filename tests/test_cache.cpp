@@ -1,0 +1,141 @@
+//===- tests/test_cache.cpp - Instruction cache simulator tests -----------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/ICacheRun.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpcr;
+
+TEST(AddressMap, SequentialLayout) {
+  Module M;
+  M.MemWords = 1;
+  uint32_t F0 = M.addFunction("a", 0);
+  {
+    IRBuilder B(M, F0);
+    uint32_t E = B.newBlock("e");
+    B.setInsertPoint(E);
+    Reg X = B.newReg();
+    B.movImm(X, 1);
+    B.movImm(X, 2);
+    B.ret(Operand::reg(X));
+  }
+  uint32_t F1 = M.addFunction("b", 0);
+  {
+    IRBuilder B(M, F1);
+    uint32_t E = B.newBlock("e");
+    B.setInsertPoint(E);
+    B.ret(Operand::imm(0));
+  }
+  AddressMap Map(M);
+  EXPECT_EQ(Map.address(0, 0, 0), 0u);
+  EXPECT_EQ(Map.address(0, 0, 2), 2u);
+  EXPECT_EQ(Map.address(1, 0, 0), 3u);
+  EXPECT_EQ(Map.codeSize(), 4u);
+}
+
+TEST(ICacheSim, ColdMissesThenHits) {
+  ICacheConfig Cfg;
+  Cfg.CapacityWords = 64;
+  Cfg.LineWords = 4;
+  Cfg.Ways = 2;
+  ICacheSim Sim(Cfg);
+  for (uint64_t A = 0; A < 16; ++A)
+    Sim.access(A); // 4 lines: 4 cold misses
+  EXPECT_EQ(Sim.accesses(), 16u);
+  EXPECT_EQ(Sim.misses(), 4u);
+  for (uint64_t A = 0; A < 16; ++A)
+    Sim.access(A); // everything resident
+  EXPECT_EQ(Sim.misses(), 4u);
+}
+
+TEST(ICacheSim, CapacityEviction) {
+  ICacheConfig Cfg;
+  Cfg.CapacityWords = 8; // 2 lines of 4 words, direct mapped
+  Cfg.LineWords = 4;
+  Cfg.Ways = 1;
+  ICacheSim Sim(Cfg);
+  // Lines 0 and 2 map to set 0; alternating between them always misses.
+  for (int Round = 0; Round < 10; ++Round) {
+    Sim.access(0);
+    Sim.access(8);
+  }
+  EXPECT_EQ(Sim.misses(), 20u);
+}
+
+TEST(ICacheSim, AssociativityAbsorbsConflicts) {
+  ICacheConfig Cfg;
+  Cfg.CapacityWords = 16; // 4 lines, 2-way: 2 sets
+  Cfg.LineWords = 4;
+  Cfg.Ways = 2;
+  ICacheSim Sim(Cfg);
+  // Lines 0 and 2 share a set but fit in the two ways.
+  for (int Round = 0; Round < 10; ++Round) {
+    Sim.access(0);
+    Sim.access(16);
+  }
+  EXPECT_EQ(Sim.misses(), 2u); // only the cold misses
+}
+
+TEST(ICacheSim, LruPrefersRecentLine) {
+  ICacheConfig Cfg;
+  Cfg.CapacityWords = 16; // 2 sets x 2 ways
+  Cfg.LineWords = 4;
+  Cfg.Ways = 2;
+  ICacheSim Sim(Cfg);
+  Sim.access(0);  // set 0
+  Sim.access(16); // set 0, second way
+  Sim.access(0);  // refresh line 0
+  Sim.access(32); // set 0: evicts line 16 (least recent)
+  EXPECT_EQ(Sim.misses(), 3u);
+  Sim.access(0); // still resident
+  EXPECT_EQ(Sim.misses(), 3u);
+  Sim.access(16); // was evicted
+  EXPECT_EQ(Sim.misses(), 4u);
+}
+
+TEST(ICacheSim, ResetClearsState) {
+  ICacheSim Sim;
+  Sim.access(0);
+  Sim.access(0);
+  EXPECT_EQ(Sim.accesses(), 2u);
+  Sim.reset();
+  EXPECT_EQ(Sim.accesses(), 0u);
+  EXPECT_EQ(Sim.misses(), 0u);
+  Sim.access(0);
+  EXPECT_EQ(Sim.misses(), 1u); // cold again
+}
+
+TEST(ICacheRun, CountsEveryFetch) {
+  Module M;
+  M.MemWords = 1;
+  uint32_t Main = M.addFunction("main", 0);
+  IRBuilder B(M, Main);
+  Reg I = B.newReg(), C = B.newReg();
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t Loop = B.newBlock("loop");
+  uint32_t Exit = B.newBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(I, 0);
+  B.jmp(Loop);
+  B.setInsertPoint(Loop);
+  B.add(I, Operand::reg(I), Operand::imm(1));
+  B.cmpLt(C, Operand::reg(I), Operand::imm(100));
+  B.br(Operand::reg(C), Loop, Exit);
+  B.setInsertPoint(Exit);
+  B.ret(Operand::reg(I));
+  M.assignBranchIds();
+
+  ICacheConfig Cfg;
+  ICacheRunResult R = runWithICache(M, Cfg);
+  ASSERT_TRUE(R.Exec.Ok);
+  EXPECT_EQ(R.Fetches, R.Exec.InstructionsExecuted);
+  EXPECT_GT(R.Fetches, 300u);
+  // The loop fits into the default cache: only cold misses.
+  EXPECT_LE(R.Misses, 2u);
+  EXPECT_EQ(R.CodeWords, M.instructionCount());
+}

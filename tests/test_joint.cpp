@@ -1,0 +1,281 @@
+//===- tests/test_joint.cpp - Joint loop machine tests --------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+// The paper's "Further Work" sec. 6: one machine for all branches of a
+// loop, avoiding the multiplicative size blowup of per-branch replication.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/JointMachine.h"
+#include "core/LoopAwareProfiles.h"
+#include "core/MachineSearch.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "core/Pipeline.h"
+#include "trace/Sinks.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpcr;
+
+namespace {
+
+Operand R(Reg X) { return Operand::reg(X); }
+Operand K(int64_t V) { return Operand::imm(V); }
+
+/// A loop with TWO alternating branches: branch 1 alternates with i, branch
+/// 2 with i+1 (anti-phase). Separate 2-state machines multiply to 2*2 = 4
+/// loop copies; one joint machine over the shared alternation solves both
+/// with epsilon plus the four one-symbol states, of which only 4 survive
+/// reachability pruning.
+Module twoAlternating(int64_t Iters) {
+  Module M;
+  M.MemWords = 8;
+  uint32_t Main = M.addFunction("main", 0);
+  IRBuilder B(M, Main);
+  Reg I = B.newReg(), C = B.newReg(), A = B.newReg();
+  uint32_t Entry = B.newBlock("entry");
+  uint32_t Header = B.newBlock("header");
+  uint32_t Body = B.newBlock("body");
+  uint32_t P = B.newBlock("p");
+  uint32_t Q = B.newBlock("q");
+  uint32_t Mid = B.newBlock("mid");
+  uint32_t X = B.newBlock("x");
+  uint32_t Y = B.newBlock("y");
+  uint32_t Latch = B.newBlock("latch");
+  uint32_t Exit = B.newBlock("exit");
+  B.setInsertPoint(Entry);
+  B.movImm(I, 0);
+  B.movImm(A, 0);
+  B.jmp(Header);
+  B.setInsertPoint(Header);
+  B.cmpLt(C, R(I), K(Iters)); // id 0
+  B.br(R(C), Body, Exit);
+  B.setInsertPoint(Body);
+  B.band(C, R(I), K(1));
+  B.br(R(C), P, Q); // id 1: alternating
+  B.setInsertPoint(P);
+  B.add(A, R(A), K(1));
+  B.jmp(Mid);
+  B.setInsertPoint(Q);
+  B.add(A, R(A), K(2));
+  B.jmp(Mid);
+  B.setInsertPoint(Mid);
+  Reg C2 = B.newReg();
+  B.add(C2, R(I), K(1));
+  B.band(C2, R(C2), K(1));
+  B.br(R(C2), X, Y); // id 2: anti-phase alternating
+  B.setInsertPoint(X);
+  B.add(A, R(A), K(4));
+  B.jmp(Latch);
+  B.setInsertPoint(Y);
+  B.add(A, R(A), K(8));
+  B.jmp(Latch);
+  B.setInsertPoint(Latch);
+  B.add(I, R(I), K(1));
+  B.jmp(Header);
+  B.setInsertPoint(Exit);
+  B.store(K(0), K(0), R(A));
+  B.ret(R(A));
+  M.assignBranchIds();
+  return M;
+}
+
+} // namespace
+
+TEST(JointProfile, CollectsPerMemberCounts) {
+  Module M = twoAlternating(100);
+  CollectingSink Sink;
+  ASSERT_TRUE(execute(M, &Sink).Ok);
+  ProgramAnalysis PA(M);
+  JointProfile P = profileJointLoop(PA, {1, 2}, Sink.trace(), 3);
+  EXPECT_EQ(P.Executions, 200u);
+  uint64_t Sum = 0;
+  for (const auto &[Syms, PerMember] : P.PerPattern)
+    for (const DirCounts &C : PerMember)
+      Sum += C.total();
+  EXPECT_EQ(Sum, 200u);
+}
+
+TEST(JointMachine, TwoStatesSolveBothAlternations) {
+  Module M = twoAlternating(400);
+  CollectingSink Sink;
+  ASSERT_TRUE(execute(M, &Sink).Ok);
+  ProgramAnalysis PA(M);
+  JointProfile P = profileJointLoop(PA, {1, 2}, Sink.trace(), 2);
+
+  JointOptions Opts;
+  // The joint alphabet has four symbols (two members x two directions);
+  // epsilon plus the four one-symbol states capture the anti-phase pair.
+  Opts.MaxStates = 5;
+  Opts.MaxLen = 1;
+  JointLoopMachine JM = buildJointLoopMachine({1, 2}, P, Opts);
+  EXPECT_LE(JM.numStates(), 5u);
+
+  PredictionStats S = evaluateJointMachine(JM, PA, Sink.trace());
+  EXPECT_EQ(S.Predictions, 800u);
+  // The last joint decision determines the next outcome of either member;
+  // only the first execution after loop entry is uncertain.
+  EXPECT_LE(S.Mispredictions, 2u);
+}
+
+TEST(JointMachine, AssignmentScoreMatchesEvaluation) {
+  Module M = twoAlternating(300);
+  CollectingSink Sink;
+  ASSERT_TRUE(execute(M, &Sink).Ok);
+  ProgramAnalysis PA(M);
+  JointProfile P = profileJointLoop(PA, {1, 2}, Sink.trace(), 3);
+  JointOptions Opts;
+  Opts.MaxStates = 4;
+  Opts.MaxLen = 3;
+  JointLoopMachine JM = buildJointLoopMachine({1, 2}, P, Opts);
+  PredictionStats S = evaluateJointMachine(JM, PA, Sink.trace());
+  EXPECT_EQ(S.Predictions, JM.Total);
+  EXPECT_EQ(S.Mispredictions, JM.Total - JM.Correct);
+}
+
+TEST(JointMachine, TransitionsFollowLongestSuffix) {
+  JointLoopMachine M;
+  M.Members = {10, 20};
+  // eps, "0T", "1N" (member 0 taken; member 1 not taken).
+  M.States = {SymbolString{}, SymbolString{(0u << 1) | 1u},
+              SymbolString{(1u << 1) | 0u}};
+  M.Predictions = {{1, 1}, {1, 0}, {0, 1}};
+  EXPECT_EQ(M.memberIndex(10), 0);
+  EXPECT_EQ(M.memberIndex(20), 1);
+  EXPECT_EQ(M.memberIndex(15), -1);
+  unsigned S = M.initialState();
+  S = M.next(S, 0, true); // "0T" is a state
+  EXPECT_EQ(S, 1u);
+  S = M.next(S, 1, true); // "1T" not a state -> eps
+  EXPECT_EQ(S, 0u);
+  S = M.next(S, 1, false); // "1N"
+  EXPECT_EQ(S, 2u);
+}
+
+TEST(JointReplication, TwoStatesInsteadOfFour) {
+  Module M = twoAlternating(400);
+  CollectingSink Sink;
+  ASSERT_TRUE(execute(M, &Sink).Ok);
+  Trace T = Sink.takeTrace();
+  ProgramAnalysis PA(M);
+
+  JointProfile P = profileJointLoop(PA, {1, 2}, T, 2);
+  JointOptions Opts;
+  Opts.MaxStates = 5;
+  Opts.MaxLen = 1;
+  JointLoopMachine JM = buildJointLoopMachine({1, 2}, P, Opts);
+
+  Module X = M;
+  const BranchClass &C = PA.classOf(1);
+  const Loop &L = PA.loopInfoFor(1).loops()[static_cast<size_t>(C.LoopIdx)];
+  uint64_t LoopSize = 0;
+  for (uint32_t Bl : L.Blocks)
+    LoopSize += M.Functions[0].Blocks[Bl].Insts.size();
+
+  ReplicationStats RS =
+      applyJointLoopReplication(X.Functions[0], L.Blocks, L.Header, JM);
+  ASSERT_TRUE(RS.Applied);
+  X.assignBranchIds();
+  ASSERT_TRUE(verifyModule(X).empty());
+
+  // Joint replication: at most 5 loop copies reachable (4 extra loop
+  // sizes); after pruning the steady-state cycle is 4 copies.
+  EXPECT_LE(X.Functions[0].instructionCount(),
+            M.Functions[0].instructionCount() + 4 * LoopSize);
+
+  // Behaviour preserved.
+  OrigIdCollectingSink SA, SB;
+  ExecResult RA = execute(M, &SA);
+  ExecResult RB = execute(X, &SB);
+  ASSERT_TRUE(RA.Ok);
+  ASSERT_TRUE(RB.Ok);
+  EXPECT_EQ(RA.ReturnValue, RB.ReturnValue);
+  EXPECT_EQ(SA.trace(), SB.trace());
+
+  // Realized predictions: both alternating branches near-perfect.
+  TraceStats Stats(3);
+  Stats.addTrace(T);
+  annotateProfilePredictions(X, Stats);
+  PredictionStats Measured = measureAnnotatedPredictions(X, ExecOptions());
+  // 1200 events total; the loop-exit branch mispredicts once; joint
+  // members mispredict at most on the first iteration.
+  EXPECT_LE(Measured.Mispredictions, 5u);
+
+  // Per-branch sequential replication of the same two branches needs the
+  // product of the machine sizes: replicate branch 1 (2 states), then
+  // branch 2 on the transformed function (2 states each copy).
+  Module Y = M;
+  {
+    ProfileSet Profiles = buildLoopAwareProfiles(PA, T);
+    MachineOptions MO;
+    MO.MaxStates = 2;
+    SuffixMachine M1 = buildIntraLoopMachine(Profiles.branch(1).Table, MO);
+    SuffixMachine M2 = buildIntraLoopMachine(Profiles.branch(2).Table, MO);
+    applyLoopReplication(Y.Functions[0], L.Blocks, L.Header, 1, M1);
+    // Recompute the merged loop for the second transform.
+    CFG G(Y.Functions[0]);
+    Dominators D(G);
+    LoopInfo LI(G, D);
+    // Find an instance of branch 2.
+    uint32_t B2Block = UINT32_MAX;
+    for (uint32_t BI = 0; BI < Y.Functions[0].Blocks.size(); ++BI) {
+      const BasicBlock &BB = Y.Functions[0].Blocks[BI];
+      if (BB.isComplete() && BB.terminator().isConditionalBranch() &&
+          BB.terminator().OrigBranchId == 2)
+        B2Block = BI;
+    }
+    ASSERT_NE(B2Block, UINT32_MAX);
+    int32_t LI2 = LI.innermostLoop(B2Block);
+    ASSERT_GE(LI2, 0);
+    const Loop &L2 = LI.loops()[static_cast<size_t>(LI2)];
+    applyLoopReplication(Y.Functions[0], L2.Blocks, L2.Header, 2, M2);
+  }
+  Y.assignBranchIds();
+  ASSERT_TRUE(verifyModule(Y).empty());
+
+  // The joint version must be at most as large (here: strictly smaller,
+  // since the sequential one pays ~2x2 copies before pruning).
+  EXPECT_LE(X.instructionCount(), Y.instructionCount());
+}
+
+TEST(JointPipeline, FiresWhenLoopBranchesShareAMachine) {
+  // Force the ghostview dispatch branches onto loop machines (instead of
+  // correlated ones): they share the interpreter loop, so the pipeline
+  // should fuse them into one joint machine rather than pay the product.
+  Module M;
+  Trace T = traceWorkload(allWorkloads()[3], 1, M, 200'000);
+  PipelineOptions Opts;
+  Opts.Strategy.MaxStates = 4;
+  Opts.Strategy.NodeBudget = 20'000;
+  Opts.Strategy.CorrelatedForLoopBranches = false;
+  Opts.MaxSizeFactor = 4.0;
+  Opts.JointMaxStates = 8;
+  PipelineResult PR = replicateModule(M, T, Opts);
+  ASSERT_TRUE(verifyModule(PR.Transformed).empty());
+  EXPECT_GE(PR.JointReplications, 1u);
+
+  // Behaviour preserved.
+  ExecOptions EO;
+  EO.MaxBranchEvents = 200'000;
+  OrigIdCollectingSink SA, SB;
+  ExecResult RA = execute(M, &SA, EO);
+  ExecResult RB = execute(PR.Transformed, &SB, EO);
+  ASSERT_TRUE(RA.Ok);
+  ASSERT_TRUE(RB.Ok);
+  EXPECT_EQ(RA.Memory, RB.Memory);
+  EXPECT_EQ(SA.trace(), SB.trace());
+
+  // And the joint machine must not be worse than profile.
+  TraceStats Stats(static_cast<uint32_t>(M.conditionalBranchCount()));
+  Stats.addTrace(T);
+  Module P = M;
+  annotateProfilePredictions(P, Stats);
+  PredictionStats Prof = measureAnnotatedPredictions(P, EO);
+  PredictionStats Repl = measureAnnotatedPredictions(PR.Transformed, EO);
+  EXPECT_LE(Repl.Mispredictions,
+            Prof.Mispredictions + Prof.Predictions / 100);
+}

@@ -1,0 +1,283 @@
+//===- tests/test_support.cpp - Support library tests ---------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitHistory.h"
+#include "support/Csv.h"
+#include "support/Rng.h"
+#include "support/SaturatingCounter.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpcr;
+
+// -- BitHistory --------------------------------------------------------------
+
+TEST(BitHistory, NewestOutcomeIsBitZero) {
+  BitHistory H(4);
+  H.push(true);
+  EXPECT_EQ(H.value(), 0b1u);
+  H.push(false);
+  EXPECT_EQ(H.value(), 0b10u);
+  H.push(true);
+  EXPECT_EQ(H.value(), 0b101u);
+}
+
+TEST(BitHistory, OldOutcomesShiftOut) {
+  BitHistory H(3);
+  for (bool B : {true, true, true, false, false, false})
+    H.push(B);
+  EXPECT_EQ(H.value(), 0u);
+  H.push(true);
+  EXPECT_EQ(H.value(), 0b001u);
+}
+
+TEST(BitHistory, WarmupTracksWidth) {
+  BitHistory H(5);
+  EXPECT_FALSE(H.isWarm());
+  for (int I = 0; I < 4; ++I) {
+    H.push(true);
+    EXPECT_FALSE(H.isWarm());
+  }
+  H.push(false);
+  EXPECT_TRUE(H.isWarm());
+  EXPECT_EQ(H.filled(), 5u);
+}
+
+TEST(BitHistory, LowBitsExtractsRecentSuffix) {
+  BitHistory H(8);
+  for (bool B : {true, false, true, true})
+    H.push(B);
+  EXPECT_EQ(H.lowBits(2), 0b11u);
+  EXPECT_EQ(H.lowBits(3), 0b011u);
+  EXPECT_EQ(H.lowBits(4), 0b1011u);
+}
+
+TEST(BitHistory, ClearResets) {
+  BitHistory H(3);
+  H.push(true);
+  H.push(true);
+  H.clear();
+  EXPECT_EQ(H.value(), 0u);
+  EXPECT_EQ(H.filled(), 0u);
+}
+
+TEST(BitHistory, MaxWidthValueMasksCorrectly) {
+  BitHistory H(BitHistory::MaxWidth);
+  for (unsigned I = 0; I < 40; ++I)
+    H.push(true);
+  EXPECT_EQ(H.value(), (1u << BitHistory::MaxWidth) - 1);
+}
+
+// -- SaturatingCounter ---------------------------------------------------------
+
+TEST(SaturatingCounter, TwoBitSaturatesHigh) {
+  SaturatingCounter C(2);
+  for (int I = 0; I < 10; ++I)
+    C.update(true);
+  EXPECT_EQ(C.value(), 3u);
+  EXPECT_TRUE(C.predictTaken());
+}
+
+TEST(SaturatingCounter, TwoBitSaturatesLow) {
+  SaturatingCounter C(2);
+  for (int I = 0; I < 10; ++I)
+    C.update(false);
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_FALSE(C.predictTaken());
+}
+
+TEST(SaturatingCounter, DefaultStartsWeaklyNotTaken) {
+  SaturatingCounter C(2);
+  EXPECT_EQ(C.value(), 1u);
+  EXPECT_FALSE(C.predictTaken());
+  C.update(true);
+  EXPECT_TRUE(C.predictTaken());
+}
+
+TEST(SaturatingCounter, HysteresisAbsorbsOneAnomaly) {
+  SaturatingCounter C(2, 3);
+  C.update(false); // one not-taken outcome
+  EXPECT_TRUE(C.predictTaken());
+  C.update(false); // the second flips the prediction
+  EXPECT_FALSE(C.predictTaken());
+}
+
+TEST(SaturatingCounter, OneBitFlipsImmediately) {
+  SaturatingCounter C(1, 1);
+  EXPECT_TRUE(C.predictTaken());
+  C.update(false);
+  EXPECT_FALSE(C.predictTaken());
+  C.update(true);
+  EXPECT_TRUE(C.predictTaken());
+}
+
+// Parameterized sweep: after saturating taken, exactly
+// ceil(range/2) not-taken updates flip the prediction.
+class CounterWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CounterWidthTest, FlipDistanceIsHalfRange) {
+  unsigned Bits = GetParam();
+  SaturatingCounter C(Bits);
+  for (unsigned I = 0; I < (2u << Bits); ++I)
+    C.update(true);
+  ASSERT_TRUE(C.predictTaken());
+  unsigned Flips = 0;
+  while (C.predictTaken()) {
+    C.update(false);
+    ++Flips;
+  }
+  // From max to the first value in the lower half.
+  EXPECT_EQ(Flips, (1u << (Bits - 1)) + 1u - 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CounterWidthTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+// -- Rng -----------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += (A.next() == B.next());
+  EXPECT_EQ(Same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng G(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(G.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng G(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = G.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= (V == -3);
+    SawHi |= (V == 3);
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng G(11);
+  for (int I = 0; I < 1000; ++I) {
+    double U = G.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng G(13);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += G.chance(30, 100);
+  EXPECT_NEAR(Hits, 3000, 200);
+}
+
+// -- Statistics ------------------------------------------------------------------
+
+TEST(PredictionStats, RateComputation) {
+  PredictionStats S;
+  for (int I = 0; I < 90; ++I)
+    S.record(true);
+  for (int I = 0; I < 10; ++I)
+    S.record(false);
+  EXPECT_EQ(S.Predictions, 100u);
+  EXPECT_EQ(S.Mispredictions, 10u);
+  EXPECT_DOUBLE_EQ(S.mispredictionPercent(), 10.0);
+  EXPECT_EQ(S.correct(), 90u);
+}
+
+TEST(PredictionStats, EmptyIsZero) {
+  PredictionStats S;
+  EXPECT_DOUBLE_EQ(S.mispredictionPercent(), 0.0);
+}
+
+TEST(PredictionStats, Merging) {
+  PredictionStats A, B;
+  A.record(true);
+  A.record(false);
+  B.record(false);
+  A += B;
+  EXPECT_EQ(A.Predictions, 3u);
+  EXPECT_EQ(A.Mispredictions, 2u);
+}
+
+TEST(FormatPercent, OneDecimal) {
+  EXPECT_EQ(formatPercent(12.345), "12.3");
+  EXPECT_EQ(formatPercent(0.0), "0.0");
+  EXPECT_EQ(formatPercent(99.96), "100.0");
+}
+
+// -- TablePrinter ------------------------------------------------------------------
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter T("Demo");
+  T.setHeader({"strategy", "a", "bb"});
+  T.addRow({"profile", "1.0", "22.5"});
+  T.addRow({"two level", "3.25", "4"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("Demo"), std::string::npos);
+  EXPECT_NE(Out.find("profile"), std::string::npos);
+  EXPECT_NE(Out.find("22.5"), std::string::npos);
+  // Numeric cells right-aligned: "4" is padded to the width of "22.5".
+  EXPECT_NE(Out.find("   4"), std::string::npos);
+}
+
+TEST(TablePrinter, SeparatorProducesRule) {
+  TablePrinter T("S");
+  T.setHeader({"x", "y"});
+  T.addRow({"a", "1"});
+  T.addSeparator();
+  T.addRow({"b", "2"});
+  std::string Out = T.render();
+  // Header rule plus the explicit separator.
+  size_t First = Out.find("---");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(Out.find("---", First + 3), std::string::npos);
+}
+
+// -- Csv -----------------------------------------------------------------------
+
+TEST(Csv, PlainCells) {
+  CsvWriter W;
+  W.addRow({"a", "b", "c"});
+  W.addRow({"1", "2", "3"});
+  EXPECT_EQ(W.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvWriter W;
+  W.addRow({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(W.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  CsvWriter W;
+  W.addRow({"x", "y"});
+  std::string Path = ::testing::TempDir() + "/bpcr_csv_test.csv";
+  ASSERT_TRUE(W.writeFile(Path));
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[64] = {0};
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  EXPECT_EQ(std::string(Buf, N), "x,y\n");
+}

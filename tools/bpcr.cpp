@@ -1,0 +1,316 @@
+//===- tools/bpcr.cpp - Command line driver -------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The library's command-line face, mirroring the paper's tooling (a tracer
+// that writes branch traces plus an analyzer that turns them into tables):
+//
+//   bpcr list
+//   bpcr dump <workload> [--seed N]
+//   bpcr trace <workload> [--seed N] [--events N] [-o trace.bpct]
+//   bpcr analyze <workload> [--seed N] [--events N]
+//   bpcr replicate <workload> [--seed N] [--states N] [--budget X] [--dump]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LoopAwareProfiles.h"
+#include "core/Pipeline.h"
+#include "core/Replication.h"
+#include "ir/Printer.h"
+#include "ir/Serializer.h"
+#include "ir/Verifier.h"
+#include "predict/DynamicPredictors.h"
+#include "predict/Evaluator.h"
+#include "predict/SemiStaticPredictors.h"
+#include "support/TablePrinter.h"
+#include "trace/TraceFile.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace bpcr;
+
+namespace {
+
+struct Args {
+  std::string Command;
+  std::string Target;
+  uint64_t Seed = 1;
+  uint64_t Events = 1'000'000;
+  unsigned States = 6;
+  double Budget = 2.0;
+  bool Dump = false;
+  std::string Output;
+};
+
+int usage() {
+  std::printf(
+      "usage: bpcr <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  list                         list the benchmark workloads\n"
+      "  dump <workload>              print the workload's IR\n"
+      "  trace <workload>             run and write a branch trace\n"
+      "  analyze <workload>           per-branch statistics and prediction\n"
+      "                               rates\n"
+      "  replicate <workload>         run the full replication pipeline\n"
+      "\n"
+      "options:\n"
+      "  --seed N      workload input seed (default 1)\n"
+      "  --events N    branch-event cap (default 1000000)\n"
+      "  --states N    per-branch state budget for replicate (default 6)\n"
+      "  --budget X    code-size factor budget for replicate (default 2.0)\n"
+      "  --dump        also print the transformed IR (replicate)\n"
+      "  -o FILE       output file (trace: .bpct; dump/replicate: module\n"
+      "                text)\n");
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, Args &A) {
+  if (Argc < 2)
+    return false;
+  A.Command = Argv[1];
+  int I = 2;
+  if (A.Command != "list") {
+    if (I >= Argc)
+      return false;
+    A.Target = Argv[I++];
+  }
+  for (; I < Argc; ++I) {
+    std::string Opt = Argv[I];
+    auto Next = [&]() -> const char * {
+      return (I + 1 < Argc) ? Argv[++I] : nullptr;
+    };
+    if (Opt == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Opt == "--events") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.Events = std::strtoull(V, nullptr, 10);
+    } else if (Opt == "--states") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.States = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Opt == "--budget") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.Budget = std::strtod(V, nullptr);
+    } else if (Opt == "--dump") {
+      A.Dump = true;
+    } else if (Opt == "-o") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      A.Output = V;
+    } else {
+      std::printf("unknown option '%s'\n", Opt.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+const Workload *findWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (Name == W.Name)
+      return &W;
+  std::printf("unknown workload '%s'; try 'bpcr list'\n", Name.c_str());
+  return nullptr;
+}
+
+int cmdList() {
+  TablePrinter Table("Benchmark workloads (paper sec. 3)");
+  Table.setHeader({"name", "description"});
+  for (const Workload &W : allWorkloads())
+    Table.addRow({W.Name, W.Description});
+  std::printf("%s", Table.render().c_str());
+  return 0;
+}
+
+int cmdDump(const Args &A) {
+  const Workload *W = findWorkload(A.Target);
+  if (!W)
+    return 1;
+  Module M = W->Build(A.Seed);
+  M.assignBranchIds();
+  if (!A.Output.empty()) {
+    if (!writeModuleFile(A.Output, M)) {
+      std::printf("error: cannot write %s\n", A.Output.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (parseable module format)\n", A.Output.c_str());
+    return 0;
+  }
+  std::printf("%s", printModule(M).c_str());
+  return 0;
+}
+
+int cmdTrace(const Args &A) {
+  const Workload *W = findWorkload(A.Target);
+  if (!W)
+    return 1;
+  Module M;
+  Trace T = traceWorkload(*W, A.Seed, M, A.Events);
+  std::printf("%s seed=%llu: %zu branch events\n", W->Name,
+              static_cast<unsigned long long>(A.Seed), T.size());
+  std::string Out =
+      A.Output.empty() ? (std::string(W->Name) + ".bpct") : A.Output;
+  if (!writeTraceFile(Out, T)) {
+    std::printf("error: cannot write %s\n", Out.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> Encoded = encodeTrace(T);
+  std::printf("wrote %s (%zu bytes, %.2f bytes/event)\n", Out.c_str(),
+              Encoded.size(),
+              T.empty() ? 0.0
+                        : static_cast<double>(Encoded.size()) /
+                              static_cast<double>(T.size()));
+  return 0;
+}
+
+int cmdAnalyze(const Args &A) {
+  const Workload *W = findWorkload(A.Target);
+  if (!W)
+    return 1;
+  Module M;
+  Trace T = traceWorkload(*W, A.Seed, M, A.Events);
+  ProgramAnalysis PA(M);
+  ProfileSet Profiles = buildLoopAwareProfiles(PA, T);
+
+  std::printf("%s seed=%llu: %zu events, %u static branches, %llu "
+              "instructions\n\n",
+              W->Name, static_cast<unsigned long long>(A.Seed), T.size(),
+              PA.numBranches(),
+              static_cast<unsigned long long>(M.instructionCount()));
+
+  TablePrinter Table("Per-branch statistics");
+  Table.setHeader({"branch", "kind", "executions", "taken %",
+                   "profile miss %", "resets"});
+  for (uint32_t Id = 0; Id < PA.numBranches(); ++Id) {
+    const BranchProfile &P = Profiles.branch(static_cast<int32_t>(Id));
+    const BranchClass &C = PA.classOf(static_cast<int32_t>(Id));
+    const char *Kind = C.Kind == BranchKind::IntraLoop  ? "intra-loop"
+                       : C.Kind == BranchKind::LoopExit ? "loop-exit"
+                                                        : "non-loop";
+    double TakenPct =
+        P.executions() ? 100.0 * static_cast<double>(P.takenCount()) /
+                             static_cast<double>(P.executions())
+                       : 0.0;
+    double MissPct =
+        P.executions() ? 100.0 * static_cast<double>(
+                                     P.profileMispredictions()) /
+                             static_cast<double>(P.executions())
+                       : 0.0;
+    Table.addRow({std::to_string(Id), Kind,
+                  std::to_string(P.executions()), formatPercent(TakenPct),
+                  formatPercent(MissPct),
+                  std::to_string(P.ResetPositions.size())});
+  }
+  std::printf("%s\n", Table.render().c_str());
+
+  TablePrinter Pred("Prediction rates on this trace (misprediction %)");
+  Pred.setHeader({"strategy", "rate"});
+  {
+    ProfilePredictor P;
+    Pred.addRow({"profile",
+                 formatPercent(
+                     evaluateSelfTrained(P, T).mispredictionPercent())});
+  }
+  {
+    LoopCorrelationPredictor P;
+    Pred.addRow({"loop-correlation",
+                 formatPercent(
+                     evaluateSelfTrained(P, T).mispredictionPercent())});
+  }
+  {
+    TwoLevelPredictor P(TwoLevelConfig::paperDefault());
+    Pred.addRow({"two level (dynamic)",
+                 formatPercent(
+                     evaluatePredictor(P, T).mispredictionPercent())});
+  }
+  std::printf("%s", Pred.render().c_str());
+  return 0;
+}
+
+int cmdReplicate(const Args &A) {
+  const Workload *W = findWorkload(A.Target);
+  if (!W)
+    return 1;
+  Module M;
+  Trace T = traceWorkload(*W, A.Seed, M, A.Events);
+
+  PipelineOptions Opts;
+  Opts.Strategy.MaxStates = A.States;
+  Opts.Strategy.NodeBudget = 50'000;
+  Opts.MaxSizeFactor = A.Budget;
+  PipelineResult PR = replicateModule(M, T, Opts);
+  if (!verifyModule(PR.Transformed).empty()) {
+    std::printf("error: transformed module failed verification\n");
+    return 1;
+  }
+
+  TraceStats Stats(static_cast<uint32_t>(M.conditionalBranchCount()));
+  Stats.addTrace(T);
+  Module P = M;
+  annotateProfilePredictions(P, Stats);
+  ExecOptions EO;
+  EO.MaxBranchEvents = A.Events;
+  PredictionStats Before = measureAnnotatedPredictions(P, EO);
+  PredictionStats After = measureAnnotatedPredictions(PR.Transformed, EO);
+
+  std::printf("%s seed=%llu (states<=%u, budget %.2fx)\n", W->Name,
+              static_cast<unsigned long long>(A.Seed), A.States, A.Budget);
+  std::printf("  replications: %u loop, %u joint, %u correlated "
+              "(%u skipped for size, %u structurally)\n",
+              PR.LoopReplications, PR.JointReplications,
+              PR.CorrelatedReplications, PR.SkippedBudget,
+              PR.SkippedStructure);
+  std::printf("  code size: %llu -> %llu instructions (%.2fx)\n",
+              static_cast<unsigned long long>(PR.OrigInstructions),
+              static_cast<unsigned long long>(PR.NewInstructions),
+              PR.sizeFactor());
+  std::printf("  semi-static misprediction: %.1f%% -> %.1f%%\n",
+              Before.mispredictionPercent(), After.mispredictionPercent());
+  if (!A.Output.empty()) {
+    if (!writeModuleFile(A.Output, PR.Transformed)) {
+      std::printf("error: cannot write %s\n", A.Output.c_str());
+      return 1;
+    }
+    std::printf("  wrote transformed module to %s\n", A.Output.c_str());
+  }
+  if (A.Dump)
+    std::printf("\n%s", printModule(PR.Transformed).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Args A;
+  if (!parseArgs(Argc, Argv, A))
+    return usage();
+
+  if (A.Command == "list")
+    return cmdList();
+  if (A.Command == "dump")
+    return cmdDump(A);
+  if (A.Command == "trace")
+    return cmdTrace(A);
+  if (A.Command == "analyze")
+    return cmdAnalyze(A);
+  if (A.Command == "replicate")
+    return cmdReplicate(A);
+  return usage();
+}
