@@ -21,10 +21,13 @@
 #include "core/Pipeline.h"
 #include "core/Replication.h"
 #include "ir/Verifier.h"
+#include "obs/Metrics.h"
+#include "obs/Report.h"
 #include "support/TablePrinter.h"
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace bpcr;
 
@@ -77,6 +80,16 @@ void runRegime(const std::vector<WorkloadData> &Suite, double SizeBudget) {
     GeoRatio *= Ratio;
     MeanSize += PR.sizeFactor();
 
+    // Per-workload trajectory gauges for the BENCH_*.json report.
+    char Prefix[96];
+    std::snprintf(Prefix, sizeof(Prefix), "headline.budget_%.2f.%s",
+                  SizeBudget, D.W->Name);
+    Registry &Obs = Registry::global();
+    Obs.gauge(std::string(Prefix) + ".mispred_ratio").set(Ratio);
+    Obs.gauge(std::string(Prefix) + ".mispred_pct")
+        .set(Repl.mispredictionPercent());
+    Obs.gauge(std::string(Prefix) + ".size_factor").set(PR.sizeFactor());
+
     char Buf[32];
     ProfRow.push_back(formatPercent(Prof.mispredictionPercent()));
     ReplRow.push_back(formatPercent(Repl.mispredictionPercent()));
@@ -107,15 +120,39 @@ void runRegime(const std::vector<WorkloadData> &Suite, double SizeBudget) {
   std::printf("Suite mean code size factor: %.2f (paper: ~1.33, "
               "'increased by one third')\n\n",
               MeanSize);
+
+  char Prefix[64];
+  std::snprintf(Prefix, sizeof(Prefix), "headline.budget_%.2f",
+                SizeBudget);
+  Registry &Obs = Registry::global();
+  Obs.gauge(std::string(Prefix) + ".geomean_mispred_ratio").set(GeoRatio);
+  Obs.gauge(std::string(Prefix) + ".mean_size_factor").set(MeanSize);
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  // Collect phase timers, interpreter throughput and the per-workload
+  // headline numbers into one machine-readable run report.
+  Registry::global().setEnabled(true);
+
   std::vector<WorkloadData> Suite = loadSuite();
   // The paper's regime ("code size increased by one third") and a looser
   // budget showing the remaining headroom.
   runRegime(Suite, 1.35);
   runRegime(Suite, 2.0);
+
+  const char *Out = Argc > 1 ? Argv[1] : "BENCH_headline_replication.json";
+  ReportMeta Meta;
+  Meta.Tool = "headline_replication";
+  Meta.Command = "bench";
+  Meta.Seed = 1;
+  Meta.Events = 1'000'000;
+  std::string Error;
+  if (!writeReportFile(Out, buildReport(Meta, Registry::global()), Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("wrote metrics to %s\n", Out);
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include "core/MachineSearch.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <unordered_map>
 
@@ -65,6 +67,14 @@ SuffixMachine bpcr::buildIntraLoopMachine(const PatternTable &Table,
       Best = std::move(Two);
   }
 
+  if (Registry::global().enabled()) {
+    Registry &Obs = Registry::global();
+    Obs.counter("search.intra_loop.machines").inc();
+    Obs.counter("search.intra_loop.patterns").add(Patterns.size());
+    if (Best.BudgetExhausted)
+      Obs.counter("search.budget_exhausted").inc();
+  }
+
   return SuffixMachine::fromSelection(Best);
 }
 
@@ -87,6 +97,8 @@ ExitChainMachine bpcr::buildExitMachine(const PatternTable &Table,
         Best = std::move(P);
     }
   }
+  if (Registry::global().enabled())
+    Registry::global().counter("search.exit.machines").inc();
   return Best;
 }
 

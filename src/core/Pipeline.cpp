@@ -9,6 +9,7 @@
 #include "core/BranchProfiles.h"
 #include "core/JointMachine.h"
 #include "core/LoopAwareProfiles.h"
+#include "obs/Metrics.h"
 
 #include <algorithm>
 #include <map>
@@ -45,15 +46,25 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   R.Transformed = M;
   R.OrigInstructions = M.instructionCount();
 
+  if (Registry::global().enabled())
+    Registry::global().counter("pipeline.runs").inc();
+
   // Profile and select strategies on the original module. Loop-aware
   // profiles keep the machine scores faithful to the replicated program
   // (the machine state resets on loop re-entry).
+  ScopedTimer TLoops("pipeline.phase.loop_analysis");
   ProgramAnalysis PA(M);
+  TLoops.stop();
+
+  ScopedTimer TProfile("pipeline.phase.profiling");
   ProfileSet Profiles = buildLoopAwareProfiles(PA, T);
   TraceStats Stats(PA.numBranches());
   Stats.addTrace(T);
+  TProfile.stop();
 
+  ScopedTimer TSearch("pipeline.phase.machine_search");
   R.Strategies = selectStrategies(PA, Profiles, T, Opts.Strategy);
+  TSearch.stop();
 
   // Estimated instructions a strategy's replication adds: the paper's cost
   // function weighing accuracy gain against code growth.
@@ -111,6 +122,7 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
 
   std::vector<JointPlan> JointPlans;
   std::vector<bool> HandledJointly(R.Strategies.size(), false);
+  ScopedTimer TJoint("pipeline.phase.joint_planning");
   if (Opts.UseJointMachines) {
     std::map<std::pair<uint32_t, int32_t>, std::vector<size_t>> Groups;
     for (size_t I = 0; I < R.Strategies.size(); ++I) {
@@ -227,6 +239,23 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
       JointPlans.push_back(std::move(Plan));
     }
   }
+  TJoint.stop();
+
+  ScopedTimer TRepl("pipeline.phase.replication");
+
+  // Records one decision about the strategy at index \p I.
+  auto LogStrategy = [&R](size_t I, DecisionAction Action, uint64_t Gained,
+                          uint64_t Cost, std::string Reason) {
+    const BranchStrategy &S = R.Strategies[I];
+    BranchDecision D;
+    D.BranchId = S.BranchId;
+    D.Strategy = strategyKindName(S.Kind);
+    D.Action = Action;
+    D.EstimatedGain = Gained;
+    D.SizeCost = Cost;
+    D.Reason = std::move(Reason);
+    R.Decisions.add(std::move(D));
+  };
 
   // Joint plans first, best gain-per-instruction leading. A plan that is
   // skipped releases its members back to the per-branch path below.
@@ -239,15 +268,20 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
             });
   for (const JointPlan &Plan : JointPlans) {
     bool Applied = false;
+    DecisionAction SkipAction = DecisionAction::SkippedStructure;
+    const char *SkipReason = "";
     do {
       if (R.Transformed.instructionCount() + Plan.Cost > SizeCap) {
         ++R.SkippedBudget;
+        SkipAction = DecisionAction::SkippedBudget;
+        SkipReason = "joint machine copies exceed the code-size budget";
         break;
       }
       uint32_t FuncIdx = 0, BlockIdx = 0;
       if (!findInstance(R.Transformed, Plan.Members[0], FuncIdx,
                         BlockIdx)) {
         ++R.SkippedStructure;
+        SkipReason = "branch instance vanished from the transformed module";
         break;
       }
       Function &F = R.Transformed.Functions[FuncIdx];
@@ -257,20 +291,38 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
       int32_t LoopIdx = LI.innermostLoop(BlockIdx);
       if (LoopIdx < 0) {
         ++R.SkippedStructure;
+        SkipReason = "no innermost loop around the branch instance";
         break;
       }
       const Loop &L = LI.loops()[static_cast<size_t>(LoopIdx)];
       if (!applyJointLoopReplication(F, L.Blocks, L.Header, Plan.Machine)
                .Applied) {
         ++R.SkippedStructure;
+        SkipReason = "joint loop transform refused the loop shape";
         break;
       }
       ++R.JointReplications;
       Applied = true;
     } while (false);
-    if (!Applied)
+    if (Applied) {
+      std::string Reason = "joint loop machine over " +
+                           std::to_string(Plan.Members.size()) + " branches";
+      for (size_t I : Plan.StrategyIndices)
+        LogStrategy(I, DecisionAction::AppliedJoint, Plan.Gain, Plan.Cost,
+                    Reason);
+    } else {
+      BranchDecision D;
+      D.BranchId = Plan.Members[0];
+      D.Strategy = "joint";
+      D.Action = SkipAction;
+      D.EstimatedGain = Plan.Gain;
+      D.SizeCost = Plan.Cost;
+      D.Reason = std::string(SkipReason) +
+                 "; members fall back to per-branch machines";
+      R.Decisions.add(std::move(D));
       for (size_t I : Plan.StrategyIndices)
         HandledJointly[I] = false;
+    }
   }
 
   // Apply the best gain-per-instruction per-branch machines next.
@@ -294,12 +346,18 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
 
   for (size_t I : Order) {
     const BranchStrategy &S = R.Strategies[I];
-    if (Gain(I) < Opts.MinGain)
+    if (Gain(I) < Opts.MinGain) {
+      LogStrategy(I, DecisionAction::SkippedGain, Gain(I), Costs[I],
+                  "gain " + std::to_string(Gain(I)) + " below minimum " +
+                      std::to_string(Opts.MinGain));
       continue;
+    }
 
     uint32_t FuncIdx = 0, BlockIdx = 0;
     if (!findInstance(R.Transformed, S.BranchId, FuncIdx, BlockIdx)) {
       ++R.SkippedStructure;
+      LogStrategy(I, DecisionAction::SkippedStructure, Gain(I), Costs[I],
+                  "branch instance vanished from the transformed module");
       continue;
     }
     Function &F = R.Transformed.Functions[FuncIdx];
@@ -307,14 +365,22 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
     if (S.Kind == StrategyKind::Correlated) {
       if (R.Transformed.instructionCount() + Costs[I] > SizeCap) {
         ++R.SkippedBudget;
+        LogStrategy(I, DecisionAction::SkippedBudget, Gain(I), Costs[I],
+                    "path copies exceed the code-size budget");
         continue;
       }
       ReplicationStats RS =
           applyCorrelatedReplication(F, S.BranchId, *S.Corr);
-      if (RS.Applied)
+      if (RS.Applied) {
         ++R.CorrelatedReplications;
-      else
+        LogStrategy(I, DecisionAction::Applied, Gain(I), Costs[I],
+                    "tail-duplicated " + std::to_string(RS.BlocksAdded) +
+                        " blocks for the selected paths");
+      } else {
         ++R.SkippedStructure;
+        LogStrategy(I, DecisionAction::SkippedStructure, Gain(I), Costs[I],
+                    "correlated transform could not locate the paths");
+      }
       continue;
     }
 
@@ -326,6 +392,8 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
     int32_t LoopIdx = LI.innermostLoop(BlockIdx);
     if (LoopIdx < 0) {
       ++R.SkippedStructure;
+      LogStrategy(I, DecisionAction::SkippedStructure, Gain(I), Costs[I],
+                  "no innermost loop around the branch instance");
       continue;
     }
     const Loop &L = LI.loops()[static_cast<size_t>(LoopIdx)];
@@ -341,19 +409,44 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
     uint64_t Cost = LoopSize * (Reachable > 1 ? Reachable - 1 : 1);
     if (R.Transformed.instructionCount() + Cost > SizeCap) {
       ++R.SkippedBudget;
+      LogStrategy(I, DecisionAction::SkippedBudget, Gain(I), Cost,
+                  "loop copies exceed the code-size budget");
       continue;
     }
 
     ReplicationStats RS =
         applyLoopReplication(F, L.Blocks, L.Header, S.BranchId, *S.Machine);
-    if (RS.Applied)
+    if (RS.Applied) {
       ++R.LoopReplications;
-    else
+      LogStrategy(I, DecisionAction::Applied, Gain(I), Cost,
+                  "materialized " +
+                      std::to_string(RS.StatesMaterialized) +
+                      " machine states as loop copies");
+    } else {
       ++R.SkippedStructure;
+      LogStrategy(I, DecisionAction::SkippedStructure, Gain(I), Cost,
+                  "loop transform refused the loop shape");
+    }
   }
 
+  // Branches that kept the profile strategy close out the decision log.
+  for (size_t I = 0; I < R.Strategies.size(); ++I) {
+    const BranchStrategy &S = R.Strategies[I];
+    if (S.Kind != StrategyKind::Profile)
+      continue;
+    uint64_t Execs = Profiles.branch(S.BranchId).executions();
+    LogStrategy(I, DecisionAction::KeptProfile, 0, 0,
+                Execs < Opts.Strategy.MinExecutions
+                    ? "cold branch (" + std::to_string(Execs) +
+                          " executions)"
+                    : "no machine beat the profile prediction");
+  }
+  TRepl.stop();
+
+  ScopedTimer TAnnotate("pipeline.phase.annotation");
   annotateProfilePredictions(R.Transformed, Stats);
   R.Transformed.assignBranchIds();
+  TAnnotate.stop();
   R.NewInstructions = R.Transformed.instructionCount();
   return R;
 }

@@ -21,6 +21,7 @@
 #include "core/Replication.h"
 #include "core/StrategySelection.h"
 #include "ir/Module.h"
+#include "obs/DecisionLog.h"
 #include "trace/Trace.h"
 
 namespace bpcr {
@@ -53,6 +54,10 @@ struct PipelineResult {
   unsigned SkippedStructure = 0;
   uint64_t OrigInstructions = 0;
   uint64_t NewInstructions = 0;
+  /// Why each branch was or was not replicated, in pipeline order (joint
+  /// plans first, then per-branch strategies by gain per instruction, then
+  /// the branches that kept the profile strategy).
+  DecisionLog Decisions;
 
   double sizeFactor() const {
     return OrigInstructions

@@ -6,6 +6,8 @@
 
 #include "core/StrategySelection.h"
 
+#include "obs/Metrics.h"
+
 #include <cassert>
 
 using namespace bpcr;
@@ -47,6 +49,16 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
   }
   std::vector<PathProfile> PathProfiles = profilePaths(Candidates, T, PathLen);
 
+  Registry &Obs = Registry::global();
+  const bool ObsOn = Obs.enabled();
+  if (ObsOn) {
+    uint64_t PathCandidates = 0;
+    for (const std::vector<BranchPath> &C : Candidates)
+      PathCandidates += C.size();
+    Obs.counter("search.correlated.path_candidates").add(PathCandidates);
+    Obs.counter("strategy.branches_considered").add(PA.numBranches());
+  }
+
   std::vector<BranchStrategy> Out;
   Out.reserve(PA.numBranches());
 
@@ -60,6 +72,8 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
     S.States = 1;
 
     if (P.executions() < Opts.MinExecutions) {
+      if (ObsOn)
+        Obs.counter("strategy.pruned.cold").inc();
       Out.push_back(std::move(S));
       continue;
     }
@@ -71,6 +85,8 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
 
     if (!LoopMachinesOk) {
       // Fall through to the correlated candidates only.
+      if (ObsOn)
+        Obs.counter("strategy.pruned.recursive").inc();
     } else if (C.Kind == BranchKind::IntraLoop) {
       MachineOptions MO;
       MO.MaxStates = Opts.MaxStates;
@@ -115,6 +131,10 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
       }
     }
 
+    if (ObsOn)
+      Obs.counter(std::string("strategy.chosen.") +
+                  strategyKindName(S.Kind))
+          .inc();
     Out.push_back(std::move(S));
   }
   return Out;

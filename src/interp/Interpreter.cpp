@@ -6,6 +6,9 @@
 
 #include "interp/Interpreter.h"
 
+#include "obs/Metrics.h"
+
+#include <chrono>
 #include <cstdio>
 #include <limits>
 
@@ -44,6 +47,15 @@ int64_t shiftRight(int64_t A, int64_t B) {
 ExecResult bpcr::execute(const Module &M, TraceSink *Sink,
                          const ExecOptions &Opts) {
   ExecResult R;
+
+  // Observability is sampled at run granularity only: one enabled() check
+  // and two clock reads per execution, nothing per instruction or event,
+  // so the disabled path costs one predictable branch.
+  Registry &Obs = Registry::global();
+  const bool ObsOn = Obs.enabled();
+  std::chrono::steady_clock::time_point ObsStart;
+  if (ObsOn)
+    ObsStart = std::chrono::steady_clock::now();
 
   if (M.EntryFunction >= M.Functions.size()) {
     R.Error = "entry function index out of range";
@@ -301,5 +313,29 @@ ExecResult bpcr::execute(const Module &M, TraceSink *Sink,
   R.Ok = !Errored;
   R.ReturnValue = RetVal;
   R.Memory = std::move(Mem);
+
+  if (ObsOn) {
+    double Ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - ObsStart)
+            .count());
+    Obs.timer("interp.run_ns").record(Ns);
+    Obs.counter("interp.runs").inc();
+    Obs.counter("interp.instructions").add(R.InstructionsExecuted);
+    Obs.counter("interp.branch_events").add(R.BranchEvents);
+    if (!Sink)
+      // Events that were produced but had no sink to receive them.
+      Obs.counter("interp.events_dropped").add(R.BranchEvents);
+    if (R.HitBranchLimit)
+      Obs.counter("interp.truncated_runs").inc();
+    if (Errored)
+      Obs.counter("interp.errors").inc();
+    if (Ns > 0.0) {
+      Obs.gauge("interp.events_per_sec")
+          .set(static_cast<double>(R.BranchEvents) * 1e9 / Ns);
+      Obs.gauge("interp.instructions_per_sec")
+          .set(static_cast<double>(R.InstructionsExecuted) * 1e9 / Ns);
+    }
+  }
   return R;
 }

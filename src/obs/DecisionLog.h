@@ -1,0 +1,109 @@
+//===- obs/DecisionLog.h - Per-branch replication decisions -----*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A queryable record of every per-branch decision the replication pipeline
+/// makes: which strategy was selected, whether it was materialized, and if
+/// not, why. The pipeline fills one of these unconditionally (the cost is a
+/// handful of small strings per static branch); `bpcr report` and the JSON
+/// report expose it. Header-only plain data so core can own it without a
+/// link dependency on the obs library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_OBS_DECISIONLOG_H
+#define BPCR_OBS_DECISIONLOG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+/// What happened to a branch's selected strategy.
+enum class DecisionAction : uint8_t {
+  /// A per-branch replication was materialized.
+  Applied,
+  /// The branch is covered by an applied joint loop machine.
+  AppliedJoint,
+  /// The profile strategy won (or the branch was too cold to consider).
+  KeptProfile,
+  /// The machine's training gain was below the pipeline's minimum.
+  SkippedGain,
+  /// Replicating would have exceeded the code-size budget.
+  SkippedBudget,
+  /// The transformed module no longer had the structure the plan assumed
+  /// (branch instance or loop not found, transform refused).
+  SkippedStructure,
+};
+
+inline const char *decisionActionName(DecisionAction A) {
+  switch (A) {
+  case DecisionAction::Applied:
+    return "applied";
+  case DecisionAction::AppliedJoint:
+    return "applied-joint";
+  case DecisionAction::KeptProfile:
+    return "kept-profile";
+  case DecisionAction::SkippedGain:
+    return "skipped-gain";
+  case DecisionAction::SkippedBudget:
+    return "skipped-budget";
+  case DecisionAction::SkippedStructure:
+    return "skipped-structure";
+  }
+  return "<bad>";
+}
+
+/// One pipeline decision about one branch (or one joint plan).
+struct BranchDecision {
+  /// Original branch id; for a joint-plan record, the first member.
+  int32_t BranchId = -1;
+  /// strategyKindName() of the selected strategy, or "joint" for a record
+  /// describing a whole joint plan.
+  std::string Strategy;
+  DecisionAction Action = DecisionAction::KeptProfile;
+  /// Extra correct training-trace predictions over the profile strategy.
+  uint64_t EstimatedGain = 0;
+  /// Estimated instructions the replication adds.
+  uint64_t SizeCost = 0;
+  /// Human-readable explanation ("gain 3 below minimum 16", ...).
+  std::string Reason;
+};
+
+/// Ordered log of pipeline decisions, queryable per branch.
+class DecisionLog {
+public:
+  void add(BranchDecision D) { Records.push_back(std::move(D)); }
+
+  const std::vector<BranchDecision> &all() const { return Records; }
+  size_t size() const { return Records.size(); }
+  bool empty() const { return Records.empty(); }
+
+  /// Every record about \p BranchId, in pipeline order.
+  std::vector<const BranchDecision *> forBranch(int32_t BranchId) const {
+    std::vector<const BranchDecision *> Out;
+    for (const BranchDecision &D : Records)
+      if (D.BranchId == BranchId)
+        Out.push_back(&D);
+    return Out;
+  }
+
+  /// Number of records with the given action.
+  size_t countAction(DecisionAction A) const {
+    size_t N = 0;
+    for (const BranchDecision &D : Records)
+      N += D.Action == A;
+    return N;
+  }
+
+private:
+  std::vector<BranchDecision> Records;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_OBS_DECISIONLOG_H

@@ -1,0 +1,443 @@
+//===- obs/Json.cpp -------------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace bpcr;
+
+JsonValue &JsonValue::set(const std::string &Key, JsonValue V) {
+  for (auto &[K2, V2] : Obj)
+    if (K2 == Key) {
+      V2 = std::move(V);
+      return V2;
+    }
+  Obj.emplace_back(Key, std::move(V));
+  return Obj.back().second;
+}
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  for (const auto &[K2, V2] : Obj)
+    if (K2 == Key)
+      return &V2;
+  return nullptr;
+}
+
+bool JsonValue::operator==(const JsonValue &O) const {
+  if (isNumber() && O.isNumber())
+    return asDouble() == O.asDouble() && asInt() == O.asInt();
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Null:
+    return true;
+  case Kind::Bool:
+    return B == O.B;
+  case Kind::Int:
+  case Kind::Double:
+    return true; // handled above
+  case Kind::String:
+    return S == O.S;
+  case Kind::Array:
+    return Arr == O.Arr;
+  case Kind::Object:
+    return Obj == O.Obj;
+  }
+  return false;
+}
+
+namespace {
+
+void escapeInto(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void dumpInto(std::string &Out, const JsonValue &V, unsigned Indent,
+              unsigned Depth) {
+  auto Newline = [&](unsigned D) {
+    if (!Indent)
+      return;
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent) * D, ' ');
+  };
+
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    Out += "null";
+    break;
+  case JsonValue::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    break;
+  case JsonValue::Kind::Int: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld",
+                  static_cast<long long>(V.asInt()));
+    Out += Buf;
+    break;
+  }
+  case JsonValue::Kind::Double: {
+    double D = V.asDouble();
+    if (!std::isfinite(D)) {
+      Out += "null"; // JSON has no Inf/NaN
+      break;
+    }
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+    // Keep a marker so the value re-parses as a double.
+    if (!std::strpbrk(Buf, ".eE"))
+      std::strcat(Buf, ".0");
+    Out += Buf;
+    break;
+  }
+  case JsonValue::Kind::String:
+    escapeInto(Out, V.asString());
+    break;
+  case JsonValue::Kind::Array: {
+    if (V.items().empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    bool First = true;
+    for (const JsonValue &E : V.items()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Newline(Depth + 1);
+      dumpInto(Out, E, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += ']';
+    break;
+  }
+  case JsonValue::Kind::Object: {
+    if (V.members().empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    bool First = true;
+    for (const auto &[Key, Val] : V.members()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Newline(Depth + 1);
+      escapeInto(Out, Key);
+      Out += Indent ? ": " : ":";
+      dumpInto(Out, Val, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += '}';
+    break;
+  }
+  }
+}
+
+/// Strict recursive-descent parser over a byte range.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parse(JsonValue &Out) {
+    skipSpace();
+    if (!parseValue(Out))
+      return false;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+
+  bool fail(const std::string &Msg) {
+    Error = Msg + " at byte " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail(std::string("invalid literal, expected '") + Word + "'");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = JsonValue::null();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = JsonValue::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = JsonValue::boolean(false);
+      return true;
+    case '"':
+      return parseString(Out);
+    case '[':
+      return parseArray(Out);
+    case '{':
+      return parseObject(Out);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseString(JsonValue &Out) {
+    std::string S;
+    if (!parseRawString(S))
+      return false;
+    Out = JsonValue::str(std::move(S));
+    return true;
+  }
+
+  bool parseRawString(std::string &S) {
+    if (!consume('"'))
+      return fail("expected '\"'");
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        S += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        S += E;
+        break;
+      case 'n':
+        S += '\n';
+        break;
+      case 'r':
+        S += '\r';
+        break;
+      case 't':
+        S += '\t';
+        break;
+      case 'b':
+        S += '\b';
+        break;
+      case 'f':
+        S += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned V = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        // UTF-8 encode (BMP only; surrogate pairs are not needed for the
+        // ASCII metric names this project emits).
+        if (V < 0x80) {
+          S += static_cast<char>(V);
+        } else if (V < 0x800) {
+          S += static_cast<char>(0xC0 | (V >> 6));
+          S += static_cast<char>(0x80 | (V & 0x3F));
+        } else {
+          S += static_cast<char>(0xE0 | (V >> 12));
+          S += static_cast<char>(0x80 | ((V >> 6) & 0x3F));
+          S += static_cast<char>(0x80 | (V & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    (void)consume('-');
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    bool IsInt = true;
+    if (consume('.')) {
+      IsInt = false;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IsInt = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    std::string Num = Text.substr(Start, Pos - Start);
+    if (Num.empty() || Num == "-")
+      return fail("invalid number");
+    errno = 0;
+    if (IsInt) {
+      char *End = nullptr;
+      long long V = std::strtoll(Num.c_str(), &End, 10);
+      if (End == Num.c_str() + Num.size() && errno == 0) {
+        Out = JsonValue::integer(static_cast<int64_t>(V));
+        return true;
+      }
+      // Fall through to double on int64 overflow.
+    }
+    char *End = nullptr;
+    double D = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size())
+      return fail("invalid number");
+    Out = JsonValue::number(D);
+    return true;
+  }
+
+  bool parseArray(JsonValue &Out) {
+    consume('[');
+    Out = JsonValue::array();
+    skipSpace();
+    if (consume(']'))
+      return true;
+    while (true) {
+      JsonValue E;
+      skipSpace();
+      if (!parseValue(E))
+        return false;
+      Out.push(std::move(E));
+      skipSpace();
+      if (consume(']'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    consume('{');
+    Out = JsonValue::object();
+    skipSpace();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipSpace();
+      std::string Key;
+      if (!parseRawString(Key))
+        return false;
+      skipSpace();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      JsonValue V;
+      skipSpace();
+      if (!parseValue(V))
+        return false;
+      Out.set(Key, std::move(V));
+      skipSpace();
+      if (consume('}'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or '}' in object");
+    }
+  }
+};
+
+} // namespace
+
+std::string JsonValue::dump(unsigned Indent) const {
+  std::string Out;
+  dumpInto(Out, *this, Indent, 0);
+  if (Indent)
+    Out += '\n';
+  return Out;
+}
+
+JsonValue bpcr::parseJson(const std::string &Text, std::string &Error) {
+  Error.clear();
+  JsonValue Out;
+  Parser P(Text, Error);
+  if (!P.parse(Out))
+    return JsonValue::null();
+  return Out;
+}

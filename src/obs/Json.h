@@ -1,0 +1,129 @@
+//===- obs/Json.h - Minimal JSON document model -----------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON value type with a writer and a strict parser, enough for
+/// the machine-readable run reports (obs/Report.h) and their round-trip
+/// tests. Objects preserve insertion order so emitted reports are stable
+/// and diffable across runs. Integers are kept exact (int64) rather than
+/// funneled through double, because event counters routinely exceed 2^53.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_OBS_JSON_H
+#define BPCR_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bpcr {
+
+/// One JSON value; arrays and objects own their children.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() = default;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool V) {
+    JsonValue J;
+    J.K = Kind::Bool;
+    J.B = V;
+    return J;
+  }
+  static JsonValue integer(int64_t V) {
+    JsonValue J;
+    J.K = Kind::Int;
+    J.I = V;
+    return J;
+  }
+  static JsonValue integer(uint64_t V) {
+    return integer(static_cast<int64_t>(V));
+  }
+  static JsonValue number(double V) {
+    JsonValue J;
+    J.K = Kind::Double;
+    J.D = V;
+    return J;
+  }
+  static JsonValue str(std::string V) {
+    JsonValue J;
+    J.K = Kind::String;
+    J.S = std::move(V);
+    return J;
+  }
+  static JsonValue array() {
+    JsonValue J;
+    J.K = Kind::Array;
+    return J;
+  }
+  static JsonValue object() {
+    JsonValue J;
+    J.K = Kind::Object;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+
+  bool asBool() const { return B; }
+  int64_t asInt() const {
+    return K == Kind::Double ? static_cast<int64_t>(D) : I;
+  }
+  /// Numeric value as double regardless of integer/double storage.
+  double asDouble() const {
+    return K == Kind::Int ? static_cast<double>(I) : D;
+  }
+  const std::string &asString() const { return S; }
+
+  // -- Arrays ---------------------------------------------------------------
+  void push(JsonValue V) { Arr.push_back(std::move(V)); }
+  size_t size() const {
+    return K == Kind::Object ? Obj.size() : Arr.size();
+  }
+  const JsonValue &at(size_t Idx) const { return Arr[Idx]; }
+  const std::vector<JsonValue> &items() const { return Arr; }
+
+  // -- Objects (insertion-ordered) ------------------------------------------
+  /// Sets \p Key (replacing an existing entry) and returns the stored value.
+  JsonValue &set(const std::string &Key, JsonValue V);
+  /// \returns the member or nullptr when absent.
+  const JsonValue *find(const std::string &Key) const;
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Obj;
+  }
+
+  /// Structural equality; Int and Double compare equal when their numeric
+  /// values coincide (a parse of "2" matches integer(2) and number(2.0)).
+  bool operator==(const JsonValue &O) const;
+  bool operator!=(const JsonValue &O) const { return !(*this == O); }
+
+  /// Serializes the value. \p Indent > 0 pretty-prints with that many
+  /// spaces per level; 0 emits a compact single line.
+  std::string dump(unsigned Indent = 2) const;
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0.0;
+  std::string S;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
+
+/// Parses \p Text as one JSON document. On failure returns null and sets
+/// \p Error to a message with the byte offset of the problem; trailing
+/// non-whitespace after the document is an error.
+JsonValue parseJson(const std::string &Text, std::string &Error);
+
+} // namespace bpcr
+
+#endif // BPCR_OBS_JSON_H

@@ -1,0 +1,155 @@
+//===- obs/Metrics.h - Counters, gauges, timers -----------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight registry of named counters, gauges, histograms and phase
+/// timers that the pipeline layers report into. The registry is disabled by
+/// default and every instrumentation site guards on enabled(), so the hot
+/// paths pay one predictable branch per *run* (never per event) when
+/// observability is off. Header-only so low-level libraries (interp, core)
+/// can record metrics without a link dependency; the JSON report writer
+/// lives in obs/Report.{h,cpp}.
+///
+/// Naming convention: dot-separated lowercase paths, coarse-to-fine
+/// (`interp.branch_events`, `pipeline.phase.machine_search`). The full list
+/// is documented in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_OBS_METRICS_H
+#define BPCR_OBS_METRICS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bpcr {
+
+/// Monotonically increasing event count.
+struct Counter {
+  uint64_t Value = 0;
+
+  void inc() { ++Value; }
+  void add(uint64_t N) { Value += N; }
+};
+
+/// Last-written measurement (a rate or level computed at the end of a run).
+struct Gauge {
+  double Value = 0.0;
+
+  void set(double V) { Value = V; }
+};
+
+/// Count/sum/min/max summary of a sample stream. Timers record into one of
+/// these with nanosecond samples.
+struct Histogram {
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+
+  void record(double V) {
+    if (Count == 0 || V < Min)
+      Min = V;
+    if (Count == 0 || V > Max)
+      Max = V;
+    ++Count;
+    Sum += V;
+  }
+
+  double mean() const {
+    return Count ? Sum / static_cast<double>(Count) : 0.0;
+  }
+};
+
+/// Holds every metric by name. Instruments fetch-or-create entries; readers
+/// (the report writer, `bpcr report`) iterate the maps. Not thread-safe —
+/// the pipeline is single-threaded; revisit when a layer gains threads.
+class Registry {
+public:
+  /// The process-wide registry all built-in instrumentation reports to.
+  static Registry &global() {
+    static Registry R;
+    return R;
+  }
+
+  bool enabled() const { return Enabled; }
+  void setEnabled(bool On) { Enabled = On; }
+
+  Counter &counter(const std::string &Name) { return Counters[Name]; }
+  Gauge &gauge(const std::string &Name) { return Gauges[Name]; }
+  Histogram &histogram(const std::string &Name) { return Histograms[Name]; }
+  /// Phase timers are histograms of nanoseconds, kept separate so reports
+  /// can render them as a wall-time breakdown.
+  Histogram &timer(const std::string &Name) { return Timers[Name]; }
+
+  const std::map<std::string, Counter> &counters() const { return Counters; }
+  const std::map<std::string, Gauge> &gauges() const { return Gauges; }
+  const std::map<std::string, Histogram> &histograms() const {
+    return Histograms;
+  }
+  const std::map<std::string, Histogram> &timers() const { return Timers; }
+
+  bool empty() const {
+    return Counters.empty() && Gauges.empty() && Histograms.empty() &&
+           Timers.empty();
+  }
+
+  /// Drops every metric; the enabled flag is left alone.
+  void clear() {
+    Counters.clear();
+    Gauges.clear();
+    Histograms.clear();
+    Timers.clear();
+  }
+
+private:
+  bool Enabled = false;
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Gauge> Gauges;
+  std::map<std::string, Histogram> Histograms;
+  std::map<std::string, Histogram> Timers;
+};
+
+/// RAII phase timer: records elapsed nanoseconds into \p R's timer \p Name
+/// on destruction (or at an explicit stop()). When the registry is disabled
+/// at construction the clock is never read — the disabled path is one
+/// branch and two pointer stores.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(const char *Name,
+                       Registry &R = Registry::global())
+      : Reg(R.enabled() ? &R : nullptr), Name(Name) {
+    if (Reg)
+      Start = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Ends the phase early; subsequent stops are no-ops.
+  void stop() {
+    if (!Reg)
+      return;
+    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+    Reg->timer(Name).record(static_cast<double>(Ns));
+    Reg = nullptr;
+  }
+
+private:
+  Registry *Reg;
+  const char *Name;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace bpcr
+
+#endif // BPCR_OBS_METRICS_H

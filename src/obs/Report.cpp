@@ -1,0 +1,134 @@
+//===- obs/Report.cpp -----------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Report.h"
+
+#include "core/Pipeline.h"
+
+#include <cstdio>
+
+using namespace bpcr;
+
+namespace {
+
+JsonValue histogramJson(const Histogram &H) {
+  JsonValue J = JsonValue::object();
+  J.set("count", JsonValue::integer(H.Count));
+  J.set("sum", JsonValue::number(H.Sum));
+  J.set("min", JsonValue::number(H.Min));
+  J.set("max", JsonValue::number(H.Max));
+  J.set("mean", JsonValue::number(H.mean()));
+  return J;
+}
+
+} // namespace
+
+JsonValue bpcr::metricsJson(const Registry &R) {
+  JsonValue M = JsonValue::object();
+
+  JsonValue Counters = JsonValue::object();
+  for (const auto &[Name, C] : R.counters())
+    Counters.set(Name, JsonValue::integer(C.Value));
+  M.set("counters", std::move(Counters));
+
+  JsonValue Gauges = JsonValue::object();
+  for (const auto &[Name, G] : R.gauges())
+    Gauges.set(Name, JsonValue::number(G.Value));
+  M.set("gauges", std::move(Gauges));
+
+  JsonValue Histograms = JsonValue::object();
+  for (const auto &[Name, H] : R.histograms())
+    Histograms.set(Name, histogramJson(H));
+  M.set("histograms", std::move(Histograms));
+
+  // Phase timers as a wall-time breakdown in nanoseconds.
+  JsonValue Phases = JsonValue::object();
+  for (const auto &[Name, H] : R.timers()) {
+    JsonValue P = JsonValue::object();
+    P.set("count", JsonValue::integer(H.Count));
+    P.set("total_ns", JsonValue::integer(static_cast<int64_t>(H.Sum)));
+    P.set("mean_ns", JsonValue::number(H.mean()));
+    Phases.set(Name, std::move(P));
+  }
+  M.set("phases", std::move(Phases));
+  return M;
+}
+
+JsonValue bpcr::pipelineJson(const PipelineResult &PR) {
+  JsonValue P = JsonValue::object();
+
+  JsonValue Repl = JsonValue::object();
+  Repl.set("loop", JsonValue::integer(static_cast<int64_t>(
+                       PR.LoopReplications)));
+  Repl.set("joint", JsonValue::integer(static_cast<int64_t>(
+                        PR.JointReplications)));
+  Repl.set("correlated", JsonValue::integer(static_cast<int64_t>(
+                             PR.CorrelatedReplications)));
+  P.set("replications", std::move(Repl));
+
+  JsonValue Skipped = JsonValue::object();
+  Skipped.set("budget", JsonValue::integer(static_cast<int64_t>(
+                            PR.SkippedBudget)));
+  Skipped.set("structure", JsonValue::integer(static_cast<int64_t>(
+                               PR.SkippedStructure)));
+  P.set("skipped", std::move(Skipped));
+
+  JsonValue Size = JsonValue::object();
+  Size.set("original_instructions", JsonValue::integer(PR.OrigInstructions));
+  Size.set("transformed_instructions", JsonValue::integer(PR.NewInstructions));
+  Size.set("factor", JsonValue::number(PR.sizeFactor()));
+  P.set("code_size", std::move(Size));
+
+  JsonValue Decisions = JsonValue::array();
+  for (const BranchDecision &D : PR.Decisions.all()) {
+    JsonValue J = JsonValue::object();
+    J.set("branch", JsonValue::integer(static_cast<int64_t>(D.BranchId)));
+    J.set("strategy", JsonValue::str(D.Strategy));
+    J.set("action", JsonValue::str(decisionActionName(D.Action)));
+    J.set("gain", JsonValue::integer(D.EstimatedGain));
+    J.set("cost", JsonValue::integer(D.SizeCost));
+    J.set("reason", JsonValue::str(D.Reason));
+    Decisions.push(std::move(J));
+  }
+  P.set("decisions", std::move(Decisions));
+  return P;
+}
+
+JsonValue bpcr::buildReport(const ReportMeta &Meta, const Registry &R,
+                            const PipelineResult *PR) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema_version", JsonValue::integer(
+                                static_cast<int64_t>(ReportSchemaVersion)));
+  Doc.set("tool", JsonValue::str(Meta.Tool));
+  if (!Meta.Command.empty())
+    Doc.set("command", JsonValue::str(Meta.Command));
+  if (!Meta.Workload.empty())
+    Doc.set("workload", JsonValue::str(Meta.Workload));
+  if (Meta.Seed)
+    Doc.set("seed", JsonValue::integer(Meta.Seed));
+  if (Meta.Events)
+    Doc.set("events", JsonValue::integer(Meta.Events));
+  Doc.set("metrics", metricsJson(R));
+  if (PR)
+    Doc.set("pipeline", pipelineJson(*PR));
+  return Doc;
+}
+
+bool bpcr::writeReportFile(const std::string &Path, const JsonValue &Report,
+                           std::string &Error) {
+  std::string Text = Report.dump(2);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size();
+  Ok &= std::fclose(F) == 0;
+  if (!Ok)
+    Error = "short write to '" + Path + "'";
+  return Ok;
+}

@@ -1,0 +1,62 @@
+//===- obs/Report.h - Machine-readable run reports --------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a metrics Registry — and, for pipeline runs, the
+/// PipelineResult with its per-branch DecisionLog — into a stable JSON
+/// schema. `bpcr --metrics`, `bpcr report` and the bench binaries all emit
+/// this format, so BENCH_*.json files are comparable across PRs. The schema
+/// is versioned (ReportSchemaVersion, "schema_version" in the output) and
+/// documented in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_OBS_REPORT_H
+#define BPCR_OBS_REPORT_H
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+
+#include <string>
+
+namespace bpcr {
+
+struct PipelineResult;
+
+/// Bump when the report layout changes incompatibly.
+constexpr int ReportSchemaVersion = 1;
+
+/// Context describing the run being reported.
+struct ReportMeta {
+  /// Producing binary ("bpcr", "headline_replication", ...).
+  std::string Tool = "bpcr";
+  /// Subcommand or mode ("replicate", "bench", ...).
+  std::string Command;
+  /// Workload name when the run concerned a single workload.
+  std::string Workload;
+  uint64_t Seed = 0;
+  /// Branch-event cap of the run (0 = not applicable).
+  uint64_t Events = 0;
+};
+
+/// The registry's counters/gauges/histograms/phase timers as one object.
+JsonValue metricsJson(const Registry &R);
+
+/// PipelineResult summary plus its decision log.
+JsonValue pipelineJson(const PipelineResult &PR);
+
+/// Full report document; \p PR adds the "pipeline" section when non-null.
+JsonValue buildReport(const ReportMeta &Meta, const Registry &R,
+                      const PipelineResult *PR = nullptr);
+
+/// Pretty-prints \p Report to \p Path. \returns false and sets \p Error on
+/// I/O failure.
+bool writeReportFile(const std::string &Path, const JsonValue &Report,
+                     std::string &Error);
+
+} // namespace bpcr
+
+#endif // BPCR_OBS_REPORT_H

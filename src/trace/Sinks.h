@@ -66,8 +66,8 @@ private:
   uint64_t TakenCount = 0;
 };
 
-/// Forwards every event to each registered sink in order.
-class TeeSink : public TraceSink {
+/// Forwards every event to each registered sink, in registration order.
+class MultiSink : public TraceSink {
 public:
   void add(TraceSink *S) { Sinks.push_back(S); }
 
@@ -79,6 +79,9 @@ public:
 private:
   std::vector<TraceSink *> Sinks;
 };
+
+/// Historical name of MultiSink.
+using TeeSink = MultiSink;
 
 } // namespace bpcr
 

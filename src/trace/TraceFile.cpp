@@ -84,39 +84,60 @@ std::vector<uint8_t> bpcr::encodeTrace(const Trace &T) {
   return Buf;
 }
 
-bool bpcr::decodeTrace(const std::vector<uint8_t> &Buf, Trace &Out) {
+bool bpcr::decodeTrace(const std::vector<uint8_t> &Buf, Trace &Out,
+                       std::string &Error) {
   Out.clear();
-  if (Buf.size() < 5)
+  Error.clear();
+  auto Fail = [&Error](std::string Msg) {
+    Error = std::move(Msg);
     return false;
+  };
+
+  if (Buf.size() < 5)
+    return Fail("trace header truncated: " + std::to_string(Buf.size()) +
+                " bytes, need at least 5 (magic + version)");
   for (int I = 0; I < 4; ++I)
     if (Buf[I] != Magic[I])
-      return false;
+      return Fail("bad magic: not a BPCT trace file");
   if (Buf[4] != Version)
-    return false;
+    return Fail("unsupported trace version " + std::to_string(Buf[4]) +
+                " (expected " + std::to_string(Version) + ")");
 
   size_t Pos = 5;
   uint64_t Count = 0;
   if (!getVarint(Buf, Pos, Count))
-    return false;
+    return Fail("truncated or overlong varint in event count at byte " +
+                std::to_string(Pos));
   Out.reserve(Count);
 
   int64_t PrevId = 0;
   while (Out.size() < Count) {
+    size_t GroupStart = Pos;
     uint64_t Header = 0, RunMinus1 = 0;
     if (!getVarint(Buf, Pos, Header) || !getVarint(Buf, Pos, RunMinus1))
-      return false;
+      return Fail("truncated event group at byte " +
+                  std::to_string(GroupStart) + " (decoded " +
+                  std::to_string(Out.size()) + " of " +
+                  std::to_string(Count) + " events)");
     bool Taken = Header & 1;
     int64_t Id = PrevId + unzigzag(Header >> 1);
     if (Id < 0 || Id > INT32_MAX)
-      return false;
+      return Fail("branch id " + std::to_string(Id) +
+                  " out of range at byte " + std::to_string(GroupStart));
     uint64_t Run = RunMinus1 + 1;
     if (Out.size() + Run > Count)
-      return false;
+      return Fail("run of " + std::to_string(Run) +
+                  " events at byte " + std::to_string(GroupStart) +
+                  " overflows the declared event count " +
+                  std::to_string(Count));
     for (uint64_t K = 0; K < Run; ++K)
       Out.push_back({static_cast<int32_t>(Id), Taken});
     PrevId = Id;
   }
-  return Pos == Buf.size();
+  if (Pos != Buf.size())
+    return Fail(std::to_string(Buf.size() - Pos) +
+                " trailing bytes after the last event");
+  return true;
 }
 
 bool bpcr::writeTraceFile(const std::string &Path, const Trace &T) {
@@ -130,15 +151,27 @@ bool bpcr::writeTraceFile(const std::string &Path, const Trace &T) {
   return Ok;
 }
 
-bool bpcr::readTraceFile(const std::string &Path, Trace &Out) {
+bool bpcr::readTraceFile(const std::string &Path, Trace &Out,
+                         std::string &Error) {
   std::FILE *F = std::fopen(Path.c_str(), "rb");
-  if (!F)
+  if (!F) {
+    Error = "cannot open '" + Path + "'";
     return false;
+  }
   std::vector<uint8_t> Buf;
   uint8_t Chunk[65536];
   size_t N;
   while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
     Buf.insert(Buf.end(), Chunk, Chunk + N);
+  bool ReadError = std::ferror(F) != 0;
   std::fclose(F);
-  return decodeTrace(Buf, Out);
+  if (ReadError) {
+    Error = "I/O error reading '" + Path + "'";
+    return false;
+  }
+  if (!decodeTrace(Buf, Out, Error)) {
+    Error = "'" + Path + "': " + Error;
+    return false;
+  }
+  return true;
 }

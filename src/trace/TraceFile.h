@@ -28,14 +28,29 @@ std::vector<uint8_t> encodeTrace(const Trace &T);
 
 /// Decodes a buffer produced by encodeTrace.
 /// \param[out] Out receives the decoded events.
+/// \param[out] Error describes the failure (bad magic, unsupported
+///             version, truncation, corrupt varint, ...) with its byte
+///             offset where applicable.
 /// \returns false if the buffer is truncated or malformed.
-bool decodeTrace(const std::vector<uint8_t> &Buf, Trace &Out);
+bool decodeTrace(const std::vector<uint8_t> &Buf, Trace &Out,
+                 std::string &Error);
+
+inline bool decodeTrace(const std::vector<uint8_t> &Buf, Trace &Out) {
+  std::string Error;
+  return decodeTrace(Buf, Out, Error);
+}
 
 /// Writes \p T to \p Path. \returns false on I/O failure.
 bool writeTraceFile(const std::string &Path, const Trace &T);
 
-/// Reads a trace from \p Path. \returns false on I/O or format failure.
-bool readTraceFile(const std::string &Path, Trace &Out);
+/// Reads a trace from \p Path. \returns false on I/O or format failure
+/// with \p Error describing it.
+bool readTraceFile(const std::string &Path, Trace &Out, std::string &Error);
+
+inline bool readTraceFile(const std::string &Path, Trace &Out) {
+  std::string Error;
+  return readTraceFile(Path, Out, Error);
+}
 
 } // namespace bpcr
 

@@ -1,0 +1,347 @@
+//===- tests/test_obs.cpp - Metrics registry, JSON and run reports --------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "obs/DecisionLog.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Report.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace bpcr;
+
+namespace {
+
+/// A private registry per test keeps cases independent of the global one.
+Registry makeEnabled() {
+  Registry R;
+  R.setEnabled(true);
+  return R;
+}
+
+const Workload &workloadNamed(const char *Name) {
+  for (const Workload &W : allWorkloads())
+    if (std::string(W.Name) == Name)
+      return W;
+  ADD_FAILURE() << "no workload named " << Name;
+  return allWorkloads()[0];
+}
+
+} // namespace
+
+// -- Counter / Gauge / Histogram --------------------------------------------
+
+TEST(Metrics, CounterSemantics) {
+  Registry R = makeEnabled();
+  EXPECT_TRUE(R.empty());
+  R.counter("a").inc();
+  R.counter("a").inc();
+  R.counter("a").add(40);
+  EXPECT_EQ(R.counter("a").Value, 42u);
+  EXPECT_EQ(R.counter("fresh").Value, 0u); // fetch-or-create defaults to 0
+  EXPECT_EQ(R.counters().size(), 2u);
+}
+
+TEST(Metrics, GaugeKeepsLastWrite) {
+  Registry R = makeEnabled();
+  R.gauge("g").set(1.5);
+  R.gauge("g").set(-2.25);
+  EXPECT_DOUBLE_EQ(R.gauge("g").Value, -2.25);
+}
+
+TEST(Metrics, HistogramSummarizes) {
+  Registry R = makeEnabled();
+  Histogram &H = R.histogram("h");
+  EXPECT_EQ(H.Count, 0u);
+  EXPECT_DOUBLE_EQ(H.mean(), 0.0); // empty histogram: mean is defined as 0
+  H.record(4.0);
+  H.record(-2.0);
+  H.record(10.0);
+  EXPECT_EQ(H.Count, 3u);
+  EXPECT_DOUBLE_EQ(H.Sum, 12.0);
+  EXPECT_DOUBLE_EQ(H.Min, -2.0);
+  EXPECT_DOUBLE_EQ(H.Max, 10.0);
+  EXPECT_DOUBLE_EQ(H.mean(), 4.0);
+}
+
+TEST(Metrics, ClearDropsMetricsButKeepsEnabled) {
+  Registry R = makeEnabled();
+  R.counter("c").inc();
+  R.timer("t").record(5.0);
+  EXPECT_FALSE(R.empty());
+  R.clear();
+  EXPECT_TRUE(R.empty());
+  EXPECT_TRUE(R.enabled());
+}
+
+// -- ScopedTimer -------------------------------------------------------------
+
+TEST(Metrics, ScopedTimerRecordsOnDestruction) {
+  Registry R = makeEnabled();
+  { ScopedTimer T("phase.x", R); }
+  ASSERT_EQ(R.timers().count("phase.x"), 1u);
+  EXPECT_EQ(R.timers().at("phase.x").Count, 1u);
+  EXPECT_GE(R.timers().at("phase.x").Min, 0.0);
+}
+
+TEST(Metrics, ScopedTimerExplicitStopIsIdempotent) {
+  Registry R = makeEnabled();
+  ScopedTimer T("phase.y", R);
+  T.stop();
+  T.stop(); // second stop must not add a sample
+  EXPECT_EQ(R.timers().at("phase.y").Count, 1u);
+}
+
+TEST(Metrics, ScopedTimersNest) {
+  Registry R = makeEnabled();
+  {
+    ScopedTimer Outer("outer", R);
+    {
+      ScopedTimer Inner("inner", R);
+    }
+    {
+      ScopedTimer Inner("inner", R);
+    }
+  }
+  EXPECT_EQ(R.timers().at("outer").Count, 1u);
+  EXPECT_EQ(R.timers().at("inner").Count, 2u);
+  // The outer phase encloses both inner phases.
+  EXPECT_GE(R.timers().at("outer").Sum, R.timers().at("inner").Sum);
+}
+
+TEST(Metrics, DisabledRegistryStaysEmpty) {
+  Registry R; // disabled by default
+  EXPECT_FALSE(R.enabled());
+  { ScopedTimer T("never", R); }
+  EXPECT_TRUE(R.empty()); // the disabled path allocates nothing
+}
+
+// -- DecisionLog -------------------------------------------------------------
+
+TEST(DecisionLog, QueriesByBranchAndAction) {
+  DecisionLog L;
+  L.add({3, "loop", DecisionAction::Applied, 100, 12, "ok"});
+  L.add({5, "correlated", DecisionAction::SkippedBudget, 50, 90, "too big"});
+  L.add({3, "profile", DecisionAction::KeptProfile, 0, 0, "fallback"});
+  EXPECT_EQ(L.size(), 3u);
+  EXPECT_EQ(L.countAction(DecisionAction::Applied), 1u);
+  EXPECT_EQ(L.countAction(DecisionAction::SkippedGain), 0u);
+  auto For3 = L.forBranch(3);
+  ASSERT_EQ(For3.size(), 2u);
+  EXPECT_EQ(For3[0]->Strategy, "loop");   // pipeline order preserved
+  EXPECT_EQ(For3[1]->Strategy, "profile");
+  EXPECT_TRUE(L.forBranch(99).empty());
+}
+
+TEST(DecisionLog, ActionNamesAreStable) {
+  // The names are part of the JSON schema; renames are schema breaks.
+  EXPECT_STREQ(decisionActionName(DecisionAction::Applied), "applied");
+  EXPECT_STREQ(decisionActionName(DecisionAction::AppliedJoint),
+               "applied-joint");
+  EXPECT_STREQ(decisionActionName(DecisionAction::KeptProfile),
+               "kept-profile");
+  EXPECT_STREQ(decisionActionName(DecisionAction::SkippedGain),
+               "skipped-gain");
+  EXPECT_STREQ(decisionActionName(DecisionAction::SkippedBudget),
+               "skipped-budget");
+  EXPECT_STREQ(decisionActionName(DecisionAction::SkippedStructure),
+               "skipped-structure");
+}
+
+// -- Json --------------------------------------------------------------------
+
+TEST(Json, DumpAndParseRoundTripsEveryKind) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("null", JsonValue::null());
+  Doc.set("t", JsonValue::boolean(true));
+  Doc.set("f", JsonValue::boolean(false));
+  Doc.set("int", JsonValue::integer(int64_t{-42}));
+  Doc.set("big", JsonValue::integer(uint64_t{1} << 60)); // above 2^53
+  Doc.set("dbl", JsonValue::number(3.25));
+  Doc.set("str", JsonValue::str("he\"llo\n\tworld \\"));
+  JsonValue Arr = JsonValue::array();
+  Arr.push(JsonValue::integer(int64_t{1}));
+  Arr.push(JsonValue::str("two"));
+  Doc.set("arr", std::move(Arr));
+  JsonValue Nested = JsonValue::object();
+  Nested.set("k", JsonValue::number(0.5));
+  Doc.set("obj", std::move(Nested));
+
+  for (unsigned Indent : {0u, 2u}) {
+    std::string Error;
+    JsonValue Back = parseJson(Doc.dump(Indent), Error);
+    EXPECT_TRUE(Error.empty()) << Error;
+    EXPECT_EQ(Doc, Back);
+  }
+}
+
+TEST(Json, IntegersAboveDoublePrecisionSurvive) {
+  int64_t Exact = (int64_t{1} << 53) + 1; // not representable as double
+  std::string Error;
+  JsonValue Back = parseJson(std::to_string(Exact), Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Back.kind(), JsonValue::Kind::Int);
+  EXPECT_EQ(Back.asInt(), Exact);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrderAndReplace) {
+  JsonValue O = JsonValue::object();
+  O.set("z", JsonValue::integer(int64_t{1}));
+  O.set("a", JsonValue::integer(int64_t{2}));
+  O.set("z", JsonValue::integer(int64_t{3})); // replace keeps position
+  ASSERT_EQ(O.members().size(), 2u);
+  EXPECT_EQ(O.members()[0].first, "z");
+  EXPECT_EQ(O.members()[0].second.asInt(), 3);
+  EXPECT_EQ(O.members()[1].first, "a");
+  ASSERT_NE(O.find("a"), nullptr);
+  EXPECT_EQ(O.find("missing"), nullptr);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  for (const char *Bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2",
+                          "\"unterminated", "{\"a\" 1}", "nul", "+1",
+                          "[1,2,,3]", "{1: 2}"}) {
+    std::string Error;
+    parseJson(Bad, Error);
+    EXPECT_FALSE(Error.empty()) << "accepted: " << Bad;
+  }
+}
+
+TEST(Json, ParserErrorsNameTheByteOffset) {
+  std::string Error;
+  parseJson("{\"a\": !}", Error);
+  EXPECT_NE(Error.find("byte"), std::string::npos) << Error;
+}
+
+TEST(Json, NumericCrossTypeEquality) {
+  EXPECT_EQ(JsonValue::integer(int64_t{2}), JsonValue::number(2.0));
+  EXPECT_NE(JsonValue::integer(int64_t{2}), JsonValue::number(2.5));
+}
+
+// -- Report ------------------------------------------------------------------
+
+TEST(Report, MetricsJsonShape) {
+  Registry R = makeEnabled();
+  R.counter("c.events").add(7);
+  R.gauge("g.rate").set(1.5);
+  R.histogram("h.sizes").record(3.0);
+  R.timer("p.phase").record(1000.0);
+
+  JsonValue M = metricsJson(R);
+  ASSERT_NE(M.find("counters"), nullptr);
+  EXPECT_EQ(M.find("counters")->find("c.events")->asInt(), 7);
+  EXPECT_DOUBLE_EQ(M.find("gauges")->find("g.rate")->asDouble(), 1.5);
+  const JsonValue *H = M.find("histograms")->find("h.sizes");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->find("count")->asInt(), 1);
+  const JsonValue *P = M.find("phases")->find("p.phase");
+  ASSERT_NE(P, nullptr);
+  EXPECT_DOUBLE_EQ(P->find("total_ns")->asDouble(), 1000.0);
+}
+
+TEST(Report, BuildReportRoundTripsThroughParser) {
+  Registry R = makeEnabled();
+  R.counter("interp.instructions").add(12345);
+  ReportMeta Meta;
+  Meta.Tool = "test";
+  Meta.Command = "unit";
+  Meta.Workload = "compress";
+  Meta.Seed = 1;
+  Meta.Events = 1000;
+
+  JsonValue Report = buildReport(Meta, R);
+  std::string Error;
+  JsonValue Back = parseJson(Report.dump(), Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Report, Back);
+  EXPECT_EQ(Back.find("schema_version")->asInt(), ReportSchemaVersion);
+  EXPECT_EQ(Back.find("tool")->asString(), "test");
+  EXPECT_EQ(Back.find("workload")->asString(), "compress");
+  EXPECT_EQ(
+      Back.find("metrics")->find("counters")->find("interp.instructions")
+          ->asInt(),
+      12345);
+}
+
+TEST(Report, WriteReportFileFailsWithDescriptiveError) {
+  std::string Error;
+  EXPECT_FALSE(writeReportFile("/nonexistent/dir/report.json",
+                               JsonValue::object(), Error));
+  EXPECT_NE(Error.find("/nonexistent/dir/report.json"), std::string::npos)
+      << Error;
+}
+
+// -- End-to-end pipeline report ----------------------------------------------
+
+TEST(Report, PipelineRunProducesPhasesAndDecisions) {
+  Registry &G = Registry::global();
+  G.clear();
+  G.setEnabled(true);
+
+  Module M;
+  Trace T = traceWorkload(workloadNamed("compress"), 1, M, 20'000);
+  PipelineOptions Opts;
+  Opts.Strategy.MaxStates = 6;
+  Opts.Strategy.NodeBudget = 30'000;
+  PipelineResult PR = replicateModule(M, T, Opts);
+
+  // Every phase timer fired exactly once for this single run.
+  for (const char *Phase :
+       {"pipeline.phase.loop_analysis", "pipeline.phase.profiling",
+        "pipeline.phase.machine_search", "pipeline.phase.joint_planning",
+        "pipeline.phase.replication", "pipeline.phase.annotation"}) {
+    ASSERT_EQ(G.timers().count(Phase), 1u) << Phase;
+    EXPECT_EQ(G.timers().at(Phase).Count, 1u) << Phase;
+  }
+  EXPECT_EQ(G.counter("pipeline.runs").Value, 1u);
+  EXPECT_GT(G.counter("interp.instructions").Value, 0u);
+  EXPECT_GT(G.counter("interp.branch_events").Value, 0u);
+
+  // Every static branch got at least one decision record, each with a
+  // non-empty reason.
+  ASSERT_FALSE(PR.Decisions.empty());
+  for (const BranchDecision &D : PR.Decisions.all()) {
+    EXPECT_GE(D.BranchId, 0);
+    EXPECT_FALSE(D.Strategy.empty());
+    EXPECT_FALSE(D.Reason.empty());
+  }
+
+  // The full report serializes and parses back with the pipeline section.
+  ReportMeta Meta;
+  Meta.Command = "replicate";
+  Meta.Workload = "compress";
+  JsonValue Report = buildReport(Meta, G, &PR);
+  std::string Error;
+  JsonValue Back = parseJson(Report.dump(), Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  const JsonValue *Pipeline = Back.find("pipeline");
+  ASSERT_NE(Pipeline, nullptr);
+  EXPECT_EQ(Pipeline->find("decisions")->size(), PR.Decisions.size());
+  ASSERT_NE(Pipeline->find("code_size"), nullptr);
+  EXPECT_GT(Pipeline->find("code_size")->find("factor")->asDouble(), 0.0);
+
+  G.clear();
+  G.setEnabled(false);
+}
+
+TEST(Report, DisabledGlobalRegistryRecordsNothing) {
+  Registry &G = Registry::global();
+  G.clear();
+  G.setEnabled(false);
+
+  Module M;
+  Trace T = traceWorkload(workloadNamed("compress"), 1, M, 5'000);
+  PipelineOptions Opts;
+  Opts.Strategy.MaxStates = 4;
+  Opts.Strategy.NodeBudget = 10'000;
+  PipelineResult PR = replicateModule(M, T, Opts);
+
+  // Metrics are off; the decision log is part of the result and still fills.
+  EXPECT_TRUE(G.empty());
+  EXPECT_FALSE(PR.Decisions.empty());
+}

@@ -4,9 +4,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "interp/Interpreter.h"
 #include "support/Rng.h"
+#include "trace/Sinks.h"
 #include "trace/TraceFile.h"
 #include "trace/TraceStats.h"
+#include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
 
@@ -174,4 +177,162 @@ TEST(TraceFile, RandomPrefixesNeverCrash) {
     Trace Out;
     decodeTrace(Junk, Out); // must simply return false or a valid trace
   }
+}
+
+// -- Descriptive decode errors -----------------------------------------------
+
+TEST(TraceFileErrors, BadMagicIsDescribed) {
+  auto Buf = encodeTrace({{1, true}});
+  Buf[0] = 'X';
+  Trace Out;
+  std::string Error;
+  EXPECT_FALSE(decodeTrace(Buf, Out, Error));
+  EXPECT_NE(Error.find("magic"), std::string::npos) << Error;
+}
+
+TEST(TraceFileErrors, BadVersionIsDescribed) {
+  auto Buf = encodeTrace({{1, true}});
+  Buf[4] = 99; // version byte follows the 4-byte magic
+  Trace Out;
+  std::string Error;
+  EXPECT_FALSE(decodeTrace(Buf, Out, Error));
+  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("99"), std::string::npos) << Error;
+}
+
+TEST(TraceFileErrors, TruncationIsDescribed) {
+  auto Buf = encodeTrace(randomTrace(9, 1000, 100));
+  Buf.resize(Buf.size() / 2);
+  Trace Out;
+  std::string Error;
+  EXPECT_FALSE(decodeTrace(Buf, Out, Error));
+  EXPECT_NE(Error.find("truncat"), std::string::npos) << Error;
+}
+
+TEST(TraceFileErrors, ShortHeaderIsDescribed) {
+  std::vector<uint8_t> Buf = {'B', 'P'};
+  Trace Out;
+  std::string Error;
+  EXPECT_FALSE(decodeTrace(Buf, Out, Error));
+  EXPECT_NE(Error.find("truncated"), std::string::npos) << Error;
+}
+
+TEST(TraceFileErrors, TrailingGarbageIsDescribed) {
+  auto Buf = encodeTrace({{1, true}});
+  Buf.push_back(0);
+  Trace Out;
+  std::string Error;
+  EXPECT_FALSE(decodeTrace(Buf, Out, Error));
+  EXPECT_NE(Error.find("trailing"), std::string::npos) << Error;
+}
+
+TEST(TraceFileErrors, MissingFileNamesThePath) {
+  Trace Out;
+  std::string Error;
+  EXPECT_FALSE(readTraceFile("/nonexistent/dir/x.bpct", Out, Error));
+  EXPECT_NE(Error.find("/nonexistent/dir/x.bpct"), std::string::npos) << Error;
+}
+
+TEST(TraceFileErrors, CorruptedFileNamesThePath) {
+  std::string Path = ::testing::TempDir() + "/bpcr_trace_corrupt.bpct";
+  Trace T = randomTrace(10, 500, 20);
+  ASSERT_TRUE(writeTraceFile(Path, T));
+  // Truncate the file on disk to simulate a torn write.
+  {
+    std::vector<uint8_t> Buf = encodeTrace(T);
+    Buf.resize(Buf.size() / 2);
+    FILE *F = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(F, nullptr);
+    ASSERT_EQ(std::fwrite(Buf.data(), 1, Buf.size(), F), Buf.size());
+    std::fclose(F);
+  }
+  Trace Out;
+  std::string Error;
+  EXPECT_FALSE(readTraceFile(Path, Out, Error));
+  EXPECT_NE(Error.find(Path), std::string::npos) << Error;
+  EXPECT_NE(Error.find("truncat"), std::string::npos) << Error;
+}
+
+// -- MultiSink ---------------------------------------------------------------
+
+namespace {
+
+/// Appends "<tag>:<branch>:<taken>" to a shared log, to observe fan-out order.
+class LoggingSink : public TraceSink {
+public:
+  LoggingSink(char Tag, std::vector<std::string> &Log) : Tag(Tag), Log(Log) {}
+
+  void onBranch(const Instruction &Br, bool Taken) override {
+    Log.push_back(std::string(1, Tag) + ":" + std::to_string(Br.BranchId) +
+                  ":" + (Taken ? "1" : "0"));
+  }
+
+private:
+  char Tag;
+  std::vector<std::string> &Log;
+};
+
+} // namespace
+
+TEST(MultiSink, FanOutPreservesRegistrationOrder) {
+  std::vector<std::string> Log;
+  LoggingSink A('a', Log), B('b', Log);
+  MultiSink Multi;
+  Multi.add(&A);
+  Multi.add(&B);
+
+  Instruction Br;
+  Br.BranchId = 3;
+  Multi.onBranch(Br, true);
+  Br.BranchId = 7;
+  Multi.onBranch(Br, false);
+
+  ASSERT_EQ(Log.size(), 4u);
+  EXPECT_EQ(Log[0], "a:3:1");
+  EXPECT_EQ(Log[1], "b:3:1");
+  EXPECT_EQ(Log[2], "a:7:0");
+  EXPECT_EQ(Log[3], "b:7:0");
+}
+
+TEST(MultiSink, MillionEventStressAgreesAcrossSinks) {
+  // Drive over a million branch events from real workload runs through one
+  // MultiSink and check the counting and collecting views never diverge.
+  CountingSink Counting;
+  CollectingSink Collecting;
+  MultiSink Multi;
+  Multi.add(&Counting);
+  Multi.add(&Collecting);
+
+  uint64_t FromRuns = 0;
+  for (uint64_t Seed = 1; Counting.total() < 1'000'000u; ++Seed) {
+    Module Run = buildWorkload("ghostview", Seed);
+    Run.assignBranchIds();
+    ExecOptions Opts;
+    Opts.MaxBranchEvents = 1'000'000;
+    FromRuns += execute(Run, &Multi, Opts).BranchEvents;
+  }
+
+  EXPECT_GE(Counting.total(), 1'000'000u);
+  EXPECT_EQ(Counting.total(), FromRuns);
+  EXPECT_EQ(Counting.total(), Collecting.trace().size());
+
+  uint64_t Taken = 0;
+  for (const BranchEvent &E : Collecting.trace())
+    Taken += E.Taken ? 1 : 0;
+  EXPECT_EQ(Taken, Counting.taken());
+}
+
+TEST(MultiSink, EmptyAndSingleSinkDegenerateCases) {
+  MultiSink Empty;
+  Instruction Br;
+  Br.BranchId = 0;
+  Empty.onBranch(Br, true); // no sinks: must be a no-op, not a crash
+
+  CountingSink Counting;
+  MultiSink Single;
+  Single.add(&Counting);
+  Single.onBranch(Br, true);
+  Single.onBranch(Br, false);
+  EXPECT_EQ(Counting.total(), 2u);
+  EXPECT_EQ(Counting.taken(), 1u);
 }

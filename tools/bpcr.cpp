@@ -12,6 +12,11 @@
 //   bpcr trace <workload> [--seed N] [--events N] [-o trace.bpct]
 //   bpcr analyze <workload> [--seed N] [--events N]
 //   bpcr replicate <workload> [--seed N] [--states N] [--budget X] [--dump]
+//   bpcr report <workload> [--seed N] [--events N] [--states N] [--budget X]
+//
+// `trace`, `analyze`, `replicate` and `report` accept --metrics FILE to
+// write a machine-readable JSON run report (schema in
+// docs/OBSERVABILITY.md); `report` prints the same data as tables.
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +26,8 @@
 #include "ir/Printer.h"
 #include "ir/Serializer.h"
 #include "ir/Verifier.h"
+#include "obs/Metrics.h"
+#include "obs/Report.h"
 #include "predict/DynamicPredictors.h"
 #include "predict/Evaluator.h"
 #include "predict/SemiStaticPredictors.h"
@@ -47,10 +54,12 @@ struct Args {
   double Budget = 2.0;
   bool Dump = false;
   std::string Output;
+  std::string Metrics;
 };
 
 int usage() {
-  std::printf(
+  std::fprintf(
+      stderr,
       "usage: bpcr <command> [options]\n"
       "\n"
       "commands:\n"
@@ -60,26 +69,46 @@ int usage() {
       "  analyze <workload>           per-branch statistics and prediction\n"
       "                               rates\n"
       "  replicate <workload>         run the full replication pipeline\n"
+      "  report <workload>            phase timings and per-branch\n"
+      "                               replication decisions\n"
       "\n"
       "options:\n"
-      "  --seed N      workload input seed (default 1)\n"
-      "  --events N    branch-event cap (default 1000000)\n"
-      "  --states N    per-branch state budget for replicate (default 6)\n"
-      "  --budget X    code-size factor budget for replicate (default 2.0)\n"
-      "  --dump        also print the transformed IR (replicate)\n"
-      "  -o FILE       output file (trace: .bpct; dump/replicate: module\n"
-      "                text)\n");
+      "  --seed N       workload input seed (default 1)\n"
+      "  --events N     branch-event cap (default 1000000)\n"
+      "  --states N     per-branch state budget for replicate (default 6)\n"
+      "  --budget X     code-size factor budget for replicate (default 2.0)\n"
+      "  --dump         also print the transformed IR (replicate)\n"
+      "  --metrics FILE write a JSON run report (trace/analyze/replicate/\n"
+      "                 report)\n"
+      "  -o FILE        output file (trace: .bpct; dump/replicate: module\n"
+      "                 text)\n");
   return 2;
+}
+
+/// Prints a parse error to stderr; the caller follows up with usage().
+bool parseError(const std::string &Msg) {
+  std::fprintf(stderr, "bpcr: error: %s\n", Msg.c_str());
+  return false;
 }
 
 bool parseArgs(int Argc, char **Argv, Args &A) {
   if (Argc < 2)
-    return false;
+    return parseError("no command given");
   A.Command = Argv[1];
+
+  static const char *Known[] = {"list",      "dump",   "trace",
+                                "analyze",   "replicate", "report"};
+  bool KnownCommand = false;
+  for (const char *C : Known)
+    KnownCommand |= A.Command == C;
+  if (!KnownCommand)
+    return parseError("unknown command '" + A.Command + "'");
+
   int I = 2;
   if (A.Command != "list") {
-    if (I >= Argc)
-      return false;
+    if (I >= Argc || Argv[I][0] == '-')
+      return parseError("command '" + A.Command +
+                        "' needs a workload argument");
     A.Target = Argv[I++];
   }
   for (; I < Argc; ++I) {
@@ -87,36 +116,49 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
     auto Next = [&]() -> const char * {
       return (I + 1 < Argc) ? Argv[++I] : nullptr;
     };
+    // Numeric values are validated in full: "abc", "10x" or an empty
+    // string are parse failures, not silent zeros.
+    auto ParseU64 = [&](const char *V, uint64_t &Out) {
+      char *End = nullptr;
+      Out = std::strtoull(V, &End, 10);
+      return *V != '\0' && End && *End == '\0';
+    };
     if (Opt == "--seed") {
       const char *V = Next();
-      if (!V)
-        return false;
-      A.Seed = std::strtoull(V, nullptr, 10);
+      if (!V || !ParseU64(V, A.Seed))
+        return parseError("option '--seed' needs an integer value");
     } else if (Opt == "--events") {
       const char *V = Next();
-      if (!V)
-        return false;
-      A.Events = std::strtoull(V, nullptr, 10);
+      if (!V || !ParseU64(V, A.Events))
+        return parseError("option '--events' needs an integer value");
     } else if (Opt == "--states") {
       const char *V = Next();
-      if (!V)
-        return false;
-      A.States = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      uint64_t N = 0;
+      if (!V || !ParseU64(V, N) || N == 0)
+        return parseError("option '--states' needs a positive integer value");
+      A.States = static_cast<unsigned>(N);
     } else if (Opt == "--budget") {
       const char *V = Next();
-      if (!V)
-        return false;
-      A.Budget = std::strtod(V, nullptr);
+      char *End = nullptr;
+      A.Budget = V ? std::strtod(V, &End) : 0.0;
+      if (!V || *V == '\0' || !End || *End != '\0')
+        return parseError("option '--budget' needs a numeric value");
+      if (A.Budget < 1.0)
+        return parseError("option '--budget' must be at least 1.0");
     } else if (Opt == "--dump") {
       A.Dump = true;
+    } else if (Opt == "--metrics") {
+      const char *V = Next();
+      if (!V)
+        return parseError("option '--metrics' needs a file argument");
+      A.Metrics = V;
     } else if (Opt == "-o") {
       const char *V = Next();
       if (!V)
-        return false;
+        return parseError("option '-o' needs a file argument");
       A.Output = V;
     } else {
-      std::printf("unknown option '%s'\n", Opt.c_str());
-      return false;
+      return parseError("unknown option '" + Opt + "'");
     }
   }
   return true;
@@ -126,8 +168,30 @@ const Workload *findWorkload(const std::string &Name) {
   for (const Workload &W : allWorkloads())
     if (Name == W.Name)
       return &W;
-  std::printf("unknown workload '%s'; try 'bpcr list'\n", Name.c_str());
+  std::fprintf(stderr, "bpcr: error: unknown workload '%s'; try 'bpcr list'\n",
+               Name.c_str());
   return nullptr;
+}
+
+/// Writes the JSON run report when --metrics was given. \returns false on
+/// I/O failure.
+bool writeMetrics(const Args &A, const PipelineResult *PR) {
+  if (A.Metrics.empty())
+    return true;
+  ReportMeta Meta;
+  Meta.Tool = "bpcr";
+  Meta.Command = A.Command;
+  Meta.Workload = A.Target;
+  Meta.Seed = A.Seed;
+  Meta.Events = A.Events;
+  JsonValue Doc = buildReport(Meta, Registry::global(), PR);
+  std::string Error;
+  if (!writeReportFile(A.Metrics, Doc, Error)) {
+    std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
+    return false;
+  }
+  std::printf("wrote metrics to %s\n", A.Metrics.c_str());
+  return true;
 }
 
 int cmdList() {
@@ -147,7 +211,8 @@ int cmdDump(const Args &A) {
   M.assignBranchIds();
   if (!A.Output.empty()) {
     if (!writeModuleFile(A.Output, M)) {
-      std::printf("error: cannot write %s\n", A.Output.c_str());
+      std::fprintf(stderr, "bpcr: error: cannot write %s\n",
+                   A.Output.c_str());
       return 1;
     }
     std::printf("wrote %s (parseable module format)\n", A.Output.c_str());
@@ -168,7 +233,7 @@ int cmdTrace(const Args &A) {
   std::string Out =
       A.Output.empty() ? (std::string(W->Name) + ".bpct") : A.Output;
   if (!writeTraceFile(Out, T)) {
-    std::printf("error: cannot write %s\n", Out.c_str());
+    std::fprintf(stderr, "bpcr: error: cannot write %s\n", Out.c_str());
     return 1;
   }
   std::vector<uint8_t> Encoded = encodeTrace(T);
@@ -177,7 +242,7 @@ int cmdTrace(const Args &A) {
               T.empty() ? 0.0
                         : static_cast<double>(Encoded.size()) /
                               static_cast<double>(T.size()));
-  return 0;
+  return writeMetrics(A, nullptr) ? 0 : 1;
 }
 
 int cmdAnalyze(const Args &A) {
@@ -241,7 +306,24 @@ int cmdAnalyze(const Args &A) {
                      evaluatePredictor(P, T).mispredictionPercent())});
   }
   std::printf("%s", Pred.render().c_str());
-  return 0;
+  return writeMetrics(A, nullptr) ? 0 : 1;
+}
+
+/// Shared by replicate and report: trace + pipeline + verification.
+bool runPipeline(const Args &A, const Workload &W, Module &M, Trace &T,
+                 PipelineResult &PR) {
+  T = traceWorkload(W, A.Seed, M, A.Events);
+  PipelineOptions Opts;
+  Opts.Strategy.MaxStates = A.States;
+  Opts.Strategy.NodeBudget = 50'000;
+  Opts.MaxSizeFactor = A.Budget;
+  PR = replicateModule(M, T, Opts);
+  if (!verifyModule(PR.Transformed).empty()) {
+    std::fprintf(stderr,
+                 "bpcr: error: transformed module failed verification\n");
+    return false;
+  }
+  return true;
 }
 
 int cmdReplicate(const Args &A) {
@@ -249,17 +331,10 @@ int cmdReplicate(const Args &A) {
   if (!W)
     return 1;
   Module M;
-  Trace T = traceWorkload(*W, A.Seed, M, A.Events);
-
-  PipelineOptions Opts;
-  Opts.Strategy.MaxStates = A.States;
-  Opts.Strategy.NodeBudget = 50'000;
-  Opts.MaxSizeFactor = A.Budget;
-  PipelineResult PR = replicateModule(M, T, Opts);
-  if (!verifyModule(PR.Transformed).empty()) {
-    std::printf("error: transformed module failed verification\n");
+  Trace T;
+  PipelineResult PR;
+  if (!runPipeline(A, *W, M, T, PR))
     return 1;
-  }
 
   TraceStats Stats(static_cast<uint32_t>(M.conditionalBranchCount()));
   Stats.addTrace(T);
@@ -285,14 +360,76 @@ int cmdReplicate(const Args &A) {
               Before.mispredictionPercent(), After.mispredictionPercent());
   if (!A.Output.empty()) {
     if (!writeModuleFile(A.Output, PR.Transformed)) {
-      std::printf("error: cannot write %s\n", A.Output.c_str());
+      std::fprintf(stderr, "bpcr: error: cannot write %s\n",
+                   A.Output.c_str());
       return 1;
     }
     std::printf("  wrote transformed module to %s\n", A.Output.c_str());
   }
   if (A.Dump)
     std::printf("\n%s", printModule(PR.Transformed).c_str());
-  return 0;
+  return writeMetrics(A, &PR) ? 0 : 1;
+}
+
+int cmdReport(const Args &A) {
+  const Workload *W = findWorkload(A.Target);
+  if (!W)
+    return 1;
+  Module M;
+  Trace T;
+  PipelineResult PR;
+  if (!runPipeline(A, *W, M, T, PR))
+    return 1;
+
+  Registry &Obs = Registry::global();
+
+  std::printf("%s seed=%llu: %zu events, pipeline with states<=%u, "
+              "budget %.2fx\n\n",
+              W->Name, static_cast<unsigned long long>(A.Seed), T.size(),
+              A.States, A.Budget);
+
+  char Buf[64];
+  TablePrinter Phases("Pipeline phase wall time");
+  Phases.setHeader({"phase", "runs", "total ms", "mean ms"});
+  for (const auto &[Name, H] : Obs.timers()) {
+    std::string Label = Name;
+    const std::string Prefix = "pipeline.phase.";
+    if (Label.rfind(Prefix, 0) == 0)
+      Label = Label.substr(Prefix.size());
+    std::vector<std::string> Row{Label, std::to_string(H.Count)};
+    std::snprintf(Buf, sizeof(Buf), "%.3f", H.Sum / 1e6);
+    Row.push_back(Buf);
+    std::snprintf(Buf, sizeof(Buf), "%.3f", H.mean() / 1e6);
+    Row.push_back(Buf);
+    Phases.addRow(std::move(Row));
+  }
+  std::printf("%s\n", Phases.render().c_str());
+
+  uint64_t Events = Obs.counter("interp.branch_events").Value;
+  uint64_t Insts = Obs.counter("interp.instructions").Value;
+  double EventRate = Obs.gauge("interp.events_per_sec").Value;
+  double InstRate = Obs.gauge("interp.instructions_per_sec").Value;
+  std::printf("Interpreter: %llu instructions, %llu branch events "
+              "(last run: %.1fM insts/s, %.1fM events/s)\n\n",
+              static_cast<unsigned long long>(Insts),
+              static_cast<unsigned long long>(Events), InstRate / 1e6,
+              EventRate / 1e6);
+
+  TablePrinter Decisions("Per-branch replication decisions");
+  Decisions.setHeader({"branch", "strategy", "action", "gain", "cost",
+                       "reason"});
+  for (const BranchDecision &D : PR.Decisions.all())
+    Decisions.addRow({std::to_string(D.BranchId), D.Strategy,
+                      decisionActionName(D.Action),
+                      std::to_string(D.EstimatedGain),
+                      std::to_string(D.SizeCost), D.Reason});
+  std::printf("%s\n", Decisions.render().c_str());
+
+  std::printf("Summary: %u loop, %u joint, %u correlated replications; "
+              "code size %.2fx\n",
+              PR.LoopReplications, PR.JointReplications,
+              PR.CorrelatedReplications, PR.sizeFactor());
+  return writeMetrics(A, &PR) ? 0 : 1;
 }
 
 } // namespace
@@ -301,6 +438,11 @@ int main(int Argc, char **Argv) {
   Args A;
   if (!parseArgs(Argc, Argv, A))
     return usage();
+
+  // Metrics collection stays off unless this invocation reports, so the
+  // plain commands keep the zero-overhead path.
+  if (!A.Metrics.empty() || A.Command == "report")
+    Registry::global().setEnabled(true);
 
   if (A.Command == "list")
     return cmdList();
@@ -312,5 +454,7 @@ int main(int Argc, char **Argv) {
     return cmdAnalyze(A);
   if (A.Command == "replicate")
     return cmdReplicate(A);
+  if (A.Command == "report")
+    return cmdReport(A);
   return usage();
 }
