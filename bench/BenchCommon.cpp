@@ -6,6 +6,14 @@
 
 #include "bench/BenchCommon.h"
 
+#include "obs/Metrics.h"
+#include "obs/Report.h"
+#include "obs/TraceSpans.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 using namespace bpcr;
 
 std::vector<WorkloadData> bpcr::loadSuite(uint64_t Seed, uint64_t MaxEvents) {
@@ -32,4 +40,89 @@ std::vector<std::string> bpcr::suiteHeader(const std::string &RowLabel) {
   for (const Workload &W : allWorkloads())
     H.push_back(W.Name);
   return H;
+}
+
+bool bpcr::parseBenchArgs(int &Argc, char **Argv, BenchRunOptions &Opts) {
+  std::string Error;
+  if (!extractTraceOutFlag(Argc, Argv, Opts.TraceOut, Error)) {
+    std::fprintf(stderr, "%s: error: %s\n", Argv[0], Error.c_str());
+    return false;
+  }
+
+  auto ParseU64 = [](const char *V, uint64_t &Out) {
+    char *End = nullptr;
+    Out = std::strtoull(V, &End, 10);
+    return *V != '\0' && End && *End == '\0';
+  };
+
+  int Kept = 1;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Opt = Argv[I];
+    auto Next = [&]() -> const char * {
+      return (I + 1 < Argc) ? Argv[++I] : nullptr;
+    };
+    if (std::strcmp(Opt, "--seed") == 0) {
+      const char *V = Next();
+      if (!V || !ParseU64(V, Opts.Seed)) {
+        std::fprintf(stderr,
+                     "%s: error: option '--seed' needs an integer value\n",
+                     Argv[0]);
+        return false;
+      }
+    } else if (std::strcmp(Opt, "--events") == 0) {
+      const char *V = Next();
+      if (!V || !ParseU64(V, Opts.Events)) {
+        std::fprintf(stderr,
+                     "%s: error: option '--events' needs an integer value\n",
+                     Argv[0]);
+        return false;
+      }
+    } else if (std::strcmp(Opt, "--metrics") == 0) {
+      const char *V = Next();
+      if (!V) {
+        std::fprintf(stderr,
+                     "%s: error: option '--metrics' needs a file argument\n",
+                     Argv[0]);
+        return false;
+      }
+      Opts.MetricsOut = V;
+    } else if (Opt[0] == '-' && Opt[1] == '-') {
+      std::fprintf(stderr, "%s: error: unknown option '%s'\n", Argv[0], Opt);
+      return false;
+    } else {
+      // Positional argument (e.g. headline_replication's output path):
+      // leave it for the caller.
+      Argv[Kept++] = Argv[I];
+    }
+  }
+  Argc = Kept;
+
+  if (!Opts.MetricsOut.empty())
+    Registry::global().setEnabled(true);
+  return true;
+}
+
+int bpcr::finishBench(const BenchRunOptions &Opts, const char *Tool) {
+  int RC = 0;
+  if (!Opts.MetricsOut.empty()) {
+    ReportMeta Meta;
+    Meta.Tool = Tool;
+    Meta.Command = "bench";
+    Meta.Seed = Opts.Seed;
+    Meta.Events = Opts.Events;
+    std::string Error;
+    if (!writeReportFile(Opts.MetricsOut,
+                         buildReport(Meta, Registry::global()), Error)) {
+      std::fprintf(stderr, "%s: error: %s\n", Tool, Error.c_str());
+      RC = 1;
+    } else {
+      std::printf("wrote metrics to %s\n", Opts.MetricsOut.c_str());
+    }
+  }
+  if (!Opts.TraceOut.empty()) {
+    int TraceRC = finishSpanTrace(Opts.TraceOut, Tool);
+    if (RC == 0)
+      RC = TraceRC;
+  }
+  return RC;
 }

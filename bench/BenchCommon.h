@@ -49,6 +49,26 @@ std::vector<WorkloadData> loadSuite(uint64_t Seed = 1,
 /// Short column headers in the paper's order.
 std::vector<std::string> suiteHeader(const std::string &RowLabel);
 
+/// Flags shared by every bench binary: `--seed N`, `--events N`,
+/// `--metrics FILE` (JSON run report) and `--trace-out FILE` (Chrome Trace
+/// span timeline). CI uses the seed/event knobs to run the benches on a
+/// small budget and the report for the `bpcr compare` regression gate.
+struct BenchRunOptions {
+  uint64_t Seed = 1;
+  uint64_t Events = 1'000'000;
+  std::string MetricsOut;
+  std::string TraceOut;
+};
+
+/// Parses and splices the shared flags out of argv (positional arguments
+/// are left for the caller), enabling the metrics registry and the span
+/// tracer as requested. \returns false after printing an error message.
+bool parseBenchArgs(int &Argc, char **Argv, BenchRunOptions &Opts);
+
+/// Writes the requested run report and span trace. \returns a process exit
+/// code (0 ok).
+int finishBench(const BenchRunOptions &Opts, const char *Tool);
+
 } // namespace bpcr
 
 #endif // BPCR_BENCH_BENCHCOMMON_H

@@ -28,9 +28,13 @@
 
 using namespace bpcr;
 
-int main() {
-  std::vector<WorkloadData> Train = loadSuite(/*Seed=*/1);
-  std::vector<WorkloadData> Test = loadSuite(/*Seed=*/2);
+int main(int Argc, char **Argv) {
+  BenchRunOptions Run;
+  if (!parseBenchArgs(Argc, Argv, Run))
+    return 2;
+  // Train on the given seed, evaluate on the next one.
+  std::vector<WorkloadData> Train = loadSuite(Run.Seed, Run.Events);
+  std::vector<WorkloadData> Test = loadSuite(Run.Seed + 1, Run.Events);
 
   TablePrinter Table("Ablation A2: dataset sensitivity — trained on input "
                      "1, evaluated on input 2 (misprediction %)");
@@ -115,5 +119,5 @@ int main() {
               "close to self-trained ones when the inputs exercise the same "
               "code paths; the machine rows quantify the extra sensitivity "
               "the paper anticipated for replicated programs.\n\n");
-  return 0;
+  return finishBench(Run, "ablation_datasets");
 }

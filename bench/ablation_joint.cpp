@@ -93,8 +93,11 @@ PredictionStats measureMembers(const Module &M,
 
 } // namespace
 
-int main() {
-  std::vector<WorkloadData> Suite = loadSuite();
+int main(int Argc, char **Argv) {
+  BenchRunOptions Run;
+  if (!parseBenchArgs(Argc, Argv, Run))
+    return 2;
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
 
   TablePrinter Table("Ablation A4: per-branch (product) vs joint loop "
                      "machines — realized member misprediction % and code "
@@ -203,5 +206,5 @@ int main() {
   std::printf("%s\n", Table.render().c_str());
   std::printf("Joint machines pay one set of copies for all member "
               "branches; per-branch machines multiply (paper sec. 6).\n\n");
-  return 0;
+  return finishBench(Run, "ablation_joint");
 }

@@ -57,8 +57,11 @@ Result runSearch(const WorkloadData &D, bool Exhaustive, unsigned MaxLen) {
 
 } // namespace
 
-int main() {
-  std::vector<WorkloadData> Suite = loadSuite();
+int main(int Argc, char **Argv) {
+  BenchRunOptions Run;
+  if (!parseBenchArgs(Argc, Argv, Run))
+    return 2;
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
 
   TablePrinter Table("Ablation A1: intra-loop machine search — exact "
                      "branch-and-bound vs greedy, by pattern-length budget "
@@ -93,5 +96,5 @@ int main() {
   }
 
   std::printf("%s\n", Table.render().c_str());
-  return 0;
+  return finishBench(Run, "ablation_search_depth");
 }

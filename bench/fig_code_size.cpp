@@ -27,8 +27,11 @@
 
 using namespace bpcr;
 
-int main() {
-  std::vector<WorkloadData> Suite = loadSuite();
+int main(int Argc, char **Argv) {
+  BenchRunOptions Run;
+  if (!parseBenchArgs(Argc, Argv, Run))
+    return 2;
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
 
   for (size_t WI = 0; WI < Suite.size(); ++WI) {
     const WorkloadData &D = Suite[WI];
@@ -77,5 +80,5 @@ int main() {
       }
     }
   }
-  return 0;
+  return finishBench(Run, "fig_code_size");
 }

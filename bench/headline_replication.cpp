@@ -35,7 +35,8 @@ namespace {
 
 /// Runs the pipeline over the suite at one size budget and prints the
 /// resulting table.
-void runRegime(const std::vector<WorkloadData> &Suite, double SizeBudget) {
+void runRegime(const std::vector<WorkloadData> &Suite, double SizeBudget,
+               uint64_t MaxEvents) {
   char Title[128];
   std::snprintf(Title, sizeof(Title),
                 "Headline: realized semi-static misprediction of the "
@@ -67,7 +68,7 @@ void runRegime(const std::vector<WorkloadData> &Suite, double SizeBudget) {
     }
 
     ExecOptions EO;
-    EO.MaxBranchEvents = 1'000'000;
+    EO.MaxBranchEvents = MaxEvents;
     Module P = *D.M;
     annotateProfilePredictions(P, *D.Stats);
     PredictionStats Prof = measureAnnotatedPredictions(P, EO);
@@ -132,27 +133,21 @@ void runRegime(const std::vector<WorkloadData> &Suite, double SizeBudget) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  BenchRunOptions Run;
+  if (!parseBenchArgs(Argc, Argv, Run))
+    return 2;
   // Collect phase timers, interpreter throughput and the per-workload
-  // headline numbers into one machine-readable run report.
+  // headline numbers into one machine-readable run report. The legacy
+  // positional output path is kept for callers that predate --metrics.
   Registry::global().setEnabled(true);
+  if (Run.MetricsOut.empty())
+    Run.MetricsOut = Argc > 1 ? Argv[1] : "BENCH_headline_replication.json";
 
-  std::vector<WorkloadData> Suite = loadSuite();
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
   // The paper's regime ("code size increased by one third") and a looser
   // budget showing the remaining headroom.
-  runRegime(Suite, 1.35);
-  runRegime(Suite, 2.0);
+  runRegime(Suite, 1.35, Run.Events);
+  runRegime(Suite, 2.0, Run.Events);
 
-  const char *Out = Argc > 1 ? Argv[1] : "BENCH_headline_replication.json";
-  ReportMeta Meta;
-  Meta.Tool = "headline_replication";
-  Meta.Command = "bench";
-  Meta.Seed = 1;
-  Meta.Events = 1'000'000;
-  std::string Error;
-  if (!writeReportFile(Out, buildReport(Meta, Registry::global()), Error)) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 1;
-  }
-  std::printf("wrote metrics to %s\n", Out);
-  return 0;
+  return finishBench(Run, "headline_replication");
 }

@@ -17,6 +17,7 @@
 #include "interp/Interpreter.h"
 #include "obs/Metrics.h"
 #include "obs/Report.h"
+#include "obs/TraceSpans.h"
 #include "predict/DynamicPredictors.h"
 #include "predict/Evaluator.h"
 #include "predict/SemiStaticPredictors.h"
@@ -165,15 +166,25 @@ public:
 } // namespace
 
 int main(int argc, char **argv) {
+  // --trace-out must come out of argv before google-benchmark sees it.
+  std::string TraceOut, TraceError;
+  if (!extractTraceOutFlag(argc, argv, TraceOut, TraceError)) {
+    std::fprintf(stderr, "micro_throughput: error: %s\n",
+                 TraceError.c_str());
+    return 1;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
 
-  // The registry stays DISABLED while benchmarks run: these numbers are the
-  // overhead guard for the instrumentation's disabled path, so nothing may
-  // record during timing. Results are mirrored into the registry by the
-  // reporter and serialized afterwards.
+  // The registry and the span tracer stay DISABLED while benchmarks run:
+  // these numbers are the overhead guard for the instrumentation's disabled
+  // path, so nothing may record during timing. Results are mirrored into
+  // the registry by the reporter and serialized afterwards; the span
+  // timeline (when requested) covers only the post-run export.
   Registry::global().setEnabled(false);
+  bool TraceRequested = SpanTracer::global().enabled();
+  SpanTracer::global().setEnabled(false);
   RecordingReporter Reporter;
   benchmark::RunSpecifiedBenchmarks(&Reporter);
   benchmark::Shutdown();
@@ -191,5 +202,9 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::printf("wrote metrics to %s\n", Out);
+  if (TraceRequested)
+    SpanTracer::global().setEnabled(true);
+  if (!TraceOut.empty())
+    return finishSpanTrace(TraceOut, "micro_throughput");
   return 0;
 }

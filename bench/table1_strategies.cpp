@@ -16,30 +16,55 @@
 
 #include "bench/BenchCommon.h"
 
+#include "obs/Metrics.h"
 #include "predict/DynamicPredictors.h"
 #include "predict/Evaluator.h"
 #include "predict/SemiStaticPredictors.h"
 #include "predict/StaticHeuristics.h"
 #include "support/TablePrinter.h"
 
+#include <cctype>
 #include <cstdio>
 #include <functional>
 
 using namespace bpcr;
 
-int main() {
-  std::vector<WorkloadData> Suite = loadSuite();
+namespace {
+
+/// "two level 4K bit" -> "two_level_4k_bit", for gauge names.
+std::string metricName(const std::string &Label) {
+  std::string Out;
+  for (char C : Label)
+    Out.push_back(C == ' ' || C == '-' ? '_' : static_cast<char>(
+                                                   std::tolower(C)));
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchRunOptions Run;
+  if (!parseBenchArgs(Argc, Argv, Run))
+    return 2;
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
 
   TablePrinter Table(
       "Table 1: misprediction rates of different branch prediction "
       "strategies in percent");
   Table.setHeader(suiteHeader("strategy"));
 
+  // Every cell also lands in a gauge (`table1.<strategy>.<workload>`) so
+  // the --metrics report feeds the `bpcr compare` regression gate.
+  Registry &Obs = Registry::global();
   auto Row = [&](const std::string &Name,
                  const std::function<double(const WorkloadData &)> &Fn) {
     std::vector<std::string> Cells{Name};
-    for (const WorkloadData &D : Suite)
-      Cells.push_back(formatPercent(Fn(D)));
+    for (const WorkloadData &D : Suite) {
+      double V = Fn(D);
+      Cells.push_back(formatPercent(V));
+      if (Obs.enabled())
+        Obs.gauge("table1." + metricName(Name) + "." + D.W->Name).set(V);
+    }
     Table.addRow(std::move(Cells));
   };
 
@@ -92,6 +117,15 @@ int main() {
       LoopCorrelationPredictor P;
       P.train(D.T);
       Improved.push_back(std::to_string(P.improvedBranchCount()));
+      if (Obs.enabled()) {
+        std::string Prefix = std::string("table1.branches.") + D.W->Name;
+        Obs.gauge(Prefix + ".static")
+            .set(static_cast<double>(D.M->conditionalBranchCount()));
+        Obs.gauge(Prefix + ".executed")
+            .set(static_cast<double>(D.Stats->executedBranches()));
+        Obs.gauge(Prefix + ".improved")
+            .set(static_cast<double>(P.improvedBranchCount()));
+      }
     }
     Table.addRow(std::move(Static));
     Table.addRow(std::move(Executed));
@@ -117,5 +151,5 @@ int main() {
   StaticRow("opcode", predictOpcode);
   StaticRow("Ball-Larus", predictBallLarus);
   std::printf("%s\n", Ext.render().c_str());
-  return 0;
+  return finishBench(Run, "table1_strategies");
 }

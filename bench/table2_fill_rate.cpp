@@ -20,8 +20,11 @@
 
 using namespace bpcr;
 
-int main() {
-  std::vector<WorkloadData> Suite = loadSuite();
+int main(int Argc, char **Argv) {
+  BenchRunOptions Run;
+  if (!parseBenchArgs(Argc, Argv, Run))
+    return 2;
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
 
   TablePrinter Table("Table 2: fill rate of the history tables in percent");
   Table.setHeader(suiteHeader("history"));
@@ -34,5 +37,5 @@ int main() {
   }
 
   std::printf("%s\n", Table.render().c_str());
-  return 0;
+  return finishBench(Run, "table2_fill_rate");
 }

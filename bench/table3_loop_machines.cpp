@@ -52,8 +52,11 @@ struct RateAcc {
 
 } // namespace
 
-int main() {
-  std::vector<WorkloadData> Suite = loadSuite();
+int main(int Argc, char **Argv) {
+  BenchRunOptions Run;
+  if (!parseBenchArgs(Argc, Argv, Run))
+    return 2;
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
 
   TablePrinter Table("Table 3: misprediction rates of loop and loop exit "
                      "branches in percent");
@@ -152,5 +155,5 @@ int main() {
   }
 
   std::printf("%s\n", Table.render().c_str());
-  return 0;
+  return finishBench(Run, "table3_loop_machines");
 }

@@ -49,8 +49,11 @@ bool isCorrelatedCandidate(const WorkloadData &D, uint32_t Id) {
 
 } // namespace
 
-int main() {
-  std::vector<WorkloadData> Suite = loadSuite();
+int main(int Argc, char **Argv) {
+  BenchRunOptions Run;
+  if (!parseBenchArgs(Argc, Argv, Run))
+    return 2;
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
 
   TablePrinter Table(
       "Table 4: misprediction rates of correlated branches in percent");
@@ -128,5 +131,5 @@ int main() {
   }
 
   std::printf("%s\n", Table.render().c_str());
-  return 0;
+  return finishBench(Run, "table4_correlated");
 }

@@ -22,8 +22,11 @@
 
 using namespace bpcr;
 
-int main() {
-  std::vector<WorkloadData> Suite = loadSuite();
+int main(int Argc, char **Argv) {
+  BenchRunOptions Run;
+  if (!parseBenchArgs(Argc, Argv, Run))
+    return 2;
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
 
   TablePrinter Table("Table 5: best achievable misprediction rates in "
                      "percent (per-branch state budget n)");
@@ -84,5 +87,5 @@ int main() {
     Mix.addRow(std::move(Cells));
   }
   std::printf("%s\n", Mix.render().c_str());
-  return 0;
+  return finishBench(Run, "table5_best");
 }

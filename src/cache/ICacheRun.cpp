@@ -6,6 +6,8 @@
 
 #include "cache/ICacheRun.h"
 
+#include "obs/TraceSpans.h"
+
 using namespace bpcr;
 
 namespace {
@@ -29,6 +31,7 @@ public:
 
 ICacheRunResult bpcr::runWithICache(const Module &M, const ICacheConfig &Cfg,
                                     ExecOptions Opts) {
+  Span S("cache.run", "cache");
   CacheListener Listener(M, Cfg);
   Opts.Listener = &Listener;
 
@@ -37,5 +40,8 @@ ICacheRunResult bpcr::runWithICache(const Module &M, const ICacheConfig &Cfg,
   R.Fetches = Listener.Sim.accesses();
   R.Misses = Listener.Sim.misses();
   R.CodeWords = Listener.Map.codeSize();
+  S.arg("fetches", R.Fetches);
+  S.arg("misses", R.Misses);
+  S.arg("code_words", R.CodeWords);
   return R;
 }

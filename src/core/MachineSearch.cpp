@@ -7,6 +7,7 @@
 #include "core/MachineSearch.h"
 
 #include "obs/Metrics.h"
+#include "obs/TraceSpans.h"
 
 #include <algorithm>
 #include <unordered_map>
@@ -37,6 +38,13 @@ bpcr::patternsFromTable(const PatternTable &Table) {
 
 SuffixMachine bpcr::buildIntraLoopMachine(const PatternTable &Table,
                                           const MachineOptions &Opts) {
+  // Candidate machines are built once per (branch, state count) and sweeps
+  // evaluate thousands of them — the tracer's per-category sampling cap
+  // keeps the trace bounded and counts the overflow in
+  // obs.trace.spans_dropped.
+  Span S("search.intra_loop.candidate", "search");
+  S.arg("max_states", static_cast<uint64_t>(Opts.MaxStates));
+
   std::vector<ObservedPattern> Patterns = patternsFromTable(Table);
 
   // Base {"0", "1"}: two catch-all states, chains grow from length 1.
@@ -74,6 +82,8 @@ SuffixMachine bpcr::buildIntraLoopMachine(const PatternTable &Table,
     if (Best.BudgetExhausted)
       Obs.counter("search.budget_exhausted").inc();
   }
+  S.arg("patterns", static_cast<uint64_t>(Patterns.size()));
+  S.arg("correct", Best.Correct);
 
   return SuffixMachine::fromSelection(Best);
 }
@@ -82,6 +92,8 @@ ExitChainMachine bpcr::buildExitMachine(const PatternTable &Table,
                                         unsigned MaxStates,
                                         bool StayOnTaken) {
   assert(MaxStates >= 2 && "exit machine needs at least two states");
+  Span S("search.exit.candidate", "search");
+  S.arg("max_states", static_cast<uint64_t>(MaxStates));
   ExitChainMachine Best =
       ExitChainMachine::fit(Table, /*ChainLen=*/1, /*Parity=*/false,
                             StayOnTaken);
@@ -99,6 +111,7 @@ ExitChainMachine bpcr::buildExitMachine(const PatternTable &Table,
   }
   if (Registry::global().enabled())
     Registry::global().counter("search.exit.machines").inc();
+  S.arg("correct", Best.Correct);
   return Best;
 }
 

@@ -10,6 +10,7 @@
 #include "core/JointMachine.h"
 #include "core/LoopAwareProfiles.h"
 #include "obs/Metrics.h"
+#include "obs/TraceSpans.h"
 
 #include <algorithm>
 #include <map>
@@ -46,24 +47,37 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   R.Transformed = M;
   R.OrigInstructions = M.instructionCount();
 
+  Span PipeSpan("pipeline.replicate", "pipeline");
+  PipeSpan.arg("orig_instructions", R.OrigInstructions);
+
   if (Registry::global().enabled())
     Registry::global().counter("pipeline.runs").inc();
 
   // Profile and select strategies on the original module. Loop-aware
   // profiles keep the machine scores faithful to the replicated program
-  // (the machine state resets on loop re-entry).
+  // (the machine state resets on loop re-entry). Each phase carries both a
+  // ScopedTimer (aggregate histogram) and a Span (timeline) under the same
+  // name so the trace view and the report line up.
   ScopedTimer TLoops("pipeline.phase.loop_analysis");
+  Span SLoops("pipeline.phase.loop_analysis");
   ProgramAnalysis PA(M);
+  SLoops.arg("branches", static_cast<uint64_t>(PA.numBranches()));
+  SLoops.end();
   TLoops.stop();
 
   ScopedTimer TProfile("pipeline.phase.profiling");
+  Span SProfile("pipeline.phase.profiling");
   ProfileSet Profiles = buildLoopAwareProfiles(PA, T);
   TraceStats Stats(PA.numBranches());
   Stats.addTrace(T);
+  SProfile.end();
   TProfile.stop();
 
   ScopedTimer TSearch("pipeline.phase.machine_search");
+  Span SSearch("pipeline.phase.machine_search");
   R.Strategies = selectStrategies(PA, Profiles, T, Opts.Strategy);
+  SSearch.arg("strategies", static_cast<uint64_t>(R.Strategies.size()));
+  SSearch.end();
   TSearch.stop();
 
   // Estimated instructions a strategy's replication adds: the paper's cost
@@ -123,6 +137,7 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   std::vector<JointPlan> JointPlans;
   std::vector<bool> HandledJointly(R.Strategies.size(), false);
   ScopedTimer TJoint("pipeline.phase.joint_planning");
+  Span SJoint("pipeline.phase.joint_planning");
   if (Opts.UseJointMachines) {
     std::map<std::pair<uint32_t, int32_t>, std::vector<size_t>> Groups;
     for (size_t I = 0; I < R.Strategies.size(); ++I) {
@@ -239,9 +254,12 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
       JointPlans.push_back(std::move(Plan));
     }
   }
+  SJoint.arg("plans", static_cast<uint64_t>(JointPlans.size()));
+  SJoint.end();
   TJoint.stop();
 
   ScopedTimer TRepl("pipeline.phase.replication");
+  Span SRepl("pipeline.phase.replication");
 
   // Records one decision about the strategy at index \p I.
   auto LogStrategy = [&R](size_t I, DecisionAction Action, uint64_t Gained,
@@ -267,6 +285,10 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
                          static_cast<double>(B.Cost);
             });
   for (const JointPlan &Plan : JointPlans) {
+    Span SApplyJoint("pipeline.apply.joint", "replicate");
+    SApplyJoint.arg("members", static_cast<uint64_t>(Plan.Members.size()));
+    SApplyJoint.arg("gain", Plan.Gain);
+    SApplyJoint.arg("cost", Plan.Cost);
     bool Applied = false;
     DecisionAction SkipAction = DecisionAction::SkippedStructure;
     const char *SkipReason = "";
@@ -346,6 +368,10 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
 
   for (size_t I : Order) {
     const BranchStrategy &S = R.Strategies[I];
+    Span SApply("pipeline.apply", "replicate");
+    SApply.arg("branch", static_cast<int64_t>(S.BranchId));
+    SApply.arg("strategy", strategyKindName(S.Kind));
+    SApply.arg("gain", Gain(I));
     if (Gain(I) < Opts.MinGain) {
       LogStrategy(I, DecisionAction::SkippedGain, Gain(I), Costs[I],
                   "gain " + std::to_string(Gain(I)) + " below minimum " +
@@ -441,12 +467,20 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
                           " executions)"
                     : "no machine beat the profile prediction");
   }
+  SRepl.arg("loop", static_cast<uint64_t>(R.LoopReplications));
+  SRepl.arg("joint", static_cast<uint64_t>(R.JointReplications));
+  SRepl.arg("correlated", static_cast<uint64_t>(R.CorrelatedReplications));
+  SRepl.end();
   TRepl.stop();
 
   ScopedTimer TAnnotate("pipeline.phase.annotation");
+  Span SAnnotate("pipeline.phase.annotation");
   annotateProfilePredictions(R.Transformed, Stats);
   R.Transformed.assignBranchIds();
+  SAnnotate.end();
   TAnnotate.stop();
   R.NewInstructions = R.Transformed.instructionCount();
+  PipeSpan.arg("new_instructions", R.NewInstructions);
+  PipeSpan.arg("size_factor", R.sizeFactor());
   return R;
 }

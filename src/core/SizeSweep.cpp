@@ -8,6 +8,7 @@
 
 #include "core/CorrelatedMachine.h"
 #include "core/MachineSearch.h"
+#include "obs/TraceSpans.h"
 
 #include <algorithm>
 #include <map>
@@ -66,9 +67,11 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
                                                const ProfileSet &Profiles,
                                                const Trace &T,
                                                const SweepOptions &Opts) {
+  Span SweepSpan("sweep.compute", "sweep");
   const Module &Mod = PA.module();
   const uint64_t OrigSize = Mod.instructionCount();
   const uint64_t TotalExec = Profiles.totalExecutions();
+  SweepSpan.arg("branches", static_cast<uint64_t>(PA.numBranches()));
 
   unsigned PathLen = std::min<unsigned>(4, Opts.MaxStates);
 
@@ -219,6 +222,8 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
   Points.push_back({CurrentSize(), CurrentMispredict(), -1, 1});
 
   for (unsigned Step = 0; Step < Opts.MaxSteps; ++Step) {
+    Span StepSpan("sweep.point", "sweep");
+    StepSpan.arg("step", static_cast<uint64_t>(Step));
     double BestRatio = 0.0;
     size_t BestIdx = SIZE_MAX;
     unsigned BestTarget = 0;
@@ -256,10 +261,14 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
 
     Ladders[BestIdx].CurStates = BestTarget;
     double Size = CurrentSize();
+    StepSpan.arg("branch", static_cast<int64_t>(Ladders[BestIdx].BranchId));
+    StepSpan.arg("states", static_cast<uint64_t>(BestTarget));
+    StepSpan.arg("size_factor", Size);
     Points.push_back(
         {Size, CurrentMispredict(), Ladders[BestIdx].BranchId, BestTarget});
     if (Size > Opts.MaxSizeFactor)
       break;
   }
+  SweepSpan.arg("points", static_cast<uint64_t>(Points.size()));
   return Points;
 }

@@ -7,6 +7,7 @@
 #include "interp/Interpreter.h"
 
 #include "obs/Metrics.h"
+#include "obs/TraceSpans.h"
 
 #include <chrono>
 #include <cstdio>
@@ -50,7 +51,9 @@ ExecResult bpcr::execute(const Module &M, TraceSink *Sink,
 
   // Observability is sampled at run granularity only: one enabled() check
   // and two clock reads per execution, nothing per instruction or event,
-  // so the disabled path costs one predictable branch.
+  // so the disabled path costs one predictable branch. The span follows
+  // the same rule (one guard in its constructor).
+  Span ExecSpan("interp.execute", "interp");
   Registry &Obs = Registry::global();
   const bool ObsOn = Obs.enabled();
   std::chrono::steady_clock::time_point ObsStart;
@@ -313,6 +316,11 @@ ExecResult bpcr::execute(const Module &M, TraceSink *Sink,
   R.Ok = !Errored;
   R.ReturnValue = RetVal;
   R.Memory = std::move(Mem);
+
+  ExecSpan.arg("instructions", R.InstructionsExecuted);
+  ExecSpan.arg("branch_events", R.BranchEvents);
+  if (Errored)
+    ExecSpan.arg("error", R.Error);
 
   if (ObsOn) {
     double Ns = static_cast<double>(

@@ -1,0 +1,111 @@
+//===- obs/Compare.h - Report diffing and regression gating -----*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diffs two versioned JSON run reports (obs/Report.h schema) metric by
+/// metric and gates the deltas against configurable relative thresholds —
+/// the machinery behind `bpcr compare OLD.json NEW.json`, which CI uses as
+/// a perf-regression gate against checked-in baselines under
+/// bench/baselines/.
+///
+/// Every numeric leaf of the report's "metrics" and "pipeline" sections is
+/// flattened to a dotted name ("counters.interp.branch_events",
+/// "pipeline.code_size.factor"). Rules map glob patterns over those names
+/// to a maximum relative delta and a direction (is an increase bad, a
+/// decrease, or both). The first matching rule wins; built-in defaults
+/// (appended after any threshold file's rules) skip wall-clock metrics
+/// (`phases.*`, `*_ns*`, `*per_sec*`) and hold everything else to exact
+/// equality, so `compare A A` passes and any drift in a deterministic
+/// metric fails until a threshold explicitly allows it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_OBS_COMPARE_H
+#define BPCR_OBS_COMPARE_H
+
+#include "obs/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+/// Which delta direction a rule treats as a regression.
+enum class DeltaDirection : uint8_t { Up, Down, Both };
+
+/// One threshold rule. Patterns are globs over flattened metric names; '*'
+/// matches any (possibly empty) substring.
+struct CompareRule {
+  std::string Pattern;
+  /// Maximum allowed relative delta |new-old|/|old| in the bad direction.
+  double MaxRelDelta = 0.0;
+  DeltaDirection Direction = DeltaDirection::Both;
+  /// Report-only: the metric is shown but never fails the gate.
+  bool Skip = false;
+};
+
+struct CompareOptions {
+  /// Checked first, in order; the built-in defaults are appended last.
+  std::vector<CompareRule> Rules;
+};
+
+/// Outcome for one flattened metric.
+struct MetricDelta {
+  std::string Name;
+  double Old = 0.0;
+  double New = 0.0;
+  /// (new-old)/|old|; HUGE_VAL when old == 0 and new != 0.
+  double RelDelta = 0.0;
+  /// The rule that matched (pattern spelled out for the table).
+  std::string RulePattern;
+  double Threshold = 0.0;
+  DeltaDirection Direction = DeltaDirection::Both;
+  bool Skipped = false;
+  /// Metric present in only one report.
+  bool MissingOld = false;
+  bool MissingNew = false;
+  /// The delta crossed the threshold in the bad direction.
+  bool Regressed = false;
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> Deltas;
+  /// Schema mismatch or other structural problems; non-empty means the
+  /// comparison itself is invalid (exit code 2).
+  std::vector<std::string> Errors;
+  /// Context differences worth a note (tool/workload/seed mismatch).
+  std::vector<std::string> Warnings;
+  unsigned Regressions = 0;
+  bool ok() const { return Errors.empty() && Regressions == 0; }
+};
+
+/// Glob match with '*' wildcards only (no '?', no classes).
+bool globMatch(const std::string &Pattern, const std::string &Name);
+
+/// The built-in rule tail: skip wall-clock metrics, exact-match the rest.
+std::vector<CompareRule> defaultCompareRules();
+
+/// Flattens the report's numeric leaves ("metrics" and "pipeline" sections;
+/// arrays like pipeline.decisions are intentionally not flattened).
+std::vector<std::pair<std::string, double>>
+flattenReportMetrics(const JsonValue &Report);
+
+/// Diffs \p OldDoc -> \p NewDoc under \p Opts.
+CompareResult compareReports(const JsonValue &OldDoc, const JsonValue &NewDoc,
+                             const CompareOptions &Opts);
+
+/// Parses a threshold file (JSON; format documented in
+/// docs/OBSERVABILITY.md). \returns false and sets \p Error on malformed
+/// input.
+bool parseThresholdRules(const std::string &Text, CompareOptions &Opts,
+                         std::string &Error);
+
+/// Renders the per-metric delta table plus a pass/fail summary.
+std::string renderCompareResult(const CompareResult &R);
+
+} // namespace bpcr
+
+#endif // BPCR_OBS_COMPARE_H

@@ -22,7 +22,10 @@
 #ifndef BPCR_OBS_METRICS_H
 #define BPCR_OBS_METRICS_H
 
+#include <algorithm>
+#include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -44,13 +47,31 @@ struct Gauge {
   void set(double V) { Value = V; }
 };
 
-/// Count/sum/min/max summary of a sample stream. Timers record into one of
-/// these with nanosecond samples.
+/// Count/sum/min/max summary of a sample stream, plus fixed log-spaced
+/// bucket counts for quantile estimates. Timers record into one of these
+/// with nanosecond samples. No raw samples are retained: memory per
+/// histogram is constant regardless of how many values are recorded.
 struct Histogram {
+  /// Bucket 0 holds samples < 1 (including negatives); bucket i >= 1 holds
+  /// [2^(i-1), 2^i). 63 power-of-two buckets cover the full positive range
+  /// of nanosecond timings and counter-sized values.
+  static constexpr unsigned NumBuckets = 64;
+
   uint64_t Count = 0;
   double Sum = 0.0;
   double Min = 0.0;
   double Max = 0.0;
+  std::array<uint64_t, NumBuckets> Buckets{};
+
+  static unsigned bucketFor(double V) {
+    if (!(V >= 1.0))
+      return 0;
+    int Exp = std::min(static_cast<int>(std::log2(V)), 62);
+    // Guard the float boundary: log2(2^k - eps) can round up to k.
+    if (Exp > 0 && V < std::ldexp(1.0, Exp))
+      --Exp;
+    return static_cast<unsigned>(Exp) + 1;
+  }
 
   void record(double V) {
     if (Count == 0 || V < Min)
@@ -59,11 +80,44 @@ struct Histogram {
       Max = V;
     ++Count;
     Sum += V;
+    ++Buckets[bucketFor(V)];
   }
 
   double mean() const {
     return Count ? Sum / static_cast<double>(Count) : 0.0;
   }
+
+  /// Estimates the \p Q quantile (Q in [0,1]) from the log buckets by
+  /// linear interpolation inside the covering bucket, clamped to the
+  /// observed [Min, Max]. Accuracy is bounded by the bucket width (a
+  /// factor of two), which is plenty for "is p99 10x the median" style
+  /// questions; exact ranks would require retaining samples.
+  double quantile(double Q) const {
+    if (Count == 0)
+      return 0.0;
+    double Target = Q * static_cast<double>(Count);
+    if (Target <= 1.0)
+      return Min;
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I < NumBuckets; ++I) {
+      if (Buckets[I] == 0)
+        continue;
+      double Lo = I == 0 ? Min : std::ldexp(1.0, static_cast<int>(I) - 1);
+      double Hi = I == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(I));
+      double Before = static_cast<double>(Cum);
+      Cum += Buckets[I];
+      if (static_cast<double>(Cum) >= Target) {
+        double Frac = (Target - Before) / static_cast<double>(Buckets[I]);
+        double Est = Lo + Frac * (Hi - Lo);
+        return std::min(std::max(Est, Min), Max);
+      }
+    }
+    return Max;
+  }
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 };
 
 /// Holds every metric by name. Instruments fetch-or-create entries; readers

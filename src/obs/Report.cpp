@@ -21,6 +21,9 @@ JsonValue histogramJson(const Histogram &H) {
   J.set("min", JsonValue::number(H.Min));
   J.set("max", JsonValue::number(H.Max));
   J.set("mean", JsonValue::number(H.mean()));
+  J.set("p50", JsonValue::number(H.p50()));
+  J.set("p95", JsonValue::number(H.p95()));
+  J.set("p99", JsonValue::number(H.p99()));
   return J;
 }
 
@@ -51,6 +54,9 @@ JsonValue bpcr::metricsJson(const Registry &R) {
     P.set("count", JsonValue::integer(H.Count));
     P.set("total_ns", JsonValue::integer(static_cast<int64_t>(H.Sum)));
     P.set("mean_ns", JsonValue::number(H.mean()));
+    P.set("p50_ns", JsonValue::number(H.p50()));
+    P.set("p95_ns", JsonValue::number(H.p95()));
+    P.set("p99_ns", JsonValue::number(H.p99()));
     Phases.set(Name, std::move(P));
   }
   M.set("phases", std::move(Phases));

@@ -1,0 +1,142 @@
+//===- obs/TraceSpans.cpp -------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceSpans.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace bpcr;
+
+JsonValue bpcr::spansJson(const SpanTracer &T, const std::string &Tool) {
+  std::vector<SpanEvent> Events = T.snapshot();
+  // Stable output: the per-thread buffers already hold completion order;
+  // sort the merged view by start time so the file diffs cleanly.
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const SpanEvent &A, const SpanEvent &B) {
+                     if (A.Tid != B.Tid)
+                       return A.Tid < B.Tid;
+                     return A.StartNs < B.StartNs;
+                   });
+
+  JsonValue Doc = JsonValue::object();
+  JsonValue Arr = JsonValue::array();
+
+  // Process metadata so the Perfetto UI labels the track.
+  {
+    JsonValue M = JsonValue::object();
+    M.set("name", JsonValue::str("process_name"));
+    M.set("ph", JsonValue::str("M"));
+    M.set("pid", JsonValue::integer(int64_t{1}));
+    JsonValue Args = JsonValue::object();
+    Args.set("name", JsonValue::str(Tool.empty() ? "bpcr" : Tool));
+    M.set("args", std::move(Args));
+    Arr.push(std::move(M));
+  }
+
+  for (const SpanEvent &E : Events) {
+    JsonValue J = JsonValue::object();
+    J.set("name", JsonValue::str(E.Name));
+    J.set("cat", JsonValue::str(E.Category));
+    J.set("ph", JsonValue::str("X"));
+    // Chrome Trace timestamps are microseconds; fractional values keep the
+    // nanosecond resolution.
+    J.set("ts", JsonValue::number(static_cast<double>(E.StartNs) / 1000.0));
+    J.set("dur", JsonValue::number(static_cast<double>(E.DurNs) / 1000.0));
+    J.set("pid", JsonValue::integer(int64_t{1}));
+    J.set("tid", JsonValue::integer(static_cast<int64_t>(E.Tid)));
+    if (!E.Args.empty()) {
+      JsonValue Args = JsonValue::object();
+      for (const SpanArg &A : E.Args) {
+        switch (A.K) {
+        case SpanArg::Kind::Int:
+          Args.set(A.Key, JsonValue::integer(A.I));
+          break;
+        case SpanArg::Kind::Double:
+          Args.set(A.Key, JsonValue::number(A.D));
+          break;
+        case SpanArg::Kind::Str:
+          Args.set(A.Key, JsonValue::str(A.S));
+          break;
+        }
+      }
+      J.set("args", std::move(Args));
+    }
+    Arr.push(std::move(J));
+  }
+  Doc.set("traceEvents", std::move(Arr));
+  Doc.set("displayTimeUnit", JsonValue::str("ms"));
+
+  JsonValue Other = JsonValue::object();
+  if (!Tool.empty())
+    Other.set("tool", JsonValue::str(Tool));
+  Other.set("span_count", JsonValue::integer(static_cast<int64_t>(
+                              Events.size())));
+  Other.set("spans_dropped", JsonValue::integer(T.droppedCount()));
+  Doc.set("otherData", std::move(Other));
+  return Doc;
+}
+
+bool bpcr::writeSpanTrace(const std::string &Path, const SpanTracer &T,
+                          const std::string &Tool, std::string &Error) {
+  std::string Text = spansJson(T, Tool).dump(0);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = "cannot open trace file '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size();
+  Ok &= std::fclose(F) == 0;
+  if (!Ok)
+    Error = "short write to trace file '" + Path + "'";
+  return Ok;
+}
+
+bool bpcr::extractTraceOutFlag(int &Argc, char **Argv, std::string &Path,
+                               std::string &Error) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--trace-out") != 0)
+      continue;
+    if (I + 1 >= Argc) {
+      Error = "option '--trace-out' needs a file argument";
+      return false;
+    }
+    Path = Argv[I + 1];
+    // Splice the flag and its value out of argv so downstream parsers
+    // (google-benchmark, the bench binaries' own options) never see it.
+    for (int J = I; J + 2 < Argc; ++J)
+      Argv[J] = Argv[J + 2];
+    Argc -= 2;
+    break;
+  }
+  if (Path.empty()) {
+    if (const char *Env = std::getenv("BPCR_TRACE_OUT"))
+      Path = Env;
+  }
+  if (!Path.empty())
+    SpanTracer::global().setEnabled(true);
+  return true;
+}
+
+int bpcr::finishSpanTrace(const std::string &Path, const char *Tool) {
+  if (Path.empty())
+    return 0;
+  std::string Error;
+  if (!writeSpanTrace(Path, SpanTracer::global(), Tool, Error)) {
+    std::fprintf(stderr, "%s: error: %s\n", Tool, Error.c_str());
+    return 1;
+  }
+  std::printf("wrote span trace to %s (%zu spans, %llu dropped)\n",
+              Path.c_str(), SpanTracer::global().spanCount(),
+              static_cast<unsigned long long>(
+                  SpanTracer::global().droppedCount()));
+  return 0;
+}

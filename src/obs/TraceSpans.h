@@ -1,0 +1,320 @@
+//===- obs/TraceSpans.h - Low-overhead span tracing -------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A wall-clock span tracer for the whole pipeline. Instrumentation sites
+/// open RAII Span objects (nested spans form a timeline tree per thread);
+/// each completed span lands in a per-thread buffer and the accumulated
+/// timeline exports as Chrome Trace Event Format JSON — loadable in
+/// chrome://tracing and the Perfetto UI — via `--trace-out FILE` on every
+/// `bpcr` subcommand and bench binary.
+///
+/// The tracer follows the metrics registry's overhead rule: disabled by
+/// default, and every site pays exactly one predictable branch when tracing
+/// is off (the Span constructor reads no clock and allocates nothing).
+/// High-frequency sites (one span per candidate machine inside the search)
+/// are additionally *sampled*: once a category's recorded-span count passes
+/// the per-category limit, further spans in it are dropped and counted in
+/// the tracer's drop counter, mirrored to the `obs.trace.spans_dropped`
+/// metrics counter when the registry is enabled.
+///
+/// Recording is header-only so low-level libraries (interp, core, cache)
+/// can open spans without a link dependency on bpcr_obs; the JSON exporter
+/// (spansJson/writeSpanTrace) lives in obs/TraceSpans.cpp. The span
+/// taxonomy is documented in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_OBS_TRACESPANS_H
+#define BPCR_OBS_TRACESPANS_H
+
+#include "obs/Metrics.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace bpcr {
+
+/// One key/value annotation on a span ("args" in the Chrome format).
+struct SpanArg {
+  enum class Kind : uint8_t { Int, Double, Str };
+  std::string Key;
+  Kind K = Kind::Int;
+  int64_t I = 0;
+  double D = 0.0;
+  std::string S;
+};
+
+/// One completed span. Names and categories are static strings (the
+/// instrumentation vocabulary); dynamic context goes into Args.
+struct SpanEvent {
+  const char *Name = "";
+  const char *Category = "";
+  /// Nanoseconds since the tracer was enabled.
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  /// Tracer-local thread number (0 for the first thread).
+  uint32_t Tid = 0;
+  /// Nesting depth at open time (0 = top level on its thread).
+  uint32_t Depth = 0;
+  std::vector<SpanArg> Args;
+};
+
+/// Collects spans into per-thread buffers. Spans on one thread never touch
+/// a lock; the mutex guards only thread registration and export.
+class SpanTracer {
+public:
+  /// The process-wide tracer all built-in instrumentation records to.
+  static SpanTracer &global() {
+    static SpanTracer T;
+    return T;
+  }
+
+  SpanTracer() = default;
+  SpanTracer(const SpanTracer &) = delete;
+  SpanTracer &operator=(const SpanTracer &) = delete;
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Enabling (re)sets the timeline epoch: span timestamps are nanoseconds
+  /// since the last setEnabled(true).
+  void setEnabled(bool On) {
+    if (On)
+      Epoch = std::chrono::steady_clock::now();
+    Enabled.store(On, std::memory_order_relaxed);
+  }
+
+  /// Per-category recorded-span cap; spans beyond it are dropped. The cap
+  /// is per thread (buffers are thread-local), which bounds every thread's
+  /// memory the same way.
+  uint64_t sampleLimit() const { return SampleLimit; }
+  void setSampleLimit(uint64_t N) { SampleLimit = N; }
+
+  /// Spans dropped by sampling since the last clear().
+  uint64_t droppedCount() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of every thread's completed spans (export order: by thread,
+  /// then completion order).
+  std::vector<SpanEvent> snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    std::vector<SpanEvent> Out;
+    for (const auto &B : Buffers)
+      Out.insert(Out.end(), B->Events.begin(), B->Events.end());
+    return Out;
+  }
+
+  size_t spanCount() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    size_t N = 0;
+    for (const auto &B : Buffers)
+      N += B->Events.size();
+    return N;
+  }
+
+  /// Drops all recorded spans and the drop counter; the enabled flag and
+  /// registered thread buffers are left alone.
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &B : Buffers) {
+      B->Events.clear();
+      B->CategoryCounts.clear();
+      B->Depth = 0;
+    }
+    Dropped.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  friend class Span;
+
+  /// One thread's slice of the timeline. Owned by the tracer so the export
+  /// outlives thread exit; the recording thread touches it lock-free.
+  struct ThreadBuf {
+    std::thread::id Owner;
+    uint32_t Tid = 0;
+    uint32_t Depth = 0;
+    std::vector<SpanEvent> Events;
+    /// Recorded spans per category, for the sampling cap.
+    std::map<std::string, uint64_t, std::less<>> CategoryCounts;
+  };
+
+  /// Fetch-or-create the calling thread's buffer. A thread_local cache
+  /// makes the steady-state lookup two loads; the lock is taken on the
+  /// first span per (thread, tracer) pair and after cache eviction. The
+  /// cache is keyed on a process-unique instance id, not the tracer's
+  /// address: a new tracer reusing a destroyed one's address (stack-local
+  /// tracers in tests) must not hit the stale buffer pointer.
+  ThreadBuf &threadBuf() {
+    thread_local uint64_t CachedInstance = 0;
+    thread_local ThreadBuf *Cached = nullptr;
+    if (CachedInstance == Instance && Cached)
+      return *Cached;
+    std::thread::id Me = std::this_thread::get_id();
+    std::lock_guard<std::mutex> Lock(Mu);
+    ThreadBuf *Found = nullptr;
+    for (const auto &B : Buffers)
+      if (B->Owner == Me)
+        Found = B.get();
+    if (!Found) {
+      auto B = std::make_unique<ThreadBuf>();
+      B->Owner = Me;
+      B->Tid = static_cast<uint32_t>(Buffers.size());
+      Buffers.push_back(std::move(B));
+      Found = Buffers.back().get();
+    }
+    CachedInstance = Instance;
+    Cached = Found;
+    return *Found;
+  }
+
+  static uint64_t nextInstanceId() {
+    static std::atomic<uint64_t> Next{0};
+    return Next.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  const uint64_t Instance = nextInstanceId();
+  std::atomic<bool> Enabled{false};
+  std::atomic<uint64_t> Dropped{0};
+  uint64_t SampleLimit = 512;
+  std::chrono::steady_clock::time_point Epoch{};
+  mutable std::mutex Mu;
+  std::vector<std::unique_ptr<ThreadBuf>> Buffers;
+};
+
+/// RAII span. When the tracer is disabled at construction the clock is
+/// never read and nothing allocates — one branch, two pointer stores. A
+/// span whose category hit the sampling cap still tracks nesting depth but
+/// records nothing.
+class Span {
+public:
+  explicit Span(const char *Name, const char *Category = "pipeline",
+                SpanTracer &T = SpanTracer::global()) {
+    if (!T.enabled())
+      return;
+    Tracer = &T;
+    Buf = &T.threadBuf();
+    auto It = Buf->CategoryCounts.find(std::string_view(Category));
+    if (It == Buf->CategoryCounts.end())
+      It = Buf->CategoryCounts.emplace(Category, 0).first;
+    uint64_t &Seen = It->second;
+    if (Seen >= T.SampleLimit) {
+      Tracer->Dropped.fetch_add(1, std::memory_order_relaxed);
+      if (Registry::global().enabled())
+        Registry::global().counter("obs.trace.spans_dropped").inc();
+      Sampled = false;
+    } else {
+      ++Seen;
+      Ev.Name = Name;
+      Ev.Category = Category;
+      Ev.Tid = Buf->Tid;
+      Ev.Depth = Buf->Depth;
+      Ev.StartNs = T.nowNs();
+    }
+    ++Buf->Depth;
+  }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  ~Span() { end(); }
+
+  /// Attaches a key/value annotation; a no-op when not recording.
+  void arg(const char *Key, int64_t V) {
+    if (!recording())
+      return;
+    SpanArg A;
+    A.Key = Key;
+    A.K = SpanArg::Kind::Int;
+    A.I = V;
+    Ev.Args.push_back(std::move(A));
+  }
+  void arg(const char *Key, uint64_t V) { arg(Key, static_cast<int64_t>(V)); }
+  void arg(const char *Key, unsigned V) { arg(Key, static_cast<int64_t>(V)); }
+  void arg(const char *Key, double V) {
+    if (!recording())
+      return;
+    SpanArg A;
+    A.Key = Key;
+    A.K = SpanArg::Kind::Double;
+    A.D = V;
+    Ev.Args.push_back(std::move(A));
+  }
+  void arg(const char *Key, const std::string &V) {
+    if (!recording())
+      return;
+    SpanArg A;
+    A.Key = Key;
+    A.K = SpanArg::Kind::Str;
+    A.S = V;
+    Ev.Args.push_back(std::move(A));
+  }
+  void arg(const char *Key, const char *V) { arg(Key, std::string(V)); }
+
+  /// Closes the span early; later ends (and the destructor) are no-ops.
+  void end() {
+    if (!Tracer)
+      return;
+    if (Buf->Depth > 0)
+      --Buf->Depth;
+    if (Sampled) {
+      Ev.DurNs = Tracer->nowNs() - Ev.StartNs;
+      Buf->Events.push_back(std::move(Ev));
+    }
+    Tracer = nullptr;
+  }
+
+private:
+  bool recording() const { return Tracer && Sampled; }
+
+  SpanTracer *Tracer = nullptr;
+  SpanTracer::ThreadBuf *Buf = nullptr;
+  bool Sampled = true;
+  SpanEvent Ev;
+};
+
+// -- Export (implemented in obs/TraceSpans.cpp, links bpcr_obs) -------------
+
+class JsonValue;
+
+/// The tracer's timeline as a Chrome Trace Event Format document
+/// ({"traceEvents": [...]}) loadable in chrome://tracing and Perfetto.
+JsonValue spansJson(const SpanTracer &T, const std::string &Tool);
+
+/// Writes the Chrome Trace JSON to \p Path. \returns false and sets
+/// \p Error on I/O failure.
+bool writeSpanTrace(const std::string &Path, const SpanTracer &T,
+                    const std::string &Tool, std::string &Error);
+
+/// Scans argv for `--trace-out FILE`, splices the pair out of argv, falls
+/// back to $BPCR_TRACE_OUT, and enables the global tracer when a path was
+/// found. \returns false and sets \p Error when the flag has no value.
+bool extractTraceOutFlag(int &Argc, char **Argv, std::string &Path,
+                         std::string &Error);
+
+/// Writes the global tracer's timeline to \p Path (no-op when empty),
+/// reporting to stdout/stderr. \returns a process exit code (0 ok, 1 I/O
+/// failure).
+int finishSpanTrace(const std::string &Path, const char *Tool);
+
+} // namespace bpcr
+
+#endif // BPCR_OBS_TRACESPANS_H

@@ -7,6 +7,7 @@
 #include "workloads/Workload.h"
 
 #include "interp/Interpreter.h"
+#include "obs/TraceSpans.h"
 #include "trace/Sinks.h"
 
 #include <cassert>
@@ -37,6 +38,9 @@ Module bpcr::buildWorkload(const std::string &Name, uint64_t Seed) {
 
 Trace bpcr::traceWorkload(const Workload &W, uint64_t Seed, Module &OutModule,
                           uint64_t MaxBranchEvents) {
+  Span S("workload.trace", "interp");
+  S.arg("workload", W.Name);
+  S.arg("seed", Seed);
   OutModule = W.Build(Seed);
   OutModule.assignBranchIds();
   CollectingSink Sink;
@@ -44,6 +48,7 @@ Trace bpcr::traceWorkload(const Workload &W, uint64_t Seed, Module &OutModule,
   Opts.MaxBranchEvents = MaxBranchEvents;
   ExecResult R = execute(OutModule, &Sink, Opts);
   assert(R.Ok && "workload execution failed");
+  S.arg("branch_events", R.BranchEvents);
   (void)R;
   return Sink.takeTrace();
 }

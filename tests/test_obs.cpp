@@ -69,6 +69,40 @@ TEST(Metrics, HistogramSummarizes) {
   EXPECT_DOUBLE_EQ(H.mean(), 4.0);
 }
 
+TEST(Metrics, HistogramQuantilesFromLogBuckets) {
+  Registry R = makeEnabled();
+  Histogram &H = R.histogram("q");
+  for (int I = 1; I <= 1000; ++I)
+    H.record(static_cast<double>(I));
+  // Log buckets bound accuracy to a factor of two: the rank-500 sample
+  // lies in [256, 512), the rank-990 one in [512, 1000].
+  EXPECT_GE(H.p50(), 256.0);
+  EXPECT_LE(H.p50(), 512.0);
+  EXPECT_GE(H.p99(), 512.0);
+  EXPECT_LE(H.p99(), 1000.0); // clamped to the observed max
+  EXPECT_LE(H.p50(), H.p95());
+  EXPECT_LE(H.p95(), H.p99());
+}
+
+TEST(Metrics, HistogramQuantileEdgeCases) {
+  Histogram Empty;
+  EXPECT_DOUBLE_EQ(Empty.p50(), 0.0);
+
+  Histogram One;
+  One.record(5.0);
+  EXPECT_DOUBLE_EQ(One.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(One.p99(), 5.0);
+
+  // Sub-1.0 and negative samples share bucket 0; estimates stay inside
+  // the observed range.
+  Histogram Low;
+  Low.record(-3.0);
+  Low.record(0.25);
+  Low.record(0.5);
+  EXPECT_GE(Low.p50(), Low.Min);
+  EXPECT_LE(Low.p99(), Low.Max);
+}
+
 TEST(Metrics, ClearDropsMetricsButKeepsEnabled) {
   Registry R = makeEnabled();
   R.counter("c").inc();

@@ -1,0 +1,449 @@
+//===- tests/test_tracespans.cpp - Span tracer and report compare ---------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Compare.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/TraceSpans.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+using namespace bpcr;
+
+namespace {
+
+JsonValue mustParse(const std::string &Text) {
+  std::string Error;
+  JsonValue V = parseJson(Text, Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  return V;
+}
+
+/// A minimal but schema-valid run report for compare tests. \p Extra is
+/// spliced into the metrics object verbatim.
+std::string reportText(const std::string &Extra) {
+  return "{\"schema_version\": 1, \"tool\": \"unit\", \"command\": \"test\","
+         " \"workload\": \"compress\", \"seed\": 1, \"events\": 1000,"
+         " \"metrics\": {" +
+         Extra +
+         "}, \"pipeline\": {\"code_size\": {\"factor\": 1.5}}}";
+}
+
+} // namespace
+
+// -- SpanTracer recording -----------------------------------------------------
+
+TEST(TraceSpans, DisabledTracerRecordsNothing) {
+  SpanTracer T; // disabled by default
+  EXPECT_FALSE(T.enabled());
+  {
+    Span S("pipeline.replicate", "pipeline", T);
+    S.arg("events", int64_t{42}); // must be a no-op, not a crash
+  }
+  EXPECT_EQ(T.spanCount(), 0u);
+  EXPECT_EQ(T.droppedCount(), 0u);
+}
+
+TEST(TraceSpans, NestedSpansTrackDepthAndContainment) {
+  SpanTracer T;
+  T.setEnabled(true);
+  {
+    Span Outer("pipeline.replicate", "pipeline", T);
+    {
+      Span Inner("pipeline.phase.profiling", "pipeline", T);
+    }
+    {
+      Span Inner("pipeline.phase.machine_search", "pipeline", T);
+    }
+  }
+  std::vector<SpanEvent> Events = T.snapshot();
+  ASSERT_EQ(Events.size(), 3u);
+
+  // Per-thread buffers hold completion order: children before the parent.
+  EXPECT_STREQ(Events[0].Name, "pipeline.phase.profiling");
+  EXPECT_STREQ(Events[1].Name, "pipeline.phase.machine_search");
+  EXPECT_STREQ(Events[2].Name, "pipeline.replicate");
+  const SpanEvent &Parent = Events[2];
+  EXPECT_EQ(Parent.Depth, 0u);
+  for (int I = 0; I < 2; ++I) {
+    const SpanEvent &Child = Events[I];
+    EXPECT_EQ(Child.Depth, 1u);
+    EXPECT_EQ(Child.Tid, Parent.Tid);
+    // The child's interval lies inside the parent's.
+    EXPECT_GE(Child.StartNs, Parent.StartNs);
+    EXPECT_LE(Child.StartNs + Child.DurNs, Parent.StartNs + Parent.DurNs);
+  }
+  // The two siblings do not overlap.
+  EXPECT_LE(Events[0].StartNs + Events[0].DurNs, Events[1].StartNs);
+}
+
+TEST(TraceSpans, ExplicitEndIsIdempotent) {
+  SpanTracer T;
+  T.setEnabled(true);
+  {
+    Span S("search.exit.candidate", "search", T);
+    S.end();
+    S.end(); // second end (and the destructor) must not double-record
+  }
+  EXPECT_EQ(T.spanCount(), 1u);
+  std::vector<SpanEvent> Events = T.snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Depth, 0u);
+}
+
+TEST(TraceSpans, SamplingCapDropsAndCountsPerCategory) {
+  Registry &G = Registry::global();
+  G.clear();
+  G.setEnabled(true);
+
+  SpanTracer T;
+  T.setEnabled(true);
+  T.setSampleLimit(2);
+  for (int I = 0; I < 5; ++I) {
+    Span S("search.intra_loop.candidate", "search", T);
+  }
+  // A different category has its own budget.
+  {
+    Span S("cache.run", "cache", T);
+  }
+  EXPECT_EQ(T.spanCount(), 3u); // 2 search + 1 cache
+  EXPECT_EQ(T.droppedCount(), 3u);
+  EXPECT_EQ(G.counter("obs.trace.spans_dropped").Value, 3u);
+
+  // Sampled-out spans must still balance the nesting depth.
+  {
+    Span Dropped("search.intra_loop.candidate", "search", T);
+    Span Kept("cache.run", "cache", T);
+    Kept.end();
+    std::vector<SpanEvent> Events = T.snapshot();
+    EXPECT_EQ(Events.back().Depth, 1u); // nested under the dropped span
+  }
+
+  G.clear();
+  G.setEnabled(false);
+}
+
+TEST(TraceSpans, ClearResetsSpansAndDropCounter) {
+  SpanTracer T;
+  T.setEnabled(true);
+  T.setSampleLimit(1);
+  for (int I = 0; I < 3; ++I) {
+    Span S("sweep.point", "sweep", T);
+  }
+  EXPECT_EQ(T.spanCount(), 1u);
+  EXPECT_EQ(T.droppedCount(), 2u);
+  T.clear();
+  EXPECT_EQ(T.spanCount(), 0u);
+  EXPECT_EQ(T.droppedCount(), 0u);
+  EXPECT_TRUE(T.enabled()); // clear keeps the enabled flag
+  // The per-category budget is reset too: recording works again.
+  {
+    Span S("sweep.point", "sweep", T);
+  }
+  EXPECT_EQ(T.spanCount(), 1u);
+}
+
+// -- Chrome Trace export ------------------------------------------------------
+
+TEST(TraceSpans, SpansJsonIsValidChromeTrace) {
+  SpanTracer T;
+  T.setEnabled(true);
+  {
+    Span Outer("pipeline.replicate", "pipeline", T);
+    Outer.arg("orig_instructions", int64_t{128});
+    Outer.arg("size_factor", 1.25);
+    Outer.arg("workload", "compress");
+    {
+      Span Inner("pipeline.phase.profiling", "pipeline", T);
+    }
+  }
+
+  JsonValue Doc = spansJson(T, "unit-test");
+  // The document round-trips through the strict parser.
+  JsonValue Back = mustParse(Doc.dump(0));
+  EXPECT_EQ(Doc, Back);
+
+  const JsonValue *Events = Back.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->size(), 3u); // metadata + 2 spans
+
+  // First event is the process_name metadata record.
+  const JsonValue &Meta = Events->at(0);
+  EXPECT_EQ(Meta.find("ph")->asString(), "M");
+  EXPECT_EQ(Meta.find("name")->asString(), "process_name");
+  EXPECT_EQ(Meta.find("args")->find("name")->asString(), "unit-test");
+
+  // Spans are complete ("X") events with microsecond ts/dur, sorted by
+  // start time, so the parent precedes the nested child.
+  const JsonValue &Parent = Events->at(1);
+  const JsonValue &Child = Events->at(2);
+  for (const JsonValue *E : {&Parent, &Child}) {
+    EXPECT_EQ(E->find("ph")->asString(), "X");
+    EXPECT_EQ(E->find("pid")->asInt(), 1);
+    ASSERT_NE(E->find("ts"), nullptr);
+    ASSERT_NE(E->find("dur"), nullptr);
+    EXPECT_GE(E->find("dur")->asDouble(), 0.0);
+    EXPECT_FALSE(E->find("cat")->asString().empty());
+  }
+  EXPECT_EQ(Parent.find("name")->asString(), "pipeline.replicate");
+  EXPECT_EQ(Child.find("name")->asString(), "pipeline.phase.profiling");
+  EXPECT_LE(Parent.find("ts")->asDouble(), Child.find("ts")->asDouble());
+
+  // Args of every kind survive the export.
+  const JsonValue *Args = Parent.find("args");
+  ASSERT_NE(Args, nullptr);
+  EXPECT_EQ(Args->find("orig_instructions")->asInt(), 128);
+  EXPECT_DOUBLE_EQ(Args->find("size_factor")->asDouble(), 1.25);
+  EXPECT_EQ(Args->find("workload")->asString(), "compress");
+
+  EXPECT_EQ(Back.find("otherData")->find("span_count")->asInt(), 2);
+  EXPECT_EQ(Back.find("otherData")->find("spans_dropped")->asInt(), 0);
+  EXPECT_EQ(Back.find("displayTimeUnit")->asString(), "ms");
+}
+
+TEST(TraceSpans, WriteSpanTraceFailsWithDescriptiveError) {
+  SpanTracer T;
+  std::string Error;
+  EXPECT_FALSE(
+      writeSpanTrace("/nonexistent/dir/trace.json", T, "unit", Error));
+  EXPECT_NE(Error.find("/nonexistent/dir/trace.json"), std::string::npos)
+      << Error;
+}
+
+TEST(TraceSpans, ExtractTraceOutFlagSplicesArgv) {
+  char A0[] = "bpcr", A1[] = "replicate", A2[] = "--trace-out",
+       A3[] = "/tmp/bpcr_test_trace.json", A4[] = "compress";
+  char *Argv[] = {A0, A1, A2, A3, A4};
+  int Argc = 5;
+  std::string Path, Error;
+  ASSERT_TRUE(extractTraceOutFlag(Argc, Argv, Path, Error)) << Error;
+  EXPECT_EQ(Path, "/tmp/bpcr_test_trace.json");
+  // The flag pair is gone and the remaining order is preserved.
+  ASSERT_EQ(Argc, 3);
+  EXPECT_STREQ(Argv[0], "bpcr");
+  EXPECT_STREQ(Argv[1], "replicate");
+  EXPECT_STREQ(Argv[2], "compress");
+  // Finding a path enables the global tracer; undo for other tests.
+  EXPECT_TRUE(SpanTracer::global().enabled());
+  SpanTracer::global().setEnabled(false);
+  SpanTracer::global().clear();
+}
+
+TEST(TraceSpans, ExtractTraceOutFlagRejectsMissingValue) {
+  char A0[] = "bpcr", A1[] = "--trace-out";
+  char *Argv[] = {A0, A1};
+  int Argc = 2;
+  std::string Path, Error;
+  EXPECT_FALSE(extractTraceOutFlag(Argc, Argv, Path, Error));
+  EXPECT_NE(Error.find("--trace-out"), std::string::npos) << Error;
+  EXPECT_TRUE(Path.empty());
+  EXPECT_FALSE(SpanTracer::global().enabled());
+}
+
+TEST(TraceSpans, ExtractTraceOutFlagFallsBackToEnv) {
+  ::setenv("BPCR_TRACE_OUT", "/tmp/bpcr_env_trace.json", 1);
+  char A0[] = "bpcr", A1[] = "list";
+  char *Argv[] = {A0, A1};
+  int Argc = 2;
+  std::string Path, Error;
+  ASSERT_TRUE(extractTraceOutFlag(Argc, Argv, Path, Error)) << Error;
+  EXPECT_EQ(Path, "/tmp/bpcr_env_trace.json");
+  EXPECT_EQ(Argc, 2); // nothing spliced
+  ::unsetenv("BPCR_TRACE_OUT");
+  SpanTracer::global().setEnabled(false);
+  SpanTracer::global().clear();
+}
+
+// -- Glob and rule matching ---------------------------------------------------
+
+TEST(Compare, GlobMatchSemantics) {
+  EXPECT_TRUE(globMatch("*", ""));
+  EXPECT_TRUE(globMatch("*", "anything.at.all"));
+  EXPECT_TRUE(globMatch("phases.*", "phases.pipeline.phase.profiling"));
+  EXPECT_FALSE(globMatch("phases.*", "gauges.phases"));
+  EXPECT_TRUE(globMatch("*_ns*", "phases.x.total_ns"));
+  EXPECT_TRUE(globMatch("*_ns*", "gauges.a_ns_rate"));
+  EXPECT_FALSE(globMatch("*_ns*", "counters.events"));
+  EXPECT_TRUE(globMatch("counters.obs.trace.*",
+                        "counters.obs.trace.spans_dropped"));
+  EXPECT_TRUE(globMatch("a*b*c", "a-x-b-y-c"));
+  EXPECT_FALSE(globMatch("a*b*c", "a-x-c"));
+  EXPECT_FALSE(globMatch("exact", "exact.not"));
+  EXPECT_TRUE(globMatch("exact", "exact"));
+}
+
+// -- compareReports -----------------------------------------------------------
+
+TEST(Compare, IdenticalReportsPass) {
+  JsonValue Doc = mustParse(reportText(
+      "\"counters\": {\"interp.branch_events\": 1000},"
+      " \"gauges\": {\"replication.realized.rate\": 4.25}"));
+  CompareResult R = compareReports(Doc, Doc, CompareOptions{});
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.Regressions, 0u);
+  EXPECT_TRUE(R.Warnings.empty());
+  // counters + gauges + pipeline.code_size.factor all flattened.
+  EXPECT_EQ(R.Deltas.size(), 3u);
+}
+
+TEST(Compare, ExactEqualityGateCatchesAnyDrift) {
+  JsonValue Old =
+      mustParse(reportText("\"counters\": {\"interp.branch_events\": 1000}"));
+  JsonValue New =
+      mustParse(reportText("\"counters\": {\"interp.branch_events\": 1001}"));
+  CompareResult R = compareReports(Old, New, CompareOptions{});
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Regressions, 1u);
+  const MetricDelta *D = nullptr;
+  for (const MetricDelta &Cand : R.Deltas)
+    if (Cand.Name == "counters.interp.branch_events")
+      D = &Cand;
+  ASSERT_NE(D, nullptr);
+  EXPECT_TRUE(D->Regressed);
+  EXPECT_NEAR(D->RelDelta, 0.001, 1e-9);
+  EXPECT_EQ(D->RulePattern, "*");
+}
+
+TEST(Compare, WallClockMetricsAreReportOnly) {
+  JsonValue Old = mustParse(reportText(
+      "\"phases\": {\"pipeline.phase.profiling\": {\"total_ns\": 100.0}},"
+      " \"gauges\": {\"interp.events_per_sec\": 1e6}"));
+  JsonValue New = mustParse(reportText(
+      "\"phases\": {\"pipeline.phase.profiling\": {\"total_ns\": 900.0}},"
+      " \"gauges\": {\"interp.events_per_sec\": 9e6}"));
+  CompareResult R = compareReports(Old, New, CompareOptions{});
+  EXPECT_TRUE(R.ok()) << renderCompareResult(R);
+  for (const MetricDelta &D : R.Deltas) {
+    if (D.Name.find("phases.") == 0 ||
+        D.Name.find("per_sec") != std::string::npos) {
+      EXPECT_TRUE(D.Skipped) << D.Name;
+    }
+  }
+}
+
+TEST(Compare, ThresholdRuleAllowsBoundedDelta) {
+  JsonValue Old =
+      mustParse(reportText("\"gauges\": {\"table1.profile.compress\": 10.0}"));
+  JsonValue New =
+      mustParse(reportText("\"gauges\": {\"table1.profile.compress\": 10.9}"));
+
+  CompareOptions Opts;
+  std::string Error;
+  ASSERT_TRUE(parseThresholdRules(
+      "{\"rules\": [{\"pattern\": \"gauges.table1.*\","
+      " \"max_rel_delta\": 0.10, \"direction\": \"up\"}]}",
+      Opts, Error))
+      << Error;
+  // +9% under a 10% up-gate passes...
+  EXPECT_TRUE(compareReports(Old, New, Opts).ok());
+  // ...and the same movement down passes trivially under direction "up".
+  EXPECT_TRUE(compareReports(New, Old, Opts).ok());
+
+  // +12% crosses it.
+  JsonValue Worse =
+      mustParse(reportText("\"gauges\": {\"table1.profile.compress\": 11.2}"));
+  CompareResult R = compareReports(Old, Worse, Opts);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Regressions, 1u);
+}
+
+TEST(Compare, DefaultKeyLoosensTheCatchAll) {
+  JsonValue Old =
+      mustParse(reportText("\"counters\": {\"interp.branch_events\": 100}"));
+  JsonValue New =
+      mustParse(reportText("\"counters\": {\"interp.branch_events\": 104}"));
+  CompareOptions Opts;
+  std::string Error;
+  ASSERT_TRUE(parseThresholdRules("{\"default\": 0.05}", Opts, Error))
+      << Error;
+  EXPECT_TRUE(compareReports(Old, New, Opts).ok());
+  EXPECT_FALSE(compareReports(Old, New, CompareOptions{}).ok());
+}
+
+TEST(Compare, RemovedGatedMetricRegressesAddedOnePasses) {
+  JsonValue Both = mustParse(reportText(
+      "\"counters\": {\"a.events\": 1, \"b.events\": 2}"));
+  JsonValue OnlyA =
+      mustParse(reportText("\"counters\": {\"a.events\": 1}"));
+  // Removing a gated metric fails (the gate cannot be dodged by deletion).
+  CompareResult Removed = compareReports(Both, OnlyA, CompareOptions{});
+  EXPECT_FALSE(Removed.ok());
+  // A brand-new metric has no baseline yet and passes.
+  CompareResult Added = compareReports(OnlyA, Both, CompareOptions{});
+  EXPECT_TRUE(Added.ok()) << renderCompareResult(Added);
+}
+
+TEST(Compare, ContextMismatchWarnsButCompares) {
+  JsonValue Old = mustParse(reportText("\"counters\": {\"a.events\": 1}"));
+  std::string NewText =
+      "{\"schema_version\": 1, \"tool\": \"unit\", \"command\": \"test\","
+      " \"workload\": \"abalone\", \"seed\": 2, \"events\": 1000,"
+      " \"metrics\": {\"counters\": {\"a.events\": 1}},"
+      " \"pipeline\": {\"code_size\": {\"factor\": 1.5}}}";
+  CompareResult R = compareReports(Old, mustParse(NewText), CompareOptions{});
+  EXPECT_EQ(R.Regressions, 0u);
+  ASSERT_EQ(R.Warnings.size(), 2u); // workload and seed differ
+  EXPECT_NE(R.Warnings[0].find("workload"), std::string::npos);
+  EXPECT_NE(R.Warnings[1].find("seed"), std::string::npos);
+}
+
+TEST(Compare, SchemaVersionIsValidated) {
+  JsonValue Good = mustParse(reportText("\"counters\": {}"));
+  JsonValue NoVersion = mustParse("{\"metrics\": {}}");
+  JsonValue WrongVersion = mustParse(
+      "{\"schema_version\": 99, \"metrics\": {\"counters\": {}}}");
+  for (const JsonValue *Bad : {&NoVersion, &WrongVersion}) {
+    CompareResult R = compareReports(Good, *Bad, CompareOptions{});
+    EXPECT_FALSE(R.ok());
+    ASSERT_FALSE(R.Errors.empty());
+    EXPECT_TRUE(R.Deltas.empty()); // structural error: no diff attempted
+  }
+}
+
+// -- Threshold file parsing ---------------------------------------------------
+
+TEST(Compare, ThresholdFileRejectsMalformedInput) {
+  struct Case {
+    const char *Text;
+    const char *ErrorPart;
+  } Cases[] = {
+      {"not json", "byte"},
+      {"[]", "must be a JSON object"},
+      {"{\"bogus\": 1}", "unknown top-level key"},
+      {"{\"rules\": 5}", "'rules' must be an array"},
+      {"{\"rules\": [{\"max_rel_delta\": 0.1}]}", "missing 'pattern'"},
+      {"{\"rules\": [{\"pattern\": \"\"}]}", "non-empty string"},
+      {"{\"rules\": [{\"pattern\": \"a\", \"max_rel_delta\": -1}]}",
+       "must be a number >= 0"},
+      {"{\"rules\": [{\"pattern\": \"a\", \"direction\": \"sideways\"}]}",
+       "'direction'"},
+      {"{\"rules\": [{\"pattern\": \"a\", \"skip\": 1}]}",
+       "'skip' must be a boolean"},
+      {"{\"rules\": [{\"pattern\": \"a\", \"frobnicate\": 1}]}",
+       "unknown key"},
+      {"{\"default\": -0.5}", "must be >= 0"},
+      {"{\"rules\": [true]}", "number or an object"},
+  };
+  for (const Case &C : Cases) {
+    CompareOptions Opts;
+    std::string Error;
+    EXPECT_FALSE(parseThresholdRules(C.Text, Opts, Error)) << C.Text;
+    EXPECT_NE(Error.find(C.ErrorPart), std::string::npos)
+        << "input: " << C.Text << "\nerror: " << Error;
+  }
+}
+
+TEST(Compare, ThresholdFileErrorsNameTheRuleIndex) {
+  CompareOptions Opts;
+  std::string Error;
+  EXPECT_FALSE(parseThresholdRules(
+      "{\"rules\": [{\"pattern\": \"ok\"}, {\"pattern\": \"a\", \"bad\": 1}]}",
+      Opts, Error));
+  EXPECT_NE(Error.find("rules[1]"), std::string::npos) << Error;
+}

@@ -13,10 +13,14 @@
 //   bpcr analyze <workload> [--seed N] [--events N]
 //   bpcr replicate <workload> [--seed N] [--states N] [--budget X] [--dump]
 //   bpcr report <workload> [--seed N] [--events N] [--states N] [--budget X]
+//   bpcr compare OLD.json NEW.json [--threshold-file FILE]
 //
 // `trace`, `analyze`, `replicate` and `report` accept --metrics FILE to
 // write a machine-readable JSON run report (schema in
-// docs/OBSERVABILITY.md); `report` prints the same data as tables.
+// docs/OBSERVABILITY.md); `report` prints the same data as tables. Every
+// command accepts --trace-out FILE to export a span timeline in Chrome
+// Trace Event Format. `compare` diffs two run reports and exits non-zero
+// when a metric crosses its threshold — the CI perf-regression gate.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,8 +30,10 @@
 #include "ir/Printer.h"
 #include "ir/Serializer.h"
 #include "ir/Verifier.h"
+#include "obs/Compare.h"
 #include "obs/Metrics.h"
 #include "obs/Report.h"
+#include "obs/TraceSpans.h"
 #include "predict/DynamicPredictors.h"
 #include "predict/Evaluator.h"
 #include "predict/SemiStaticPredictors.h"
@@ -55,6 +61,10 @@ struct Args {
   bool Dump = false;
   std::string Output;
   std::string Metrics;
+  // compare-only positionals and options.
+  std::string CompareOld;
+  std::string CompareNew;
+  std::string ThresholdFile;
 };
 
 int usage() {
@@ -71,6 +81,8 @@ int usage() {
       "  replicate <workload>         run the full replication pipeline\n"
       "  report <workload>            phase timings and per-branch\n"
       "                               replication decisions\n"
+      "  compare OLD.json NEW.json    diff two run reports and gate the\n"
+      "                               deltas (exit 1 on regression)\n"
       "\n"
       "options:\n"
       "  --seed N       workload input seed (default 1)\n"
@@ -80,6 +92,12 @@ int usage() {
       "  --dump         also print the transformed IR (replicate)\n"
       "  --metrics FILE write a JSON run report (trace/analyze/replicate/\n"
       "                 report)\n"
+      "  --trace-out FILE\n"
+      "                 write a span timeline (Chrome Trace Format JSON,\n"
+      "                 loadable in Perfetto / chrome://tracing)\n"
+      "  --threshold-file FILE\n"
+      "                 relative-delta thresholds for compare (JSON; see\n"
+      "                 docs/OBSERVABILITY.md)\n"
       "  -o FILE        output file (trace: .bpct; dump/replicate: module\n"
       "                 text)\n");
   return 2;
@@ -96,8 +114,8 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
     return parseError("no command given");
   A.Command = Argv[1];
 
-  static const char *Known[] = {"list",      "dump",   "trace",
-                                "analyze",   "replicate", "report"};
+  static const char *Known[] = {"list",      "dump",   "trace",   "analyze",
+                                "replicate", "report", "compare"};
   bool KnownCommand = false;
   for (const char *C : Known)
     KnownCommand |= A.Command == C;
@@ -105,7 +123,14 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
     return parseError("unknown command '" + A.Command + "'");
 
   int I = 2;
-  if (A.Command != "list") {
+  if (A.Command == "compare") {
+    if (I + 1 >= Argc || Argv[I][0] == '-' || Argv[I + 1][0] == '-')
+      return parseError(
+          "command 'compare' needs two run-report arguments: "
+          "compare OLD.json NEW.json");
+    A.CompareOld = Argv[I++];
+    A.CompareNew = Argv[I++];
+  } else if (A.Command != "list") {
     if (I >= Argc || Argv[I][0] == '-')
       return parseError("command '" + A.Command +
                         "' needs a workload argument");
@@ -152,6 +177,14 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       if (!V)
         return parseError("option '--metrics' needs a file argument");
       A.Metrics = V;
+    } else if (Opt == "--threshold-file") {
+      const char *V = Next();
+      if (!V)
+        return parseError("option '--threshold-file' needs a file argument");
+      if (A.Command != "compare")
+        return parseError(
+            "option '--threshold-file' only applies to the compare command");
+      A.ThresholdFile = V;
     } else if (Opt == "-o") {
       const char *V = Next();
       if (!V)
@@ -192,6 +225,65 @@ bool writeMetrics(const Args &A, const PipelineResult *PR) {
   }
   std::printf("wrote metrics to %s\n", A.Metrics.c_str());
   return true;
+}
+
+/// Slurps \p Path into \p Out. \returns false and sets \p Error on failure.
+bool readFile(const std::string &Path, std::string &Out, std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "cannot open '" + Path + "' for reading";
+    return false;
+  }
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  if (!Ok)
+    Error = "read error on '" + Path + "'";
+  return Ok;
+}
+
+int cmdCompare(const Args &A) {
+  auto LoadReport = [](const std::string &Path, JsonValue &Doc) {
+    std::string Text, Error;
+    if (!readFile(Path, Text, Error)) {
+      std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
+      return false;
+    }
+    Doc = parseJson(Text, Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "bpcr: error: %s: %s\n", Path.c_str(),
+                   Error.c_str());
+      return false;
+    }
+    return true;
+  };
+
+  JsonValue OldDoc, NewDoc;
+  if (!LoadReport(A.CompareOld, OldDoc) || !LoadReport(A.CompareNew, NewDoc))
+    return 2;
+
+  CompareOptions Opts;
+  if (!A.ThresholdFile.empty()) {
+    std::string Text, Error;
+    if (!readFile(A.ThresholdFile, Text, Error)) {
+      std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
+      return 2;
+    }
+    if (!parseThresholdRules(Text, Opts, Error)) {
+      std::fprintf(stderr, "bpcr: error: %s: %s\n", A.ThresholdFile.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+  }
+
+  CompareResult R = compareReports(OldDoc, NewDoc, Opts);
+  std::printf("%s", renderCompareResult(R).c_str());
+  if (!R.Errors.empty())
+    return 2;
+  return R.Regressions ? 1 : 0;
 }
 
 int cmdList() {
@@ -390,7 +482,7 @@ int cmdReport(const Args &A) {
 
   char Buf[64];
   TablePrinter Phases("Pipeline phase wall time");
-  Phases.setHeader({"phase", "runs", "total ms", "mean ms"});
+  Phases.setHeader({"phase", "runs", "total ms", "mean ms", "p95 ms"});
   for (const auto &[Name, H] : Obs.timers()) {
     std::string Label = Name;
     const std::string Prefix = "pipeline.phase.";
@@ -400,6 +492,8 @@ int cmdReport(const Args &A) {
     std::snprintf(Buf, sizeof(Buf), "%.3f", H.Sum / 1e6);
     Row.push_back(Buf);
     std::snprintf(Buf, sizeof(Buf), "%.3f", H.mean() / 1e6);
+    Row.push_back(Buf);
+    std::snprintf(Buf, sizeof(Buf), "%.3f", H.p95() / 1e6);
     Row.push_back(Buf);
     Phases.addRow(std::move(Row));
   }
@@ -435,6 +529,15 @@ int cmdReport(const Args &A) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Span tracing is orthogonal to the subcommands: the flag is spliced out
+  // before command parsing and the timeline is written after the command
+  // finishes, whatever it was.
+  std::string TraceOut, TraceError;
+  if (!extractTraceOutFlag(Argc, Argv, TraceOut, TraceError)) {
+    std::fprintf(stderr, "bpcr: error: %s\n", TraceError.c_str());
+    return usage();
+  }
+
   Args A;
   if (!parseArgs(Argc, Argv, A))
     return usage();
@@ -444,17 +547,28 @@ int main(int Argc, char **Argv) {
   if (!A.Metrics.empty() || A.Command == "report")
     Registry::global().setEnabled(true);
 
+  int RC = 2;
   if (A.Command == "list")
-    return cmdList();
-  if (A.Command == "dump")
-    return cmdDump(A);
-  if (A.Command == "trace")
-    return cmdTrace(A);
-  if (A.Command == "analyze")
-    return cmdAnalyze(A);
-  if (A.Command == "replicate")
-    return cmdReplicate(A);
-  if (A.Command == "report")
-    return cmdReport(A);
-  return usage();
+    RC = cmdList();
+  else if (A.Command == "dump")
+    RC = cmdDump(A);
+  else if (A.Command == "trace")
+    RC = cmdTrace(A);
+  else if (A.Command == "analyze")
+    RC = cmdAnalyze(A);
+  else if (A.Command == "replicate")
+    RC = cmdReplicate(A);
+  else if (A.Command == "report")
+    RC = cmdReport(A);
+  else if (A.Command == "compare")
+    RC = cmdCompare(A);
+  else
+    return usage();
+
+  if (!TraceOut.empty()) {
+    int TraceRC = finishSpanTrace(TraceOut, "bpcr");
+    if (RC == 0)
+      RC = TraceRC;
+  }
+  return RC;
 }
