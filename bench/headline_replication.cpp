@@ -90,6 +90,17 @@ void runRegime(const std::vector<WorkloadData> &Suite, double SizeBudget,
     Obs.gauge(std::string(Prefix) + ".mispred_pct")
         .set(Repl.mispredictionPercent());
     Obs.gauge(std::string(Prefix) + ".size_factor").set(PR.sizeFactor());
+    // Concentration of the remaining misprediction cost: the share owed to
+    // the single costliest branch, straight from the attribution ledger.
+    if (!PR.Attribution.empty()) {
+      auto Top1 = PR.Attribution.topByMispredictions(1);
+      uint64_t TotalMiss = PR.Attribution.totalMispredictions();
+      double Share = (TotalMiss && !Top1.empty())
+                         ? static_cast<double>(Top1[0]->Mispredictions) /
+                               static_cast<double>(TotalMiss)
+                         : 0.0;
+      Obs.gauge(std::string(Prefix) + ".top1_mispred_share").set(Share);
+    }
 
     char Buf[32];
     ProfRow.push_back(formatPercent(Prof.mispredictionPercent()));

@@ -50,7 +50,8 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   Span PipeSpan("pipeline.replicate", "pipeline");
   PipeSpan.arg("orig_instructions", R.OrigInstructions);
 
-  if (Registry::global().enabled())
+  const bool ObsOn = Registry::global().enabled();
+  if (ObsOn)
     Registry::global().counter("pipeline.runs").inc();
 
   // Profile and select strategies on the original module. Loop-aware
@@ -75,7 +76,9 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
 
   ScopedTimer TSearch("pipeline.phase.machine_search");
   Span SSearch("pipeline.phase.machine_search");
-  R.Strategies = selectStrategies(PA, Profiles, T, Opts.Strategy);
+  SelectionTrace SelTrace;
+  R.Strategies = selectStrategies(PA, Profiles, T, Opts.Strategy,
+                                  ObsOn ? &SelTrace : nullptr);
   SSearch.arg("strategies", static_cast<uint64_t>(R.Strategies.size()));
   SSearch.end();
   TSearch.stop();
@@ -479,6 +482,67 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   R.Transformed.assignBranchIds();
   SAnnotate.end();
   TAnnotate.stop();
+
+  // Misprediction attribution ledger: selection candidates and runner-up
+  // deltas from the strategy trace, the pipeline's verdict from the
+  // decision log, and measured per-replica correctness from one execution
+  // of the transformed module (capped at the training trace's event count
+  // so the measured totals are comparable to the training profile).
+  if (ObsOn) {
+    ScopedTimer TAttr("pipeline.phase.attribution");
+    Span SAttr("pipeline.phase.attribution");
+    R.Attribution.resize(PA.numBranches());
+    for (uint32_t Id = 0; Id < PA.numBranches(); ++Id) {
+      BranchAttribution &A = R.Attribution.branch(static_cast<int32_t>(Id));
+      const BranchStats &BS = Stats.branch(static_cast<int32_t>(Id));
+      A.Executions = BS.Executions;
+      A.TakenCount = BS.TakenCount;
+      const BranchStrategy &S = R.Strategies[Id];
+      A.Strategy = strategyKindName(S.Kind);
+      A.TrainCorrect = S.Correct;
+      A.TrainTotal = S.Total;
+      A.Candidates = std::move(SelTrace.PerBranch[Id]);
+      const CandidateScore *BestLoser = nullptr;
+      for (const CandidateScore &C : A.Candidates) {
+        if (C.Chosen)
+          continue;
+        if (!BestLoser || C.Correct > BestLoser->Correct)
+          BestLoser = &C;
+      }
+      if (BestLoser) {
+        A.RunnerUp = BestLoser->Strategy;
+        A.RunnerUpDelta = S.Correct > BestLoser->Correct
+                              ? S.Correct - BestLoser->Correct
+                              : 0;
+      }
+    }
+    // The pipeline's verdict: the last per-branch record wins (joint-plan
+    // skip records carry the "joint" strategy and describe the plan, not
+    // the branch).
+    for (const BranchDecision &D : R.Decisions.all()) {
+      if (D.Strategy == "joint" || D.BranchId < 0 ||
+          static_cast<size_t>(D.BranchId) >= R.Attribution.size())
+        continue;
+      R.Attribution.branch(D.BranchId).Action = decisionActionName(D.Action);
+    }
+    ExecOptions EO;
+    EO.MaxBranchEvents = T.size();
+    for (const ReplicaMeasurement &C :
+         measureAnnotatedPerReplica(R.Transformed, EO)) {
+      if (C.OrigBranchId < 0 ||
+          static_cast<size_t>(C.OrigBranchId) >= R.Attribution.size())
+        continue;
+      BranchAttribution &A = R.Attribution.branch(C.OrigBranchId);
+      A.MeasuredExecutions += C.Executions;
+      A.Mispredictions += C.Mispredictions;
+      A.Replicas.push_back({C.ReplicaId, C.Executions, C.Mispredictions});
+    }
+    SAttr.arg("measured_executions", R.Attribution.totalMeasuredExecutions());
+    SAttr.arg("mispredictions", R.Attribution.totalMispredictions());
+    SAttr.end();
+    TAttr.stop();
+  }
+
   R.NewInstructions = R.Transformed.instructionCount();
   PipeSpan.arg("new_instructions", R.NewInstructions);
   PipeSpan.arg("size_factor", R.sizeFactor());

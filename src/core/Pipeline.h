@@ -21,6 +21,7 @@
 #include "core/Replication.h"
 #include "core/StrategySelection.h"
 #include "ir/Module.h"
+#include "obs/Attribution.h"
 #include "obs/DecisionLog.h"
 #include "trace/Trace.h"
 
@@ -58,6 +59,10 @@ struct PipelineResult {
   /// plans first, then per-branch strategies by gain per instruction, then
   /// the branches that kept the profile strategy).
   DecisionLog Decisions;
+  /// Per-branch misprediction attribution (candidate scores, runner-up
+  /// deltas, measured per-replica correctness). Filled only when the global
+  /// observability registry is enabled; empty otherwise.
+  AttributionLedger Attribution;
 
   double sizeFactor() const {
     return OrigInstructions

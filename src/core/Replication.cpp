@@ -381,3 +381,47 @@ PredictionStats bpcr::measureAnnotatedPredictions(const Module &M,
   (void)R;
   return Sink.Stats;
 }
+
+namespace {
+
+/// Scores Predicted annotations per branch copy, keyed by the copy's
+/// BranchId in the transformed module.
+class PerReplicaSink : public TraceSink {
+public:
+  void onBranch(const Instruction &Br, bool Taken) override {
+    if (Br.BranchId < 0)
+      return;
+    size_t Idx = static_cast<size_t>(Br.BranchId);
+    if (Idx >= Copies.size())
+      Copies.resize(Idx + 1);
+    ReplicaMeasurement &C = Copies[Idx];
+    C.OrigBranchId = Br.OrigBranchId;
+    C.ReplicaId = Br.BranchId;
+    ++C.Executions;
+    bool Pred = Br.Predicted != Prediction::NotTaken;
+    if (Pred != Taken)
+      ++C.Mispredictions;
+  }
+
+  std::vector<ReplicaMeasurement> Copies;
+};
+
+} // namespace
+
+std::vector<ReplicaMeasurement>
+bpcr::measureAnnotatedPerReplica(const Module &M, const ExecOptions &Opts) {
+  PerReplicaSink Sink;
+  ExecResult R = execute(M, &Sink, Opts);
+  (void)R;
+  std::vector<ReplicaMeasurement> Out;
+  for (const ReplicaMeasurement &C : Sink.Copies)
+    if (C.Executions > 0)
+      Out.push_back(C);
+  std::sort(Out.begin(), Out.end(),
+            [](const ReplicaMeasurement &A, const ReplicaMeasurement &B) {
+              if (A.OrigBranchId != B.OrigBranchId)
+                return A.OrigBranchId < B.OrigBranchId;
+              return A.ReplicaId < B.ReplicaId;
+            });
+  return Out;
+}

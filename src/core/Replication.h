@@ -87,6 +87,24 @@ void annotateProfilePredictions(Module &M, const TraceStats &Stats);
 PredictionStats measureAnnotatedPredictions(const Module &M,
                                             const ExecOptions &Opts);
 
+/// Measured outcome of one branch copy during a per-replica run.
+struct ReplicaMeasurement {
+  /// Original branch the copy descends from.
+  int32_t OrigBranchId = -1;
+  /// BranchId of the copy in the transformed module.
+  int32_t ReplicaId = -1;
+  uint64_t Executions = 0;
+  uint64_t Mispredictions = 0;
+};
+
+/// Like measureAnnotatedPredictions, but broken down per branch copy so the
+/// attribution ledger can fold replicated copies back onto their original
+/// branch ids. Requires assignBranchIds() to have run on \p M. Entries with
+/// zero executions are omitted; output is sorted by (OrigBranchId,
+/// ReplicaId).
+std::vector<ReplicaMeasurement>
+measureAnnotatedPerReplica(const Module &M, const ExecOptions &Opts);
+
 } // namespace bpcr
 
 #endif // BPCR_CORE_REPLICATION_H

@@ -28,8 +28,13 @@ const char *bpcr::strategyKindName(StrategyKind K) {
 
 std::vector<BranchStrategy>
 bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
-                       const Trace &T, const StrategyOptions &Opts) {
+                       const Trace &T, const StrategyOptions &Opts,
+                       SelectionTrace *TraceOut) {
   assert(Opts.MaxStates >= 2 && "strategy selection needs a state budget");
+  if (TraceOut) {
+    TraceOut->PerBranch.clear();
+    TraceOut->PerBranch.resize(PA.numBranches());
+  }
   unsigned PathLen = Opts.MaxPathLen
                          ? Opts.MaxPathLen
                          : std::min<unsigned>(Opts.MaxStates, 4);
@@ -71,9 +76,27 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
     S.Correct = P.executions() - P.profileMispredictions();
     S.States = 1;
 
+    auto RecordCandidate = [&](StrategyKind K, uint64_t Correct,
+                               uint64_t Total, unsigned States) {
+      if (TraceOut)
+        TraceOut->PerBranch[Id].push_back(
+            {strategyKindName(K), Correct, Total, States, /*Chosen=*/false});
+    };
+    RecordCandidate(StrategyKind::Profile, S.Correct, S.Total, 1);
+    auto MarkChosen = [&](const BranchStrategy &Final) {
+      if (!TraceOut)
+        return;
+      for (CandidateScore &C : TraceOut->PerBranch[Id])
+        if (C.Strategy == strategyKindName(Final.Kind)) {
+          C.Chosen = true;
+          break;
+        }
+    };
+
     if (P.executions() < Opts.MinExecutions) {
       if (ObsOn)
         Obs.counter("strategy.pruned.cold").inc();
+      MarkChosen(S);
       Out.push_back(std::move(S));
       continue;
     }
@@ -94,6 +117,8 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
       MO.Exhaustive = Opts.Exhaustive;
       MO.NodeBudget = Opts.NodeBudget;
       SuffixMachine M = buildIntraLoopMachine(P.Table, MO);
+      RecordCandidate(StrategyKind::IntraLoop, M.Correct, M.Total,
+                      M.numStates());
       if (M.Correct > S.Correct) {
         S.Kind = StrategyKind::IntraLoop;
         S.Correct = M.Correct;
@@ -104,6 +129,8 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
     } else if (C.Kind == BranchKind::LoopExit) {
       ExitChainMachine M =
           buildExitMachine(P.Table, Opts.MaxStates, !C.TakenExits);
+      RecordCandidate(StrategyKind::LoopExit, M.Correct, M.Total,
+                      M.numStates());
       if (M.Correct > S.Correct) {
         S.Kind = StrategyKind::LoopExit;
         S.Correct = M.Correct;
@@ -121,6 +148,8 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
       CO.NodeBudget = Opts.NodeBudget;
       CorrelatedMachine CM = buildCorrelatedMachineFromProfile(
           static_cast<int32_t>(Id), PathProfiles[Id], CO);
+      RecordCandidate(StrategyKind::Correlated, CM.Correct, CM.Total,
+                      CM.numStates());
       if (CM.Correct > S.Correct) {
         S.Kind = StrategyKind::Correlated;
         S.Correct = CM.Correct;
@@ -135,6 +164,7 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
       Obs.counter(std::string("strategy.chosen.") +
                   strategyKindName(S.Kind))
           .inc();
+    MarkChosen(S);
     Out.push_back(std::move(S));
   }
   return Out;

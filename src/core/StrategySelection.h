@@ -24,6 +24,7 @@
 #include "core/CorrelatedMachine.h"
 #include "core/MachineSearch.h"
 #include "core/ProgramAnalysis.h"
+#include "obs/Attribution.h"
 #include "trace/Trace.h"
 
 #include <memory>
@@ -77,11 +78,20 @@ struct StrategyOptions {
   uint64_t MinExecutions = 16;
 };
 
-/// Chooses the best strategy for every branch.
+/// Optional record of every candidate strategy scored during selection,
+/// one list per branch id. The attribution ledger and `bpcr explain
+/// --branch` use it to reconstruct why the winner won.
+struct SelectionTrace {
+  std::vector<std::vector<CandidateScore>> PerBranch;
+};
+
+/// Chooses the best strategy for every branch. When \p TraceOut is non-null
+/// every candidate score (winner and losers) is recorded into it.
 std::vector<BranchStrategy> selectStrategies(const ProgramAnalysis &PA,
                                              const ProfileSet &Profiles,
                                              const Trace &T,
-                                             const StrategyOptions &Opts);
+                                             const StrategyOptions &Opts,
+                                             SelectionTrace *TraceOut = nullptr);
 
 /// Aggregated accuracy of a strategy assignment (Table 5 entries).
 PredictionStats totalStrategyStats(const std::vector<BranchStrategy> &S);

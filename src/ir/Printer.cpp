@@ -98,7 +98,8 @@ std::string bpcr::printInstruction(const Instruction &I, const Function &F,
   }
 }
 
-std::string bpcr::printFunction(const Function &F, const Module *M) {
+std::string bpcr::printFunction(const Function &F, const Module *M,
+                                const InstrAnnotator &Annotate) {
   std::string S;
   char Buf[128];
   std::snprintf(Buf, sizeof(Buf), "func %s(params=%u, regs=%u) {\n",
@@ -111,6 +112,13 @@ std::string bpcr::printFunction(const Function &F, const Module *M) {
     for (const Instruction &I : BB.Insts) {
       S += "  ";
       S += printInstruction(I, F, M);
+      if (Annotate) {
+        std::string Note = Annotate(I);
+        if (!Note.empty()) {
+          S += "  ; ";
+          S += Note;
+        }
+      }
       S += '\n';
     }
   }
@@ -118,9 +126,9 @@ std::string bpcr::printFunction(const Function &F, const Module *M) {
   return S;
 }
 
-std::string bpcr::printModule(const Module &M) {
+std::string bpcr::printModule(const Module &M, const InstrAnnotator &Annotate) {
   std::string S = "module " + M.Name + "\n";
   for (const Function &F : M.Functions)
-    S += printFunction(F, &M);
+    S += printFunction(F, &M, Annotate);
   return S;
 }

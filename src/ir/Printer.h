@@ -15,19 +15,28 @@
 
 #include "ir/Module.h"
 
+#include <functional>
 #include <string>
 
 namespace bpcr {
+
+/// Optional per-instruction annotation hook: whatever it returns (empty =
+/// nothing) is appended to the instruction's printed line as a trailing
+/// comment. `bpcr explain --annotate` uses it to mark each branch with its
+/// strategy and measured miss rate.
+using InstrAnnotator = std::function<std::string(const Instruction &)>;
 
 /// Renders a single instruction (no trailing newline).
 std::string printInstruction(const Instruction &I, const Function &F,
                              const Module *M = nullptr);
 
 /// Renders a function: one header line, then blocks with indexed labels.
-std::string printFunction(const Function &F, const Module *M = nullptr);
+std::string printFunction(const Function &F, const Module *M = nullptr,
+                          const InstrAnnotator &Annotate = nullptr);
 
 /// Renders every function in the module.
-std::string printModule(const Module &M);
+std::string printModule(const Module &M,
+                        const InstrAnnotator &Annotate = nullptr);
 
 } // namespace bpcr
 

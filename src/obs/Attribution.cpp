@@ -1,0 +1,93 @@
+//===- obs/Attribution.cpp ------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Attribution.h"
+
+#include "obs/Json.h"
+
+using namespace bpcr;
+
+namespace {
+
+JsonValue replicasJson(const BranchAttribution &B) {
+  JsonValue Replicas = JsonValue::array();
+  for (const ReplicaStat &R : B.Replicas) {
+    JsonValue J = JsonValue::object();
+    J.set("id", JsonValue::integer(static_cast<int64_t>(R.ReplicaId)));
+    J.set("executions", JsonValue::integer(R.Executions));
+    J.set("mispredictions", JsonValue::integer(R.Mispredictions));
+    Replicas.push(std::move(J));
+  }
+  return Replicas;
+}
+
+} // namespace
+
+JsonValue bpcr::attributionJson(const AttributionLedger &L, unsigned TopK) {
+  JsonValue B = JsonValue::object();
+
+  const uint64_t TotalMiss = L.totalMispredictions();
+  const uint64_t TotalExec = L.totalMeasuredExecutions();
+  auto Top = L.topByMispredictions(TopK);
+  uint64_t Covered = 0;
+  for (const BranchAttribution *A : Top)
+    Covered += A->Mispredictions;
+
+  B.set("top_k", JsonValue::integer(static_cast<int64_t>(TopK)));
+  B.set("branches_total", JsonValue::integer(static_cast<int64_t>(L.size())));
+  B.set("total_executions", JsonValue::integer(TotalExec));
+  B.set("total_mispredictions", JsonValue::integer(TotalMiss));
+  // The cumulative-coverage line of the Pareto table: how much of the
+  // program's misprediction cost the top-K branches account for. By
+  // construction Covered <= TotalMiss and equals the sum of the "top"
+  // entries' misprediction counts.
+  B.set("covered_mispredictions", JsonValue::integer(Covered));
+  B.set("coverage_percent",
+        JsonValue::number(TotalMiss ? 100.0 * static_cast<double>(Covered) /
+                                          static_cast<double>(TotalMiss)
+                                    : 0.0));
+
+  JsonValue TopArr = JsonValue::array();
+  for (const BranchAttribution *A : Top) {
+    JsonValue J = JsonValue::object();
+    J.set("branch", JsonValue::integer(static_cast<int64_t>(A->BranchId)));
+    J.set("strategy", JsonValue::str(A->Strategy));
+    J.set("action", JsonValue::str(A->Action));
+    J.set("executions", JsonValue::integer(A->MeasuredExecutions));
+    J.set("mispredictions", JsonValue::integer(A->Mispredictions));
+    J.set("miss_rate_percent", JsonValue::number(A->missRatePercent()));
+    J.set("taken_percent", JsonValue::number(A->takenBiasPercent()));
+    J.set("train_correct", JsonValue::integer(A->TrainCorrect));
+    J.set("train_total", JsonValue::integer(A->TrainTotal));
+    if (!A->RunnerUp.empty()) {
+      J.set("runner_up", JsonValue::str(A->RunnerUp));
+      J.set("runner_up_delta", JsonValue::integer(A->RunnerUpDelta));
+    }
+    if (A->Replicas.size() > 1)
+      J.set("replicas", replicasJson(*A));
+    TopArr.push(std::move(J));
+  }
+  B.set("top", std::move(TopArr));
+
+  // Flattenable per-branch leaves ("branches.by_id.<id>.miss_rate_percent")
+  // for the compare gate: stable under top-K ordering churn because every
+  // executed branch appears, keyed by its id.
+  JsonValue ById = JsonValue::object();
+  for (const BranchAttribution &A : L.all()) {
+    if (A.MeasuredExecutions == 0)
+      continue;
+    JsonValue J = JsonValue::object();
+    J.set("executions", JsonValue::integer(A.MeasuredExecutions));
+    J.set("mispredictions", JsonValue::integer(A.Mispredictions));
+    J.set("miss_rate_percent", JsonValue::number(A.missRatePercent()));
+    J.set("replica_count",
+          JsonValue::integer(static_cast<int64_t>(
+              A.Replicas.empty() ? 1 : A.Replicas.size())));
+    ById.set(std::to_string(A.BranchId), std::move(J));
+  }
+  B.set("by_id", std::move(ById));
+  return B;
+}

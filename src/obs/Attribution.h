@@ -1,0 +1,173 @@
+//===- obs/Attribution.h - Per-branch misprediction ledger ------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The misprediction attribution ledger: per original branch, how often it
+/// ran, how it was predicted, which strategy the pipeline chose (and what
+/// the runner-up would have scored), and — for replicated branches — how
+/// each replica copy performed on the transformed program. The pipeline
+/// fills one of these behind the Registry::global().enabled() guard, so the
+/// disabled path stays one branch per run; `bpcr explain`, the report's
+/// "branches" section and the annotated IR dump all read it.
+///
+/// Header-only plain data (like DecisionLog.h) so core can own the ledger
+/// without a link dependency on bpcr_obs; the JSON serialization lives in
+/// Attribution.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_OBS_ATTRIBUTION_H
+#define BPCR_OBS_ATTRIBUTION_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+class JsonValue;
+
+/// Training-trace score of one candidate strategy considered for a branch
+/// during selection. Every candidate the selector built is recorded, not
+/// just the winner, so `bpcr explain --branch` can reconstruct the choice.
+struct CandidateScore {
+  /// strategyKindName() of the candidate.
+  std::string Strategy;
+  /// Correct training-trace predictions the candidate would have made.
+  uint64_t Correct = 0;
+  uint64_t Total = 0;
+  /// States the candidate's machine uses (1 for profile).
+  unsigned States = 1;
+  bool Chosen = false;
+
+  double hitRatePercent() const {
+    return Total ? 100.0 * static_cast<double>(Correct) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// Measured outcome of one branch copy in the transformed program.
+struct ReplicaStat {
+  /// BranchId of the copy in the transformed module.
+  int32_t ReplicaId = -1;
+  uint64_t Executions = 0;
+  uint64_t Mispredictions = 0;
+};
+
+/// Everything the ledger knows about one original branch.
+struct BranchAttribution {
+  int32_t BranchId = -1;
+  /// strategyKindName() of the chosen strategy.
+  std::string Strategy;
+  /// decisionActionName() of what the pipeline did with it.
+  std::string Action;
+  /// Training-trace executions and taken count (the profile view).
+  uint64_t Executions = 0;
+  uint64_t TakenCount = 0;
+  /// Training score of the chosen strategy.
+  uint64_t TrainCorrect = 0;
+  uint64_t TrainTotal = 0;
+  /// Best losing candidate and how many correct predictions the winner has
+  /// over it (0 when there was no competition).
+  std::string RunnerUp;
+  uint64_t RunnerUpDelta = 0;
+  /// Measured on the transformed program, summed over all replica copies.
+  uint64_t MeasuredExecutions = 0;
+  uint64_t Mispredictions = 0;
+  /// Every candidate the selector scored, in selection order.
+  std::vector<CandidateScore> Candidates;
+  /// Per-copy measurements; one entry per replica, sorted by ReplicaId.
+  std::vector<ReplicaStat> Replicas;
+
+  double missRatePercent() const {
+    return MeasuredExecutions
+               ? 100.0 * static_cast<double>(Mispredictions) /
+                     static_cast<double>(MeasuredExecutions)
+               : 0.0;
+  }
+
+  double takenBiasPercent() const {
+    return Executions ? 100.0 * static_cast<double>(TakenCount) /
+                            static_cast<double>(Executions)
+                      : 0.0;
+  }
+};
+
+/// Per-branch attribution for one pipeline run, indexed by original branch
+/// id. Empty when the run was made with observability disabled.
+class AttributionLedger {
+public:
+  void resize(uint32_t NumBranches) {
+    Branches.resize(NumBranches);
+    for (uint32_t Id = 0; Id < NumBranches; ++Id)
+      Branches[Id].BranchId = static_cast<int32_t>(Id);
+  }
+
+  bool empty() const { return Branches.empty(); }
+  size_t size() const { return Branches.size(); }
+
+  BranchAttribution &branch(int32_t Id) {
+    return Branches[static_cast<uint32_t>(Id)];
+  }
+  const BranchAttribution &branch(int32_t Id) const {
+    return Branches[static_cast<uint32_t>(Id)];
+  }
+  /// \returns nullptr when \p Id is out of range.
+  const BranchAttribution *maybeBranch(int32_t Id) const {
+    return Id >= 0 && static_cast<size_t>(Id) < Branches.size()
+               ? &Branches[static_cast<uint32_t>(Id)]
+               : nullptr;
+  }
+
+  const std::vector<BranchAttribution> &all() const { return Branches; }
+
+  uint64_t totalMeasuredExecutions() const {
+    uint64_t N = 0;
+    for (const BranchAttribution &B : Branches)
+      N += B.MeasuredExecutions;
+    return N;
+  }
+
+  uint64_t totalMispredictions() const {
+    uint64_t N = 0;
+    for (const BranchAttribution &B : Branches)
+      N += B.Mispredictions;
+    return N;
+  }
+
+  /// The Pareto view: executed branches ordered by misprediction count
+  /// (ties broken by branch id), at most \p K entries.
+  std::vector<const BranchAttribution *> topByMispredictions(size_t K) const {
+    std::vector<const BranchAttribution *> Out;
+    for (const BranchAttribution &B : Branches)
+      if (B.MeasuredExecutions > 0)
+        Out.push_back(&B);
+    std::sort(Out.begin(), Out.end(),
+              [](const BranchAttribution *A, const BranchAttribution *B) {
+                if (A->Mispredictions != B->Mispredictions)
+                  return A->Mispredictions > B->Mispredictions;
+                return A->BranchId < B->BranchId;
+              });
+    if (Out.size() > K)
+      Out.resize(K);
+    return Out;
+  }
+
+private:
+  std::vector<BranchAttribution> Branches;
+};
+
+/// The report's "branches" section: totals, the top-\p TopK Pareto entries
+/// (with per-replica detail) and a flattenable "by_id" object the compare
+/// gate can hold per-branch miss rates against. Implemented in
+/// Attribution.cpp (links bpcr_obs).
+JsonValue attributionJson(const AttributionLedger &L, unsigned TopK);
+
+} // namespace bpcr
+
+#endif // BPCR_OBS_ATTRIBUTION_H

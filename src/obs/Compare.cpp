@@ -134,6 +134,13 @@ bpcr::flattenReportMetrics(const JsonValue &Report) {
     flattenInto(*P, "pipeline", Pipe);
     Out.insert(Out.end(), Pipe.begin(), Pipe.end());
   }
+  if (const JsonValue *B = Report.find("branches")) {
+    // The "top" array (ordering churns with ties) is skipped like all
+    // arrays; "by_id" leaves are stable per-branch metrics.
+    std::vector<std::pair<std::string, double>> Br;
+    flattenInto(*B, "branches", Br);
+    Out.insert(Out.end(), Br.begin(), Br.end());
+  }
   return Out;
 }
 

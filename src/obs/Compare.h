@@ -11,9 +11,11 @@
 /// a perf-regression gate against checked-in baselines under
 /// bench/baselines/.
 ///
-/// Every numeric leaf of the report's "metrics" and "pipeline" sections is
-/// flattened to a dotted name ("counters.interp.branch_events",
-/// "pipeline.code_size.factor"). Rules map glob patterns over those names
+/// Every numeric leaf of the report's "metrics", "pipeline" and "branches"
+/// sections is flattened to a dotted name
+/// ("counters.interp.branch_events", "pipeline.code_size.factor",
+/// "branches.by_id.3.miss_rate_percent"). Rules map glob patterns over
+/// those names
 /// to a maximum relative delta and a direction (is an increase bad, a
 /// decrease, or both). The first matching rule wins; built-in defaults
 /// (appended after any threshold file's rules) skip wall-clock metrics
@@ -88,8 +90,9 @@ bool globMatch(const std::string &Pattern, const std::string &Name);
 /// The built-in rule tail: skip wall-clock metrics, exact-match the rest.
 std::vector<CompareRule> defaultCompareRules();
 
-/// Flattens the report's numeric leaves ("metrics" and "pipeline" sections;
-/// arrays like pipeline.decisions are intentionally not flattened).
+/// Flattens the report's numeric leaves ("metrics", "pipeline" and
+/// "branches" sections; arrays like pipeline.decisions and branches.top are
+/// intentionally not flattened).
 std::vector<std::pair<std::string, double>>
 flattenReportMetrics(const JsonValue &Report);
 

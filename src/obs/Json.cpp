@@ -441,3 +441,48 @@ JsonValue bpcr::parseJson(const std::string &Text, std::string &Error) {
     return JsonValue::null();
   return Out;
 }
+
+namespace {
+
+bool findNonFiniteInto(const JsonValue &V, std::string &Path) {
+  switch (V.kind()) {
+  case JsonValue::Kind::Double:
+    return !std::isfinite(V.asDouble());
+  case JsonValue::Kind::Array: {
+    size_t Idx = 0;
+    for (const JsonValue &E : V.items()) {
+      size_t Mark = Path.size();
+      if (!Path.empty())
+        Path += '.';
+      Path += std::to_string(Idx);
+      if (findNonFiniteInto(E, Path))
+        return true;
+      Path.resize(Mark);
+      ++Idx;
+    }
+    return false;
+  }
+  case JsonValue::Kind::Object:
+    for (const auto &[Key, Val] : V.members()) {
+      size_t Mark = Path.size();
+      if (!Path.empty())
+        Path += '.';
+      Path += Key;
+      if (findNonFiniteInto(Val, Path))
+        return true;
+      Path.resize(Mark);
+    }
+    return false;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+std::string bpcr::findNonFinitePath(const JsonValue &V) {
+  std::string Path;
+  if (findNonFiniteInto(V, Path))
+    return Path.empty() ? "<root>" : Path;
+  return "";
+}

@@ -124,6 +124,12 @@ private:
 /// non-whitespace after the document is an error.
 JsonValue parseJson(const std::string &Text, std::string &Error);
 
+/// \returns the dotted path ("metrics.gauges.foo", array indices as
+/// numbers) of the first non-finite double in \p V, or the empty string
+/// when every number is finite. The report writer refuses documents with
+/// NaN/Inf members instead of silently emitting nulls.
+std::string findNonFinitePath(const JsonValue &V);
+
 } // namespace bpcr
 
 #endif // BPCR_OBS_JSON_H

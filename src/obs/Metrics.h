@@ -74,6 +74,10 @@ struct Histogram {
   }
 
   void record(double V) {
+    // A single NaN/Inf sample would poison Sum and every quantile; drop it
+    // so empty- and garbage-input histograms both report clean zeros.
+    if (!std::isfinite(V))
+      return;
     if (Count == 0 || V < Min)
       Min = V;
     if (Count == 0 || V > Max)

@@ -118,13 +118,23 @@ JsonValue bpcr::buildReport(const ReportMeta &Meta, const Registry &R,
   if (Meta.Events)
     Doc.set("events", JsonValue::integer(Meta.Events));
   Doc.set("metrics", metricsJson(R));
-  if (PR)
+  if (PR) {
     Doc.set("pipeline", pipelineJson(*PR));
+    if (!PR->Attribution.empty())
+      Doc.set("branches", attributionJson(PR->Attribution, Meta.BranchTopK));
+  }
   return Doc;
 }
 
 bool bpcr::writeReportFile(const std::string &Path, const JsonValue &Report,
                            std::string &Error) {
+  // A NaN/Inf member would serialize as null and silently corrupt the
+  // comparison baselines; refuse with the offending path instead.
+  std::string BadPath = findNonFinitePath(Report);
+  if (!BadPath.empty()) {
+    Error = "report contains a non-finite number at '" + BadPath + "'";
+    return false;
+  }
   std::string Text = Report.dump(2);
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F) {

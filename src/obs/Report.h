@@ -27,7 +27,11 @@ namespace bpcr {
 struct PipelineResult;
 
 /// Bump when the report layout changes incompatibly.
-constexpr int ReportSchemaVersion = 1;
+/// Version history:
+///   1 — metrics + pipeline sections.
+///   2 — adds the "branches" attribution section (top-K Pareto view plus
+///       per-branch "by_id" leaves) to pipeline reports.
+constexpr int ReportSchemaVersion = 2;
 
 /// Context describing the run being reported.
 struct ReportMeta {
@@ -40,6 +44,8 @@ struct ReportMeta {
   uint64_t Seed = 0;
   /// Branch-event cap of the run (0 = not applicable).
   uint64_t Events = 0;
+  /// Entries in the report's "branches.top" Pareto list.
+  unsigned BranchTopK = 10;
 };
 
 /// The registry's counters/gauges/histograms/phase timers as one object.
@@ -48,12 +54,14 @@ JsonValue metricsJson(const Registry &R);
 /// PipelineResult summary plus its decision log.
 JsonValue pipelineJson(const PipelineResult &PR);
 
-/// Full report document; \p PR adds the "pipeline" section when non-null.
+/// Full report document; \p PR adds the "pipeline" section when non-null
+/// and the "branches" attribution section when its ledger is non-empty.
 JsonValue buildReport(const ReportMeta &Meta, const Registry &R,
                       const PipelineResult *PR = nullptr);
 
 /// Pretty-prints \p Report to \p Path. \returns false and sets \p Error on
-/// I/O failure.
+/// I/O failure or when \p Report contains a non-finite number (the error
+/// names the offending member's path).
 bool writeReportFile(const std::string &Path, const JsonValue &Report,
                      std::string &Error);
 

@@ -30,6 +30,23 @@ bpcr::evaluatePredictorPerBranch(Predictor &P, const Trace &T,
   return Per;
 }
 
+std::vector<BranchEvalStats>
+bpcr::evaluatePredictorPerBranchDetailed(Predictor &P, const Trace &T,
+                                         uint32_t NumBranches) {
+  std::vector<BranchEvalStats> Per(NumBranches);
+  for (const BranchEvent &E : T) {
+    bool Correct = P.predict(E.BranchId) == E.Taken;
+    P.update(E.BranchId, E.Taken);
+    if (static_cast<uint32_t>(E.BranchId) >= NumBranches)
+      continue;
+    BranchEvalStats &S = Per[E.BranchId];
+    ++S.Executions;
+    S.Taken += E.Taken;
+    S.Mispredictions += !Correct;
+  }
+  return Per;
+}
+
 PredictionStats bpcr::evaluateTrained(TrainablePredictor &P,
                                       const Trace &TrainTrace,
                                       const Trace &TestTrace) {

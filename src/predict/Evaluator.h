@@ -32,6 +32,31 @@ PredictionStats evaluatePredictor(Predictor &P, const Trace &T);
 std::vector<PredictionStats>
 evaluatePredictorPerBranch(Predictor &P, const Trace &T, uint32_t NumBranches);
 
+/// Per-branch outcome detail of one predictor run: executions, taken
+/// outcomes and mispredictions. `bpcr explain` shows this as the dynamic
+/// comparison column next to the semi-static strategies.
+struct BranchEvalStats {
+  uint64_t Executions = 0;
+  uint64_t Taken = 0;
+  uint64_t Mispredictions = 0;
+
+  double missRatePercent() const {
+    return Executions ? 100.0 * static_cast<double>(Mispredictions) /
+                            static_cast<double>(Executions)
+                      : 0.0;
+  }
+  double takenPercent() const {
+    return Executions ? 100.0 * static_cast<double>(Taken) /
+                            static_cast<double>(Executions)
+                      : 0.0;
+  }
+};
+
+/// Like evaluatePredictorPerBranch but also records taken bias per branch.
+std::vector<BranchEvalStats>
+evaluatePredictorPerBranchDetailed(Predictor &P, const Trace &T,
+                                   uint32_t NumBranches);
+
 /// Trains a semi-static predictor on \p TrainTrace, resets its history
 /// registers, then evaluates on \p TestTrace.
 PredictionStats evaluateTrained(TrainablePredictor &P, const Trace &TrainTrace,

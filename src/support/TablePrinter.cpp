@@ -24,6 +24,39 @@ void TablePrinter::addSeparator() {
   Rows.push_back(std::move(R));
 }
 
+std::string TablePrinter::renderCsv() const {
+  auto EmitCell = [](std::string &Out, const std::string &Cell) {
+    if (Cell.find_first_of(",\"\n\r") == std::string::npos) {
+      Out += Cell;
+      return;
+    }
+    Out += '"';
+    for (char C : Cell) {
+      if (C == '"')
+        Out += '"';
+      Out += C;
+    }
+    Out += '"';
+  };
+  auto EmitRow = [&EmitCell](std::string &Out,
+                             const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      if (I)
+        Out += ',';
+      EmitCell(Out, Cells[I]);
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  if (!Header.empty())
+    EmitRow(Out, Header);
+  for (const Row &R : Rows)
+    if (!R.Separator)
+      EmitRow(Out, R.Cells);
+  return Out;
+}
+
 std::string TablePrinter::render() const {
   // Column widths over the header and every row.
   std::vector<size_t> Widths;

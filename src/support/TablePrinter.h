@@ -37,6 +37,11 @@ public:
   /// Renders the table; every column is padded to its widest cell.
   std::string render() const;
 
+  /// Renders the table as CSV (header row first, separators dropped, cells
+  /// quoted per RFC 4180 when they contain commas/quotes/newlines). Shared
+  /// by `bpcr report --format csv` and `bpcr explain --format csv`.
+  std::string renderCsv() const;
+
 private:
   struct Row {
     std::vector<std::string> Cells;

@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
+#include "obs/Attribution.h"
+#include "obs/Compare.h"
 #include "obs/DecisionLog.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
@@ -12,6 +14,8 @@
 #include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 using namespace bpcr;
 
@@ -101,6 +105,20 @@ TEST(Metrics, HistogramQuantileEdgeCases) {
   Low.record(0.5);
   EXPECT_GE(Low.p50(), Low.Min);
   EXPECT_LE(Low.p99(), Low.Max);
+}
+
+TEST(Metrics, HistogramIgnoresNonFiniteSamples) {
+  Histogram H;
+  H.record(std::nan(""));
+  H.record(HUGE_VAL);
+  H.record(-HUGE_VAL);
+  EXPECT_EQ(H.Count, 0u); // dropped, so summaries stay finite
+  EXPECT_DOUBLE_EQ(H.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(H.p99(), 0.0);
+  H.record(2.0);
+  H.record(std::nan(""));
+  EXPECT_EQ(H.Count, 1u);
+  EXPECT_DOUBLE_EQ(H.Sum, 2.0);
 }
 
 TEST(Metrics, ClearDropsMetricsButKeepsEnabled) {
@@ -257,6 +275,26 @@ TEST(Json, NumericCrossTypeEquality) {
   EXPECT_NE(JsonValue::integer(int64_t{2}), JsonValue::number(2.5));
 }
 
+TEST(Json, FindNonFinitePathNamesTheMember) {
+  EXPECT_EQ(findNonFinitePath(JsonValue::number(1.5)), "");
+  EXPECT_EQ(findNonFinitePath(JsonValue::number(std::nan(""))), "<root>");
+
+  JsonValue Doc = JsonValue::object();
+  Doc.set("ok", JsonValue::number(0.5));
+  JsonValue Inner = JsonValue::object();
+  JsonValue Arr = JsonValue::array();
+  Arr.push(JsonValue::number(1.0));
+  Arr.push(JsonValue::number(HUGE_VAL));
+  Inner.set("samples", std::move(Arr));
+  Doc.set("metrics", std::move(Inner));
+  EXPECT_EQ(findNonFinitePath(Doc), "metrics.samples.1");
+
+  // Integers can't be non-finite; a clean document reports nothing.
+  JsonValue Clean = JsonValue::object();
+  Clean.set("n", JsonValue::integer(int64_t{7}));
+  EXPECT_EQ(findNonFinitePath(Clean), "");
+}
+
 // -- Report ------------------------------------------------------------------
 
 TEST(Report, MetricsJsonShape) {
@@ -310,6 +348,58 @@ TEST(Report, WriteReportFileFailsWithDescriptiveError) {
       << Error;
 }
 
+TEST(Report, WriteReportFileRejectsNonFiniteNumbers) {
+  JsonValue Doc = JsonValue::object();
+  JsonValue Gauges = JsonValue::object();
+  Gauges.set("bad.rate", JsonValue::number(std::nan("")));
+  Doc.set("gauges", std::move(Gauges));
+
+  // Rejected before any I/O, so even a writable path fails with an error
+  // naming the offending member.
+  std::string Error;
+  EXPECT_FALSE(writeReportFile("/tmp/bpcr_nonfinite_report.json", Doc, Error));
+  EXPECT_NE(Error.find("non-finite"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("gauges.bad.rate"), std::string::npos) << Error;
+}
+
+// -- Compare: branches section flattening ------------------------------------
+
+TEST(Compare, FlattensBranchesLeavesButNotTopArray) {
+  AttributionLedger L;
+  L.resize(2);
+  L.branch(0).Strategy = "profile";
+  L.branch(0).MeasuredExecutions = 100;
+  L.branch(0).Mispredictions = 25;
+  L.branch(1).Strategy = "loop";
+  L.branch(1).MeasuredExecutions = 40;
+  L.branch(1).Mispredictions = 4;
+
+  JsonValue Report = JsonValue::object();
+  Report.set("schema_version",
+             JsonValue::integer(int64_t{ReportSchemaVersion}));
+  Report.set("branches", attributionJson(L, 10));
+
+  auto Flat = flattenReportMetrics(Report);
+  auto Value = [&](const std::string &Name) -> const double * {
+    for (const auto &[N, V] : Flat)
+      if (N == Name)
+        return &V;
+    return nullptr;
+  };
+  const double *Miss0 = Value("branches.by_id.0.miss_rate_percent");
+  ASSERT_NE(Miss0, nullptr);
+  EXPECT_NEAR(*Miss0, 25.0, 1e-9);
+  ASSERT_NE(Value("branches.total_mispredictions"), nullptr);
+  ASSERT_NE(Value("branches.coverage_percent"), nullptr);
+  // The ordering-churn-prone Pareto array stays out of the gated set.
+  for (const auto &[N, V] : Flat)
+    EXPECT_EQ(N.find("branches.top."), std::string::npos) << N;
+
+  // Identical reports gate clean under the default rules.
+  CompareResult CR = compareReports(Report, Report, CompareOptions());
+  EXPECT_TRUE(CR.ok());
+}
+
 // -- End-to-end pipeline report ----------------------------------------------
 
 TEST(Report, PipelineRunProducesPhasesAndDecisions) {
@@ -328,7 +418,8 @@ TEST(Report, PipelineRunProducesPhasesAndDecisions) {
   for (const char *Phase :
        {"pipeline.phase.loop_analysis", "pipeline.phase.profiling",
         "pipeline.phase.machine_search", "pipeline.phase.joint_planning",
-        "pipeline.phase.replication", "pipeline.phase.annotation"}) {
+        "pipeline.phase.replication", "pipeline.phase.annotation",
+        "pipeline.phase.attribution"}) {
     ASSERT_EQ(G.timers().count(Phase), 1u) << Phase;
     EXPECT_EQ(G.timers().at(Phase).Count, 1u) << Phase;
   }
@@ -359,6 +450,14 @@ TEST(Report, PipelineRunProducesPhasesAndDecisions) {
   ASSERT_NE(Pipeline->find("code_size"), nullptr);
   EXPECT_GT(Pipeline->find("code_size")->find("factor")->asDouble(), 0.0);
 
+  // The attribution ledger filled and surfaced as the "branches" section.
+  ASSERT_FALSE(PR.Attribution.empty());
+  const JsonValue *Branches = Back.find("branches");
+  ASSERT_NE(Branches, nullptr);
+  EXPECT_EQ(Branches->find("branches_total")->asInt(),
+            static_cast<int64_t>(PR.Attribution.size()));
+  EXPECT_GT(Branches->find("total_executions")->asInt(), 0);
+
   G.clear();
   G.setEnabled(false);
 }
@@ -375,7 +474,10 @@ TEST(Report, DisabledGlobalRegistryRecordsNothing) {
   Opts.Strategy.NodeBudget = 10'000;
   PipelineResult PR = replicateModule(M, T, Opts);
 
-  // Metrics are off; the decision log is part of the result and still fills.
+  // Metrics are off; the decision log is part of the result and still
+  // fills, but the attribution ledger (which costs an extra execution of
+  // the transformed module) stays empty.
   EXPECT_TRUE(G.empty());
   EXPECT_FALSE(PR.Decisions.empty());
+  EXPECT_TRUE(PR.Attribution.empty());
 }

@@ -254,6 +254,22 @@ TEST(TablePrinter, SeparatorProducesRule) {
   EXPECT_NE(Out.find("---", First + 3), std::string::npos);
 }
 
+TEST(TablePrinter, RenderCsvQuotesAndDropsSeparators) {
+  TablePrinter T("Ignored title");
+  T.setHeader({"branch", "note"});
+  T.addRow({"1", "plain"});
+  T.addSeparator();
+  T.addRow({"2", "has,comma"});
+  T.addRow({"3", "has\"quote"});
+  std::string Out = T.renderCsv();
+  // Header first, no title, no separator rows, RFC-4180 quoting.
+  EXPECT_EQ(Out.find("branch,note"), 0u);
+  EXPECT_EQ(Out.find("Ignored title"), std::string::npos);
+  EXPECT_EQ(Out.find("---"), std::string::npos);
+  EXPECT_NE(Out.find("2,\"has,comma\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("3,\"has\"\"quote\""), std::string::npos) << Out;
+}
+
 // -- Csv -----------------------------------------------------------------------
 
 TEST(Csv, PlainCells) {

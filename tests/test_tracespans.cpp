@@ -7,6 +7,7 @@
 #include "obs/Compare.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
+#include "obs/Report.h"
 #include "obs/TraceSpans.h"
 
 #include <gtest/gtest.h>
@@ -28,7 +29,8 @@ JsonValue mustParse(const std::string &Text) {
 /// A minimal but schema-valid run report for compare tests. \p Extra is
 /// spliced into the metrics object verbatim.
 std::string reportText(const std::string &Extra) {
-  return "{\"schema_version\": 1, \"tool\": \"unit\", \"command\": \"test\","
+  return "{\"schema_version\": " + std::to_string(ReportSchemaVersion) +
+         ", \"tool\": \"unit\", \"command\": \"test\","
          " \"workload\": \"compress\", \"seed\": 1, \"events\": 1000,"
          " \"metrics\": {" +
          Extra +
@@ -382,7 +384,8 @@ TEST(Compare, RemovedGatedMetricRegressesAddedOnePasses) {
 TEST(Compare, ContextMismatchWarnsButCompares) {
   JsonValue Old = mustParse(reportText("\"counters\": {\"a.events\": 1}"));
   std::string NewText =
-      "{\"schema_version\": 1, \"tool\": \"unit\", \"command\": \"test\","
+      "{\"schema_version\": " + std::to_string(ReportSchemaVersion) +
+      ", \"tool\": \"unit\", \"command\": \"test\","
       " \"workload\": \"abalone\", \"seed\": 2, \"events\": 1000,"
       " \"metrics\": {\"counters\": {\"a.events\": 1}},"
       " \"pipeline\": {\"code_size\": {\"factor\": 1.5}}}";

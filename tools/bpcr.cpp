@@ -13,14 +13,19 @@
 //   bpcr analyze <workload> [--seed N] [--events N]
 //   bpcr replicate <workload> [--seed N] [--states N] [--budget X] [--dump]
 //   bpcr report <workload> [--seed N] [--events N] [--states N] [--budget X]
+//   bpcr explain <workload> [--top N] [--branch ID] [--format table|csv|json]
+//                [--annotate]
 //   bpcr compare OLD.json NEW.json [--threshold-file FILE]
 //
-// `trace`, `analyze`, `replicate` and `report` accept --metrics FILE to
-// write a machine-readable JSON run report (schema in
-// docs/OBSERVABILITY.md); `report` prints the same data as tables. Every
-// command accepts --trace-out FILE to export a span timeline in Chrome
-// Trace Event Format. `compare` diffs two run reports and exits non-zero
-// when a metric crosses its threshold — the CI perf-regression gate.
+// `trace`, `analyze`, `replicate`, `report` and `explain` accept --metrics
+// FILE to write a machine-readable JSON run report (schema in
+// docs/OBSERVABILITY.md); `report` prints the same data as tables. `explain`
+// renders the misprediction attribution ledger: the Pareto table of the
+// costliest branches, the per-branch selection reconstruction (--branch),
+// and prediction-annotated IR (--annotate). Every command accepts
+// --trace-out FILE to export a span timeline in Chrome Trace Event Format.
+// `compare` diffs two run reports and exits non-zero when a metric crosses
+// its threshold — the CI perf-regression gate.
 //
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +66,11 @@ struct Args {
   bool Dump = false;
   std::string Output;
   std::string Metrics;
+  // explain options (Top also sizes the report's "branches" section).
+  uint64_t Top = 10;
+  int64_t Branch = -1;
+  std::string Format = "table";
+  bool Annotate = false;
   // compare-only positionals and options.
   std::string CompareOld;
   std::string CompareNew;
@@ -81,6 +91,9 @@ int usage() {
       "  replicate <workload>         run the full replication pipeline\n"
       "  report <workload>            phase timings and per-branch\n"
       "                               replication decisions\n"
+      "  explain <workload>           misprediction attribution: Pareto\n"
+      "                               table of the costliest branches, or\n"
+      "                               one branch's selection decision\n"
       "  compare OLD.json NEW.json    diff two run reports and gate the\n"
       "                               deltas (exit 1 on regression)\n"
       "\n"
@@ -90,8 +103,15 @@ int usage() {
       "  --states N     per-branch state budget for replicate (default 6)\n"
       "  --budget X     code-size factor budget for replicate (default 2.0)\n"
       "  --dump         also print the transformed IR (replicate)\n"
+      "  --top N        Pareto entries to show/report (explain/report,\n"
+      "                 default 10)\n"
+      "  --branch ID    explain one branch's strategy selection in detail\n"
+      "  --format F     output format: table (default), csv, or json\n"
+      "                 (explain; report accepts table and csv)\n"
+      "  --annotate     print the transformed IR with per-branch strategy\n"
+      "                 and measured miss-rate annotations (explain)\n"
       "  --metrics FILE write a JSON run report (trace/analyze/replicate/\n"
-      "                 report)\n"
+      "                 report/explain)\n"
       "  --trace-out FILE\n"
       "                 write a span timeline (Chrome Trace Format JSON,\n"
       "                 loadable in Perfetto / chrome://tracing)\n"
@@ -114,8 +134,9 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
     return parseError("no command given");
   A.Command = Argv[1];
 
-  static const char *Known[] = {"list",      "dump",   "trace",   "analyze",
-                                "replicate", "report", "compare"};
+  static const char *Known[] = {"list",   "dump",    "trace",
+                                "analyze", "replicate", "report",
+                                "explain", "compare"};
   bool KnownCommand = false;
   for (const char *C : Known)
     KnownCommand |= A.Command == C;
@@ -172,6 +193,37 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
         return parseError("option '--budget' must be at least 1.0");
     } else if (Opt == "--dump") {
       A.Dump = true;
+    } else if (Opt == "--top") {
+      const char *V = Next();
+      if (!V || !ParseU64(V, A.Top) || A.Top == 0)
+        return parseError("option '--top' needs a positive integer value");
+    } else if (Opt == "--branch") {
+      const char *V = Next();
+      uint64_t N = 0;
+      if (!V || !ParseU64(V, N) || N > INT32_MAX)
+        return parseError("option '--branch' needs a branch id");
+      if (A.Command != "explain")
+        return parseError(
+            "option '--branch' only applies to the explain command");
+      A.Branch = static_cast<int64_t>(N);
+    } else if (Opt == "--format") {
+      const char *V = Next();
+      if (!V)
+        return parseError("option '--format' needs a value");
+      A.Format = V;
+      if (A.Format != "table" && A.Format != "csv" && A.Format != "json")
+        return parseError("option '--format' must be table, csv or json");
+      if (A.Command != "explain" && A.Command != "report")
+        return parseError(
+            "option '--format' only applies to explain and report");
+      if (A.Command == "report" && A.Format == "json")
+        return parseError(
+            "report emits JSON via --metrics; --format accepts table or csv");
+    } else if (Opt == "--annotate") {
+      if (A.Command != "explain")
+        return parseError(
+            "option '--annotate' only applies to the explain command");
+      A.Annotate = true;
     } else if (Opt == "--metrics") {
       const char *V = Next();
       if (!V)
@@ -217,6 +269,7 @@ bool writeMetrics(const Args &A, const PipelineResult *PR) {
   Meta.Workload = A.Target;
   Meta.Seed = A.Seed;
   Meta.Events = A.Events;
+  Meta.BranchTopK = static_cast<unsigned>(A.Top);
   JsonValue Doc = buildReport(Meta, Registry::global(), PR);
   std::string Error;
   if (!writeReportFile(A.Metrics, Doc, Error)) {
@@ -463,6 +516,14 @@ int cmdReplicate(const Args &A) {
   return writeMetrics(A, &PR) ? 0 : 1;
 }
 
+/// Renders \p T as aligned text or CSV per --format.
+void printTable(const TablePrinter &T, const Args &A) {
+  if (A.Format == "csv")
+    std::printf("%s", T.renderCsv().c_str());
+  else
+    std::printf("%s", T.render().c_str());
+}
+
 int cmdReport(const Args &A) {
   const Workload *W = findWorkload(A.Target);
   if (!W)
@@ -474,11 +535,13 @@ int cmdReport(const Args &A) {
     return 1;
 
   Registry &Obs = Registry::global();
+  const bool Csv = A.Format == "csv";
 
-  std::printf("%s seed=%llu: %zu events, pipeline with states<=%u, "
-              "budget %.2fx\n\n",
-              W->Name, static_cast<unsigned long long>(A.Seed), T.size(),
-              A.States, A.Budget);
+  if (!Csv)
+    std::printf("%s seed=%llu: %zu events, pipeline with states<=%u, "
+                "budget %.2fx\n\n",
+                W->Name, static_cast<unsigned long long>(A.Seed), T.size(),
+                A.States, A.Budget);
 
   char Buf[64];
   TablePrinter Phases("Pipeline phase wall time");
@@ -497,17 +560,20 @@ int cmdReport(const Args &A) {
     Row.push_back(Buf);
     Phases.addRow(std::move(Row));
   }
-  std::printf("%s\n", Phases.render().c_str());
+  printTable(Phases, A);
+  std::printf("\n");
 
-  uint64_t Events = Obs.counter("interp.branch_events").Value;
-  uint64_t Insts = Obs.counter("interp.instructions").Value;
-  double EventRate = Obs.gauge("interp.events_per_sec").Value;
-  double InstRate = Obs.gauge("interp.instructions_per_sec").Value;
-  std::printf("Interpreter: %llu instructions, %llu branch events "
-              "(last run: %.1fM insts/s, %.1fM events/s)\n\n",
-              static_cast<unsigned long long>(Insts),
-              static_cast<unsigned long long>(Events), InstRate / 1e6,
-              EventRate / 1e6);
+  if (!Csv) {
+    uint64_t Events = Obs.counter("interp.branch_events").Value;
+    uint64_t Insts = Obs.counter("interp.instructions").Value;
+    double EventRate = Obs.gauge("interp.events_per_sec").Value;
+    double InstRate = Obs.gauge("interp.instructions_per_sec").Value;
+    std::printf("Interpreter: %llu instructions, %llu branch events "
+                "(last run: %.1fM insts/s, %.1fM events/s)\n\n",
+                static_cast<unsigned long long>(Insts),
+                static_cast<unsigned long long>(Events), InstRate / 1e6,
+                EventRate / 1e6);
+  }
 
   TablePrinter Decisions("Per-branch replication decisions");
   Decisions.setHeader({"branch", "strategy", "action", "gain", "cost",
@@ -517,12 +583,228 @@ int cmdReport(const Args &A) {
                       decisionActionName(D.Action),
                       std::to_string(D.EstimatedGain),
                       std::to_string(D.SizeCost), D.Reason});
-  std::printf("%s\n", Decisions.render().c_str());
+  printTable(Decisions, A);
 
-  std::printf("Summary: %u loop, %u joint, %u correlated replications; "
-              "code size %.2fx\n",
-              PR.LoopReplications, PR.JointReplications,
-              PR.CorrelatedReplications, PR.sizeFactor());
+  if (!Csv)
+    std::printf("\nSummary: %u loop, %u joint, %u correlated replications; "
+                "code size %.2fx\n",
+                PR.LoopReplications, PR.JointReplications,
+                PR.CorrelatedReplications, PR.sizeFactor());
+  return writeMetrics(A, &PR) ? 0 : 1;
+}
+
+/// Appends per-branch strategy and measured miss-rate comments to the IR
+/// dump of the transformed module (`bpcr explain --annotate`).
+std::string annotateBranch(const AttributionLedger &L, const Instruction &I) {
+  if (!I.isConditionalBranch())
+    return "";
+  const BranchAttribution *B = L.maybeBranch(I.OrigBranchId);
+  if (!B)
+    return "";
+  char Buf[128];
+  for (const ReplicaStat &R : B->Replicas)
+    if (R.ReplicaId == I.BranchId) {
+      double Miss = R.Executions
+                        ? 100.0 * static_cast<double>(R.Mispredictions) /
+                              static_cast<double>(R.Executions)
+                        : 0.0;
+      std::snprintf(Buf, sizeof(Buf),
+                    "strategy=%s exec=%llu miss=%.1f%%", B->Strategy.c_str(),
+                    static_cast<unsigned long long>(R.Executions), Miss);
+      return Buf;
+    }
+  std::snprintf(Buf, sizeof(Buf), "strategy=%s (not executed)",
+                B->Strategy.c_str());
+  return Buf;
+}
+
+/// JSON view of one branch's selection reconstruction.
+JsonValue branchDetailJson(const BranchAttribution &B,
+                           const BranchEvalStats &Dyn) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("branch", JsonValue::integer(static_cast<int64_t>(B.BranchId)));
+  Doc.set("strategy", JsonValue::str(B.Strategy));
+  Doc.set("action", JsonValue::str(B.Action));
+  Doc.set("executions", JsonValue::integer(B.Executions));
+  Doc.set("taken_percent", JsonValue::number(B.takenBiasPercent()));
+  if (!B.RunnerUp.empty()) {
+    Doc.set("runner_up", JsonValue::str(B.RunnerUp));
+    Doc.set("runner_up_delta", JsonValue::integer(B.RunnerUpDelta));
+  }
+  JsonValue Cands = JsonValue::array();
+  for (const CandidateScore &C : B.Candidates) {
+    JsonValue J = JsonValue::object();
+    J.set("strategy", JsonValue::str(C.Strategy));
+    J.set("states", JsonValue::integer(static_cast<int64_t>(C.States)));
+    J.set("train_correct", JsonValue::integer(C.Correct));
+    J.set("train_total", JsonValue::integer(C.Total));
+    J.set("hit_rate_percent", JsonValue::number(C.hitRatePercent()));
+    J.set("chosen", JsonValue::boolean(C.Chosen));
+    Cands.push(std::move(J));
+  }
+  Doc.set("candidates", std::move(Cands));
+  JsonValue Measured = JsonValue::object();
+  Measured.set("executions", JsonValue::integer(B.MeasuredExecutions));
+  Measured.set("mispredictions", JsonValue::integer(B.Mispredictions));
+  Measured.set("miss_rate_percent", JsonValue::number(B.missRatePercent()));
+  Doc.set("measured", std::move(Measured));
+  if (!B.Replicas.empty()) {
+    JsonValue Reps = JsonValue::array();
+    for (const ReplicaStat &R : B.Replicas) {
+      JsonValue J = JsonValue::object();
+      J.set("id", JsonValue::integer(static_cast<int64_t>(R.ReplicaId)));
+      J.set("executions", JsonValue::integer(R.Executions));
+      J.set("mispredictions", JsonValue::integer(R.Mispredictions));
+      Reps.push(std::move(J));
+    }
+    Doc.set("replicas", std::move(Reps));
+  }
+  JsonValue TwoLevel = JsonValue::object();
+  TwoLevel.set("executions", JsonValue::integer(Dyn.Executions));
+  TwoLevel.set("mispredictions", JsonValue::integer(Dyn.Mispredictions));
+  TwoLevel.set("miss_rate_percent", JsonValue::number(Dyn.missRatePercent()));
+  Doc.set("two_level", std::move(TwoLevel));
+  return Doc;
+}
+
+int cmdExplain(const Args &A) {
+  const Workload *W = findWorkload(A.Target);
+  if (!W)
+    return 1;
+  Module M;
+  Trace T;
+  PipelineResult PR;
+  if (!runPipeline(A, *W, M, T, PR))
+    return 1;
+  const AttributionLedger &L = PR.Attribution;
+  if (L.empty()) {
+    std::fprintf(stderr,
+                 "bpcr: error: attribution ledger is empty (the workload "
+                 "has no conditional branches?)\n");
+    return 1;
+  }
+
+  if (A.Branch >= 0) {
+    const BranchAttribution *B =
+        L.maybeBranch(static_cast<int32_t>(A.Branch));
+    if (!B) {
+      std::fprintf(stderr,
+                   "bpcr: error: branch %lld out of range (%zu static "
+                   "branches)\n",
+                   static_cast<long long>(A.Branch), L.size());
+      return 1;
+    }
+    // The dynamic comparison column: how a two-level hardware predictor
+    // fares on the same branch and trace.
+    TwoLevelPredictor DP(TwoLevelConfig::paperDefault());
+    std::vector<BranchEvalStats> Dyn = evaluatePredictorPerBranchDetailed(
+        DP, T, static_cast<uint32_t>(L.size()));
+    const BranchEvalStats &DB = Dyn[static_cast<size_t>(A.Branch)];
+
+    if (A.Format == "json") {
+      std::printf("%s", branchDetailJson(*B, DB).dump(2).c_str());
+    } else {
+      if (A.Format != "csv") {
+        std::printf("branch %d: chosen strategy %s, action %s\n",
+                    B->BranchId, B->Strategy.c_str(), B->Action.c_str());
+        std::printf("  trained on %llu executions, %.1f%% taken\n",
+                    static_cast<unsigned long long>(B->Executions),
+                    B->takenBiasPercent());
+        if (!B->RunnerUp.empty())
+          std::printf("  won over %s by %llu correct training "
+                      "predictions\n",
+                      B->RunnerUp.c_str(),
+                      static_cast<unsigned long long>(B->RunnerUpDelta));
+        else
+          std::printf("  no competing candidate was built\n");
+        std::printf("\n");
+      }
+      TablePrinter Cands("Candidate strategies for branch " +
+                         std::to_string(B->BranchId));
+      Cands.setHeader({"strategy", "states", "train correct", "train total",
+                       "hit rate %", "chosen"});
+      for (const CandidateScore &C : B->Candidates)
+        Cands.addRow({C.Strategy, std::to_string(C.States),
+                      std::to_string(C.Correct), std::to_string(C.Total),
+                      formatPercent(C.hitRatePercent()),
+                      C.Chosen ? "*" : ""});
+      printTable(Cands, A);
+      if (A.Format != "csv") {
+        std::printf("\nmeasured on the transformed program: %llu "
+                    "executions, %llu mispredictions (%.1f%% miss)\n",
+                    static_cast<unsigned long long>(B->MeasuredExecutions),
+                    static_cast<unsigned long long>(B->Mispredictions),
+                    B->missRatePercent());
+        std::printf("two-level dynamic predictor on the same trace: "
+                    "%.1f%% miss\n",
+                    DB.missRatePercent());
+      }
+      if (B->Replicas.size() > 1) {
+        if (A.Format != "csv")
+          std::printf("\n");
+        TablePrinter Reps("Replica copies of branch " +
+                          std::to_string(B->BranchId));
+        Reps.setHeader({"replica id", "executions", "mispredictions",
+                        "miss %"});
+        for (const ReplicaStat &R : B->Replicas) {
+          double Miss = R.Executions
+                            ? 100.0 * static_cast<double>(R.Mispredictions) /
+                                  static_cast<double>(R.Executions)
+                            : 0.0;
+          Reps.addRow({std::to_string(R.ReplicaId),
+                       std::to_string(R.Executions),
+                       std::to_string(R.Mispredictions),
+                       formatPercent(Miss)});
+        }
+        printTable(Reps, A);
+      }
+    }
+  } else if (A.Format == "json") {
+    std::printf("%s", attributionJson(L, static_cast<unsigned>(A.Top))
+                          .dump(2)
+                          .c_str());
+  } else {
+    auto Top = L.topByMispredictions(A.Top);
+    const uint64_t TotalMiss = L.totalMispredictions();
+    uint64_t Cum = 0;
+    TablePrinter Table("Misprediction Pareto view: top " +
+                       std::to_string(Top.size()) + " of " +
+                       std::to_string(L.size()) + " branches");
+    Table.setHeader({"rank", "branch", "strategy", "action", "executions",
+                     "mispred", "miss %", "taken %", "cum %"});
+    unsigned Rank = 1;
+    for (const BranchAttribution *B : Top) {
+      Cum += B->Mispredictions;
+      double CumPct = TotalMiss ? 100.0 * static_cast<double>(Cum) /
+                                      static_cast<double>(TotalMiss)
+                                : 0.0;
+      Table.addRow({std::to_string(Rank++), std::to_string(B->BranchId),
+                    B->Strategy, B->Action,
+                    std::to_string(B->MeasuredExecutions),
+                    std::to_string(B->Mispredictions),
+                    formatPercent(B->missRatePercent()),
+                    formatPercent(B->takenBiasPercent()),
+                    formatPercent(CumPct)});
+    }
+    printTable(Table, A);
+    if (A.Format != "csv")
+      std::printf("\ntop %zu branches cover %llu of %llu mispredictions "
+                  "(%.1f%%)\n",
+                  Top.size(), static_cast<unsigned long long>(Cum),
+                  static_cast<unsigned long long>(TotalMiss),
+                  TotalMiss ? 100.0 * static_cast<double>(Cum) /
+                                  static_cast<double>(TotalMiss)
+                            : 0.0);
+  }
+
+  if (A.Annotate) {
+    std::printf("\n%s",
+                printModule(PR.Transformed,
+                            [&L](const Instruction &I) {
+                              return annotateBranch(L, I);
+                            })
+                    .c_str());
+  }
   return writeMetrics(A, &PR) ? 0 : 1;
 }
 
@@ -543,8 +825,9 @@ int main(int Argc, char **Argv) {
     return usage();
 
   // Metrics collection stays off unless this invocation reports, so the
-  // plain commands keep the zero-overhead path.
-  if (!A.Metrics.empty() || A.Command == "report")
+  // plain commands keep the zero-overhead path. explain needs it on: the
+  // attribution ledger is only filled behind the enabled() guard.
+  if (!A.Metrics.empty() || A.Command == "report" || A.Command == "explain")
     Registry::global().setEnabled(true);
 
   int RC = 2;
@@ -560,6 +843,8 @@ int main(int Argc, char **Argv) {
     RC = cmdReplicate(A);
   else if (A.Command == "report")
     RC = cmdReport(A);
+  else if (A.Command == "explain")
+    RC = cmdExplain(A);
   else if (A.Command == "compare")
     RC = cmdCompare(A);
   else
