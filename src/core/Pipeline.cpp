@@ -11,6 +11,7 @@
 #include "core/LoopAwareProfiles.h"
 #include "obs/Metrics.h"
 #include "obs/TraceSpans.h"
+#include "sa/ReplicationSoundness.h"
 
 #include <algorithm>
 #include <map>
@@ -53,6 +54,26 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   const bool ObsOn = Registry::global().enabled();
   if (ObsOn)
     Registry::global().counter("pipeline.runs").inc();
+
+  // Re-verifies the simulation relation between the original module and the
+  // current transformed state. Runs after every applied transform so a
+  // soundness break is pinned to the step that introduced it; findings
+  // accumulate in R.Soundness for callers to fail fast on.
+  auto CheckSoundness = [&R, &M, ObsOn](const char *Stage) {
+    ScopedTimer TSound("pipeline.phase.soundness");
+    std::vector<sa::Diagnostic> Diags =
+        sa::checkReplicationSoundness(M, R.Transformed);
+    if (ObsOn) {
+      Registry::global().counter("sa.soundness.checks").inc();
+      if (!Diags.empty())
+        Registry::global().counter("sa.soundness.failures").inc();
+    }
+    for (sa::Diagnostic &D : Diags) {
+      D.note(sa::Location{},
+             std::string("detected after the ") + Stage + " step");
+      R.Soundness.push_back(std::move(D));
+    }
+  };
 
   // Profile and select strategies on the original module. Loop-aware
   // profiles keep the machine scores faithful to the replicated program
@@ -329,6 +350,8 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
       ++R.JointReplications;
       Applied = true;
     } while (false);
+    if (Applied)
+      CheckSoundness("joint replication");
     if (Applied) {
       std::string Reason = "joint loop machine over " +
                            std::to_string(Plan.Members.size()) + " branches";
@@ -402,6 +425,7 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
           applyCorrelatedReplication(F, S.BranchId, *S.Corr);
       if (RS.Applied) {
         ++R.CorrelatedReplications;
+        CheckSoundness("correlated replication");
         LogStrategy(I, DecisionAction::Applied, Gain(I), Costs[I],
                     "tail-duplicated " + std::to_string(RS.BlocksAdded) +
                         " blocks for the selected paths");
@@ -447,6 +471,7 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
         applyLoopReplication(F, L.Blocks, L.Header, S.BranchId, *S.Machine);
     if (RS.Applied) {
       ++R.LoopReplications;
+      CheckSoundness("loop replication");
       LogStrategy(I, DecisionAction::Applied, Gain(I), Cost,
                   "materialized " +
                       std::to_string(RS.StatesMaterialized) +
@@ -482,6 +507,35 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   R.Transformed.assignBranchIds();
   SAnnotate.end();
   TAnnotate.stop();
+
+  // Final soundness pass over the annotated module, this time also
+  // cross-validating the materialized copy→original branch map (every
+  // replica's OrigBranchId flattened in BranchId order) against the
+  // simulation relation.
+  {
+    ScopedTimer TSound("pipeline.phase.soundness");
+    std::vector<int32_t> CopyToOrig;
+    for (const BranchRef &Ref : R.Transformed.branchLocations())
+      CopyToOrig.push_back(R.Transformed.Functions[Ref.FuncIdx]
+                               .Blocks[Ref.BlockIdx]
+                               .Insts[Ref.InstIdx]
+                               .OrigBranchId);
+    std::vector<sa::Diagnostic> Diags =
+        sa::checkReplicationSoundness(M, R.Transformed, &CopyToOrig);
+    if (ObsOn) {
+      Registry::global().counter("sa.soundness.checks").inc();
+      if (!Diags.empty())
+        Registry::global().counter("sa.soundness.failures").inc();
+    }
+    for (sa::Diagnostic &D : Diags) {
+      D.note(sa::Location{}, "detected after the annotation step");
+      R.Soundness.push_back(std::move(D));
+    }
+    if (ObsOn)
+      Registry::global()
+          .gauge("sa.soundness.diags")
+          .set(static_cast<double>(R.Soundness.size()));
+  }
 
   // Misprediction attribution ledger: selection candidates and runner-up
   // deltas from the strategy trace, the pipeline's verdict from the

@@ -23,6 +23,7 @@
 #include "ir/Module.h"
 #include "obs/Attribution.h"
 #include "obs/DecisionLog.h"
+#include "sa/Diagnostic.h"
 #include "trace/Trace.h"
 
 namespace bpcr {
@@ -63,6 +64,12 @@ struct PipelineResult {
   /// deltas, measured per-replica correctness). Filled only when the global
   /// observability registry is enabled; empty otherwise.
   AttributionLedger Attribution;
+  /// Findings from the replication soundness checker
+  /// (sa/ReplicationSoundness.h), which re-verifies the simulation relation
+  /// against the original module after every applied transform and once
+  /// more after annotation. Empty means every replicated block provably
+  /// simulates its original; tests and `bpcr` fail fast on anything here.
+  std::vector<sa::Diagnostic> Soundness;
 
   double sizeFactor() const {
     return OrigInstructions

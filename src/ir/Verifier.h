@@ -7,7 +7,16 @@
 /// \file
 /// Structural checks run by tests after every construction and after every
 /// replication transform: complete blocks, in-range targets/registers,
-/// consistent call signatures, valid entry points.
+/// consistent call signatures, valid entry points, and predecessor shape
+/// (an entry block with predecessors or a non-entry block with none is
+/// rejected — the interpreter never falls through past a terminator, so
+/// such blocks either break loop replication's reset assumptions or can
+/// never execute at all).
+///
+/// Findings use the structured sa::Diagnostic schema (PassId "ir-verify")
+/// shared with the static-analysis passes in src/sa; verifyModule renders
+/// them to strings for the existing call sites. Diagnostic.h is
+/// header-only, so this adds no link dependency.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,11 +24,16 @@
 #define BPCR_IR_VERIFIER_H
 
 #include "ir/Module.h"
+#include "sa/Diagnostic.h"
 
 #include <string>
 #include <vector>
 
 namespace bpcr {
+
+/// Checks \p M for structural validity.
+/// \returns one structured diagnostic per violation; empty when valid.
+std::vector<sa::Diagnostic> verifyModuleDiags(const Module &M);
 
 /// Checks \p M for structural validity.
 /// \returns a human-readable message per violation; empty when valid.

@@ -1,0 +1,179 @@
+//===- obs/Sarif.cpp ------------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Sarif.h"
+
+#include <map>
+
+using namespace bpcr;
+using sa::Diagnostic;
+using sa::Location;
+using sa::Severity;
+
+namespace {
+
+JsonValue locationJson(const Location &Loc) {
+  JsonValue J = JsonValue::object();
+  J.set("qualified", JsonValue::str(Loc.qualifiedName()));
+  if (Loc.FuncIdx >= 0) {
+    J.set("function", JsonValue::integer(static_cast<int64_t>(Loc.FuncIdx)));
+    if (!Loc.FuncName.empty())
+      J.set("function_name", JsonValue::str(Loc.FuncName));
+    if (Loc.BlockIdx >= 0) {
+      J.set("block", JsonValue::integer(static_cast<int64_t>(Loc.BlockIdx)));
+      if (Loc.InstIdx >= 0)
+        J.set("inst", JsonValue::integer(static_cast<int64_t>(Loc.InstIdx)));
+    }
+  }
+  return J;
+}
+
+/// SARIF logicalLocation for one IR location. "kind" follows the SARIF
+/// taxonomy: function / declaration / module as the location narrows.
+JsonValue logicalLocationJson(const Location &Loc) {
+  JsonValue J = JsonValue::object();
+  J.set("fullyQualifiedName", JsonValue::str(Loc.qualifiedName()));
+  const char *Kind = Loc.FuncIdx < 0      ? "module"
+                     : Loc.BlockIdx < 0   ? "function"
+                                          : "declaration";
+  J.set("kind", JsonValue::str(Kind));
+  return J;
+}
+
+JsonValue sarifLocation(const Location &Loc, const std::string &ArtifactUri,
+                        const std::string *Message = nullptr) {
+  JsonValue L = JsonValue::object();
+  if (Message) {
+    JsonValue M = JsonValue::object();
+    M.set("text", JsonValue::str(*Message));
+    L.set("message", std::move(M));
+  }
+  JsonValue Phys = JsonValue::object();
+  JsonValue Art = JsonValue::object();
+  Art.set("uri", JsonValue::str(ArtifactUri));
+  Phys.set("artifactLocation", std::move(Art));
+  L.set("physicalLocation", std::move(Phys));
+  JsonValue Logical = JsonValue::array();
+  Logical.push(logicalLocationJson(Loc));
+  L.set("logicalLocations", std::move(Logical));
+  return L;
+}
+
+} // namespace
+
+JsonValue bpcr::diagnosticsJson(const std::vector<Diagnostic> &Diags) {
+  JsonValue Doc = JsonValue::object();
+  JsonValue Counts = JsonValue::object();
+  Counts.set("errors",
+             JsonValue::integer(countSeverity(Diags, Severity::Error)));
+  Counts.set("warnings",
+             JsonValue::integer(countSeverity(Diags, Severity::Warning)));
+  Counts.set("notes",
+             JsonValue::integer(countSeverity(Diags, Severity::Note)));
+  Doc.set("counts", std::move(Counts));
+
+  JsonValue Arr = JsonValue::array();
+  for (const Diagnostic &D : Diags) {
+    JsonValue J = JsonValue::object();
+    J.set("severity", JsonValue::str(severityName(D.Sev)));
+    J.set("rule", JsonValue::str(D.fullRuleId()));
+    J.set("location", locationJson(D.Loc));
+    J.set("message", JsonValue::str(D.Message));
+    if (!D.Notes.empty()) {
+      JsonValue Notes = JsonValue::array();
+      for (const sa::DiagNote &N : D.Notes) {
+        JsonValue NJ = JsonValue::object();
+        NJ.set("location", locationJson(N.Loc));
+        NJ.set("message", JsonValue::str(N.Message));
+        Notes.push(std::move(NJ));
+      }
+      J.set("notes", std::move(Notes));
+    }
+    Arr.push(std::move(J));
+  }
+  Doc.set("diagnostics", std::move(Arr));
+  return Doc;
+}
+
+JsonValue bpcr::sarifLog(const std::vector<Diagnostic> &Diags,
+                         const std::string &ArtifactUri,
+                         const std::vector<SarifRuleInfo> &Passes) {
+  // Rule table: one entry per distinct fully-qualified rule id, in first-use
+  // order, so results can reference rules by index.
+  std::vector<std::string> RuleIds;
+  std::map<std::string, size_t> RuleIndex;
+  std::map<std::string, Severity> RuleLevel;
+  for (const Diagnostic &D : Diags) {
+    std::string Id = D.fullRuleId();
+    auto [It, Inserted] = RuleIndex.insert({Id, RuleIds.size()});
+    if (Inserted) {
+      RuleIds.push_back(Id);
+      RuleLevel[Id] = D.Sev;
+    } else if (D.Sev > RuleLevel[Id]) {
+      RuleLevel[Id] = D.Sev;
+    }
+  }
+
+  JsonValue Rules = JsonValue::array();
+  for (const std::string &Id : RuleIds) {
+    JsonValue R = JsonValue::object();
+    R.set("id", JsonValue::str(Id));
+    for (const SarifRuleInfo &P : Passes)
+      if (Id.rfind(P.PassId + ".", 0) == 0) {
+        JsonValue Desc = JsonValue::object();
+        Desc.set("text", JsonValue::str(P.Description));
+        R.set("shortDescription", std::move(Desc));
+        break;
+      }
+    JsonValue Config = JsonValue::object();
+    Config.set("level", JsonValue::str(severityName(RuleLevel[Id])));
+    R.set("defaultConfiguration", std::move(Config));
+    Rules.push(std::move(R));
+  }
+
+  JsonValue Results = JsonValue::array();
+  for (const Diagnostic &D : Diags) {
+    JsonValue R = JsonValue::object();
+    std::string Id = D.fullRuleId();
+    R.set("ruleId", JsonValue::str(Id));
+    R.set("ruleIndex",
+          JsonValue::integer(static_cast<int64_t>(RuleIndex[Id])));
+    R.set("level", JsonValue::str(severityName(D.Sev)));
+    JsonValue Msg = JsonValue::object();
+    Msg.set("text", JsonValue::str(D.Message));
+    R.set("message", std::move(Msg));
+    JsonValue Locs = JsonValue::array();
+    Locs.push(sarifLocation(D.Loc, ArtifactUri));
+    R.set("locations", std::move(Locs));
+    if (!D.Notes.empty()) {
+      JsonValue Related = JsonValue::array();
+      for (const sa::DiagNote &N : D.Notes)
+        Related.push(sarifLocation(N.Loc, ArtifactUri, &N.Message));
+      R.set("relatedLocations", std::move(Related));
+    }
+    Results.push(std::move(R));
+  }
+
+  JsonValue Driver = JsonValue::object();
+  Driver.set("name", JsonValue::str("bpcr-lint"));
+  Driver.set("informationUri",
+             JsonValue::str("https://example.invalid/bpcr"));
+  Driver.set("rules", std::move(Rules));
+  JsonValue Tool = JsonValue::object();
+  Tool.set("driver", std::move(Driver));
+  JsonValue Run = JsonValue::object();
+  Run.set("tool", std::move(Tool));
+  Run.set("results", std::move(Results));
+  JsonValue Runs = JsonValue::array();
+  Runs.push(std::move(Run));
+
+  JsonValue Doc = JsonValue::object();
+  Doc.set("$schema",
+          JsonValue::str("https://json.schemastore.org/sarif-2.1.0.json"));
+  Doc.set("version", JsonValue::str("2.1.0"));
+  Doc.set("runs", std::move(Runs));
+  return Doc;
+}

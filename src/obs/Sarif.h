@@ -1,0 +1,51 @@
+//===- obs/Sarif.h - Diagnostic renderers (JSON, SARIF) ---------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable renderers for sa::Diagnostic: a plain JSON array for
+/// scripting, and a SARIF 2.1.0 log for CI code-scanning upload. They live
+/// in obs (not sa) because sa sits below obs in the link order — obs links
+/// core, core links sa — while Diagnostic.h itself is header-only and flows
+/// freely. The SARIF mapping is documented in docs/STATIC_ANALYSIS.md:
+/// fully-qualified rule ids become rule ids, IR locations become
+/// logicalLocations (there are no physical files — modules are built or
+/// loaded in memory, so the artifact URI names the workload or module
+/// file).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_OBS_SARIF_H
+#define BPCR_OBS_SARIF_H
+
+#include "obs/Json.h"
+#include "sa/Diagnostic.h"
+
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+/// Rule metadata for the SARIF tool.driver.rules table: the pass id and its
+/// one-line description (from Pass::description()).
+struct SarifRuleInfo {
+  std::string PassId;
+  std::string Description;
+};
+
+/// Plain JSON rendering: an object with a "diagnostics" array (severity,
+/// rule, location, message, notes) and per-severity counts.
+JsonValue diagnosticsJson(const std::vector<sa::Diagnostic> &Diags);
+
+/// SARIF 2.1.0 log with one run. \p ArtifactUri names what was linted
+/// ("workload:compress" or a module file path); \p Passes supplies rule
+/// descriptions, matched to each diagnostic by pass id.
+JsonValue sarifLog(const std::vector<sa::Diagnostic> &Diags,
+                   const std::string &ArtifactUri,
+                   const std::vector<SarifRuleInfo> &Passes = {});
+
+} // namespace bpcr
+
+#endif // BPCR_OBS_SARIF_H

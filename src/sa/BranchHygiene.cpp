@@ -1,0 +1,151 @@
+//===- sa/BranchHygiene.cpp - Branch id and reachability hygiene ----------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Branch ids are the join key of the whole system: profiles, machine search,
+// the replication planner, annotation and attribution all index by them.
+// Four things go wrong with them in practice:
+//
+//   ids-unassigned     no conditional branch has an id at all — the module
+//                      was never run through assignBranchIds(). One
+//                      module-level error instead of one per branch.
+//   missing-id         some branches have ids and this one does not; it is
+//                      invisible to profiling and annotation.
+//   duplicate-id       two branches share a BranchId; their profile counts
+//                      merge and the planner optimizes a chimera.
+//   unreachable-branch a conditional branch in a block (or whole function)
+//                      no execution can reach. It still owns a profile slot
+//                      that will forever read zero, silently skewing any
+//                      "fraction of branches predicted" style statistic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "sa/Passes.h"
+
+#include <map>
+
+using namespace bpcr;
+using namespace bpcr::sa;
+
+namespace {
+
+constexpr const char *PassId = "branch-hygiene";
+
+class BranchHygienePass : public Pass {
+public:
+  const char *id() const override { return PassId; }
+  const char *description() const override {
+    return "duplicate or missing branch ids, and conditional branches that "
+           "can never execute but still own a profile slot";
+  }
+
+  void run(const Module &M, std::vector<Diagnostic> &Out) const override {
+    // Functions reachable through the call graph from the entry function.
+    std::vector<uint8_t> FuncReachable(M.Functions.size(), 0);
+    if (M.EntryFunction < M.Functions.size()) {
+      std::vector<uint32_t> Work{M.EntryFunction};
+      FuncReachable[M.EntryFunction] = 1;
+      while (!Work.empty()) {
+        uint32_t FI = Work.back();
+        Work.pop_back();
+        for (const BasicBlock &BB : M.Functions[FI].Blocks)
+          for (const Instruction &I : BB.Insts)
+            if (I.Op == Opcode::Call && I.Callee < M.Functions.size() &&
+                !FuncReachable[I.Callee]) {
+              FuncReachable[I.Callee] = 1;
+              Work.push_back(I.Callee);
+            }
+      }
+    }
+
+    auto LocOf = [&](uint32_t FI, int32_t Block, int32_t Inst) {
+      Location Loc;
+      Loc.FuncIdx = static_cast<int32_t>(FI);
+      Loc.FuncName = M.Functions[FI].Name;
+      Loc.BlockIdx = Block;
+      if (Block >= 0)
+        Loc.BlockName =
+            M.Functions[FI].Blocks[static_cast<size_t>(Block)].Name;
+      Loc.InstIdx = Inst;
+      return Loc;
+    };
+
+    uint64_t Branches = 0, WithId = 0;
+    for (const Function &F : M.Functions)
+      for (const BasicBlock &BB : F.Blocks)
+        for (const Instruction &I : BB.Insts)
+          if (I.isConditionalBranch()) {
+            ++Branches;
+            WithId += I.BranchId != NoBranchId ? 1 : 0;
+          }
+
+    if (Branches > 0 && WithId == 0) {
+      Out.push_back(makeDiag(
+          Severity::Error, PassId, "ids-unassigned", Location{},
+          "none of the module's " + std::to_string(Branches) +
+              " conditional branches has a branch id; run "
+              "Module::assignBranchIds() before profiling or replication"));
+      // Per-branch missing-id reports would just repeat this N times.
+      return;
+    }
+
+    std::map<int32_t, Location> FirstSeen;
+    for (uint32_t FI = 0; FI < M.Functions.size(); ++FI) {
+      const Function &F = M.Functions[FI];
+      const bool HasCfg = isCfgBuildable(F);
+      // Build lazily: CFG(F) asserts on incomplete blocks.
+      std::unique_ptr<CFG> G;
+      if (HasCfg)
+        G = std::make_unique<CFG>(F);
+
+      for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
+        for (uint32_t II = 0; II < F.Blocks[B].Insts.size(); ++II) {
+          const Instruction &I = F.Blocks[B].Insts[II];
+          if (!I.isConditionalBranch())
+            continue;
+          Location Loc = LocOf(FI, static_cast<int32_t>(B),
+                               static_cast<int32_t>(II));
+
+          if (I.BranchId == NoBranchId) {
+            Out.push_back(makeDiag(
+                Severity::Error, PassId, "missing-id", Loc,
+                "conditional branch has no branch id while other branches "
+                "do; it is invisible to profiling and annotation"));
+          } else {
+            auto [It, Inserted] = FirstSeen.insert({I.BranchId, Loc});
+            if (!Inserted) {
+              Diagnostic D = makeDiag(
+                  Severity::Error, PassId, "duplicate-id", Loc,
+                  "branch id " + std::to_string(I.BranchId) +
+                      " is already used by another branch; their profile "
+                      "counts would merge into one slot");
+              D.note(It->second, "first branch with this id");
+              Out.push_back(std::move(D));
+            }
+          }
+
+          if (!FuncReachable[FI]) {
+            Out.push_back(makeDiag(
+                Severity::Warning, PassId, "unreachable-branch", Loc,
+                "branch lives in a function never called from the entry "
+                "function; its profile slot will always read zero"));
+          } else if (HasCfg && !G->isReachable(B)) {
+            Out.push_back(makeDiag(
+                Severity::Warning, PassId, "unreachable-branch", Loc,
+                "branch lives in an unreachable block; its profile slot "
+                "will always read zero"));
+          }
+        }
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sa::createBranchHygienePass() {
+  return std::make_unique<BranchHygienePass>();
+}

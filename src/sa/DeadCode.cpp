@@ -1,0 +1,152 @@
+//===- sa/DeadCode.cpp - Unreachable blocks and dead stores ---------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Two related rules built on analysis/CFG:
+//
+//   unreachable-block  a block no path from the entry reaches. Cold regions
+//                      waste replication budget accounting and hold branches
+//                      the profiler can never observe.
+//   dead-store        a register write (Mov/ALU/compare only — Load can
+//                     trap on a bad address and Call has side effects) that
+//                     no path ever reads before the next write.
+//
+// Dead-store liveness is a backward may-analysis at block granularity
+// followed by an in-block backward scan; only reachable blocks are scanned
+// (unreachable ones are already reported wholesale).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "sa/Passes.h"
+
+#include <functional>
+
+using namespace bpcr;
+using namespace bpcr::sa;
+
+namespace {
+
+constexpr const char *PassId = "dead-code";
+
+using RegSet = std::vector<uint8_t>;
+
+/// True for defs it is always safe to call dead: pure register-to-register
+/// computation. Load may fault, Call has arbitrary effects, Store writes
+/// memory not a register.
+bool isPureDef(Opcode Op) {
+  return Op == Opcode::Mov || (Op >= Opcode::Add && Op <= Opcode::CmpGe);
+}
+
+void forEachRead(const Instruction &I, size_t NumRegs,
+                 const std::function<void(Reg)> &Fn) {
+  auto Read = [&](const Operand &O) {
+    if (O.isReg() && O.Val >= 0 && static_cast<size_t>(O.Val) < NumRegs)
+      Fn(O.asReg());
+  };
+  Read(I.A);
+  Read(I.B);
+  Read(I.C);
+  for (const Operand &Arg : I.Args)
+    Read(Arg);
+}
+
+class DeadCodePass : public Pass {
+public:
+  const char *id() const override { return PassId; }
+  const char *description() const override {
+    return "blocks unreachable from the entry and register writes no path "
+           "ever reads before the next write";
+  }
+
+  void run(const Module &M, std::vector<Diagnostic> &Out) const override {
+    for (uint32_t FI = 0; FI < M.Functions.size(); ++FI)
+      runOnFunction(M, FI, Out);
+  }
+
+private:
+  void runOnFunction(const Module &M, uint32_t FI,
+                     std::vector<Diagnostic> &Out) const {
+    const Function &F = M.Functions[FI];
+    if (!isCfgBuildable(F))
+      return;
+    CFG G(F);
+
+    auto LocOf = [&](int32_t Block, int32_t Inst) {
+      Location Loc;
+      Loc.FuncIdx = static_cast<int32_t>(FI);
+      Loc.FuncName = F.Name;
+      Loc.BlockIdx = Block;
+      if (Block >= 0)
+        Loc.BlockName = F.Blocks[static_cast<size_t>(Block)].Name;
+      Loc.InstIdx = Inst;
+      return Loc;
+    };
+
+    for (uint32_t B = 0; B < F.Blocks.size(); ++B)
+      if (!G.isReachable(B))
+        Out.push_back(makeDiag(
+            Severity::Warning, PassId, "unreachable-block",
+            LocOf(static_cast<int32_t>(B), -1),
+            "block is unreachable from the entry; its " +
+                std::to_string(F.Blocks[B].Insts.size()) +
+                " instructions (and any branch ids they own) are dead code"));
+
+    // Block-level backward liveness over reachable blocks.
+    const size_t NumRegs = F.NumRegs;
+    std::vector<RegSet> LiveIn(F.Blocks.size(), RegSet(NumRegs, 0));
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      const std::vector<uint32_t> &RPO = G.reversePostOrder();
+      for (auto It = RPO.rbegin(); It != RPO.rend(); ++It) {
+        uint32_t B = *It;
+        RegSet Live(NumRegs, 0);
+        for (uint32_t S : G.successors(B))
+          for (size_t R = 0; R < NumRegs; ++R)
+            Live[R] |= LiveIn[S][R];
+        const std::vector<Instruction> &Insts = F.Blocks[B].Insts;
+        for (auto II = Insts.rbegin(); II != Insts.rend(); ++II) {
+          if (writesRegister(II->Op) && II->Dst < NumRegs)
+            Live[II->Dst] = 0;
+          forEachRead(*II, NumRegs, [&](Reg R) { Live[R] = 1; });
+        }
+        for (size_t R = 0; R < NumRegs; ++R)
+          if (Live[R] && !LiveIn[B][R]) {
+            LiveIn[B][R] = 1;
+            Changed = true;
+          }
+      }
+    }
+
+    // In-block backward scan flagging pure defs whose value is never read.
+    for (uint32_t B : G.reversePostOrder()) {
+      RegSet Live(NumRegs, 0);
+      for (uint32_t S : G.successors(B))
+        for (size_t R = 0; R < NumRegs; ++R)
+          Live[R] |= LiveIn[S][R];
+      const std::vector<Instruction> &Insts = F.Blocks[B].Insts;
+      for (size_t II = Insts.size(); II-- > 0;) {
+        const Instruction &I = Insts[II];
+        if (writesRegister(I.Op) && I.Dst < NumRegs) {
+          if (isPureDef(I.Op) && !Live[I.Dst])
+            Out.push_back(makeDiag(
+                Severity::Warning, PassId, "dead-store",
+                LocOf(static_cast<int32_t>(B), static_cast<int32_t>(II)),
+                "value written to r" + std::to_string(I.Dst) +
+                    " is never read before the next write"));
+          Live[I.Dst] = 0;
+        }
+        forEachRead(I, NumRegs, [&](Reg R) { Live[R] = 1; });
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sa::createDeadCodePass() {
+  return std::make_unique<DeadCodePass>();
+}

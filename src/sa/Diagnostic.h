@@ -1,0 +1,145 @@
+//===- sa/Diagnostic.h - Structured analysis diagnostics --------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one diagnostic schema shared by the IR verifier and every static
+/// analysis pass: a severity, a stable rule id, a structured IR location
+/// (function/block/instruction indexes plus names) and an optional chain of
+/// notes pointing at related locations. Header-only so low layers (ir) can
+/// produce diagnostics without linking the pass framework; the renderers
+/// (table, JSON, SARIF) live in obs/Sarif.{h,cpp} and tools/bpcr.cpp.
+///
+/// Rule ids are dot-separated and stable across releases
+/// ("use-before-def.read-before-def"); tests and CI gates key on them, so
+/// renaming one is a breaking change. The full taxonomy is documented in
+/// docs/STATIC_ANALYSIS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SA_DIAGNOSTIC_H
+#define BPCR_SA_DIAGNOSTIC_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bpcr {
+namespace sa {
+
+/// Finding severity, ordered so thresholds can compare (`>= Warning`).
+enum class Severity : uint8_t { Note = 0, Warning = 1, Error = 2 };
+
+inline const char *severityName(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+/// Where in a module a finding points. Any level may be absent (-1): a
+/// module-shape finding has no function, a function-shape finding no block.
+struct Location {
+  int32_t FuncIdx = -1;
+  std::string FuncName;
+  int32_t BlockIdx = -1;
+  std::string BlockName;
+  int32_t InstIdx = -1;
+
+  /// Dotted logical name ("main.block3.inst2", "main.block3", "main", or
+  /// "module"), the form SARIF logicalLocations and the table renderer use.
+  std::string qualifiedName() const {
+    if (FuncIdx < 0)
+      return "module";
+    std::string Out = FuncName.empty() ? ("func" + std::to_string(FuncIdx))
+                                       : FuncName;
+    if (BlockIdx >= 0) {
+      Out += ".block" + std::to_string(BlockIdx);
+      if (InstIdx >= 0)
+        Out += ".inst" + std::to_string(InstIdx);
+    }
+    return Out;
+  }
+};
+
+/// A secondary message attached to a Diagnostic ("first definition was
+/// here", "loop header is block 4").
+struct DiagNote {
+  Location Loc;
+  std::string Message;
+};
+
+/// One finding from the verifier or a lint pass.
+struct Diagnostic {
+  Severity Sev = Severity::Error;
+  /// Id of the producing pass ("use-before-def", "ir-verify", ...).
+  std::string PassId;
+  /// Stable rule id within the pass ("read-before-def"). The fully
+  /// qualified id tests assert is PassId + "." + RuleId.
+  std::string RuleId;
+  Location Loc;
+  std::string Message;
+  std::vector<DiagNote> Notes;
+
+  std::string fullRuleId() const { return PassId + "." + RuleId; }
+
+  Diagnostic &note(Location L, std::string Msg) {
+    Notes.push_back({std::move(L), std::move(Msg)});
+    return *this;
+  }
+
+  /// "error: [use-before-def.read-before-def] main.block2.inst0: ..." plus
+  /// one indented line per note — the format `bpcr lint`'s table view and
+  /// verifyModule's string compatibility shim both build on.
+  std::string render() const {
+    std::string Out = std::string(severityName(Sev)) + ": [" + fullRuleId() +
+                      "] " + Loc.qualifiedName() + ": " + Message;
+    for (const DiagNote &N : Notes)
+      Out += "\n  note: " + N.Loc.qualifiedName() + ": " + N.Message;
+    return Out;
+  }
+};
+
+/// Convenience constructor used by every pass.
+inline Diagnostic makeDiag(Severity Sev, std::string PassId,
+                           std::string RuleId, Location Loc,
+                           std::string Message) {
+  Diagnostic D;
+  D.Sev = Sev;
+  D.PassId = std::move(PassId);
+  D.RuleId = std::move(RuleId);
+  D.Loc = std::move(Loc);
+  D.Message = std::move(Message);
+  return D;
+}
+
+/// Counts findings at exactly severity \p S.
+inline size_t countSeverity(const std::vector<Diagnostic> &Diags,
+                            Severity S) {
+  size_t N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Sev == S ? 1 : 0;
+  return N;
+}
+
+/// True when any finding is at or above \p Threshold.
+inline bool anyAtOrAbove(const std::vector<Diagnostic> &Diags,
+                         Severity Threshold) {
+  for (const Diagnostic &D : Diags)
+    if (D.Sev >= Threshold)
+      return true;
+  return false;
+}
+
+} // namespace sa
+} // namespace bpcr
+
+#endif // BPCR_SA_DIAGNOSTIC_H

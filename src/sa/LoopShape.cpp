@@ -1,0 +1,212 @@
+//===- sa/LoopShape.cpp - CFG shapes that defeat loop replication ---------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// LoopAwareProfiles and the loop replication transform both assume the
+// classical natural-loop model: every cycle has a single dominating header,
+// entry resets the per-loop machine state, and exits are where state is
+// discarded. Three shapes break that model:
+//
+//   irreducible-loop       a cycle that survives after all dominator back
+//                          edges are removed, i.e. a cycle with no
+//                          dominating header. Natural-loop detection cannot
+//                          see it, so its branches are classified NonLoop
+//                          and the first-iteration/rest split never applies.
+//   no-preheader           a loop header entered by more than one outside
+//                          edge (or by an edge whose source does not
+//                          dominate the header). Each entry is a separate
+//                          "reset" context; replication would have to clone
+//                          per entry to keep iteration counts honest.
+//   scattered-exits        exit edges leaving from blocks other than the
+//                          header or a latch. Each such mid-body exit is a
+//                          path on which the exit-machine's "rest of loop"
+//                          prediction is never consulted.
+//
+// Irreducibility is decided by removing genuine back edges (u -> v with v
+// dominating u) and cycle-checking the residual graph. The naive "edge to
+// an earlier RPO block that is not a dominator" test is wrong: a cross edge
+// in a reducible DAG (a->b, a->c, b->d, c->b) trips it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "sa/Passes.h"
+
+#include <algorithm>
+
+using namespace bpcr;
+using namespace bpcr::sa;
+
+namespace {
+
+constexpr const char *PassId = "loop-shape";
+
+class LoopShapePass : public Pass {
+public:
+  const char *id() const override { return PassId; }
+  const char *description() const override {
+    return "irreducible loops, loop headers without a dominating preheader, "
+           "and loops whose exits leave from mid-body blocks — the shapes "
+           "that break LoopAwareProfiles' reset model";
+  }
+
+  void run(const Module &M, std::vector<Diagnostic> &Out) const override {
+    for (uint32_t FI = 0; FI < M.Functions.size(); ++FI)
+      runOnFunction(M, FI, Out);
+  }
+
+private:
+  void runOnFunction(const Module &M, uint32_t FI,
+                     std::vector<Diagnostic> &Out) const {
+    const Function &F = M.Functions[FI];
+    if (!isCfgBuildable(F))
+      return;
+    CFG G(F);
+    Dominators Dom(G);
+
+    auto LocOf = [&](uint32_t Block) {
+      Location Loc;
+      Loc.FuncIdx = static_cast<int32_t>(FI);
+      Loc.FuncName = F.Name;
+      Loc.BlockIdx = static_cast<int32_t>(Block);
+      Loc.BlockName = F.Blocks[Block].Name;
+      return Loc;
+    };
+
+    checkIrreducible(G, Dom, LocOf, Out);
+
+    LoopInfo LI(G, Dom);
+    for (size_t L = 0; L < LI.loops().size(); ++L)
+      checkLoop(G, Dom, LI.loops()[L], LocOf, Out);
+  }
+
+  /// Reports one irreducible-loop error per residual cycle found after
+  /// deleting all dominator back edges from the reachable subgraph.
+  template <typename LocFn>
+  void checkIrreducible(const CFG &G, const Dominators &Dom, LocFn LocOf,
+                        std::vector<Diagnostic> &Out) const {
+    const uint32_t N = G.numBlocks();
+    // Iterative DFS coloring over the residual graph: 0 white, 1 on the
+    // current path, 2 done. A residual edge into color 1 closes a cycle
+    // that has no dominating header.
+    std::vector<uint8_t> Color(N, 0);
+    std::vector<std::pair<uint32_t, size_t>> Stack;
+    for (uint32_t Root : G.reversePostOrder()) {
+      if (Color[Root] != 0)
+        continue;
+      Stack.push_back({Root, 0});
+      Color[Root] = 1;
+      while (!Stack.empty()) {
+        uint32_t B = Stack.back().first;
+        const std::vector<uint32_t> &Succs = G.successors(B);
+        if (Stack.back().second >= Succs.size()) {
+          Color[B] = 2;
+          Stack.pop_back();
+          continue;
+        }
+        uint32_t S = Succs[Stack.back().second++];
+        if (Dom.dominates(S, B))
+          continue; // genuine natural-loop back edge: removed
+        if (Color[S] == 1) {
+          // Recover the offending cycle from the DFS path for the report.
+          std::vector<uint32_t> Cycle;
+          for (auto It = Stack.rbegin(); It != Stack.rend(); ++It) {
+            Cycle.push_back(It->first);
+            if (It->first == S)
+              break;
+          }
+          std::reverse(Cycle.begin(), Cycle.end());
+          std::string Members;
+          for (uint32_t C : Cycle)
+            Members +=
+                (Members.empty() ? "block" : ", block") + std::to_string(C);
+          Diagnostic D = makeDiag(
+              Severity::Error, PassId, "irreducible-loop", LocOf(S),
+              "cycle through " + Members +
+                  " has no dominating header (irreducible loop): "
+                  "natural-loop analysis cannot see it, so its branches "
+                  "are profiled as non-loop and loop replication never "
+                  "applies");
+          D.note(LocOf(B), "cycle-closing edge starts here");
+          Out.push_back(std::move(D));
+          continue; // report once, keep scanning remaining edges
+        }
+        if (Color[S] == 0) {
+          Color[S] = 1;
+          Stack.push_back({S, 0});
+        }
+      }
+    }
+  }
+
+  template <typename LocFn>
+  void checkLoop(const CFG &G, const Dominators &Dom, const Loop &L,
+                 LocFn LocOf, std::vector<Diagnostic> &Out) const {
+    // Entry edges: predecessors of the header from outside the loop.
+    std::vector<uint32_t> OutsidePreds;
+    for (uint32_t P : G.predecessors(L.Header))
+      if (!L.contains(P))
+        OutsidePreds.push_back(P);
+
+    if (OutsidePreds.size() > 1) {
+      Diagnostic D = makeDiag(
+          Severity::Warning, PassId, "no-preheader", LocOf(L.Header),
+          "loop header has " + std::to_string(OutsidePreds.size()) +
+              " entry edges from outside the loop; without a unique "
+              "dominating preheader every entry is a separate reset point "
+              "for LoopAwareProfiles' first-iteration machine");
+      for (uint32_t P : OutsidePreds)
+        D.note(LocOf(P), "enters the loop from here");
+      Out.push_back(std::move(D));
+    } else if (OutsidePreds.size() == 1 &&
+               !Dom.dominates(OutsidePreds[0], L.Header)) {
+      Diagnostic D = makeDiag(
+          Severity::Warning, PassId, "no-preheader", LocOf(L.Header),
+          "the loop's only outside predecessor does not dominate the "
+          "header, so it is not a true preheader; some path reaches the "
+          "loop without passing the reset point LoopAwareProfiles assumes");
+      D.note(LocOf(OutsidePreds[0]), "non-dominating entry block");
+      Out.push_back(std::move(D));
+    }
+
+    // Latches: in-loop predecessors of the header.
+    std::vector<uint32_t> Latches;
+    for (uint32_t P : G.predecessors(L.Header))
+      if (L.contains(P))
+        Latches.push_back(P);
+
+    // Abnormal exits: exit edges whose source is neither the header nor a
+    // latch. One is routine (a break); several mean the loop's exit
+    // behaviour is spread over blocks the exit machines never model well.
+    std::vector<std::pair<uint32_t, uint32_t>> Abnormal;
+    for (uint32_t B : L.Blocks) {
+      if (B == L.Header ||
+          std::find(Latches.begin(), Latches.end(), B) != Latches.end())
+        continue;
+      for (uint32_t S : G.successors(B))
+        if (!L.contains(S))
+          Abnormal.push_back({B, S});
+    }
+    if (Abnormal.size() >= 2) {
+      Diagnostic D = makeDiag(
+          Severity::Warning, PassId, "scattered-exits", LocOf(L.Header),
+          "loop has " + std::to_string(Abnormal.size()) +
+              " exit edges leaving from mid-body blocks (neither header "
+              "nor latch); on each such path the loop-exit machine's "
+              "prediction is never consulted, diluting the profile the "
+              "replication planner optimizes against");
+      for (const auto &[From, To] : Abnormal)
+        D.note(LocOf(From), "exits the loop to block" + std::to_string(To));
+      Out.push_back(std::move(D));
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sa::createLoopShapePass() {
+  return std::make_unique<LoopShapePass>();
+}

@@ -1,0 +1,95 @@
+//===- sa/PassManager.cpp -------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sa/Passes.h"
+
+#include "ir/Verifier.h"
+#include "obs/Metrics.h"
+
+#include <iterator>
+
+using namespace bpcr;
+using namespace bpcr::sa;
+
+bool sa::isCfgBuildable(const Function &F) {
+  if (F.Blocks.empty())
+    return false;
+  for (const BasicBlock &BB : F.Blocks) {
+    if (!BB.isComplete())
+      return false;
+    const Instruction &T = BB.terminator();
+    if (T.Op == Opcode::Br &&
+        (T.TrueTarget >= F.Blocks.size() || T.FalseTarget >= F.Blocks.size()))
+      return false;
+    if (T.Op == Opcode::Jmp && T.TrueTarget >= F.Blocks.size())
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Pass adapter over ir/Verifier so structural findings share the lint
+/// schema and every lint run starts from well-formedness.
+class VerifyPass : public Pass {
+public:
+  const char *id() const override { return "ir-verify"; }
+  const char *description() const override {
+    return "structural validity: complete blocks, in-range targets and "
+           "registers, consistent call signatures, valid entry points";
+  }
+  void run(const Module &M, std::vector<Diagnostic> &Out) const override {
+    std::vector<Diagnostic> Diags = verifyModuleDiags(M);
+    Out.insert(Out.end(), std::make_move_iterator(Diags.begin()),
+               std::make_move_iterator(Diags.end()));
+  }
+};
+
+/// Replaces '-' with '_' so pass ids form one metric path segment each
+/// ("sa.pass.use_before_def").
+std::string metricSegment(const char *Id) {
+  std::string Out(Id);
+  for (char &C : Out)
+    if (C == '-')
+      C = '_';
+  return Out;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> sa::createVerifyPass() {
+  return std::make_unique<VerifyPass>();
+}
+
+void sa::addStandardPasses(PassManager &PM) {
+  PM.add(createVerifyPass());
+  PM.add(createUseBeforeDefPass());
+  PM.add(createDeadCodePass());
+  PM.add(createLoopShapePass());
+  PM.add(createBranchHygienePass());
+}
+
+std::vector<Diagnostic> PassManager::run(const Module &M) const {
+  std::vector<Diagnostic> All;
+  Registry &Reg = Registry::global();
+  const bool ObsOn = Reg.enabled();
+  for (const std::unique_ptr<Pass> &P : Passes) {
+    size_t Before = All.size();
+    P->run(M, All);
+    if (ObsOn)
+      Reg.gauge("sa.pass." + metricSegment(P->id()))
+          .set(static_cast<double>(All.size() - Before));
+  }
+  if (ObsOn) {
+    Reg.gauge("sa.diags.errors")
+        .set(static_cast<double>(countSeverity(All, Severity::Error)));
+    Reg.gauge("sa.diags.warnings")
+        .set(static_cast<double>(countSeverity(All, Severity::Warning)));
+    Reg.gauge("sa.diags.notes")
+        .set(static_cast<double>(countSeverity(All, Severity::Note)));
+  }
+  return All;
+}

@@ -1,0 +1,100 @@
+//===- sa/Passes.h - Static analysis passes over the IR ---------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass framework behind `bpcr lint` and the pipeline's self-checks: a
+/// Pass analyzes one Module and appends Diagnostics; a PassManager runs a
+/// registered sequence and aggregates the findings (recording `sa.*`
+/// diagnostic-count gauges in the observability registry when it is
+/// enabled). The standard passes:
+///
+///   ir-verify        structural validity (wraps ir/Verifier)
+///   use-before-def   reaching-definitions dataflow: registers read on some
+///                    path before any write (the interpreter zero-fills, so
+///                    this is a warning, not an error)
+///   dead-code        blocks unreachable from the entry and register writes
+///                    no path ever reads
+///   loop-shape       irreducible loops, headers without a dominating
+///                    preheader, loops whose exits scatter over many blocks
+///                    — the shapes that undermine LoopAwareProfiles' reset
+///                    model and the loop replication transform
+///   branch-hygiene   duplicate/missing branch ids and branches that can
+///                    never execute but still own a profile slot
+///
+/// The replication soundness checker (sa/ReplicationSoundness.h) is the one
+/// analysis that needs two modules; createReplicationSoundnessPass adapts
+/// it to the single-module interface by capturing the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SA_PASSES_H
+#define BPCR_SA_PASSES_H
+
+#include "ir/Module.h"
+#include "sa/Diagnostic.h"
+
+#include <memory>
+#include <vector>
+
+namespace bpcr {
+namespace sa {
+
+/// One static analysis over a module.
+class Pass {
+public:
+  virtual ~Pass() = default;
+
+  /// Stable pass id; the PassId member of every diagnostic it emits.
+  virtual const char *id() const = 0;
+
+  /// One-line human description (SARIF rule metadata, docs).
+  virtual const char *description() const = 0;
+
+  /// Appends findings for \p M to \p Out. Must not mutate the module.
+  virtual void run(const Module &M, std::vector<Diagnostic> &Out) const = 0;
+};
+
+/// Runs a pass sequence and aggregates diagnostics.
+class PassManager {
+public:
+  void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  const std::vector<std::unique_ptr<Pass>> &passes() const { return Passes; }
+
+  /// Runs every pass over \p M in registration order. When the global
+  /// observability registry is enabled, records per-severity gauges
+  /// (sa.diags.errors/warnings/notes) and one sa.pass.<id> gauge per pass.
+  std::vector<Diagnostic> run(const Module &M) const;
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+// -- Standard pass factories -------------------------------------------------
+
+std::unique_ptr<Pass> createVerifyPass();
+std::unique_ptr<Pass> createUseBeforeDefPass();
+std::unique_ptr<Pass> createDeadCodePass();
+std::unique_ptr<Pass> createLoopShapePass();
+std::unique_ptr<Pass> createBranchHygienePass();
+
+/// Adapts the two-module replication soundness checker to the Pass
+/// interface by capturing a copy of \p Original; running it over a module M
+/// checks that M simulates Original.
+std::unique_ptr<Pass> createReplicationSoundnessPass(Module Original);
+
+/// Registers the standard single-module passes in canonical order.
+void addStandardPasses(PassManager &PM);
+
+/// True when every block of \p F is complete (ends in a terminator) with
+/// in-range targets — the precondition for building a CFG. Passes that need
+/// a CFG skip functions failing this; the ir-verify pass reports them.
+bool isCfgBuildable(const Function &F);
+
+} // namespace sa
+} // namespace bpcr
+
+#endif // BPCR_SA_PASSES_H

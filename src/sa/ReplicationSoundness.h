@@ -1,0 +1,59 @@
+//===- sa/ReplicationSoundness.h - Replication simulation check -*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static verification that a replicated module simulates its original —
+/// the invariant the paper's whole gain rests on. Code replication encodes
+/// predictor state in the program counter: a replicated block IS an
+/// (original block, machine state) pair. The checker recovers that pairing
+/// by walking both CFGs in lockstep from the entry and demands:
+///
+///   - paired blocks run identical instruction sequences (ignoring block
+///     targets, branch ids and prediction annotations — exactly the fields
+///     replication is licensed to rewrite),
+///   - the pairing is a function: one replicated block never simulates two
+///     different original blocks,
+///   - every replicated out-edge projects onto the matching original
+///     out-edge (same terminator opcode, positionally aligned targets),
+///   - every replicated conditional branch folds onto the original branch
+///     it simulates: OrigBranchId equals the original's id and lies in the
+///     original's id range,
+///   - when the explicit copy→original map is supplied, it agrees with the
+///     pairing the simulation derives.
+///
+/// All findings carry PassId "replication-soundness" at Error severity;
+/// locations point into the replicated module, notes into the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SA_REPLICATIONSOUNDNESS_H
+#define BPCR_SA_REPLICATIONSOUNDNESS_H
+
+#include "ir/Module.h"
+#include "sa/Diagnostic.h"
+
+#include <vector>
+
+namespace bpcr {
+namespace sa {
+
+/// Checks that \p Replicated simulates \p Original. \p Original must have
+/// branch ids assigned (it is the module the pipeline profiled).
+///
+/// \p CopyToOrig, when non-null, is the explicit copy→original branch map:
+/// indexed by replicated BranchId, holding the original BranchId each copy
+/// folds onto (what Module::branchLocations-over-OrigBranchId flattens to
+/// after the final assignBranchIds). The checker cross-validates it against
+/// the simulation-derived pairing; pass null mid-pipeline where replica ids
+/// have not been renumbered yet.
+std::vector<Diagnostic>
+checkReplicationSoundness(const Module &Original, const Module &Replicated,
+                          const std::vector<int32_t> *CopyToOrig = nullptr);
+
+} // namespace sa
+} // namespace bpcr
+
+#endif // BPCR_SA_REPLICATIONSOUNDNESS_H

@@ -1,0 +1,128 @@
+//===- sa/UseBeforeDef.cpp - Reaching-definitions register lint -----------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Forward may-analysis over each function: a register is maybe-undefined at
+// a program point when some path from the entry reaches it without writing
+// the register. Function parameters arrive defined; everything else starts
+// undefined. A read of a maybe-undefined register is reported once per
+// (instruction, register). The interpreter zero-fills registers, so the
+// finding is a warning — the program is deterministic but almost certainly
+// not computing what its author intended.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "sa/Passes.h"
+
+#include <algorithm>
+
+using namespace bpcr;
+using namespace bpcr::sa;
+
+namespace {
+
+constexpr const char *PassId = "use-before-def";
+
+/// Per-block maybe-undefined register sets as byte vectors (registers are
+/// uint16_t indexes; functions here have tens of registers, not thousands).
+using RegSet = std::vector<uint8_t>;
+
+/// Applies one instruction's reads to \p Report and its write to \p Undef.
+template <typename ReadFn>
+void transfer(const Instruction &I, RegSet &Undef, ReadFn Report) {
+  auto Read = [&](const Operand &O) {
+    if (O.isReg() && O.Val >= 0 &&
+        static_cast<size_t>(O.Val) < Undef.size() && Undef[O.asReg()])
+      Report(O.asReg());
+  };
+  Read(I.A);
+  Read(I.B);
+  Read(I.C);
+  for (const Operand &Arg : I.Args)
+    Read(Arg);
+  if (writesRegister(I.Op) && I.Dst < Undef.size())
+    Undef[I.Dst] = 0;
+}
+
+class UseBeforeDefPass : public Pass {
+public:
+  const char *id() const override { return PassId; }
+  const char *description() const override {
+    return "registers read on some path from the entry before any write "
+           "(the interpreter zero-fills, so execution is defined but the "
+           "value is almost certainly unintended)";
+  }
+
+  void run(const Module &M, std::vector<Diagnostic> &Out) const override {
+    for (uint32_t FI = 0; FI < M.Functions.size(); ++FI)
+      runOnFunction(M, FI, Out);
+  }
+
+private:
+  void runOnFunction(const Module &M, uint32_t FI,
+                     std::vector<Diagnostic> &Out) const {
+    const Function &F = M.Functions[FI];
+    if (!isCfgBuildable(F))
+      return; // ir-verify reports the structural problem
+    CFG G(F);
+
+    const size_t NumRegs = F.NumRegs;
+    RegSet EntryUndef(NumRegs, 1);
+    for (uint32_t P = 0; P < F.NumParams && P < NumRegs; ++P)
+      EntryUndef[P] = 0;
+
+    // In-sets start empty (optimistic) and grow monotonically to the
+    // union-over-paths fixpoint; only reachable blocks participate.
+    std::vector<RegSet> In(F.Blocks.size(), RegSet(NumRegs, 0));
+    In[0] = EntryUndef;
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (uint32_t B : G.reversePostOrder()) {
+        RegSet OutSet = In[B];
+        for (const Instruction &I : F.Blocks[B].Insts)
+          transfer(I, OutSet, [](Reg) {});
+        for (uint32_t S : G.successors(B))
+          for (size_t R = 0; R < NumRegs; ++R)
+            if (OutSet[R] && !In[S][R]) {
+              In[S][R] = 1;
+              Changed = true;
+            }
+      }
+    }
+
+    // Reporting pass over the converged sets.
+    for (uint32_t B : G.reversePostOrder()) {
+      RegSet Undef = In[B];
+      for (size_t II = 0; II < F.Blocks[B].Insts.size(); ++II) {
+        RegSet ReportedHere(NumRegs, 0);
+        transfer(F.Blocks[B].Insts[II], Undef, [&](Reg R) {
+          if (ReportedHere[R])
+            return;
+          ReportedHere[R] = 1;
+          Location Loc;
+          Loc.FuncIdx = static_cast<int32_t>(FI);
+          Loc.FuncName = F.Name;
+          Loc.BlockIdx = static_cast<int32_t>(B);
+          Loc.BlockName = F.Blocks[B].Name;
+          Loc.InstIdx = static_cast<int32_t>(II);
+          Out.push_back(makeDiag(
+              Severity::Warning, PassId, "read-before-def", Loc,
+              "register r" + std::to_string(R) +
+                  " may be read before any write reaches it; the "
+                  "interpreter substitutes 0"));
+        });
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sa::createUseBeforeDefPass() {
+  return std::make_unique<UseBeforeDefPass>();
+}

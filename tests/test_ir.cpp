@@ -188,6 +188,40 @@ TEST(Verifier, DetectsOversizedMemoryImage) {
   EXPECT_FALSE(verifyModule(M).empty());
 }
 
+TEST(Verifier, DetectsEntryBlockWithPredecessors) {
+  // Regression: an edge back into block 0 used to pass silently, but the
+  // interpreter and CFG both treat the entry as a pure reset point.
+  Module M = countToFive();
+  M.Functions[0].Blocks[1].terminator().TrueTarget = 0;
+  auto Diags = verifyModuleDiags(M);
+  ASSERT_FALSE(Diags.empty());
+  bool Found = false;
+  for (const auto &D : Diags)
+    Found = Found || D.fullRuleId() == "ir-verify.entry-has-preds";
+  EXPECT_TRUE(Found);
+}
+
+TEST(Verifier, DetectsFallthroughOnlyBlock) {
+  // Regression: a block no explicit edge targets could only execute by
+  // falling through past a terminator, which the interpreter never does.
+  Module M = countToFive();
+  IRBuilder B(M, 0);
+  uint32_t Limbo = B.newBlock("limbo");
+  B.setInsertPoint(Limbo);
+  B.ret(K(0));
+  auto Diags = verifyModuleDiags(M);
+  ASSERT_FALSE(Diags.empty());
+  bool Found = false;
+  for (const auto &D : Diags) {
+    if (D.fullRuleId() != "ir-verify.no-predecessors")
+      continue;
+    Found = true;
+    EXPECT_EQ(D.PassId, "ir-verify");
+    EXPECT_EQ(D.Loc.BlockIdx, static_cast<int32_t>(Limbo));
+  }
+  EXPECT_TRUE(Found);
+}
+
 // -- Printer ---------------------------------------------------------------------
 
 TEST(Printer, MentionsBlocksAndOpcodes) {

@@ -15,6 +15,8 @@
 //   bpcr report <workload> [--seed N] [--events N] [--states N] [--budget X]
 //   bpcr explain <workload> [--top N] [--branch ID] [--format table|csv|json]
 //                [--annotate]
+//   bpcr lint <workload|module-file> [--seed N] [--format table|json|sarif]
+//             [--fail-on warning|error] [--replicate]
 //   bpcr compare OLD.json NEW.json [--threshold-file FILE]
 //
 // `trace`, `analyze`, `replicate`, `report` and `explain` accept --metrics
@@ -39,10 +41,13 @@
 #include "obs/Metrics.h"
 #include "obs/Report.h"
 #include "obs/TraceSpans.h"
+#include "obs/Sarif.h"
 #include "predict/DynamicPredictors.h"
 #include "predict/Evaluator.h"
 #include "predict/SemiStaticPredictors.h"
 #include "support/TablePrinter.h"
+#include "sa/Passes.h"
+#include "sa/ReplicationSoundness.h"
 #include "trace/TraceFile.h"
 #include "workloads/Workload.h"
 
@@ -75,6 +80,9 @@ struct Args {
   std::string CompareOld;
   std::string CompareNew;
   std::string ThresholdFile;
+  // lint options.
+  std::string FailOn = "error";
+  bool Replicate = false;
 };
 
 int usage() {
@@ -94,6 +102,9 @@ int usage() {
       "  explain <workload>           misprediction attribution: Pareto\n"
       "                               table of the costliest branches, or\n"
       "                               one branch's selection decision\n"
+      "  lint <workload|module-file>  run the static-analysis passes and\n"
+      "                               report diagnostics (exit 1 when any\n"
+      "                               reach the --fail-on severity)\n"
       "  compare OLD.json NEW.json    diff two run reports and gate the\n"
       "                               deltas (exit 1 on regression)\n"
       "\n"
@@ -107,7 +118,13 @@ int usage() {
       "                 default 10)\n"
       "  --branch ID    explain one branch's strategy selection in detail\n"
       "  --format F     output format: table (default), csv, or json\n"
-      "                 (explain; report accepts table and csv)\n"
+      "                 (explain; report accepts table and csv; lint\n"
+      "                 accepts table, json and sarif)\n"
+      "  --fail-on S    lint severity threshold for exit code 1: warning\n"
+      "                 or error (default error)\n"
+      "  --replicate    lint also runs the replication pipeline and checks\n"
+      "                 the transformed module's simulation relation\n"
+      "                 (workload targets only)\n"
       "  --annotate     print the transformed IR with per-branch strategy\n"
       "                 and measured miss-rate annotations (explain)\n"
       "  --metrics FILE write a JSON run report (trace/analyze/replicate/\n"
@@ -136,7 +153,7 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
 
   static const char *Known[] = {"list",   "dump",    "trace",
                                 "analyze", "replicate", "report",
-                                "explain", "compare"};
+                                "explain", "lint",    "compare"};
   bool KnownCommand = false;
   for (const char *C : Known)
     KnownCommand |= A.Command == C;
@@ -211,14 +228,35 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       if (!V)
         return parseError("option '--format' needs a value");
       A.Format = V;
-      if (A.Format != "table" && A.Format != "csv" && A.Format != "json")
-        return parseError("option '--format' must be table, csv or json");
-      if (A.Command != "explain" && A.Command != "report")
+      if (A.Command == "lint") {
+        if (A.Format != "table" && A.Format != "json" && A.Format != "sarif")
+          return parseError(
+              "lint '--format' must be table, json or sarif");
+      } else {
+        if (A.Format != "table" && A.Format != "csv" && A.Format != "json")
+          return parseError("option '--format' must be table, csv or json");
+        if (A.Command != "explain" && A.Command != "report")
+          return parseError(
+              "option '--format' only applies to explain, report and lint");
+        if (A.Command == "report" && A.Format == "json")
+          return parseError("report emits JSON via --metrics; --format "
+                            "accepts table or csv");
+      }
+    } else if (Opt == "--fail-on") {
+      const char *V = Next();
+      if (!V)
+        return parseError("option '--fail-on' needs a value");
+      if (A.Command != "lint")
+        return parseError("option '--fail-on' only applies to the lint "
+                          "command");
+      A.FailOn = V;
+      if (A.FailOn != "warning" && A.FailOn != "error")
+        return parseError("option '--fail-on' must be warning or error");
+    } else if (Opt == "--replicate") {
+      if (A.Command != "lint")
         return parseError(
-            "option '--format' only applies to explain and report");
-      if (A.Command == "report" && A.Format == "json")
-        return parseError(
-            "report emits JSON via --metrics; --format accepts table or csv");
+            "option '--replicate' only applies to the lint command");
+      A.Replicate = true;
     } else if (Opt == "--annotate") {
       if (A.Command != "explain")
         return parseError(
@@ -466,6 +504,14 @@ bool runPipeline(const Args &A, const Workload &W, Module &M, Trace &T,
   if (!verifyModule(PR.Transformed).empty()) {
     std::fprintf(stderr,
                  "bpcr: error: transformed module failed verification\n");
+    return false;
+  }
+  if (!PR.Soundness.empty()) {
+    std::fprintf(stderr, "bpcr: error: replication soundness check failed "
+                         "(%zu finding(s)):\n",
+                 PR.Soundness.size());
+    for (const sa::Diagnostic &D : PR.Soundness)
+      std::fprintf(stderr, "  %s\n", D.render().c_str());
     return false;
   }
   return true;
@@ -808,6 +854,122 @@ int cmdExplain(const Args &A) {
   return writeMetrics(A, &PR) ? 0 : 1;
 }
 
+/// Writes \p Text to \p Path, or stdout when \p Path is empty.
+bool emitText(const std::string &Path, const std::string &Text) {
+  if (Path.empty()) {
+    std::printf("%s", Text.c_str());
+    return true;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+int cmdLint(const Args &A) {
+  // Resolve the target: a workload name first, then a module file in the
+  // textual serializer format.
+  const Workload *W = nullptr;
+  for (const Workload &Cand : allWorkloads())
+    if (A.Target == Cand.Name)
+      W = &Cand;
+  Module M;
+  std::string ArtifactUri;
+  if (W) {
+    M = W->Build(A.Seed);
+    ArtifactUri = "workload:" + A.Target;
+  } else {
+    std::string Error;
+    if (!readModuleFile(A.Target, M, Error)) {
+      std::fprintf(stderr,
+                   "bpcr: error: '%s' is neither a workload (try 'bpcr "
+                   "list') nor a readable module file (%s)\n",
+                   A.Target.c_str(), Error.c_str());
+      return 2;
+    }
+    ArtifactUri = A.Target;
+  }
+
+  // Assign branch ids only when the module carries none at all, so ids
+  // stored in a file — including deliberately broken ones — stay visible
+  // to the branch-hygiene pass.
+  bool AnyId = false;
+  for (const Function &F : M.Functions)
+    for (const BasicBlock &BB : F.Blocks)
+      for (const Instruction &I : BB.Insts)
+        AnyId |= I.isConditionalBranch() && I.BranchId != NoBranchId;
+  if (!AnyId)
+    M.assignBranchIds();
+
+  // Enable the registry before the passes run so the sa.pass.<id> and
+  // sa.diags.* gauges land in the --metrics report.
+  if (!A.Metrics.empty())
+    Registry::global().setEnabled(true);
+
+  sa::PassManager PM;
+  sa::addStandardPasses(PM);
+  std::vector<sa::Diagnostic> Diags = PM.run(M);
+
+  std::vector<SarifRuleInfo> Rules;
+  for (const auto &P : PM.passes())
+    Rules.push_back({P->id(), P->description()});
+
+  if (A.Replicate) {
+    if (!W) {
+      std::fprintf(stderr, "bpcr: error: '--replicate' needs a workload "
+                           "target (a module file has no input trace)\n");
+      return 2;
+    }
+    Module Traced;
+    Trace T = traceWorkload(*W, A.Seed, Traced, A.Events);
+    PipelineOptions Opts;
+    Opts.Strategy.MaxStates = A.States;
+    Opts.Strategy.NodeBudget = 50'000;
+    Opts.MaxSizeFactor = A.Budget;
+    PipelineResult PR = replicateModule(Traced, T, Opts);
+    Rules.push_back(
+        {"replication-soundness",
+         "the replicated module simulates its original: paired blocks run "
+         "identical computations, out-edges project onto the original's, "
+         "and every copy folds onto the branch it simulates"});
+    for (sa::Diagnostic &D : PR.Soundness)
+      Diags.push_back(std::move(D));
+  }
+
+  std::string Out;
+  if (A.Format == "json") {
+    Out = diagnosticsJson(Diags).dump(2) + "\n";
+  } else if (A.Format == "sarif") {
+    Out = sarifLog(Diags, ArtifactUri, Rules).dump(2) + "\n";
+  } else {
+    for (const sa::Diagnostic &D : Diags)
+      Out += D.render() + "\n";
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s: %zu error(s), %zu warning(s), %zu note(s)\n",
+                  A.Target.c_str(),
+                  countSeverity(Diags, sa::Severity::Error),
+                  countSeverity(Diags, sa::Severity::Warning),
+                  countSeverity(Diags, sa::Severity::Note));
+    Out += Buf;
+  }
+  if (!emitText(A.Output, Out)) {
+    std::fprintf(stderr, "bpcr: error: cannot write %s\n", A.Output.c_str());
+    return 2;
+  }
+  if (!A.Output.empty())
+    std::printf("wrote %s\n", A.Output.c_str());
+  if (!writeMetrics(A, nullptr))
+    return 2;
+
+  const sa::Severity Threshold = A.FailOn == "warning"
+                                     ? sa::Severity::Warning
+                                     : sa::Severity::Error;
+  return anyAtOrAbove(Diags, Threshold) ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -845,6 +1007,8 @@ int main(int Argc, char **Argv) {
     RC = cmdReport(A);
   else if (A.Command == "explain")
     RC = cmdExplain(A);
+  else if (A.Command == "lint")
+    RC = cmdLint(A);
   else if (A.Command == "compare")
     RC = cmdCompare(A);
   else
