@@ -9,6 +9,7 @@
 #include "obs/Metrics.h"
 #include "obs/Report.h"
 #include "obs/TraceSpans.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,9 +17,15 @@
 
 using namespace bpcr;
 
-std::vector<WorkloadData> bpcr::loadSuite(uint64_t Seed, uint64_t MaxEvents) {
-  std::vector<WorkloadData> Out;
-  for (const Workload &W : allWorkloads()) {
+std::vector<WorkloadData> bpcr::loadSuite(uint64_t Seed, uint64_t MaxEvents,
+                                          unsigned Jobs) {
+  const std::vector<Workload> &Suite = allWorkloads();
+  std::vector<WorkloadData> Out(Suite.size());
+  // Each workload's trace+analysis pipeline is independent; slots are
+  // indexed by suite position, so the output order never depends on the
+  // worker count.
+  parallelForJobs(Jobs, Suite.size(), [&](size_t I) {
+    const Workload &W = Suite[I];
     WorkloadData D;
     D.W = &W;
     D.M = std::make_unique<Module>();
@@ -30,8 +37,8 @@ std::vector<WorkloadData> bpcr::loadSuite(uint64_t Seed, uint64_t MaxEvents) {
         std::make_unique<ProfileSet>(buildLoopAwareProfiles(*D.PA, D.T));
     D.Stats = std::make_unique<TraceStats>(D.PA->numBranches());
     D.Stats->addTrace(D.T);
-    Out.push_back(std::move(D));
-  }
+    Out[I] = std::move(D);
+  });
   return Out;
 }
 
@@ -77,6 +84,17 @@ bool bpcr::parseBenchArgs(int &Argc, char **Argv, BenchRunOptions &Opts) {
                      Argv[0]);
         return false;
       }
+    } else if (std::strcmp(Opt, "--jobs") == 0) {
+      const char *V = Next();
+      uint64_t Jobs = 0;
+      if (!V || !ParseU64(V, Jobs) || Jobs == 0 || Jobs > 1024) {
+        std::fprintf(stderr,
+                     "%s: error: option '--jobs' needs an integer value "
+                     "between 1 and 1024\n",
+                     Argv[0]);
+        return false;
+      }
+      Opts.Jobs = static_cast<unsigned>(Jobs);
     } else if (std::strcmp(Opt, "--metrics") == 0) {
       const char *V = Next();
       if (!V) {

@@ -43,19 +43,25 @@ struct WorkloadData {
 };
 
 /// Traces the whole suite. \p MaxEvents mirrors the paper's 1M-branch cap.
+/// \p Jobs fans the independent per-workload trace+analysis pipelines over
+/// a worker pool (0 = one per hardware core, 1 = serial); the result is
+/// identical for every value.
 std::vector<WorkloadData> loadSuite(uint64_t Seed = 1,
-                                    uint64_t MaxEvents = 1'000'000);
+                                    uint64_t MaxEvents = 1'000'000,
+                                    unsigned Jobs = 1);
 
 /// Short column headers in the paper's order.
 std::vector<std::string> suiteHeader(const std::string &RowLabel);
 
 /// Flags shared by every bench binary: `--seed N`, `--events N`,
+/// `--jobs N` (worker threads; 0 = hardware concurrency, 1 = serial),
 /// `--metrics FILE` (JSON run report) and `--trace-out FILE` (Chrome Trace
 /// span timeline). CI uses the seed/event knobs to run the benches on a
 /// small budget and the report for the `bpcr compare` regression gate.
 struct BenchRunOptions {
   uint64_t Seed = 1;
   uint64_t Events = 1'000'000;
+  unsigned Jobs = 0;
   std::string MetricsOut;
   std::string TraceOut;
 };

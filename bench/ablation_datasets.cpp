@@ -33,8 +33,8 @@ int main(int Argc, char **Argv) {
   if (!parseBenchArgs(Argc, Argv, Run))
     return 2;
   // Train on the given seed, evaluate on the next one.
-  std::vector<WorkloadData> Train = loadSuite(Run.Seed, Run.Events);
-  std::vector<WorkloadData> Test = loadSuite(Run.Seed + 1, Run.Events);
+  std::vector<WorkloadData> Train = loadSuite(Run.Seed, Run.Events, Run.Jobs);
+  std::vector<WorkloadData> Test = loadSuite(Run.Seed + 1, Run.Events, Run.Jobs);
 
   TablePrinter Table("Ablation A2: dataset sensitivity — trained on input "
                      "1, evaluated on input 2 (misprediction %)");
@@ -71,18 +71,20 @@ int main(int Argc, char **Argv) {
   // Machine-based strategies: select on the training profiles, then
   // replay the chosen machines against the test profiles.
   Row("machines n=4 (self)",
-      [](const WorkloadData &, const WorkloadData &B) {
+      [&Run](const WorkloadData &, const WorkloadData &B) {
         StrategyOptions Opts;
         Opts.MaxStates = 4;
         Opts.NodeBudget = 30'000;
+        Opts.Jobs = Run.Jobs;
         auto S = selectStrategies(*B.PA, *B.LoopAware, B.T, Opts);
         return totalStrategyStats(S).mispredictionPercent();
       });
   Row("machines n=4 (cross)",
-      [](const WorkloadData &A, const WorkloadData &B) {
+      [&Run](const WorkloadData &A, const WorkloadData &B) {
         StrategyOptions Opts;
         Opts.MaxStates = 4;
         Opts.NodeBudget = 30'000;
+        Opts.Jobs = Run.Jobs;
         auto Strategies = selectStrategies(*A.PA, *A.LoopAware, A.T, Opts);
         // Replay each trained machine on the test data.
         PredictionStats Total;

@@ -30,7 +30,7 @@ int main(int Argc, char **Argv) {
   // Cache simulation touches every fetch, so this bench caps the events
   // lower than the suite default; --events can only shrink it further.
   uint64_t Events = Run.Events < 200'000 ? Run.Events : 200'000;
-  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Events);
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Events, Run.Jobs);
 
   TablePrinter Table("Ablation A3: instruction cache miss rate in percent, "
                      "original vs replicated (2-way, 4-word lines; programs are 60-300 words)");
@@ -49,6 +49,7 @@ int main(int Argc, char **Argv) {
           PipelineOptions Opts;
           Opts.Strategy.MaxStates = 6;
           Opts.Strategy.NodeBudget = 20'000;
+          Opts.Strategy.Jobs = Run.Jobs;
           Opts.MaxSizeFactor = 2.0;
           Target = replicateModule(*D.M, D.T, Opts).Transformed;
         }

@@ -97,7 +97,7 @@ int main(int Argc, char **Argv) {
   BenchRunOptions Run;
   if (!parseBenchArgs(Argc, Argv, Run))
     return 2;
-  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events, Run.Jobs);
 
   TablePrinter Table("Ablation A4: per-branch (product) vs joint loop "
                      "machines — realized member misprediction % and code "

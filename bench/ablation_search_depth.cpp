@@ -61,7 +61,7 @@ int main(int Argc, char **Argv) {
   BenchRunOptions Run;
   if (!parseBenchArgs(Argc, Argv, Run))
     return 2;
-  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events, Run.Jobs);
 
   TablePrinter Table("Ablation A1: intra-loop machine search — exact "
                      "branch-and-bound vs greedy, by pattern-length budget "

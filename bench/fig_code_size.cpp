@@ -31,16 +31,26 @@ int main(int Argc, char **Argv) {
   BenchRunOptions Run;
   if (!parseBenchArgs(Argc, Argv, Run))
     return 2;
-  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events, Run.Jobs);
 
+  // Compute every curve first (the sweeps themselves also fan their
+  // per-branch ladders over Run.Jobs workers), then render serially so the
+  // figure order never depends on timing.
+  std::vector<std::vector<SweepPoint>> Curves(Suite.size());
   for (size_t WI = 0; WI < Suite.size(); ++WI) {
-    const WorkloadData &D = Suite[WI];
     SweepOptions Opts;
     Opts.MaxStates = 8;
     Opts.MaxSizeFactor = 16.0;
     Opts.NodeBudget = 30'000;
-    std::vector<SweepPoint> Points =
-        computeSizeSweep(*D.PA, *D.LoopAware, D.T, Opts);
+    Opts.Jobs = Run.Jobs;
+    Curves[WI] =
+        computeSizeSweep(*Suite[WI].PA, *Suite[WI].LoopAware, Suite[WI].T,
+                         Opts);
+  }
+
+  for (size_t WI = 0; WI < Suite.size(); ++WI) {
+    const WorkloadData &D = Suite[WI];
+    const std::vector<SweepPoint> &Points = Curves[WI];
 
     TablePrinter Table("Figure " + std::to_string(6 + WI) + ": " +
                        D.W->Name + " — misprediction rate vs. code size");

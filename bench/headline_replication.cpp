@@ -36,7 +36,7 @@ namespace {
 /// Runs the pipeline over the suite at one size budget and prints the
 /// resulting table.
 void runRegime(const std::vector<WorkloadData> &Suite, double SizeBudget,
-               uint64_t MaxEvents) {
+               uint64_t MaxEvents, unsigned Jobs) {
   char Title[128];
   std::snprintf(Title, sizeof(Title),
                 "Headline: realized semi-static misprediction of the "
@@ -60,6 +60,7 @@ void runRegime(const std::vector<WorkloadData> &Suite, double SizeBudget,
     PipelineOptions Opts;
     Opts.Strategy.MaxStates = 6;
     Opts.Strategy.NodeBudget = 30'000;
+    Opts.Strategy.Jobs = Jobs;
     Opts.MaxSizeFactor = SizeBudget;
     PipelineResult PR = replicateModule(*D.M, D.T, Opts);
     if (!verifyModule(PR.Transformed).empty()) {
@@ -154,11 +155,11 @@ int main(int Argc, char **Argv) {
   if (Run.MetricsOut.empty())
     Run.MetricsOut = Argc > 1 ? Argv[1] : "BENCH_headline_replication.json";
 
-  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events, Run.Jobs);
   // The paper's regime ("code size increased by one third") and a looser
   // budget showing the remaining headroom.
-  runRegime(Suite, 1.35, Run.Events);
-  runRegime(Suite, 2.0, Run.Events);
+  runRegime(Suite, 1.35, Run.Events, Run.Jobs);
+  runRegime(Suite, 2.0, Run.Events, Run.Jobs);
 
   return finishBench(Run, "headline_replication");
 }

@@ -12,8 +12,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/CorrelatedMachine.h"
 #include "core/LoopAwareProfiles.h"
 #include "core/MachineSearch.h"
+#include "core/SearchCache.h"
+#include "core/SizeSweep.h"
 #include "interp/Interpreter.h"
 #include "obs/Metrics.h"
 #include "obs/Report.h"
@@ -27,7 +30,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <string>
 
 using namespace bpcr;
@@ -142,6 +148,245 @@ void BM_MachineSearchExact(benchmark::State &State) {
 }
 BENCHMARK(BM_MachineSearchExact)->Arg(3)->Arg(5)->Arg(7);
 
+//===----------------------------------------------------------------------===//
+// Sweep wall-time benchmark (--sweep-bench): times computeSizeSweep on the
+// largest workload at several --jobs settings and against an emulation of
+// the pre-ladder algorithm (family probe at MaxStates plus one fresh
+// search per rung, no cache — exactly what core/SizeSweep.cpp did before
+// the memoized downward-fill ladders). Emits BENCH_sweep.json. Timing
+// gauges are skip-listed in the compare thresholds; the cache hit rate and
+// the search counters are deterministic and gated.
+//===----------------------------------------------------------------------===//
+
+double wallMs(const std::function<void()> &Fn) {
+  auto T0 = std::chrono::steady_clock::now();
+  Fn();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(T1 - T0).count();
+}
+
+/// The searches the old computeSizeSweep issued, with identical options:
+/// per branch, one family-decision probe at the deepest budget, then one
+/// independent search per rung N=2..MaxStates. No ladder reuse, no cache.
+void legacySweepSearches(const ProgramAnalysis &PA, const ProfileSet &Profiles,
+                         const Trace &T, const SweepOptions &Opts) {
+  unsigned PathLen = std::min<unsigned>(4, Opts.MaxStates);
+  std::vector<std::vector<BranchPath>> Candidates(PA.numBranches());
+  for (uint32_t Id = 0; Id < PA.numBranches(); ++Id) {
+    const BranchProfile &P = Profiles.branch(static_cast<int32_t>(Id));
+    if (P.executions() < Opts.MinExecutions)
+      continue;
+    Candidates[Id] = PA.backwardPaths(static_cast<int32_t>(Id), PathLen,
+                                      /*ThroughJumps=*/true);
+  }
+  std::vector<PathProfile> Paths = profilePaths(Candidates, T, PathLen);
+
+  for (uint32_t Id = 0; Id < PA.numBranches(); ++Id) {
+    const BranchProfile &P = Profiles.branch(static_cast<int32_t>(Id));
+    if (P.executions() < Opts.MinExecutions)
+      continue;
+    const BranchClass &C = PA.classOf(static_cast<int32_t>(Id));
+
+    uint64_t BestLoopCorrect = 0;
+    uint64_t BestCorrCorrect = 0;
+    if (C.Kind == BranchKind::IntraLoop) {
+      MachineOptions MO;
+      MO.MaxStates = Opts.MaxStates;
+      MO.Exhaustive = Opts.Exhaustive;
+      MO.NodeBudget = Opts.NodeBudget;
+      BestLoopCorrect = buildIntraLoopMachine(P.Table, MO).Correct;
+    } else if (C.Kind == BranchKind::LoopExit) {
+      BestLoopCorrect =
+          buildExitMachine(P.Table, Opts.MaxStates, !C.TakenExits).Correct;
+    }
+    if (!Candidates[Id].empty()) {
+      CorrelatedOptions CO;
+      CO.MaxStates = Opts.MaxStates;
+      CO.MaxPathLen = PathLen;
+      CO.Exhaustive = Opts.Exhaustive;
+      CO.NodeBudget = Opts.NodeBudget;
+      BestCorrCorrect = buildCorrelatedMachineFromProfile(
+                            static_cast<int32_t>(Id), Paths[Id], CO)
+                            .Correct;
+    }
+
+    uint64_t ProfileCorrect = P.executions() - P.profileMispredictions();
+    bool UseLoopFamily = (C.Kind != BranchKind::NonLoop) &&
+                         BestLoopCorrect >= BestCorrCorrect &&
+                         BestLoopCorrect > ProfileCorrect;
+    bool UseCorrFamily = !UseLoopFamily && BestCorrCorrect > ProfileCorrect;
+    for (unsigned N = 2; N <= Opts.MaxStates; ++N) {
+      if (UseLoopFamily) {
+        if (C.Kind == BranchKind::IntraLoop) {
+          MachineOptions MO;
+          MO.MaxStates = N;
+          MO.Exhaustive = Opts.Exhaustive;
+          MO.NodeBudget = Opts.NodeBudget;
+          benchmark::DoNotOptimize(buildIntraLoopMachine(P.Table, MO).Correct);
+        } else {
+          benchmark::DoNotOptimize(
+              buildExitMachine(P.Table, N, !C.TakenExits).Correct);
+        }
+      } else if (UseCorrFamily) {
+        CorrelatedOptions CO;
+        CO.MaxStates = N;
+        CO.MaxPathLen = PathLen;
+        CO.Exhaustive = Opts.Exhaustive;
+        CO.NodeBudget = Opts.NodeBudget;
+        benchmark::DoNotOptimize(
+            buildCorrelatedMachineFromProfile(static_cast<int32_t>(Id),
+                                              Paths[Id], CO)
+                .Correct);
+      }
+    }
+  }
+}
+
+int runSweepBench() {
+  uint64_t Events = 50'000;
+  if (const char *E = std::getenv("BPCR_SWEEP_EVENTS"))
+    Events = std::strtoull(E, nullptr, 10);
+  // Each configuration is timed best-of-N to keep the wall-time gauges
+  // stable on noisy (shared/single-core) runners. N is fixed so the
+  // deterministic search counters stay reproducible run to run.
+  unsigned Reps = 3;
+  if (const char *R = std::getenv("BPCR_SWEEP_REPS"))
+    Reps = std::max(1u, static_cast<unsigned>(std::strtoul(R, nullptr, 10)));
+
+  // The acceptance target is the *largest* workload's sweep; pick it by
+  // trace length (branch count breaks ties) instead of hardcoding a name.
+  const Workload *Largest = nullptr;
+  size_t LargestScore = 0;
+  for (const Workload &W : allWorkloads()) {
+    Module WM;
+    Trace WT = traceWorkload(W, 1, WM, Events);
+    ProgramAnalysis WPA(WM);
+    size_t Score = WT.size() * 8 + WPA.numBranches();
+    if (Score > LargestScore) {
+      LargestScore = Score;
+      Largest = &W;
+    }
+  }
+  std::printf("sweep bench: largest workload is %s (%llu events cap)\n",
+              Largest->Name, static_cast<unsigned long long>(Events));
+  Module M;
+  Trace T = traceWorkload(*Largest, 1, M, Events);
+  ProgramAnalysis PA(M);
+  ProfileSet Profiles = buildLoopAwareProfiles(PA, T);
+
+  SweepOptions Opts;
+  Opts.MaxStates = 8;
+  Opts.MaxSizeFactor = 16.0;
+  Opts.NodeBudget = 30'000;
+
+  Registry &Obs = Registry::global();
+  Obs.setEnabled(true);
+  SearchCache &Cache = SearchCache::global();
+
+  auto RunAt = [&](unsigned Jobs, bool Cold,
+                   std::vector<SweepPoint> &Out) -> double {
+    double Best = 0.0;
+    for (unsigned I = 0; I < Reps; ++I) {
+      if (Cold)
+        Cache.clear();
+      SweepOptions O = Opts;
+      O.Jobs = Jobs;
+      double Ms = wallMs([&] { Out = computeSizeSweep(PA, Profiles, T, O); });
+      if (I == 0 || Ms < Best)
+        Best = Ms;
+    }
+    return Best;
+  };
+
+  Cache.clear();
+  double LegacyMs = 0.0;
+  for (unsigned I = 0; I < Reps; ++I) {
+    double Ms = wallMs([&] { legacySweepSearches(PA, Profiles, T, Opts); });
+    if (I == 0 || Ms < LegacyMs)
+      LegacyMs = Ms;
+  }
+  Cache.clear();
+
+  std::vector<SweepPoint> P1, P2, P4, P4W;
+  double Jobs1Ms = RunAt(1, /*Cold=*/true, P1);
+  SearchCache::Stats ColdStats = Cache.stats();
+  double Jobs2Ms = RunAt(2, /*Cold=*/true, P2);
+  double Jobs4Ms = RunAt(4, /*Cold=*/true, P4);
+  double WarmMs = RunAt(4, /*Cold=*/false, P4W);
+
+  // Correctness guard: every run must produce the identical curve.
+  auto SameCurve = [](const std::vector<SweepPoint> &A,
+                      const std::vector<SweepPoint> &B) {
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (A[I].SizeFactor != B[I].SizeFactor ||
+          A[I].MispredictPercent != B[I].MispredictPercent ||
+          A[I].BranchId != B[I].BranchId ||
+          A[I].NewStates != B[I].NewStates)
+        return false;
+    return true;
+  };
+  if (!SameCurve(P1, P2) || !SameCurve(P1, P4) || !SameCurve(P1, P4W)) {
+    std::fprintf(stderr,
+                 "sweep bench: FAIL — curves differ across --jobs runs\n");
+    return 1;
+  }
+
+  uint64_t Lookups = ColdStats.Hits + ColdStats.Misses;
+  double HitRate = Lookups ? 100.0 * static_cast<double>(ColdStats.Hits) /
+                                 static_cast<double>(Lookups)
+                           : 0.0;
+  double SpeedJobs1 = Jobs1Ms > 0 ? LegacyMs / Jobs1Ms : 0.0;
+  double SpeedJobs4 = Jobs4Ms > 0 ? LegacyMs / Jobs4Ms : 0.0;
+
+  Obs.gauge("sweep.workload_events").set(static_cast<double>(T.size()));
+  Obs.gauge("sweep.wall_ms.legacy").set(LegacyMs);
+  Obs.gauge("sweep.wall_ms.jobs1").set(Jobs1Ms);
+  Obs.gauge("sweep.wall_ms.jobs2").set(Jobs2Ms);
+  Obs.gauge("sweep.wall_ms.jobs4").set(Jobs4Ms);
+  Obs.gauge("sweep.wall_ms.jobs4_warm").set(WarmMs);
+  Obs.gauge("sweep.speedup.jobs1_vs_legacy").set(SpeedJobs1);
+  Obs.gauge("sweep.speedup.jobs4_vs_legacy").set(SpeedJobs4);
+  Obs.gauge("sweep.speedup.jobs4_vs_jobs1")
+      .set(Jobs4Ms > 0 ? Jobs1Ms / Jobs4Ms : 0.0);
+  Obs.gauge("sweep.cache.hit_rate_percent").set(HitRate);
+  Obs.gauge("sweep.events_per_sec.jobs4")
+      .set(Jobs4Ms > 0 ? 1000.0 * static_cast<double>(T.size()) / Jobs4Ms
+                       : 0.0);
+
+  std::printf("sweep bench (%s, %zu events, states<=%u):\n", Largest->Name,
+              T.size(), Opts.MaxStates);
+  std::printf("  legacy per-rung search : %8.1f ms\n", LegacyMs);
+  std::printf("  ladder --jobs 1 (cold) : %8.1f ms  (%.2fx vs legacy)\n",
+              Jobs1Ms, SpeedJobs1);
+  std::printf("  ladder --jobs 2 (cold) : %8.1f ms\n", Jobs2Ms);
+  std::printf("  ladder --jobs 4 (cold) : %8.1f ms  (%.2fx vs legacy)\n",
+              Jobs4Ms, SpeedJobs4);
+  std::printf("  ladder --jobs 4 (warm) : %8.1f ms\n", WarmMs);
+  std::printf("  cache hit rate (cold)  : %7.1f%%  (%llu hits / %llu "
+              "lookups)\n",
+              HitRate, static_cast<unsigned long long>(ColdStats.Hits),
+              static_cast<unsigned long long>(Lookups));
+
+  const char *Out = std::getenv("BPCR_METRICS_OUT");
+  if (!Out)
+    Out = "BENCH_sweep.json";
+  ReportMeta Meta;
+  Meta.Tool = "micro_throughput";
+  Meta.Command = "sweep-bench";
+  Meta.Workload = Largest->Name;
+  Meta.Events = Events;
+  Meta.Seed = 1;
+  std::string Error;
+  if (!writeReportFile(Out, buildReport(Meta, Obs), Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("wrote metrics to %s\n", Out);
+  return 0;
+}
+
 /// Console reporter that additionally mirrors every per-iteration result
 /// into the obs registry, so the run can be serialized as a BENCH_*.json
 /// trajectory point.
@@ -166,6 +411,12 @@ public:
 } // namespace
 
 int main(int argc, char **argv) {
+  // Standalone sweep wall-time mode; everything else belongs to
+  // google-benchmark.
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--sweep-bench") == 0)
+      return runSweepBench();
+
   // --trace-out must come out of argv before google-benchmark sees it.
   std::string TraceOut, TraceError;
   if (!extractTraceOutFlag(argc, argv, TraceOut, TraceError)) {

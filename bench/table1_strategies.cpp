@@ -46,7 +46,7 @@ int main(int Argc, char **Argv) {
   BenchRunOptions Run;
   if (!parseBenchArgs(Argc, Argv, Run))
     return 2;
-  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events, Run.Jobs);
 
   TablePrinter Table(
       "Table 1: misprediction rates of different branch prediction "

@@ -24,7 +24,7 @@ int main(int Argc, char **Argv) {
   BenchRunOptions Run;
   if (!parseBenchArgs(Argc, Argv, Run))
     return 2;
-  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events, Run.Jobs);
 
   TablePrinter Table("Table 2: fill rate of the history tables in percent");
   Table.setHeader(suiteHeader("history"));

@@ -26,7 +26,7 @@ int main(int Argc, char **Argv) {
   BenchRunOptions Run;
   if (!parseBenchArgs(Argc, Argv, Run))
     return 2;
-  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events);
+  std::vector<WorkloadData> Suite = loadSuite(Run.Seed, Run.Events, Run.Jobs);
 
   TablePrinter Table("Table 5: best achievable misprediction rates in "
                      "percent (per-branch state budget n)");
@@ -54,6 +54,7 @@ int main(int Argc, char **Argv) {
       StrategyOptions Opts;
       Opts.MaxStates = States;
       Opts.NodeBudget = 50'000;
+      Opts.Jobs = Run.Jobs;
       auto Strategies = selectStrategies(*D.PA, *D.LoopAware, D.T, Opts);
       PredictionStats Total = totalStrategyStats(Strategies);
       Cells.push_back(formatPercent(Total.mispredictionPercent()));
@@ -72,6 +73,7 @@ int main(int Argc, char **Argv) {
     StrategyOptions Opts;
     Opts.MaxStates = 4;
     Opts.NodeBudget = 50'000;
+    Opts.Jobs = Run.Jobs;
     auto Strategies =
         selectStrategies(*Suite[WI].PA, *Suite[WI].LoopAware, Suite[WI].T,
                          Opts);

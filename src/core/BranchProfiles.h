@@ -18,6 +18,7 @@
 #include "predict/SemiStaticPredictors.h" // DirCounts
 #include "trace/Trace.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,14 @@ public:
   /// through its initial-state copy and therefore forgets the history of
   /// the previous invocation.
   void resetHistory() { Hist = 0; }
+
+  /// Pre-sizes the pattern map for a stream of \p Executions outcomes. The
+  /// map can never hold more than 2^MaxBits entries, so the hint is capped
+  /// there (and at 512 — wider tables are mostly sparse in practice).
+  void reserveHint(uint64_t Executions) {
+    uint64_t Cap = MaxBits >= 9 ? 512 : (1ULL << MaxBits);
+    Full.reserve(static_cast<size_t>(std::min(Executions, Cap)));
+  }
 
   /// Counts aggregated over all full patterns whose last \p Len outcomes
   /// equal \p Bits (bit 0 = most recent).

@@ -78,14 +78,19 @@ std::vector<PathProfile> bpcr::profilePaths(
       Longest[B] = std::max(Longest[B], P.Steps.size());
     }
 
-  // One pass; the window holds the last MaxPathLen encoded events.
+  // One pass; the window holds the last MaxPathLen encoded events. Both
+  // the window and the probe key are reused across the whole trace — this
+  // loop runs once per branch event and must not allocate per event.
   SymbolString Window;
+  Window.reserve(MaxPathLen + 1);
+  SymbolString Key;
+  Key.reserve(MaxPathLen);
   for (const BranchEvent &E : T) {
     size_t B = static_cast<size_t>(E.BranchId);
     if (B < NumBranches && !Lookup[B].empty()) {
       bool Matched = false;
       for (size_t L = std::min(Window.size(), Longest[B]); L >= 1; --L) {
-        SymbolString Key(Window.end() - static_cast<long>(L), Window.end());
+        Key.assign(Window.end() - static_cast<long>(L), Window.end());
         if (Lookup[B].count(Key)) {
           Accum[B][Key].record(E.Taken);
           Matched = true;
@@ -104,9 +109,11 @@ std::vector<PathProfile> bpcr::profilePaths(
     Window.push_back(encodeStep({E.BranchId, E.Taken}));
   }
 
-  for (size_t B = 0; B < NumBranches; ++B)
-    for (auto &[Key, Counts] : Accum[B])
-      Out[B].PerPath.emplace_back(Key, Counts);
+  for (size_t B = 0; B < NumBranches; ++B) {
+    Out[B].PerPath.reserve(Accum[B].size());
+    for (auto &[Path, Counts] : Accum[B])
+      Out[B].PerPath.emplace_back(Path, Counts);
+  }
   return Out;
 }
 

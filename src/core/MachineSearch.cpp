@@ -37,7 +37,8 @@ bpcr::patternsFromTable(const PatternTable &Table) {
 }
 
 SuffixMachine bpcr::buildIntraLoopMachine(const PatternTable &Table,
-                                          const MachineOptions &Opts) {
+                                          const MachineOptions &Opts,
+                                          bool *AnyBudgetExhausted) {
   // Candidate machines are built once per (branch, state count) and sweeps
   // evaluate thousands of them — the tracer's per-category sampling cap
   // keeps the trace bounded and counts the overflow in
@@ -61,6 +62,7 @@ SuffixMachine bpcr::buildIntraLoopMachine(const PatternTable &Table,
 
   SuffixSelection Best =
       selectSuffixStates(Patterns, {{0}, {1}}, Sel);
+  bool Exhausted = Best.BudgetExhausted;
 
   // Base {"00","01","10","11"} (paper figure 3): four catch-all states that
   // remember the last two outcomes.
@@ -71,9 +73,12 @@ SuffixMachine bpcr::buildIntraLoopMachine(const PatternTable &Table,
                                      2 + (Opts.MaxStates - 4));
     SuffixSelection Two = selectSuffixStates(
         Patterns, {{0, 0}, {0, 1}, {1, 0}, {1, 1}}, Sel2);
+    Exhausted = Exhausted || Two.BudgetExhausted;
     if (Two.Correct > Best.Correct)
       Best = std::move(Two);
   }
+  if (AnyBudgetExhausted)
+    *AnyBudgetExhausted = Exhausted;
 
   if (Registry::global().enabled()) {
     Registry &Obs = Registry::global();

@@ -42,8 +42,12 @@ struct MachineOptions {
 std::vector<ObservedPattern> patternsFromTable(const PatternTable &Table);
 
 /// Best intra-loop suffix machine with at most Opts.MaxStates states.
+/// \param AnyBudgetExhausted set when any base's exact search hit the node
+/// budget (the result is then greedy-quality, not exact); ladder
+/// construction uses it to avoid paying for more exhausted searches.
 SuffixMachine buildIntraLoopMachine(const PatternTable &Table,
-                                    const MachineOptions &Opts);
+                                    const MachineOptions &Opts,
+                                    bool *AnyBudgetExhausted = nullptr);
 
 /// Best loop-exit chain machine with at most \p MaxStates states.
 /// \param StayOnTaken outcome polarity that continues the loop.

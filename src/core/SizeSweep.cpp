@@ -8,7 +8,9 @@
 
 #include "core/CorrelatedMachine.h"
 #include "core/MachineSearch.h"
+#include "core/SearchCache.h"
 #include "obs/TraceSpans.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <map>
@@ -89,11 +91,17 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
   }
   std::vector<PathProfile> Paths = profilePaths(Candidates, T, PathLen);
 
-  // Build ladders.
-  std::vector<Ladder> Ladders;
-  for (uint32_t Id = 0; Id < PA.numBranches(); ++Id) {
+  // Build ladders, one independent task per branch. Each branch's whole
+  // ladder comes from the memoized downward-fill search (one deep run
+  // fills every rung its winner covers), replacing the old probe-then-
+  // re-search-per-rung loop; results land in slots indexed by branch id,
+  // so the outcome is identical for any worker count.
+  std::vector<Ladder> Ladders(PA.numBranches());
+  SearchCache &Cache = SearchCache::global();
+  auto BuildLadder = [&](size_t Idx) {
+    uint32_t Id = static_cast<uint32_t>(Idx);
     const BranchProfile &P = Profiles.branch(static_cast<int32_t>(Id));
-    Ladder L;
+    Ladder &L = Ladders[Idx];
     L.BranchId = static_cast<int32_t>(Id);
     L.Correct.assign(Opts.MaxStates + 1, 0);
     L.Correct[1] = P.executions() - P.profileMispredictions();
@@ -102,13 +110,16 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
     if (P.executions() < Opts.MinExecutions) {
       for (unsigned N = 2; N <= Opts.MaxStates; ++N)
         L.Correct[N] = L.Correct[1];
-      Ladders.push_back(std::move(L));
-      continue;
+      return;
     }
 
     const BranchClass &C = PA.classOf(static_cast<int32_t>(Id));
 
-    // Decide the family by the best achievable correct at the deepest size.
+    // Full ladders for every applicable family; the deepest rung doubles
+    // as the family-decision probe.
+    std::shared_ptr<const IntraLoopLadder> IL;
+    std::shared_ptr<const ExitLadder> EL;
+    std::shared_ptr<const CorrelatedLadder> CL;
     uint64_t BestLoopCorrect = 0;
     uint64_t BestCorrCorrect = 0;
     if (C.Kind == BranchKind::IntraLoop) {
@@ -116,10 +127,11 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
       MO.MaxStates = Opts.MaxStates;
       MO.Exhaustive = Opts.Exhaustive;
       MO.NodeBudget = Opts.NodeBudget;
-      BestLoopCorrect = buildIntraLoopMachine(P.Table, MO).Correct;
+      IL = Cache.intraLoopLadder(P.Table, MO, /*MinBudget=*/2);
+      BestLoopCorrect = IL->at(Opts.MaxStates).Correct;
     } else if (C.Kind == BranchKind::LoopExit) {
-      BestLoopCorrect =
-          buildExitMachine(P.Table, Opts.MaxStates, !C.TakenExits).Correct;
+      EL = Cache.exitLadder(P.Table, Opts.MaxStates, !C.TakenExits);
+      BestLoopCorrect = EL->at(Opts.MaxStates).Correct;
     }
     if (!Candidates[Id].empty()) {
       CorrelatedOptions CO;
@@ -127,9 +139,8 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
       CO.MaxPathLen = PathLen;
       CO.Exhaustive = Opts.Exhaustive;
       CO.NodeBudget = Opts.NodeBudget;
-      BestCorrCorrect =
-          buildCorrelatedMachineFromProfile(L.BranchId, Paths[Id], CO)
-              .Correct;
+      CL = Cache.correlatedLadder(L.BranchId, Paths[Id], CO, /*MinBudget=*/2);
+      BestCorrCorrect = CL->at(Opts.MaxStates).Correct;
     }
 
     bool UseLoopFamily = (C.Kind != BranchKind::NonLoop) &&
@@ -147,28 +158,15 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
           Mod.Functions[R.FuncIdx],
           PA.loopInfoFor(L.BranchId).loops()[static_cast<size_t>(C.LoopIdx)]);
       for (unsigned N = 2; N <= Opts.MaxStates; ++N) {
-        uint64_t Corr;
-        if (C.Kind == BranchKind::IntraLoop) {
-          MachineOptions MO;
-          MO.MaxStates = N;
-          MO.Exhaustive = Opts.Exhaustive;
-          MO.NodeBudget = Opts.NodeBudget;
-          Corr = buildIntraLoopMachine(P.Table, MO).Correct;
-        } else {
-          Corr = buildExitMachine(P.Table, N, !C.TakenExits).Correct;
-        }
+        uint64_t Corr = C.Kind == BranchKind::IntraLoop
+                            ? IL->at(N).Correct
+                            : EL->at(N).Correct;
         L.Correct[N] = std::max(Corr, L.Correct[N - 1]);
       }
     } else if (UseCorrFamily) {
       L.Kind = StrategyKind::Correlated;
       for (unsigned N = 2; N <= Opts.MaxStates; ++N) {
-        CorrelatedOptions CO;
-        CO.MaxStates = N;
-        CO.MaxPathLen = PathLen;
-        CO.Exhaustive = Opts.Exhaustive;
-        CO.NodeBudget = Opts.NodeBudget;
-        CorrelatedMachine CM =
-            buildCorrelatedMachineFromProfile(L.BranchId, Paths[Id], CO);
+        const CorrelatedMachine &CM = CL->at(N);
         L.Correct[N] = std::max(CM.Correct, L.Correct[N - 1]);
         L.CorrCost[N] = estimateCorrelatedCost(CM, PA);
       }
@@ -176,8 +174,8 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
       for (unsigned N = 2; N <= Opts.MaxStates; ++N)
         L.Correct[N] = L.Correct[1];
     }
-    Ladders.push_back(std::move(L));
-  }
+  };
+  parallelForJobs(Opts.Jobs, Ladders.size(), BuildLadder);
 
   // Greedy sweep.
   std::map<LoopKey, std::vector<size_t>> LoopMembers;

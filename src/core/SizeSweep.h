@@ -51,6 +51,10 @@ struct SweepOptions {
   /// Branches executed fewer times are never grown.
   uint64_t MinExecutions = 64;
   bool CorrelatedForLoopBranches = true;
+  /// Worker threads for the per-branch ladder construction: 0 = one per
+  /// hardware core, 1 = serial (no pool). The sweep result is identical
+  /// for every value.
+  unsigned Jobs = 0;
 };
 
 /// Computes the greedy misprediction-vs-size curve. The first point is the

@@ -6,7 +6,9 @@
 
 #include "core/StrategySelection.h"
 
+#include "core/SearchCache.h"
 #include "obs/Metrics.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 
@@ -64,10 +66,16 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
     Obs.counter("strategy.branches_considered").add(PA.numBranches());
   }
 
-  std::vector<BranchStrategy> Out;
-  Out.reserve(PA.numBranches());
+  // Score branches in parallel: each branch's candidates are independent,
+  // results land in slots indexed by branch id, and the machine searches
+  // go through the memoized ladder cache (MinBudget == MaxStates, so a
+  // cold cache pays exactly one search per family, like the serial code
+  // did). Identical pattern tables across branches now share one search.
+  std::vector<BranchStrategy> Out(PA.numBranches());
+  SearchCache &Cache = SearchCache::global();
 
-  for (uint32_t Id = 0; Id < PA.numBranches(); ++Id) {
+  auto ScoreBranch = [&](size_t Idx) {
+    uint32_t Id = static_cast<uint32_t>(Idx);
     const BranchProfile &P = Profiles.branch(static_cast<int32_t>(Id));
     BranchStrategy S;
     S.BranchId = static_cast<int32_t>(Id);
@@ -97,8 +105,8 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
       if (ObsOn)
         Obs.counter("strategy.pruned.cold").inc();
       MarkChosen(S);
-      Out.push_back(std::move(S));
-      continue;
+      Out[Idx] = std::move(S);
+      return;
     }
 
     const BranchClass &C = PA.classOf(static_cast<int32_t>(Id));
@@ -116,7 +124,9 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
       MO.MaxPatternLen = P.Table.maxBits();
       MO.Exhaustive = Opts.Exhaustive;
       MO.NodeBudget = Opts.NodeBudget;
-      SuffixMachine M = buildIntraLoopMachine(P.Table, MO);
+      auto IL = Cache.intraLoopLadder(P.Table, MO,
+                                      /*MinBudget=*/Opts.MaxStates);
+      const SuffixMachine &M = IL->at(Opts.MaxStates);
       RecordCandidate(StrategyKind::IntraLoop, M.Correct, M.Total,
                       M.numStates());
       if (M.Correct > S.Correct) {
@@ -124,11 +134,11 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
         S.Correct = M.Correct;
         S.Total = M.Total;
         S.States = M.numStates();
-        S.Machine = std::make_unique<SuffixMachine>(std::move(M));
+        S.Machine = std::make_unique<SuffixMachine>(M);
       }
     } else if (C.Kind == BranchKind::LoopExit) {
-      ExitChainMachine M =
-          buildExitMachine(P.Table, Opts.MaxStates, !C.TakenExits);
+      auto EL = Cache.exitLadder(P.Table, Opts.MaxStates, !C.TakenExits);
+      const ExitChainMachine &M = EL->at(Opts.MaxStates);
       RecordCandidate(StrategyKind::LoopExit, M.Correct, M.Total,
                       M.numStates());
       if (M.Correct > S.Correct) {
@@ -136,7 +146,7 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
         S.Correct = M.Correct;
         S.Total = M.Total;
         S.States = M.numStates();
-        S.Machine = std::make_unique<ExitChainMachine>(std::move(M));
+        S.Machine = std::make_unique<ExitChainMachine>(M);
       }
     }
 
@@ -146,8 +156,10 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
       CO.MaxPathLen = PathLen;
       CO.Exhaustive = Opts.Exhaustive;
       CO.NodeBudget = Opts.NodeBudget;
-      CorrelatedMachine CM = buildCorrelatedMachineFromProfile(
-          static_cast<int32_t>(Id), PathProfiles[Id], CO);
+      auto CL = Cache.correlatedLadder(static_cast<int32_t>(Id),
+                                       PathProfiles[Id], CO,
+                                       /*MinBudget=*/Opts.MaxStates);
+      const CorrelatedMachine &CM = CL->at(Opts.MaxStates);
       RecordCandidate(StrategyKind::Correlated, CM.Correct, CM.Total,
                       CM.numStates());
       if (CM.Correct > S.Correct) {
@@ -156,7 +168,7 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
         S.Total = CM.Total;
         S.States = CM.numStates();
         S.Machine.reset();
-        S.Corr = std::make_unique<CorrelatedMachine>(std::move(CM));
+        S.Corr = std::make_unique<CorrelatedMachine>(CM);
       }
     }
 
@@ -165,8 +177,9 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
                   strategyKindName(S.Kind))
           .inc();
     MarkChosen(S);
-    Out.push_back(std::move(S));
-  }
+    Out[Idx] = std::move(S);
+  };
+  parallelForJobs(Opts.Jobs, Out.size(), ScoreBranch);
   return Out;
 }
 

@@ -76,6 +76,10 @@ struct StrategyOptions {
   /// Branches executed fewer times keep the plain profile strategy; very
   /// cold branches cannot amortize any replication.
   uint64_t MinExecutions = 16;
+  /// Worker threads for the per-branch candidate scoring: 0 = one per
+  /// hardware core, 1 = serial (no pool). The selection is identical for
+  /// every value.
+  unsigned Jobs = 0;
 };
 
 /// Optional record of every candidate strategy scored during selection,

@@ -16,10 +16,10 @@ namespace {
 
 JsonValue histogramJson(const Histogram &H) {
   JsonValue J = JsonValue::object();
-  J.set("count", JsonValue::integer(H.Count));
-  J.set("sum", JsonValue::number(H.Sum));
-  J.set("min", JsonValue::number(H.Min));
-  J.set("max", JsonValue::number(H.Max));
+  J.set("count", JsonValue::integer(H.count()));
+  J.set("sum", JsonValue::number(H.sum()));
+  J.set("min", JsonValue::number(H.min()));
+  J.set("max", JsonValue::number(H.max()));
   J.set("mean", JsonValue::number(H.mean()));
   J.set("p50", JsonValue::number(H.p50()));
   J.set("p95", JsonValue::number(H.p95()));
@@ -34,12 +34,12 @@ JsonValue bpcr::metricsJson(const Registry &R) {
 
   JsonValue Counters = JsonValue::object();
   for (const auto &[Name, C] : R.counters())
-    Counters.set(Name, JsonValue::integer(C.Value));
+    Counters.set(Name, JsonValue::integer(C.value()));
   M.set("counters", std::move(Counters));
 
   JsonValue Gauges = JsonValue::object();
   for (const auto &[Name, G] : R.gauges())
-    Gauges.set(Name, JsonValue::number(G.Value));
+    Gauges.set(Name, JsonValue::number(G.value()));
   M.set("gauges", std::move(Gauges));
 
   JsonValue Histograms = JsonValue::object();
@@ -51,8 +51,8 @@ JsonValue bpcr::metricsJson(const Registry &R) {
   JsonValue Phases = JsonValue::object();
   for (const auto &[Name, H] : R.timers()) {
     JsonValue P = JsonValue::object();
-    P.set("count", JsonValue::integer(H.Count));
-    P.set("total_ns", JsonValue::integer(static_cast<int64_t>(H.Sum)));
+    P.set("count", JsonValue::integer(H.count()));
+    P.set("total_ns", JsonValue::integer(static_cast<int64_t>(H.sum())));
     P.set("mean_ns", JsonValue::number(H.mean()));
     P.set("p50_ns", JsonValue::number(H.p50()));
     P.set("p95_ns", JsonValue::number(H.p95()));

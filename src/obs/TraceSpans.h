@@ -85,21 +85,28 @@ public:
   SpanTracer(const SpanTracer &) = delete;
   SpanTracer &operator=(const SpanTracer &) = delete;
 
-  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+  /// The acquire pairs with setEnabled's release: a worker thread that
+  /// observes Enabled also observes the epoch written before it, keeping
+  /// the pair race-free when the pool's workers start recording.
+  bool enabled() const { return Enabled.load(std::memory_order_acquire); }
 
   /// Enabling (re)sets the timeline epoch: span timestamps are nanoseconds
   /// since the last setEnabled(true).
   void setEnabled(bool On) {
     if (On)
       Epoch = std::chrono::steady_clock::now();
-    Enabled.store(On, std::memory_order_relaxed);
+    Enabled.store(On, std::memory_order_release);
   }
 
   /// Per-category recorded-span cap; spans beyond it are dropped. The cap
   /// is per thread (buffers are thread-local), which bounds every thread's
   /// memory the same way.
-  uint64_t sampleLimit() const { return SampleLimit; }
-  void setSampleLimit(uint64_t N) { SampleLimit = N; }
+  uint64_t sampleLimit() const {
+    return SampleLimit.load(std::memory_order_relaxed);
+  }
+  void setSampleLimit(uint64_t N) {
+    SampleLimit.store(N, std::memory_order_relaxed);
+  }
 
   /// Spans dropped by sampling since the last clear().
   uint64_t droppedCount() const {
@@ -194,7 +201,7 @@ private:
   const uint64_t Instance = nextInstanceId();
   std::atomic<bool> Enabled{false};
   std::atomic<uint64_t> Dropped{0};
-  uint64_t SampleLimit = 512;
+  std::atomic<uint64_t> SampleLimit{512};
   std::chrono::steady_clock::time_point Epoch{};
   mutable std::mutex Mu;
   std::vector<std::unique_ptr<ThreadBuf>> Buffers;
@@ -216,10 +223,24 @@ public:
     if (It == Buf->CategoryCounts.end())
       It = Buf->CategoryCounts.emplace(Category, 0).first;
     uint64_t &Seen = It->second;
-    if (Seen >= T.SampleLimit) {
+    if (Seen >= T.sampleLimit()) {
       Tracer->Dropped.fetch_add(1, std::memory_order_relaxed);
-      if (Registry::global().enabled())
-        Registry::global().counter("obs.trace.spans_dropped").inc();
+      Registry &Reg = Registry::global();
+      if (Reg.enabled()) {
+        // The drop path is per event, so it must not take the registry
+        // mutex. Cache the resolved counter per thread and revalidate
+        // against the registry generation: clear() frees the node this
+        // points at, but also bumps the generation, so the stale pointer
+        // is never dereferenced.
+        thread_local Counter *DropCounter = nullptr;
+        thread_local uint64_t DropGeneration = ~uint64_t{0};
+        uint64_t Gen = Reg.generation();
+        if (!DropCounter || DropGeneration != Gen) {
+          DropCounter = &Reg.counter("obs.trace.spans_dropped");
+          DropGeneration = Gen;
+        }
+        DropCounter->inc();
+      }
       Sampled = false;
     } else {
       ++Seen;

@@ -1,0 +1,126 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace bpcr;
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  unsigned N = resolveJobs(Threads);
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  CV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::packaged_task<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      CV.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> Task) {
+  std::packaged_task<void()> PT(std::move(Task));
+  std::future<void> F = PT.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(PT));
+  }
+  CV.notify_one();
+  Registry &Obs = Registry::global();
+  if (Obs.enabled())
+    Obs.counter("pool.tasks").inc();
+  return F;
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (N == 1 || size() <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+
+  // One shared cursor, one runner task per worker (capped by N). Exceptions
+  // are kept per index so the rethrow is deterministic: the lowest failing
+  // index wins no matter which worker hit it.
+  auto Next = std::make_shared<std::atomic<size_t>>(0);
+  std::mutex ErrMu;
+  size_t ErrIndex = SIZE_MAX;
+  std::exception_ptr Err;
+
+  auto Runner = [&, Next] {
+    for (;;) {
+      size_t I = Next->fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      try {
+        Body(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(ErrMu);
+        if (I < ErrIndex) {
+          ErrIndex = I;
+          Err = std::current_exception();
+        }
+      }
+    }
+  };
+
+  size_t Runners = std::min<size_t>(size(), N);
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(Runners);
+  for (size_t R = 0; R < Runners; ++R)
+    Futures.push_back(submit(Runner));
+  for (std::future<void> &F : Futures)
+    F.get();
+  if (Err)
+    std::rethrow_exception(Err);
+}
+
+void bpcr::parallelForJobs(unsigned Jobs, size_t N,
+                           const std::function<void(size_t)> &Body) {
+  unsigned Resolved = ThreadPool::resolveJobs(Jobs);
+  if (Resolved <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+  ThreadPool Pool(std::min<unsigned>(Resolved, static_cast<unsigned>(N)));
+  Registry &Obs = Registry::global();
+  if (Obs.enabled())
+    Obs.gauge("pool.threads").set(static_cast<double>(Pool.size()));
+  Pool.parallelFor(N, Body);
+}

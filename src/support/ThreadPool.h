@@ -1,0 +1,90 @@
+//===- support/ThreadPool.h - Fixed worker pool -----------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool for the machine-search hot paths. Tasks are
+/// plain std::function thunks; submit() hands back a future per task and
+/// tasks start in submission order, so callers that write results into
+/// pre-sized slots indexed by submission position get deterministic output
+/// regardless of which worker finishes first.
+///
+/// parallelFor() is the primary entry point: it dispatches loop indices
+/// 0..N-1 over the workers through a shared atomic cursor. Every index runs
+/// exactly once; exceptions are captured and the first one (by index order)
+/// is rethrown on the calling thread after all work drains.
+///
+/// The pool deliberately has no work stealing, priorities, or dynamic
+/// sizing: per-branch machine searches are coarse, independent tasks and a
+/// queue plus condition variable saturates every core. Callers that want
+/// today's serial behaviour simply do not construct a pool (the convention
+/// used by the `Jobs` knobs: a resolved job count of 1 never touches this
+/// class).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SUPPORT_THREADPOOL_H
+#define BPCR_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bpcr {
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers; 0 means one per hardware core.
+  explicit ThreadPool(unsigned Threads = 0);
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Drains the queue and joins every worker.
+  ~ThreadPool();
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues one task. Tasks are started in submission order.
+  std::future<void> submit(std::function<void()> Task);
+
+  /// Runs Body(0..N-1), each index exactly once, across the workers. The
+  /// calling thread blocks until every index completed. The first exception
+  /// (lowest index) is rethrown here.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+  /// std::thread::hardware_concurrency() clamped to at least 1.
+  static unsigned hardwareThreads();
+
+  /// Resolves a user-facing jobs knob: 0 (auto) becomes the hardware
+  /// thread count, anything else passes through.
+  static unsigned resolveJobs(unsigned Jobs) {
+    return Jobs == 0 ? hardwareThreads() : Jobs;
+  }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::packaged_task<void()>> Queue;
+  std::mutex Mu;
+  std::condition_variable CV;
+  bool Stopping = false;
+};
+
+/// Runs Body(0..N-1) on \p Jobs resolved workers. Jobs <= 1 (or N <= 1)
+/// runs inline on the calling thread — the serial path, bit-for-bit what a
+/// plain loop does — so `--jobs 1` never constructs a pool.
+void parallelForJobs(unsigned Jobs, size_t N,
+                     const std::function<void(size_t)> &Body);
+
+} // namespace bpcr
+
+#endif // BPCR_SUPPORT_THREADPOOL_H

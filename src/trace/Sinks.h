@@ -23,6 +23,10 @@ namespace bpcr {
 /// Appends every event to an in-memory Trace.
 class CollectingSink : public TraceSink {
 public:
+  /// Pre-sizes the event buffer; callers that know the branch-event cap
+  /// pass it here so the per-event push_back never reallocates.
+  void reserve(size_t N) { Events.reserve(N); }
+
   void onBranch(const Instruction &Br, bool Taken) override {
     Events.push_back({Br.BranchId, Taken});
   }
@@ -38,6 +42,8 @@ private:
 /// replicated program produces a trace comparable with its source program.
 class OrigIdCollectingSink : public TraceSink {
 public:
+  void reserve(size_t N) { Events.reserve(N); }
+
   void onBranch(const Instruction &Br, bool Taken) override {
     Events.push_back({Br.OrigBranchId, Taken});
   }

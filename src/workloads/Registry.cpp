@@ -10,6 +10,7 @@
 #include "obs/TraceSpans.h"
 #include "trace/Sinks.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace bpcr;
@@ -44,6 +45,11 @@ Trace bpcr::traceWorkload(const Workload &W, uint64_t Seed, Module &OutModule,
   OutModule = W.Build(Seed);
   OutModule.assignBranchIds();
   CollectingSink Sink;
+  // The cap is an upper bound on the trace length; short workloads leave
+  // slack, but one oversized reservation beats ~20 growth copies of a
+  // million-event vector.
+  Sink.reserve(static_cast<size_t>(
+      std::min<uint64_t>(MaxBranchEvents, 1u << 21)));
   ExecOptions Opts;
   Opts.MaxBranchEvents = MaxBranchEvents;
   ExecResult R = execute(OutModule, &Sink, Opts);

@@ -21,12 +21,6 @@ using namespace bpcr;
 
 namespace {
 
-/// A private registry per test keeps cases independent of the global one.
-Registry makeEnabled() {
-  Registry R;
-  R.setEnabled(true);
-  return R;
-}
 
 const Workload &workloadNamed(const char *Name) {
   for (const Workload &W : allWorkloads())
@@ -41,40 +35,48 @@ const Workload &workloadNamed(const char *Name) {
 // -- Counter / Gauge / Histogram --------------------------------------------
 
 TEST(Metrics, CounterSemantics) {
-  Registry R = makeEnabled();
+  // A private registry per test keeps cases independent of the global one.
+  Registry R;
+  R.setEnabled(true);
   EXPECT_TRUE(R.empty());
   R.counter("a").inc();
   R.counter("a").inc();
   R.counter("a").add(40);
-  EXPECT_EQ(R.counter("a").Value, 42u);
-  EXPECT_EQ(R.counter("fresh").Value, 0u); // fetch-or-create defaults to 0
+  EXPECT_EQ(R.counter("a").value(), 42u);
+  EXPECT_EQ(R.counter("fresh").value(), 0u); // fetch-or-create defaults to 0
   EXPECT_EQ(R.counters().size(), 2u);
 }
 
 TEST(Metrics, GaugeKeepsLastWrite) {
-  Registry R = makeEnabled();
+  // A private registry per test keeps cases independent of the global one.
+  Registry R;
+  R.setEnabled(true);
   R.gauge("g").set(1.5);
   R.gauge("g").set(-2.25);
-  EXPECT_DOUBLE_EQ(R.gauge("g").Value, -2.25);
+  EXPECT_DOUBLE_EQ(R.gauge("g").value(), -2.25);
 }
 
 TEST(Metrics, HistogramSummarizes) {
-  Registry R = makeEnabled();
+  // A private registry per test keeps cases independent of the global one.
+  Registry R;
+  R.setEnabled(true);
   Histogram &H = R.histogram("h");
-  EXPECT_EQ(H.Count, 0u);
+  EXPECT_EQ(H.count(), 0u);
   EXPECT_DOUBLE_EQ(H.mean(), 0.0); // empty histogram: mean is defined as 0
   H.record(4.0);
   H.record(-2.0);
   H.record(10.0);
-  EXPECT_EQ(H.Count, 3u);
-  EXPECT_DOUBLE_EQ(H.Sum, 12.0);
-  EXPECT_DOUBLE_EQ(H.Min, -2.0);
-  EXPECT_DOUBLE_EQ(H.Max, 10.0);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_DOUBLE_EQ(H.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(H.min(), -2.0);
+  EXPECT_DOUBLE_EQ(H.max(), 10.0);
   EXPECT_DOUBLE_EQ(H.mean(), 4.0);
 }
 
 TEST(Metrics, HistogramQuantilesFromLogBuckets) {
-  Registry R = makeEnabled();
+  // A private registry per test keeps cases independent of the global one.
+  Registry R;
+  R.setEnabled(true);
   Histogram &H = R.histogram("q");
   for (int I = 1; I <= 1000; ++I)
     H.record(static_cast<double>(I));
@@ -103,8 +105,8 @@ TEST(Metrics, HistogramQuantileEdgeCases) {
   Low.record(-3.0);
   Low.record(0.25);
   Low.record(0.5);
-  EXPECT_GE(Low.p50(), Low.Min);
-  EXPECT_LE(Low.p99(), Low.Max);
+  EXPECT_GE(Low.p50(), Low.min());
+  EXPECT_LE(Low.p99(), Low.max());
 }
 
 TEST(Metrics, HistogramIgnoresNonFiniteSamples) {
@@ -112,17 +114,19 @@ TEST(Metrics, HistogramIgnoresNonFiniteSamples) {
   H.record(std::nan(""));
   H.record(HUGE_VAL);
   H.record(-HUGE_VAL);
-  EXPECT_EQ(H.Count, 0u); // dropped, so summaries stay finite
+  EXPECT_EQ(H.count(), 0u); // dropped, so summaries stay finite
   EXPECT_DOUBLE_EQ(H.mean(), 0.0);
   EXPECT_DOUBLE_EQ(H.p99(), 0.0);
   H.record(2.0);
   H.record(std::nan(""));
-  EXPECT_EQ(H.Count, 1u);
-  EXPECT_DOUBLE_EQ(H.Sum, 2.0);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_DOUBLE_EQ(H.sum(), 2.0);
 }
 
 TEST(Metrics, ClearDropsMetricsButKeepsEnabled) {
-  Registry R = makeEnabled();
+  // A private registry per test keeps cases independent of the global one.
+  Registry R;
+  R.setEnabled(true);
   R.counter("c").inc();
   R.timer("t").record(5.0);
   EXPECT_FALSE(R.empty());
@@ -134,23 +138,29 @@ TEST(Metrics, ClearDropsMetricsButKeepsEnabled) {
 // -- ScopedTimer -------------------------------------------------------------
 
 TEST(Metrics, ScopedTimerRecordsOnDestruction) {
-  Registry R = makeEnabled();
+  // A private registry per test keeps cases independent of the global one.
+  Registry R;
+  R.setEnabled(true);
   { ScopedTimer T("phase.x", R); }
   ASSERT_EQ(R.timers().count("phase.x"), 1u);
-  EXPECT_EQ(R.timers().at("phase.x").Count, 1u);
-  EXPECT_GE(R.timers().at("phase.x").Min, 0.0);
+  EXPECT_EQ(R.timers().at("phase.x").count(), 1u);
+  EXPECT_GE(R.timers().at("phase.x").min(), 0.0);
 }
 
 TEST(Metrics, ScopedTimerExplicitStopIsIdempotent) {
-  Registry R = makeEnabled();
+  // A private registry per test keeps cases independent of the global one.
+  Registry R;
+  R.setEnabled(true);
   ScopedTimer T("phase.y", R);
   T.stop();
   T.stop(); // second stop must not add a sample
-  EXPECT_EQ(R.timers().at("phase.y").Count, 1u);
+  EXPECT_EQ(R.timers().at("phase.y").count(), 1u);
 }
 
 TEST(Metrics, ScopedTimersNest) {
-  Registry R = makeEnabled();
+  // A private registry per test keeps cases independent of the global one.
+  Registry R;
+  R.setEnabled(true);
   {
     ScopedTimer Outer("outer", R);
     {
@@ -160,10 +170,10 @@ TEST(Metrics, ScopedTimersNest) {
       ScopedTimer Inner("inner", R);
     }
   }
-  EXPECT_EQ(R.timers().at("outer").Count, 1u);
-  EXPECT_EQ(R.timers().at("inner").Count, 2u);
+  EXPECT_EQ(R.timers().at("outer").count(), 1u);
+  EXPECT_EQ(R.timers().at("inner").count(), 2u);
   // The outer phase encloses both inner phases.
-  EXPECT_GE(R.timers().at("outer").Sum, R.timers().at("inner").Sum);
+  EXPECT_GE(R.timers().at("outer").sum(), R.timers().at("inner").sum());
 }
 
 TEST(Metrics, DisabledRegistryStaysEmpty) {
@@ -298,7 +308,9 @@ TEST(Json, FindNonFinitePathNamesTheMember) {
 // -- Report ------------------------------------------------------------------
 
 TEST(Report, MetricsJsonShape) {
-  Registry R = makeEnabled();
+  // A private registry per test keeps cases independent of the global one.
+  Registry R;
+  R.setEnabled(true);
   R.counter("c.events").add(7);
   R.gauge("g.rate").set(1.5);
   R.histogram("h.sizes").record(3.0);
@@ -317,7 +329,9 @@ TEST(Report, MetricsJsonShape) {
 }
 
 TEST(Report, BuildReportRoundTripsThroughParser) {
-  Registry R = makeEnabled();
+  // A private registry per test keeps cases independent of the global one.
+  Registry R;
+  R.setEnabled(true);
   R.counter("interp.instructions").add(12345);
   ReportMeta Meta;
   Meta.Tool = "test";
@@ -421,11 +435,11 @@ TEST(Report, PipelineRunProducesPhasesAndDecisions) {
         "pipeline.phase.replication", "pipeline.phase.annotation",
         "pipeline.phase.attribution"}) {
     ASSERT_EQ(G.timers().count(Phase), 1u) << Phase;
-    EXPECT_EQ(G.timers().at(Phase).Count, 1u) << Phase;
+    EXPECT_EQ(G.timers().at(Phase).count(), 1u) << Phase;
   }
-  EXPECT_EQ(G.counter("pipeline.runs").Value, 1u);
-  EXPECT_GT(G.counter("interp.instructions").Value, 0u);
-  EXPECT_GT(G.counter("interp.branch_events").Value, 0u);
+  EXPECT_EQ(G.counter("pipeline.runs").value(), 1u);
+  EXPECT_GT(G.counter("interp.instructions").value(), 0u);
+  EXPECT_GT(G.counter("interp.branch_events").value(), 0u);
 
   // Every static branch got at least one decision record, each with a
   // non-empty reason.

@@ -1,0 +1,182 @@
+//===- tests/test_threadpool.cpp ------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The thread pool underpins every `--jobs` knob, so these tests pin down
+// the contracts the parallel callers rely on: each index runs exactly
+// once, results written into pre-sized slots are schedule-independent,
+// exceptions surface deterministically (lowest index wins), and the
+// observability layer stays exact under contention.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/TraceSpans.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+using namespace bpcr;
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, ResolveJobsMapsZeroToHardware) {
+  EXPECT_EQ(ThreadPool::resolveJobs(0), ThreadPool::hardwareThreads());
+  EXPECT_EQ(ThreadPool::resolveJobs(1), 1u);
+  EXPECT_EQ(ThreadPool::resolveJobs(7), 7u);
+}
+
+TEST(ThreadPool, SubmittedTasksAllRun) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::atomic<int> Count{0};
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I < 64; ++I)
+    Futures.push_back(Pool.submit([&Count] { ++Count; }));
+  for (auto &F : Futures)
+    F.get();
+  EXPECT_EQ(Count.load(), 64);
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool Pool(1);
+  std::vector<int> Order;
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I < 16; ++I)
+    Futures.push_back(Pool.submit([&Order, I] { Order.push_back(I); }));
+  for (auto &F : Futures)
+    F.get();
+  ASSERT_EQ(Order.size(), 16u);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Order[static_cast<size_t>(I)], I);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool Pool(2);
+  std::future<void> F =
+      Pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(F.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&Hits](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ParallelForIndexedSlotsAreScheduleIndependent) {
+  // The determinism convention of every parallel caller: write results
+  // into a slot indexed by the loop index, never append.
+  ThreadPool Pool(4);
+  constexpr size_t N = 256;
+  std::vector<uint64_t> Slots(N, 0);
+  Pool.parallelFor(N, [&Slots](size_t I) { Slots[I] = I * I + 1; });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Slots[I], I * I + 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestFailingIndex) {
+  ThreadPool Pool(4);
+  // Every index past 4 fails; whatever the schedule, index 5's exception
+  // must be the one the caller sees.
+  std::string Caught;
+  try {
+    Pool.parallelFor(64, [](size_t I) {
+      if (I > 4)
+        throw std::runtime_error(std::to_string(I));
+    });
+  } catch (const std::runtime_error &E) {
+    Caught = E.what();
+  }
+  EXPECT_EQ(Caught, "5");
+}
+
+TEST(ThreadPool, ParallelForJobsOneRunsInline) {
+  std::thread::id Main = std::this_thread::get_id();
+  std::vector<std::thread::id> Seen(8);
+  parallelForJobs(1, Seen.size(),
+                  [&Seen](size_t I) { Seen[I] = std::this_thread::get_id(); });
+  for (const std::thread::id &Id : Seen)
+    EXPECT_EQ(Id, Main);
+}
+
+TEST(ThreadPool, ParallelForJobsZeroItemsIsANoOp) {
+  parallelForJobs(4, 0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, ParallelForJobsCoversAllIndices) {
+  std::vector<std::atomic<int>> Hits(128);
+  parallelForJobs(4, Hits.size(), [&Hits](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Observability under concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, CountersAreExactUnderContention) {
+  // A private registry per test keeps cases independent of the global one.
+  Registry R;
+  R.setEnabled(true);
+  Counter &C = R.counter("contended");
+  ThreadPool Pool(4);
+  constexpr int PerTask = 10'000;
+  Pool.parallelFor(8, [&C](size_t) {
+    for (int I = 0; I < PerTask; ++I)
+      C.inc();
+  });
+  EXPECT_EQ(C.value(), 8u * PerTask);
+}
+
+TEST(ThreadPool, GaugeAndHistogramSurviveConcurrentUpdates) {
+  Registry R;
+  R.setEnabled(true);
+  ThreadPool Pool(4);
+  Pool.parallelFor(8, [&R](size_t I) {
+    R.gauge("g").set(static_cast<double>(I));
+    for (int K = 0; K < 1000; ++K)
+      R.histogram("h").record(static_cast<double>(K));
+  });
+  EXPECT_EQ(R.histogram("h").count(), 8u * 1000u);
+}
+
+TEST(ThreadPool, SpansUsePerThreadBuffersUnderConcurrency) {
+  // Every worker opens and closes spans concurrently; the tracer's
+  // per-thread buffers mean no span is lost or torn (the sampling cap is
+  // per category, so stay under it).
+  SpanTracer &T = SpanTracer::global();
+  T.clear();
+  T.setEnabled(true);
+  ThreadPool Pool(4);
+  Pool.parallelFor(16, [](size_t I) {
+    Span S("pool.test.outer", "test");
+    S.arg("index", static_cast<uint64_t>(I));
+    { Span Inner("pool.test.inner", "test"); }
+  });
+  size_t Outer = 0, Inner = 0;
+  for (const SpanEvent &E : T.snapshot()) {
+    if (std::string_view(E.Name) == "pool.test.outer")
+      ++Outer;
+    else if (std::string_view(E.Name) == "pool.test.inner")
+      ++Inner;
+  }
+  EXPECT_EQ(Outer, 16u);
+  EXPECT_EQ(Inner, 16u);
+  T.setEnabled(false);
+  T.clear();
+}

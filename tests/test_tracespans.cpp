@@ -116,7 +116,7 @@ TEST(TraceSpans, SamplingCapDropsAndCountsPerCategory) {
   }
   EXPECT_EQ(T.spanCount(), 3u); // 2 search + 1 cache
   EXPECT_EQ(T.droppedCount(), 3u);
-  EXPECT_EQ(G.counter("obs.trace.spans_dropped").Value, 3u);
+  EXPECT_EQ(G.counter("obs.trace.spans_dropped").value(), 3u);
 
   // Sampled-out spans must still balance the nesting depth.
   {

@@ -13,6 +13,7 @@
 //   bpcr analyze <workload> [--seed N] [--events N]
 //   bpcr replicate <workload> [--seed N] [--states N] [--budget X] [--dump]
 //   bpcr report <workload> [--seed N] [--events N] [--states N] [--budget X]
+//   bpcr sweep <workload> [--seed N] [--events N] [--states N] [--budget X]
 //   bpcr explain <workload> [--top N] [--branch ID] [--format table|csv|json]
 //                [--annotate]
 //   bpcr lint <workload|module-file> [--seed N] [--format table|json|sarif]
@@ -27,13 +28,21 @@
 // and prediction-annotated IR (--annotate). Every command accepts
 // --trace-out FILE to export a span timeline in Chrome Trace Event Format.
 // `compare` diffs two run reports and exits non-zero when a metric crosses
-// its threshold — the CI perf-regression gate.
+// its threshold — the CI perf-regression gate. `sweep` prints the greedy
+// misprediction-vs-size curve (figures 6-13) for one workload; its output
+// contains no timings, so it is byte-identical for every --jobs value —
+// the determinism test relies on that.
+//
+// The searching commands (replicate/report/explain/sweep and lint
+// --replicate) accept --jobs N to fan the per-branch machine searches over
+// a worker pool. Results never depend on the worker count.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/LoopAwareProfiles.h"
 #include "core/Pipeline.h"
 #include "core/Replication.h"
+#include "core/SizeSweep.h"
 #include "ir/Printer.h"
 #include "ir/Serializer.h"
 #include "ir/Verifier.h"
@@ -68,6 +77,10 @@ struct Args {
   uint64_t Events = 1'000'000;
   unsigned States = 6;
   double Budget = 2.0;
+  /// Worker threads for the machine searches (0 = one per hardware core).
+  /// The command line only accepts >= 1; 0 is the programmatic default.
+  unsigned Jobs = 0;
+  bool BudgetSet = false;
   bool Dump = false;
   std::string Output;
   std::string Metrics;
@@ -99,6 +112,9 @@ int usage() {
       "  replicate <workload>         run the full replication pipeline\n"
       "  report <workload>            phase timings and per-branch\n"
       "                               replication decisions\n"
+      "  sweep <workload>             greedy misprediction-vs-size curve\n"
+      "                               (figures 6-13; deterministic output,\n"
+      "                               byte-identical for every --jobs)\n"
       "  explain <workload>           misprediction attribution: Pareto\n"
       "                               table of the costliest branches, or\n"
       "                               one branch's selection decision\n"
@@ -112,7 +128,11 @@ int usage() {
       "  --seed N       workload input seed (default 1)\n"
       "  --events N     branch-event cap (default 1000000)\n"
       "  --states N     per-branch state budget for replicate (default 6)\n"
-      "  --budget X     code-size factor budget for replicate (default 2.0)\n"
+      "  --budget X     code-size factor budget for replicate (default 2.0;\n"
+      "                 sweep default 16.0)\n"
+      "  --jobs N       worker threads for the machine searches (replicate/\n"
+      "                 report/explain/sweep/lint; default: one per\n"
+      "                 hardware core). Results never depend on N\n"
       "  --dump         also print the transformed IR (replicate)\n"
       "  --top N        Pareto entries to show/report (explain/report,\n"
       "                 default 10)\n"
@@ -128,7 +148,7 @@ int usage() {
       "  --annotate     print the transformed IR with per-branch strategy\n"
       "                 and measured miss-rate annotations (explain)\n"
       "  --metrics FILE write a JSON run report (trace/analyze/replicate/\n"
-      "                 report/explain)\n"
+      "                 report/sweep/explain)\n"
       "  --trace-out FILE\n"
       "                 write a span timeline (Chrome Trace Format JSON,\n"
       "                 loadable in Perfetto / chrome://tracing)\n"
@@ -136,7 +156,7 @@ int usage() {
       "                 relative-delta thresholds for compare (JSON; see\n"
       "                 docs/OBSERVABILITY.md)\n"
       "  -o FILE        output file (trace: .bpct; dump/replicate: module\n"
-      "                 text)\n");
+      "                 text; sweep: curve table)\n");
   return 2;
 }
 
@@ -153,7 +173,7 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
 
   static const char *Known[] = {"list",   "dump",    "trace",
                                 "analyze", "replicate", "report",
-                                "explain", "lint",    "compare"};
+                                "sweep",   "explain", "lint",   "compare"};
   bool KnownCommand = false;
   for (const char *C : Known)
     KnownCommand |= A.Command == C;
@@ -208,6 +228,22 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
         return parseError("option '--budget' needs a numeric value");
       if (A.Budget < 1.0)
         return parseError("option '--budget' must be at least 1.0");
+      A.BudgetSet = true;
+    } else if (Opt == "--jobs") {
+      const char *V = Next();
+      uint64_t N = 0;
+      if (!V || !ParseU64(V, N) || N == 0 || N > 1024)
+        return parseError(
+            "option '--jobs' needs an integer value between 1 and 1024");
+      static const char *Searching[] = {"replicate", "report", "sweep",
+                                        "explain", "lint"};
+      bool Ok = false;
+      for (const char *C : Searching)
+        Ok |= A.Command == C;
+      if (!Ok)
+        return parseError("option '--jobs' only applies to the replicate, "
+                          "report, sweep, explain and lint commands");
+      A.Jobs = static_cast<unsigned>(N);
     } else if (Opt == "--dump") {
       A.Dump = true;
     } else if (Opt == "--top") {
@@ -235,12 +271,14 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       } else {
         if (A.Format != "table" && A.Format != "csv" && A.Format != "json")
           return parseError("option '--format' must be table, csv or json");
-        if (A.Command != "explain" && A.Command != "report")
-          return parseError(
-              "option '--format' only applies to explain, report and lint");
-        if (A.Command == "report" && A.Format == "json")
-          return parseError("report emits JSON via --metrics; --format "
-                            "accepts table or csv");
+        if (A.Command != "explain" && A.Command != "report" &&
+            A.Command != "sweep")
+          return parseError("option '--format' only applies to explain, "
+                            "report, sweep and lint");
+        if ((A.Command == "report" || A.Command == "sweep") &&
+            A.Format == "json")
+          return parseError(A.Command + " emits JSON via --metrics; "
+                            "--format accepts table or csv");
       }
     } else if (Opt == "--fail-on") {
       const char *V = Next();
@@ -499,6 +537,7 @@ bool runPipeline(const Args &A, const Workload &W, Module &M, Trace &T,
   PipelineOptions Opts;
   Opts.Strategy.MaxStates = A.States;
   Opts.Strategy.NodeBudget = 50'000;
+  Opts.Strategy.Jobs = A.Jobs;
   Opts.MaxSizeFactor = A.Budget;
   PR = replicateModule(M, T, Opts);
   if (!verifyModule(PR.Transformed).empty()) {
@@ -597,8 +636,8 @@ int cmdReport(const Args &A) {
     const std::string Prefix = "pipeline.phase.";
     if (Label.rfind(Prefix, 0) == 0)
       Label = Label.substr(Prefix.size());
-    std::vector<std::string> Row{Label, std::to_string(H.Count)};
-    std::snprintf(Buf, sizeof(Buf), "%.3f", H.Sum / 1e6);
+    std::vector<std::string> Row{Label, std::to_string(H.count())};
+    std::snprintf(Buf, sizeof(Buf), "%.3f", H.sum() / 1e6);
     Row.push_back(Buf);
     std::snprintf(Buf, sizeof(Buf), "%.3f", H.mean() / 1e6);
     Row.push_back(Buf);
@@ -610,10 +649,10 @@ int cmdReport(const Args &A) {
   std::printf("\n");
 
   if (!Csv) {
-    uint64_t Events = Obs.counter("interp.branch_events").Value;
-    uint64_t Insts = Obs.counter("interp.instructions").Value;
-    double EventRate = Obs.gauge("interp.events_per_sec").Value;
-    double InstRate = Obs.gauge("interp.instructions_per_sec").Value;
+    uint64_t Events = Obs.counter("interp.branch_events").value();
+    uint64_t Insts = Obs.counter("interp.instructions").value();
+    double EventRate = Obs.gauge("interp.events_per_sec").value();
+    double InstRate = Obs.gauge("interp.instructions_per_sec").value();
     std::printf("Interpreter: %llu instructions, %llu branch events "
                 "(last run: %.1fM insts/s, %.1fM events/s)\n\n",
                 static_cast<unsigned long long>(Insts),
@@ -637,6 +676,68 @@ int cmdReport(const Args &A) {
                 PR.LoopReplications, PR.JointReplications,
                 PR.CorrelatedReplications, PR.sizeFactor());
   return writeMetrics(A, &PR) ? 0 : 1;
+}
+
+/// Writes \p Text to \p Path, or stdout when \p Path is empty.
+bool emitText(const std::string &Path, const std::string &Text) {
+  if (Path.empty()) {
+    std::printf("%s", Text.c_str());
+    return true;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+int cmdSweep(const Args &A) {
+  const Workload *W = findWorkload(A.Target);
+  if (!W)
+    return 1;
+  Module M;
+  Trace T = traceWorkload(*W, A.Seed, M, A.Events);
+  ProgramAnalysis PA(M);
+  ProfileSet Profiles = buildLoopAwareProfiles(PA, T);
+
+  SweepOptions Opts;
+  Opts.MaxStates = A.States;
+  // The sweep wants to chart the whole curve, not enforce a deployment
+  // budget, so its default is the figures' 16x (replicate keeps 2x).
+  Opts.MaxSizeFactor = A.BudgetSet ? A.Budget : 16.0;
+  Opts.NodeBudget = 50'000;
+  Opts.Jobs = A.Jobs;
+  std::vector<SweepPoint> Points = computeSizeSweep(PA, Profiles, T, Opts);
+
+  // Deliberately no timings or rates anywhere in this output: the
+  // determinism test byte-compares it across --jobs values.
+  TablePrinter Table(std::string(W->Name) +
+                     " — misprediction rate vs. code size (states<=" +
+                     std::to_string(A.States) + ")");
+  Table.setHeader({"step", "size factor", "mispredict %", "grown branch",
+                   "states"});
+  char SF[32];
+  for (size_t I = 0; I < Points.size(); ++I) {
+    const SweepPoint &P = Points[I];
+    std::snprintf(SF, sizeof(SF), "%.3f", P.SizeFactor);
+    Table.addRow({std::to_string(I), SF, formatPercent(P.MispredictPercent),
+                  P.BranchId < 0 ? "-" : std::to_string(P.BranchId),
+                  std::to_string(P.NewStates)});
+  }
+  if (!A.Output.empty()) {
+    std::string Text =
+        A.Format == "csv" ? Table.renderCsv() : Table.render();
+    if (!emitText(A.Output, Text)) {
+      std::fprintf(stderr, "bpcr: error: cannot write %s\n",
+                   A.Output.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", A.Output.c_str());
+  } else {
+    printTable(Table, A);
+  }
+  return writeMetrics(A, nullptr) ? 0 : 1;
 }
 
 /// Appends per-branch strategy and measured miss-rate comments to the IR
@@ -854,20 +955,6 @@ int cmdExplain(const Args &A) {
   return writeMetrics(A, &PR) ? 0 : 1;
 }
 
-/// Writes \p Text to \p Path, or stdout when \p Path is empty.
-bool emitText(const std::string &Path, const std::string &Text) {
-  if (Path.empty()) {
-    std::printf("%s", Text.c_str());
-    return true;
-  }
-  std::FILE *F = std::fopen(Path.c_str(), "wb");
-  if (!F)
-    return false;
-  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
-  Ok &= std::fclose(F) == 0;
-  return Ok;
-}
-
 int cmdLint(const Args &A) {
   // Resolve the target: a workload name first, then a module file in the
   // textual serializer format.
@@ -927,6 +1014,7 @@ int cmdLint(const Args &A) {
     PipelineOptions Opts;
     Opts.Strategy.MaxStates = A.States;
     Opts.Strategy.NodeBudget = 50'000;
+    Opts.Strategy.Jobs = A.Jobs;
     Opts.MaxSizeFactor = A.Budget;
     PipelineResult PR = replicateModule(Traced, T, Opts);
     Rules.push_back(
@@ -1005,6 +1093,8 @@ int main(int Argc, char **Argv) {
     RC = cmdReplicate(A);
   else if (A.Command == "report")
     RC = cmdReport(A);
+  else if (A.Command == "sweep")
+    RC = cmdSweep(A);
   else if (A.Command == "explain")
     RC = cmdExplain(A);
   else if (A.Command == "lint")
