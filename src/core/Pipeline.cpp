@@ -9,7 +9,9 @@
 #include "core/BranchProfiles.h"
 #include "core/JointMachine.h"
 #include "core/LoopAwareProfiles.h"
+#include "interp/TimelineSink.h"
 #include "obs/Metrics.h"
+#include "obs/TimeSeries.h"
 #include "obs/TraceSpans.h"
 #include "sa/ReplicationSoundness.h"
 
@@ -19,6 +21,27 @@
 using namespace bpcr;
 
 namespace {
+
+/// Mirrors the timeline's windowed misprediction rate onto Chrome Trace
+/// counter tracks so the rate curve renders on the span timeline. Uses the
+/// wall-clock samples the sink stamped during the measurement run; windows
+/// without a sample (tracer enabled mid-run, merged tails) are skipped. A
+/// no-op unless the tracer is live.
+void publishTimelineCounters(const TimeSeriesData &TS) {
+  SpanTracer &Tracer = SpanTracer::global();
+  if (!Tracer.enabled() || TS.empty())
+    return;
+  std::vector<CounterSample> Rate, Events;
+  for (const TimeSeriesWindow &W : TS.Windows) {
+    if (W.WallNs == 0)
+      continue;
+    Rate.push_back(
+        {W.WallNs, TimeSeriesData::percent(W.Mispredictions, W.Events)});
+    Events.push_back({W.WallNs, static_cast<double>(W.Events)});
+  }
+  Tracer.addCounterTrack("timeline.miss_rate_percent", std::move(Rate));
+  Tracer.addCounterTrack("timeline.window_events", std::move(Events));
+}
 
 /// Finds the function and block of one instance of \p OrigId in \p M;
 /// returns false when absent.
@@ -581,8 +604,16 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
     }
     ExecOptions EO;
     EO.MaxBranchEvents = T.size();
+    // The timeline recorder rides along on the same measurement run: every
+    // branch event lands in an event-indexed window, so the windowed series
+    // sums to the attribution totals and costs no extra execution.
+    TimeSeriesOptions TSO;
+    if (Opts.TimelineWindowEvents != 0)
+      TSO.WindowEvents = Opts.TimelineWindowEvents;
+    TimeSeries TS(TSO, PA.numBranches());
+    TimelineSink TLSink(TS);
     for (const ReplicaMeasurement &C :
-         measureAnnotatedPerReplica(R.Transformed, EO)) {
+         measureAnnotatedPerReplica(R.Transformed, EO, &TLSink)) {
       if (C.OrigBranchId < 0 ||
           static_cast<size_t>(C.OrigBranchId) >= R.Attribution.size())
         continue;
@@ -591,8 +622,12 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
       A.Mispredictions += C.Mispredictions;
       A.Replicas.push_back({C.ReplicaId, C.Executions, C.Mispredictions});
     }
+    R.Timeline = TS.take();
+    publishTimelineCounters(R.Timeline);
     SAttr.arg("measured_executions", R.Attribution.totalMeasuredExecutions());
     SAttr.arg("mispredictions", R.Attribution.totalMispredictions());
+    SAttr.arg("timeline_windows",
+              static_cast<uint64_t>(R.Timeline.Windows.size()));
     SAttr.end();
     TAttr.stop();
   }

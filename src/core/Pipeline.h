@@ -23,6 +23,7 @@
 #include "ir/Module.h"
 #include "obs/Attribution.h"
 #include "obs/DecisionLog.h"
+#include "obs/TimeSeries.h"
 #include "sa/Diagnostic.h"
 #include "trace/Trace.h"
 
@@ -43,6 +44,11 @@ struct PipelineOptions {
   bool UseJointMachines = true;
   /// State budget for joint machines.
   unsigned JointMaxStates = 8;
+  /// Event-window width for the timeline series recorded during the
+  /// attribution measurement run (power of two; 0 keeps the
+  /// TimeSeriesOptions default of 1024). Surfaced as `bpcr timeline
+  /// --window`.
+  uint64_t TimelineWindowEvents = 0;
 };
 
 /// Outcome of replicateModule.
@@ -64,6 +70,12 @@ struct PipelineResult {
   /// deltas, measured per-replica correctness). Filled only when the global
   /// observability registry is enabled; empty otherwise.
   AttributionLedger Attribution;
+  /// Windowed time-series telemetry of the transformed module's measurement
+  /// run (global and per-original-branch taken/misprediction counts per
+  /// event window). Filled alongside Attribution when the registry is
+  /// enabled; empty otherwise. Feeds `bpcr timeline`, the report's
+  /// `timeline` section and the trace viewer's counter tracks.
+  TimeSeriesData Timeline;
   /// Findings from the replication soundness checker
   /// (sa/ReplicationSoundness.h), which re-verifies the simulation relation
   /// against the original module after every applied transform and once

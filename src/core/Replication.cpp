@@ -6,6 +6,8 @@
 
 #include "core/Replication.h"
 
+#include "trace/Sinks.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -409,9 +411,17 @@ public:
 } // namespace
 
 std::vector<ReplicaMeasurement>
-bpcr::measureAnnotatedPerReplica(const Module &M, const ExecOptions &Opts) {
+bpcr::measureAnnotatedPerReplica(const Module &M, const ExecOptions &Opts,
+                                 TraceSink *Extra) {
   PerReplicaSink Sink;
-  ExecResult R = execute(M, &Sink, Opts);
+  MultiSink Fan;
+  TraceSink *Target = &Sink;
+  if (Extra) {
+    Fan.add(&Sink);
+    Fan.add(Extra);
+    Target = &Fan;
+  }
+  ExecResult R = execute(M, Target, Opts);
   (void)R;
   std::vector<ReplicaMeasurement> Out;
   for (const ReplicaMeasurement &C : Sink.Copies)

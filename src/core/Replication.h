@@ -101,9 +101,12 @@ struct ReplicaMeasurement {
 /// attribution ledger can fold replicated copies back onto their original
 /// branch ids. Requires assignBranchIds() to have run on \p M. Entries with
 /// zero executions are omitted; output is sorted by (OrigBranchId,
-/// ReplicaId).
+/// ReplicaId). \p Extra, when non-null, additionally receives every branch
+/// event of the measurement run — the timeline recorder rides along here so
+/// per-replica scoring and windowed telemetry share one execution.
 std::vector<ReplicaMeasurement>
-measureAnnotatedPerReplica(const Module &M, const ExecOptions &Opts);
+measureAnnotatedPerReplica(const Module &M, const ExecOptions &Opts,
+                           TraceSink *Extra = nullptr);
 
 } // namespace bpcr
 

@@ -141,6 +141,13 @@ bpcr::flattenReportMetrics(const JsonValue &Report) {
     flattenInto(*B, "branches", Br);
     Out.insert(Out.end(), Br.begin(), Br.end());
   }
+  if (const JsonValue *T = Report.find("timeline")) {
+    // The full "windows" array is plot data and skipped like all arrays;
+    // the scalar summary and the per-phase objects are stable and gated.
+    std::vector<std::pair<std::string, double>> Tl;
+    flattenInto(*T, "timeline", Tl);
+    Out.insert(Out.end(), Tl.begin(), Tl.end());
+  }
   return Out;
 }
 
@@ -377,4 +384,50 @@ std::string bpcr::renderCompareResult(const CompareResult &R) {
                 R.Regressions == 1 ? "" : "s");
   Out += Buf;
   return Out;
+}
+
+JsonValue bpcr::compareResultJson(const CompareResult &R) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("ok", JsonValue::boolean(R.ok()));
+  Doc.set("regressions",
+          JsonValue::integer(static_cast<int64_t>(R.Regressions)));
+  Doc.set("metrics_compared",
+          JsonValue::integer(static_cast<int64_t>(R.Deltas.size())));
+
+  JsonValue Errors = JsonValue::array();
+  for (const std::string &E : R.Errors)
+    Errors.push(JsonValue::str(E));
+  Doc.set("errors", std::move(Errors));
+
+  JsonValue Warnings = JsonValue::array();
+  for (const std::string &W : R.Warnings)
+    Warnings.push(JsonValue::str(W));
+  Doc.set("warnings", std::move(Warnings));
+
+  JsonValue Deltas = JsonValue::array();
+  for (const MetricDelta &D : R.Deltas) {
+    JsonValue J = JsonValue::object();
+    J.set("name", JsonValue::str(D.Name));
+    if (!D.MissingOld)
+      J.set("old", JsonValue::number(D.Old));
+    if (!D.MissingNew)
+      J.set("new", JsonValue::number(D.New));
+    // JSON has no infinity; a zero->nonzero jump serializes as "inf".
+    if (std::isinf(D.RelDelta))
+      J.set("rel_delta", JsonValue::str(D.RelDelta > 0 ? "inf" : "-inf"));
+    else
+      J.set("rel_delta", JsonValue::number(D.RelDelta));
+    J.set("rule", JsonValue::str(D.RulePattern));
+    J.set("threshold", JsonValue::number(D.Threshold));
+    J.set("direction", JsonValue::str(directionName(D.Direction)));
+    const char *Status = D.Regressed    ? "fail"
+                         : D.Skipped    ? "skip"
+                         : D.MissingOld ? "added"
+                         : D.MissingNew ? "removed"
+                                        : "ok";
+    J.set("status", JsonValue::str(Status));
+    Deltas.push(std::move(J));
+  }
+  Doc.set("deltas", std::move(Deltas));
+  return Doc;
 }

@@ -109,6 +109,13 @@ bool parseThresholdRules(const std::string &Text, CompareOptions &Opts,
 /// Renders the per-metric delta table plus a pass/fail summary.
 std::string renderCompareResult(const CompareResult &R);
 
+/// The full comparison as a machine-readable document (`bpcr compare
+/// --format json`): errors, warnings, a per-metric delta array (every
+/// compared metric, including unchanged ones) and the regression count.
+/// rel_delta is a number, or the string "inf" when the old value was zero
+/// (JSON has no infinity).
+JsonValue compareResultJson(const CompareResult &R);
+
 } // namespace bpcr
 
 #endif // BPCR_OBS_COMPARE_H

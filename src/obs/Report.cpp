@@ -7,8 +7,11 @@
 #include "obs/Report.h"
 
 #include "core/Pipeline.h"
+#include "obs/TimeSeries.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 using namespace bpcr;
 
@@ -122,6 +125,15 @@ JsonValue bpcr::buildReport(const ReportMeta &Meta, const Registry &R,
     Doc.set("pipeline", pipelineJson(*PR));
     if (!PR->Attribution.empty())
       Doc.set("branches", attributionJson(PR->Attribution, Meta.BranchTopK));
+    if (!PR->Timeline.empty()) {
+      // Phase splits follow the attribution ledger's top-K branches so the
+      // timeline and branches sections describe the same suspects.
+      std::vector<int32_t> TopIds;
+      for (const BranchAttribution *A :
+           PR->Attribution.topByMispredictions(Meta.BranchTopK))
+        TopIds.push_back(A->BranchId);
+      Doc.set("timeline", timelineJson(PR->Timeline, TopIds));
+    }
   }
   return Doc;
 }
@@ -138,7 +150,10 @@ bool bpcr::writeReportFile(const std::string &Path, const JsonValue &Report,
   std::string Text = Report.dump(2);
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F) {
-    Error = "cannot open '" + Path + "' for writing";
+    // Name the reason (ENOENT from a missing parent directory is the common
+    // case) so `--metrics deep/dir/file.json` fails actionably.
+    Error =
+        "cannot open '" + Path + "' for writing: " + std::strerror(errno);
     return false;
   }
   size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);

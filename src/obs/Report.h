@@ -31,7 +31,10 @@ struct PipelineResult;
 ///   1 — metrics + pipeline sections.
 ///   2 — adds the "branches" attribution section (top-K Pareto view plus
 ///       per-branch "by_id" leaves) to pipeline reports.
-constexpr int ReportSchemaVersion = 2;
+///   3 — adds the "timeline" section (windowed misprediction series, phase
+///       segmentation, warmup boundary, per-phase top-K branch splits) to
+///       pipeline reports.
+constexpr int ReportSchemaVersion = 3;
 
 /// Context describing the run being reported.
 struct ReportMeta {

@@ -1,0 +1,236 @@
+//===- obs/TimeSeries.cpp - Phase segmentation and serialization ----------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis half of the timeline layer: change-point detection on the
+/// windowed misprediction rate, the warmup-boundary estimate, and the JSON
+/// form consumed by the v3 report and `bpcr timeline --format json`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/TimeSeries.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bpcr {
+
+namespace {
+
+/// Event-weighted miss-rate statistics over a half-open window range,
+/// backed by prefix sums so segment costs are O(1).
+struct PrefixStats {
+  // Index I holds sums over windows [0, I).
+  std::vector<double> WeightPfx;  // events
+  std::vector<double> SumPfx;     // events * rate (= mispredictions)
+  std::vector<double> SumSqPfx;   // events * rate^2
+
+  explicit PrefixStats(const TimeSeriesData &TS) {
+    size_t N = TS.Windows.size();
+    WeightPfx.assign(N + 1, 0.0);
+    SumPfx.assign(N + 1, 0.0);
+    SumSqPfx.assign(N + 1, 0.0);
+    for (size_t I = 0; I < N; ++I) {
+      const TimeSeriesWindow &W = TS.Windows[I];
+      double Weight = double(W.Events);
+      double Rate =
+          W.Events == 0 ? 0.0 : double(W.Mispredictions) / double(W.Events);
+      WeightPfx[I + 1] = WeightPfx[I] + Weight;
+      SumPfx[I + 1] = SumPfx[I] + Weight * Rate;
+      SumSqPfx[I + 1] = SumSqPfx[I] + Weight * Rate * Rate;
+    }
+  }
+
+  double weight(size_t Lo, size_t Hi) const {
+    return WeightPfx[Hi] - WeightPfx[Lo];
+  }
+
+  double mean(size_t Lo, size_t Hi) const {
+    double W = weight(Lo, Hi);
+    return W == 0.0 ? 0.0 : (SumPfx[Hi] - SumPfx[Lo]) / W;
+  }
+
+  /// Weighted sum of squared deviations from the range mean.
+  double cost(size_t Lo, size_t Hi) const {
+    double W = weight(Lo, Hi);
+    if (W == 0.0)
+      return 0.0;
+    double Sum = SumPfx[Hi] - SumPfx[Lo];
+    double SumSq = SumSqPfx[Hi] - SumSqPfx[Lo];
+    double C = SumSq - Sum * Sum / W;
+    return C < 0.0 ? 0.0 : C; // clamp FP cancellation noise
+  }
+};
+
+/// Recursively splits [Lo, Hi) at the boundary with the largest cost
+/// reduction, keeping a split only when both sides meet the minimum size
+/// and their mean rates differ by MinDelta. Appends boundaries to \p Cuts.
+void splitRange(const PrefixStats &P, size_t Lo, size_t Hi,
+                const SegmentationOptions &Opts, size_t &PhasesLeft,
+                std::vector<size_t> &Cuts) {
+  if (PhasesLeft <= 1 || Hi - Lo < 2 * size_t(Opts.MinWindows))
+    return;
+  double Whole = P.cost(Lo, Hi);
+  double BestGain = 0.0;
+  size_t BestCut = 0;
+  for (size_t Cut = Lo + Opts.MinWindows; Cut + Opts.MinWindows <= Hi; ++Cut) {
+    double Gain = Whole - P.cost(Lo, Cut) - P.cost(Cut, Hi);
+    if (Gain > BestGain) { // strict ">": ties resolve to the lowest index
+      BestGain = Gain;
+      BestCut = Cut;
+    }
+  }
+  if (BestCut == 0)
+    return;
+  double DeltaPercent =
+      100.0 * std::fabs(P.mean(Lo, BestCut) - P.mean(BestCut, Hi));
+  if (DeltaPercent < Opts.MinDeltaPercent)
+    return;
+  --PhasesLeft;
+  Cuts.push_back(BestCut);
+  // Left first so recursion order (and hence PhasesLeft consumption) is
+  // deterministic.
+  splitRange(P, Lo, BestCut, Opts, PhasesLeft, Cuts);
+  splitRange(P, BestCut, Hi, Opts, PhasesLeft, Cuts);
+}
+
+} // namespace
+
+std::vector<PhaseSegment> segmentPhases(const TimeSeriesData &TS,
+                                        const SegmentationOptions &Opts) {
+  std::vector<PhaseSegment> Phases;
+  if (TS.Windows.empty())
+    return Phases;
+
+  PrefixStats P(TS);
+  std::vector<size_t> Cuts;
+  size_t PhasesLeft = Opts.MaxPhases == 0 ? 1 : Opts.MaxPhases;
+  splitRange(P, 0, TS.Windows.size(), Opts, PhasesLeft, Cuts);
+  Cuts.push_back(0);
+  Cuts.push_back(TS.Windows.size());
+  std::sort(Cuts.begin(), Cuts.end());
+
+  for (size_t I = 0; I + 1 < Cuts.size(); ++I) {
+    size_t Lo = Cuts[I], Hi = Cuts[I + 1];
+    if (Lo == Hi)
+      continue;
+    PhaseSegment S;
+    S.FirstWindow = uint32_t(Lo);
+    S.LastWindow = uint32_t(Hi - 1);
+    S.StartEvent = uint64_t(Lo) * TS.WindowEvents;
+    for (size_t W = Lo; W < Hi; ++W) {
+      S.Events += TS.Windows[W].Events;
+      S.Taken += TS.Windows[W].Taken;
+      S.Mispredictions += TS.Windows[W].Mispredictions;
+    }
+    Phases.push_back(S);
+  }
+  return Phases;
+}
+
+uint64_t estimateWarmupEvents(const TimeSeriesData &TS,
+                              const std::vector<PhaseSegment> &Phases) {
+  if (Phases.size() < 2)
+    return 0;
+  double Steady = Phases.back().missRatePercent();
+  double Tolerance = std::max(1.0, 0.25 * Steady);
+  size_t First = Phases.size() - 1;
+  while (First > 0 &&
+         std::fabs(Phases[First - 1].missRatePercent() - Steady) <= Tolerance)
+    --First;
+  if (First == 0)
+    return 0;
+  uint64_t Warmup = Phases[First].StartEvent;
+  return Warmup > TS.TotalEvents ? TS.TotalEvents : Warmup;
+}
+
+JsonValue timelineJson(const TimeSeriesData &TS,
+                       const std::vector<int32_t> &SplitBranches,
+                       const SegmentationOptions &Opts) {
+  std::vector<PhaseSegment> Phases = segmentPhases(TS, Opts);
+  uint64_t Warmup = estimateWarmupEvents(TS, Phases);
+
+  JsonValue Doc = JsonValue::object();
+  Doc.set("window_events", JsonValue::integer(int64_t(TS.WindowEvents)));
+  Doc.set("num_windows", JsonValue::integer(int64_t(TS.Windows.size())));
+  Doc.set("total_events", JsonValue::integer(int64_t(TS.TotalEvents)));
+  Doc.set("mispredictions",
+          JsonValue::integer(int64_t(TS.TotalMispredictions)));
+  Doc.set("miss_rate_percent",
+          JsonValue::number(TimeSeriesData::percent(TS.TotalMispredictions,
+                                                    TS.TotalEvents)));
+  Doc.set("taken_percent", JsonValue::number(TimeSeriesData::percent(
+                               TS.TotalTaken, TS.TotalEvents)));
+  Doc.set("phase_count", JsonValue::integer(int64_t(Phases.size())));
+  Doc.set("warmup_events", JsonValue::integer(int64_t(Warmup)));
+  Doc.set("steady_miss_rate_percent",
+          JsonValue::number(Phases.empty() ? 0.0
+                                           : Phases.back().missRatePercent()));
+
+  // Phases as an object keyed by index so flattenReportMetrics turns each
+  // numeric leaf into a gated dotted name (timeline.phases.0.miss_rate...).
+  JsonValue PhasesObj = JsonValue::object();
+  for (size_t I = 0; I < Phases.size(); ++I) {
+    const PhaseSegment &S = Phases[I];
+    JsonValue P = JsonValue::object();
+    P.set("first_window", JsonValue::integer(int64_t(S.FirstWindow)));
+    P.set("last_window", JsonValue::integer(int64_t(S.LastWindow)));
+    P.set("start_event", JsonValue::integer(int64_t(S.StartEvent)));
+    P.set("events", JsonValue::integer(int64_t(S.Events)));
+    P.set("mispredictions", JsonValue::integer(int64_t(S.Mispredictions)));
+    P.set("miss_rate_percent", JsonValue::number(S.missRatePercent()));
+    P.set("taken_percent", JsonValue::number(S.takenPercent()));
+
+    // Per-phase split for the attribution ledger's top branches.
+    JsonValue Branches = JsonValue::object();
+    for (int32_t B : SplitBranches) {
+      if (B < 0 || uint32_t(B) >= TS.NumBranches)
+        continue;
+      TimeSeriesCell Sum;
+      for (uint32_t W = S.FirstWindow; W <= S.LastWindow; ++W) {
+        const TimeSeriesWindow &Win = TS.Windows[W];
+        if (uint32_t(B) < Win.Branches.size()) {
+          Sum.Events += Win.Branches[uint32_t(B)].Events;
+          Sum.Taken += Win.Branches[uint32_t(B)].Taken;
+          Sum.Mispredictions += Win.Branches[uint32_t(B)].Mispredictions;
+        }
+      }
+      JsonValue Cell = JsonValue::object();
+      Cell.set("events", JsonValue::integer(int64_t(Sum.Events)));
+      Cell.set("mispredictions",
+               JsonValue::integer(int64_t(Sum.Mispredictions)));
+      Cell.set("miss_rate_percent",
+               JsonValue::number(
+                   TimeSeriesData::percent(Sum.Mispredictions, Sum.Events)));
+      Branches.set(std::to_string(B), std::move(Cell));
+    }
+    P.set("branches", std::move(Branches));
+    PhasesObj.set(std::to_string(I), std::move(P));
+  }
+  Doc.set("phases", std::move(PhasesObj));
+
+  // Full series for plotting/artifacts. Arrays are not flattened, so these
+  // rows are carried but not threshold-gated.
+  JsonValue Windows = JsonValue::array();
+  for (size_t I = 0; I < TS.Windows.size(); ++I) {
+    const TimeSeriesWindow &W = TS.Windows[I];
+    JsonValue Row = JsonValue::object();
+    Row.set("start_event",
+            JsonValue::integer(int64_t(uint64_t(I) * TS.WindowEvents)));
+    Row.set("events", JsonValue::integer(int64_t(W.Events)));
+    Row.set("taken", JsonValue::integer(int64_t(W.Taken)));
+    Row.set("mispredictions", JsonValue::integer(int64_t(W.Mispredictions)));
+    Row.set("miss_rate_percent", JsonValue::number(TimeSeriesData::percent(
+                                     W.Mispredictions, W.Events)));
+    Windows.push(std::move(Row));
+  }
+  Doc.set("windows", std::move(Windows));
+  return Doc;
+}
+
+} // namespace bpcr

@@ -9,6 +9,7 @@
 #include "obs/Json.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +72,27 @@ JsonValue bpcr::spansJson(const SpanTracer &T, const std::string &Tool) {
     }
     Arr.push(std::move(J));
   }
+
+  // Counter tracks ("ph":"C") merge rate curves — e.g. the timeline layer's
+  // windowed misprediction rate — onto the same timeline as the spans.
+  std::vector<CounterTrack> Tracks = T.counterTracks();
+  size_t CounterEvents = 0;
+  for (const CounterTrack &Track : Tracks) {
+    for (const CounterSample &S : Track.Samples) {
+      JsonValue J = JsonValue::object();
+      J.set("name", JsonValue::str(Track.Name));
+      J.set("cat", JsonValue::str("timeline"));
+      J.set("ph", JsonValue::str("C"));
+      J.set("ts", JsonValue::number(static_cast<double>(S.Ns) / 1000.0));
+      J.set("pid", JsonValue::integer(int64_t{1}));
+      JsonValue Args = JsonValue::object();
+      Args.set("value", JsonValue::number(S.Value));
+      J.set("args", std::move(Args));
+      Arr.push(std::move(J));
+      ++CounterEvents;
+    }
+  }
+
   Doc.set("traceEvents", std::move(Arr));
   Doc.set("displayTimeUnit", JsonValue::str("ms"));
 
@@ -80,6 +102,8 @@ JsonValue bpcr::spansJson(const SpanTracer &T, const std::string &Tool) {
   Other.set("span_count", JsonValue::integer(static_cast<int64_t>(
                               Events.size())));
   Other.set("spans_dropped", JsonValue::integer(T.droppedCount()));
+  Other.set("counter_events",
+            JsonValue::integer(static_cast<int64_t>(CounterEvents)));
   Doc.set("otherData", std::move(Other));
   return Doc;
 }
@@ -89,7 +113,10 @@ bool bpcr::writeSpanTrace(const std::string &Path, const SpanTracer &T,
   std::string Text = spansJson(T, Tool).dump(0);
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F) {
-    Error = "cannot open trace file '" + Path + "' for writing";
+    // Name the reason (ENOENT from a missing parent directory is the common
+    // case) so the caller's message is actionable, not a generic failure.
+    Error = "cannot open trace file '" + Path +
+            "' for writing: " + std::strerror(errno);
     return false;
   }
   size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);

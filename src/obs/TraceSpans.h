@@ -71,8 +71,24 @@ struct SpanEvent {
   std::vector<SpanArg> Args;
 };
 
+/// One sample on a counter track ("ph":"C" in the Chrome format): a value
+/// at a timestamp, rendered by trace viewers as a stacked rate curve.
+struct CounterSample {
+  /// Nanoseconds since the tracer was enabled (same epoch as SpanEvent).
+  uint64_t Ns = 0;
+  double Value = 0.0;
+};
+
+/// A named series of counter samples, e.g. the timeline layer's windowed
+/// misprediction rate, drawn on the same timeline as the spans.
+struct CounterTrack {
+  std::string Name;
+  std::vector<CounterSample> Samples;
+};
+
 /// Collects spans into per-thread buffers. Spans on one thread never touch
-/// a lock; the mutex guards only thread registration and export.
+/// a lock; the mutex guards only thread registration, counter tracks and
+/// export.
 class SpanTracer {
 public:
   /// The process-wide tracer all built-in instrumentation records to.
@@ -131,8 +147,27 @@ public:
     return N;
   }
 
-  /// Drops all recorded spans and the drop counter; the enabled flag and
-  /// registered thread buffers are left alone.
+  /// Appends a whole counter track (bulk, not per-sample: producers batch
+  /// their samples and hand them over once, so the mutex is off any hot
+  /// path). Tracks with no samples are dropped.
+  void addCounterTrack(std::string Name, std::vector<CounterSample> Samples) {
+    if (Samples.empty())
+      return;
+    std::lock_guard<std::mutex> Lock(Mu);
+    Tracks.push_back(CounterTrack{std::move(Name), std::move(Samples)});
+  }
+
+  std::vector<CounterTrack> counterTracks() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Tracks;
+  }
+
+  /// Nanoseconds since the tracer was enabled — the timestamp domain shared
+  /// by SpanEvent and CounterSample, for producers stamping counter samples.
+  uint64_t elapsedNs() const { return nowNs(); }
+
+  /// Drops all recorded spans, counter tracks and the drop counter; the
+  /// enabled flag and registered thread buffers are left alone.
   void clear() {
     std::lock_guard<std::mutex> Lock(Mu);
     for (const auto &B : Buffers) {
@@ -140,6 +175,7 @@ public:
       B->CategoryCounts.clear();
       B->Depth = 0;
     }
+    Tracks.clear();
     Dropped.store(0, std::memory_order_relaxed);
   }
 
@@ -205,6 +241,7 @@ private:
   std::chrono::steady_clock::time_point Epoch{};
   mutable std::mutex Mu;
   std::vector<std::unique_ptr<ThreadBuf>> Buffers;
+  std::vector<CounterTrack> Tracks;
 };
 
 /// RAII span. When the tracer is disabled at construction the clock is

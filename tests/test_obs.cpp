@@ -11,6 +11,7 @@
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "obs/Report.h"
+#include "obs/TimeSeries.h"
 #include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
@@ -412,6 +413,55 @@ TEST(Compare, FlattensBranchesLeavesButNotTopArray) {
   // Identical reports gate clean under the default rules.
   CompareResult CR = compareReports(Report, Report, CompareOptions());
   EXPECT_TRUE(CR.ok());
+}
+
+TEST(Compare, FlattensTimelineLeavesButNotWindowsArray) {
+  TimeSeries TS;
+  for (uint64_t I = 0; I < 2048; ++I)
+    TS.record(I, 0, I % 2 == 0, I % 4 == 0);
+
+  JsonValue Report = JsonValue::object();
+  Report.set("schema_version",
+             JsonValue::integer(int64_t{ReportSchemaVersion}));
+  Report.set("timeline", timelineJson(TS.take(), {}));
+
+  auto Flat = flattenReportMetrics(Report);
+  bool SawMissRate = false;
+  for (const auto &[N, V] : Flat) {
+    SawMissRate |= N == "timeline.miss_rate_percent";
+    // The per-window plot data stays out of the gated set.
+    EXPECT_EQ(N.find("timeline.windows"), std::string::npos) << N;
+  }
+  EXPECT_TRUE(SawMissRate);
+
+  CompareResult CR = compareReports(Report, Report, CompareOptions());
+  EXPECT_TRUE(CR.ok());
+}
+
+TEST(Compare, ResultJsonCarriesDeltasAndSpellsInfinity) {
+  CompareResult R;
+  MetricDelta Grew;
+  Grew.Name = "counters.interp.instructions";
+  Grew.Old = 0.0;
+  Grew.New = 10.0;
+  Grew.RelDelta = HUGE_VAL;
+  Grew.RulePattern = "counters.*";
+  Grew.Regressed = true;
+  R.Deltas.push_back(Grew);
+  R.Regressions = 1;
+
+  JsonValue J = compareResultJson(R);
+  EXPECT_FALSE(J.find("ok")->asBool());
+  EXPECT_EQ(J.find("regressions")->asInt(), 1);
+  const JsonValue &D = J.find("deltas")->at(0);
+  EXPECT_EQ(D.find("status")->asString(), "fail");
+  // JSON has no infinity; the divide-by-zero delta round-trips as a string.
+  EXPECT_EQ(D.find("rel_delta")->asString(), "inf");
+  // The spelled-out infinity keeps the document parseable.
+  std::string Error;
+  JsonValue Back = parseJson(J.dump(2), Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(J, Back);
 }
 
 // -- End-to-end pipeline report ----------------------------------------------

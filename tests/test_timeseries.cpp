@@ -1,0 +1,297 @@
+//===- tests/test_timeseries.cpp - Windowed trace telemetry ---------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/TimeSeries.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace bpcr;
+
+namespace {
+
+// Deterministic per-event behaviour for synthetic streams.
+bool takenAt(uint64_t I) { return I % 3 == 0; }
+bool missAt(uint64_t I) { return I % 5 == 0; }
+
+void expectEqualSeries(const TimeSeriesData &A, const TimeSeriesData &B) {
+  EXPECT_EQ(A.WindowEvents, B.WindowEvents);
+  EXPECT_EQ(A.NumBranches, B.NumBranches);
+  EXPECT_EQ(A.TotalEvents, B.TotalEvents);
+  EXPECT_EQ(A.TotalTaken, B.TotalTaken);
+  EXPECT_EQ(A.TotalMispredictions, B.TotalMispredictions);
+  ASSERT_EQ(A.Windows.size(), B.Windows.size());
+  for (size_t I = 0; I < A.Windows.size(); ++I) {
+    const TimeSeriesWindow &WA = A.Windows[I];
+    const TimeSeriesWindow &WB = B.Windows[I];
+    EXPECT_EQ(WA.Events, WB.Events) << "window " << I;
+    EXPECT_EQ(WA.Taken, WB.Taken) << "window " << I;
+    EXPECT_EQ(WA.Mispredictions, WB.Mispredictions) << "window " << I;
+    ASSERT_EQ(WA.Branches.size(), WB.Branches.size()) << "window " << I;
+    for (size_t B2 = 0; B2 < WA.Branches.size(); ++B2) {
+      EXPECT_EQ(WA.Branches[B2].Events, WB.Branches[B2].Events);
+      EXPECT_EQ(WA.Branches[B2].Taken, WB.Branches[B2].Taken);
+      EXPECT_EQ(WA.Branches[B2].Mispredictions,
+                WB.Branches[B2].Mispredictions);
+    }
+  }
+}
+
+// A two-regime series: \p LowWindows windows with \p LowMissPer16 misses per
+// 16 events, then \p HighWindows windows with \p HighMissPer16.
+TimeSeriesData stepSeries(uint32_t LowWindows, unsigned LowMissPer16,
+                          uint32_t HighWindows, unsigned HighMissPer16) {
+  TimeSeriesOptions Opts;
+  Opts.WindowEvents = 16;
+  TimeSeries TS(Opts);
+  uint64_t Total = uint64_t(LowWindows + HighWindows) * 16;
+  for (uint64_t I = 0; I < Total; ++I) {
+    bool High = (I / 16) >= LowWindows;
+    unsigned PerWindow = High ? HighMissPer16 : LowMissPer16;
+    TS.record(I, 0, takenAt(I), (I % 16) < PerWindow);
+  }
+  return TS.take();
+}
+
+} // namespace
+
+// -- Recorder ----------------------------------------------------------------
+
+TEST(TimeSeries, BucketsByEventIndex) {
+  TimeSeriesOptions Opts;
+  Opts.WindowEvents = 16;
+  TimeSeries TS(Opts);
+  for (uint64_t I = 0; I < 64; ++I)
+    TS.record(I, 0, takenAt(I), missAt(I));
+  TimeSeriesData D = TS.snapshot();
+  EXPECT_EQ(D.WindowEvents, 16u);
+  EXPECT_EQ(D.TotalEvents, 64u);
+  ASSERT_EQ(D.Windows.size(), 4u);
+  uint64_t Events = 0, Taken = 0, Miss = 0;
+  for (const TimeSeriesWindow &W : D.Windows) {
+    EXPECT_EQ(W.Events, 16u);
+    Events += W.Events;
+    Taken += W.Taken;
+    Miss += W.Mispredictions;
+  }
+  EXPECT_EQ(Events, D.TotalEvents);
+  EXPECT_EQ(Taken, D.TotalTaken);
+  EXPECT_EQ(Miss, D.TotalMispredictions);
+}
+
+TEST(TimeSeries, NonPowerOfTwoWidthFallsBack) {
+  TimeSeriesOptions Opts;
+  Opts.WindowEvents = 1000;
+  TimeSeries TS(Opts);
+  EXPECT_EQ(TS.windowEvents(), 1024u);
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_FALSE(isPowerOfTwo(1000));
+  EXPECT_TRUE(isPowerOfTwo(1024));
+}
+
+TEST(TimeSeries, PercentMapsZeroOverZeroToZero) {
+  EXPECT_EQ(TimeSeriesData::percent(0, 0), 0.0);
+  EXPECT_EQ(TimeSeriesData::percent(1, 4), 25.0);
+}
+
+TEST(TimeSeries, PerBranchCellsFoldOutOfRangeIdsGlobally) {
+  TimeSeriesOptions Opts;
+  Opts.WindowEvents = 16;
+  TimeSeries TS(Opts, /*NumBranches=*/3);
+  TS.record(0, 1, true, true);
+  TS.record(1, 1, false, false);
+  TS.record(2, 7, true, true);  // out of range: global counts only
+  TS.record(3, -1, true, true); // synthetic id: global counts only
+  TimeSeriesData D = TS.snapshot();
+  ASSERT_EQ(D.Windows.size(), 1u);
+  const TimeSeriesWindow &W = D.Windows[0];
+  EXPECT_EQ(W.Events, 4u);
+  EXPECT_EQ(W.Mispredictions, 3u);
+  ASSERT_EQ(W.Branches.size(), 3u);
+  EXPECT_EQ(W.Branches[1].Events, 2u);
+  EXPECT_EQ(W.Branches[1].Taken, 1u);
+  EXPECT_EQ(W.Branches[1].Mispredictions, 1u);
+  EXPECT_EQ(W.Branches[0].Events, 0u);
+  EXPECT_EQ(W.Branches[2].Events, 0u);
+}
+
+TEST(TimeSeries, MergeOnOverflowDoublesWidthAndPreservesTotals) {
+  TimeSeriesOptions Opts;
+  Opts.WindowEvents = 16;
+  Opts.MaxWindows = 4;
+  TimeSeries TS(Opts, /*NumBranches=*/2);
+  for (uint64_t I = 0; I < 128; ++I)
+    TS.record(I, int32_t(I % 2), takenAt(I), missAt(I));
+  TimeSeriesData D = TS.snapshot();
+  // 128 events at width 16 would need 8 windows; one merge doubles the
+  // width to 32 and fits the budget of 4.
+  EXPECT_EQ(D.WindowEvents, 32u);
+  ASSERT_EQ(D.Windows.size(), 4u);
+  uint64_t Events = 0, Miss = 0, B0 = 0, B1 = 0;
+  for (const TimeSeriesWindow &W : D.Windows) {
+    EXPECT_EQ(W.Events, 32u);
+    Events += W.Events;
+    Miss += W.Mispredictions;
+    ASSERT_EQ(W.Branches.size(), 2u);
+    B0 += W.Branches[0].Events;
+    B1 += W.Branches[1].Events;
+  }
+  EXPECT_EQ(Events, 128u);
+  EXPECT_EQ(Miss, D.TotalMispredictions);
+  EXPECT_EQ(B0, 64u);
+  EXPECT_EQ(B1, 64u);
+}
+
+TEST(TimeSeries, SnapshotIsIndependentOfArrivalOrder) {
+  TimeSeriesOptions Opts;
+  Opts.WindowEvents = 16;
+  Opts.MaxWindows = 4; // force merges in both recorders
+  TimeSeries Ordered(Opts, 2), Shuffled(Opts, 2);
+  const uint64_t N = 256;
+  for (uint64_t I = 0; I < N; ++I)
+    Ordered.record(I, int32_t(I % 2), takenAt(I), missAt(I));
+  // A fixed full-cycle stride permutation of [0, N): 77 is coprime to 256.
+  for (uint64_t K = 0; K < N; ++K) {
+    uint64_t I = (K * 77) % N;
+    Shuffled.record(I, int32_t(I % 2), takenAt(I), missAt(I));
+  }
+  expectEqualSeries(Ordered.snapshot(), Shuffled.snapshot());
+}
+
+TEST(TimeSeries, TakeMovesAndResets) {
+  TimeSeries TS;
+  TS.record(0, 0, true, true);
+  TimeSeriesData D = TS.take();
+  EXPECT_EQ(D.TotalEvents, 1u);
+  EXPECT_FALSE(D.empty());
+  TimeSeriesData After = TS.snapshot();
+  EXPECT_TRUE(After.empty());
+  EXPECT_EQ(After.TotalEvents, 0u);
+}
+
+TEST(TimeSeries, ConcurrentRecordMatchesSerialReference) {
+  TimeSeriesOptions Opts;
+  Opts.WindowEvents = 64;
+  Opts.MaxWindows = 8; // merges happen under contention too
+  const uint64_t N = 1 << 14;
+  const unsigned Threads = 4;
+
+  TimeSeries Serial(Opts, 4);
+  for (uint64_t I = 0; I < N; ++I)
+    Serial.record(I, int32_t(I % 4), takenAt(I), missAt(I));
+
+  TimeSeries Shared(Opts, 4);
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&Shared, T] {
+      for (uint64_t I = T; I < N; I += Threads)
+        Shared.record(I, int32_t(I % 4), takenAt(I), missAt(I));
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+
+  expectEqualSeries(Serial.snapshot(), Shared.snapshot());
+}
+
+// -- Phase segmentation ------------------------------------------------------
+
+TEST(Phases, StepChangeSplitsAtTheBoundary) {
+  // 4 windows at 1/16 miss, then 4 at 8/16: one clear change point.
+  TimeSeriesData D = stepSeries(4, 1, 4, 8);
+  std::vector<PhaseSegment> Phases = segmentPhases(D);
+  ASSERT_EQ(Phases.size(), 2u);
+  EXPECT_EQ(Phases[0].FirstWindow, 0u);
+  EXPECT_EQ(Phases[0].LastWindow, 3u);
+  EXPECT_EQ(Phases[1].FirstWindow, 4u);
+  EXPECT_EQ(Phases[1].LastWindow, 7u);
+  EXPECT_EQ(Phases[1].StartEvent, 64u);
+  EXPECT_NEAR(Phases[0].missRatePercent(), 6.25, 1e-9);
+  EXPECT_NEAR(Phases[1].missRatePercent(), 50.0, 1e-9);
+}
+
+TEST(Phases, FlatSeriesIsOnePhase) {
+  TimeSeriesData D = stepSeries(8, 4, 0, 0);
+  std::vector<PhaseSegment> Phases = segmentPhases(D);
+  ASSERT_EQ(Phases.size(), 1u);
+  EXPECT_EQ(Phases[0].FirstWindow, 0u);
+  EXPECT_EQ(Phases[0].LastWindow, 7u);
+  EXPECT_EQ(Phases[0].Events, 128u);
+}
+
+TEST(Phases, MinDeltaSuppressesSmallSteps) {
+  // 25% vs 31.25% splits (6.25pp >= 2pp)...
+  EXPECT_EQ(segmentPhases(stepSeries(4, 4, 4, 5)).size(), 2u);
+  // ...but a tightened knob suppresses the same step.
+  SegmentationOptions Strict;
+  Strict.MinDeltaPercent = 10.0;
+  EXPECT_EQ(segmentPhases(stepSeries(4, 4, 4, 5), Strict).size(), 1u);
+}
+
+TEST(Phases, MaxPhasesCapsTheSegmentation) {
+  TimeSeriesData D = stepSeries(4, 1, 4, 8);
+  SegmentationOptions One;
+  One.MaxPhases = 1;
+  EXPECT_EQ(segmentPhases(D, One).size(), 1u);
+}
+
+TEST(Phases, WarmupEndsWhereTheSteadyRunBegins) {
+  // High-miss warmup, then steady: warmup boundary is the steady phase's
+  // start event.
+  TimeSeriesData D = stepSeries(4, 8, 4, 1);
+  std::vector<PhaseSegment> Phases = segmentPhases(D);
+  ASSERT_EQ(Phases.size(), 2u);
+  EXPECT_EQ(estimateWarmupEvents(D, Phases), Phases[1].StartEvent);
+  // A flat run has no warmup.
+  TimeSeriesData Flat = stepSeries(8, 4, 0, 0);
+  EXPECT_EQ(estimateWarmupEvents(Flat, segmentPhases(Flat)), 0u);
+}
+
+TEST(Phases, EmptySeriesHasNoPhases) {
+  TimeSeriesData Empty;
+  EXPECT_TRUE(segmentPhases(Empty).empty());
+  EXPECT_EQ(estimateWarmupEvents(Empty, {}), 0u);
+}
+
+// -- JSON --------------------------------------------------------------------
+
+TEST(TimelineJson, CarriesSeriesPhasesAndSplits) {
+  TimeSeriesOptions Opts;
+  Opts.WindowEvents = 16;
+  TimeSeries TS(Opts, 2);
+  for (uint64_t I = 0; I < 128; ++I) {
+    bool High = I >= 64;
+    TS.record(I, int32_t(I % 2), takenAt(I), (I % 16) < (High ? 8u : 1u));
+  }
+  TimeSeriesData D = TS.take();
+  JsonValue J = timelineJson(D, {0, 1});
+
+  ASSERT_NE(J.find("window_events"), nullptr);
+  EXPECT_EQ(J.find("window_events")->asInt(), 16);
+  EXPECT_EQ(J.find("num_windows")->asInt(), 8);
+  EXPECT_EQ(J.find("total_events")->asInt(), 128);
+  EXPECT_EQ(J.find("phase_count")->asInt(), 2);
+  ASSERT_NE(J.find("warmup_events"), nullptr);
+  ASSERT_NE(J.find("steady_miss_rate_percent"), nullptr);
+
+  // Phases are an object keyed by index so compare can gate their leaves.
+  const JsonValue *Phases = J.find("phases");
+  ASSERT_NE(Phases, nullptr);
+  const JsonValue *P0 = Phases->find("0");
+  ASSERT_NE(P0, nullptr);
+  ASSERT_NE(P0->find("miss_rate_percent"), nullptr);
+  const JsonValue *Splits = P0->find("branches");
+  ASSERT_NE(Splits, nullptr);
+  ASSERT_NE(Splits->find("0"), nullptr);
+  ASSERT_NE(Splits->find("1")->find("mispredictions"), nullptr);
+
+  // The per-window series rides along as plot data.
+  const JsonValue *Windows = J.find("windows");
+  ASSERT_NE(Windows, nullptr);
+  EXPECT_EQ(Windows->size(), 8u);
+}

@@ -16,24 +16,32 @@
 //   bpcr sweep <workload> [--seed N] [--events N] [--states N] [--budget X]
 //   bpcr explain <workload> [--top N] [--branch ID] [--format table|csv|json]
 //                [--annotate]
+//   bpcr timeline <workload> [--window N] [--branch ID] [--phases]
+//                [--format table|csv|json] [--timeline-out FILE]
 //   bpcr lint <workload|module-file> [--seed N] [--format table|json|sarif]
 //             [--fail-on warning|error] [--replicate]
 //   bpcr compare OLD.json NEW.json [--threshold-file FILE]
+//                [--format table|json]
 //
-// `trace`, `analyze`, `replicate`, `report` and `explain` accept --metrics
-// FILE to write a machine-readable JSON run report (schema in
-// docs/OBSERVABILITY.md); `report` prints the same data as tables. `explain`
-// renders the misprediction attribution ledger: the Pareto table of the
-// costliest branches, the per-branch selection reconstruction (--branch),
-// and prediction-annotated IR (--annotate). Every command accepts
-// --trace-out FILE to export a span timeline in Chrome Trace Event Format.
-// `compare` diffs two run reports and exits non-zero when a metric crosses
-// its threshold — the CI perf-regression gate. `sweep` prints the greedy
+// `trace`, `analyze`, `replicate`, `report`, `explain` and `timeline`
+// accept --metrics FILE to write a machine-readable JSON run report (schema
+// in docs/OBSERVABILITY.md); `report` prints the same data as tables.
+// `explain` renders the misprediction attribution ledger: the Pareto table
+// of the costliest branches, the per-branch selection reconstruction
+// (--branch), and prediction-annotated IR (--annotate). `timeline` renders
+// the windowed misprediction series of the transformed module's measurement
+// run, its change-point phase segmentation (--phases) or one branch's
+// series (--branch). Every command accepts --trace-out FILE to export a
+// span timeline in Chrome Trace Event Format; pipeline runs merge the
+// windowed misprediction rate into it as counter tracks. `compare` diffs
+// two run reports and exits non-zero when a metric crosses its threshold —
+// the CI perf-regression gate. `sweep` prints the greedy
 // misprediction-vs-size curve (figures 6-13) for one workload; its output
 // contains no timings, so it is byte-identical for every --jobs value —
-// the determinism test relies on that.
+// the determinism test relies on that, and `timeline` output holds to the
+// same contract.
 //
-// The searching commands (replicate/report/explain/sweep and lint
+// The searching commands (replicate/report/explain/timeline/sweep and lint
 // --replicate) accept --jobs N to fan the per-branch machine searches over
 // a worker pool. Results never depend on the worker count.
 //
@@ -49,6 +57,7 @@
 #include "obs/Compare.h"
 #include "obs/Metrics.h"
 #include "obs/Report.h"
+#include "obs/TimeSeries.h"
 #include "obs/TraceSpans.h"
 #include "obs/Sarif.h"
 #include "predict/DynamicPredictors.h"
@@ -60,6 +69,7 @@
 #include "trace/TraceFile.h"
 #include "workloads/Workload.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,6 +99,10 @@ struct Args {
   int64_t Branch = -1;
   std::string Format = "table";
   bool Annotate = false;
+  // timeline options.
+  uint64_t Window = 0;
+  bool Phases = false;
+  std::string TimelineOut;
   // compare-only positionals and options.
   std::string CompareOld;
   std::string CompareNew;
@@ -118,11 +132,18 @@ int usage() {
       "  explain <workload>           misprediction attribution: Pareto\n"
       "                               table of the costliest branches, or\n"
       "                               one branch's selection decision\n"
+      "  timeline <workload>          windowed misprediction time series of\n"
+      "                               the replicated program, with phase\n"
+      "                               segmentation (deterministic output,\n"
+      "                               byte-identical for every --jobs)\n"
       "  lint <workload|module-file>  run the static-analysis passes and\n"
       "                               report diagnostics (exit 1 when any\n"
       "                               reach the --fail-on severity)\n"
       "  compare OLD.json NEW.json    diff two run reports and gate the\n"
-      "                               deltas (exit 1 on regression)\n"
+      "                               deltas. exit codes: 0 all gates\n"
+      "                               passed, 1 at least one metric\n"
+      "                               regressed, 2 unreadable report or\n"
+      "                               schema mismatch\n"
       "\n"
       "options:\n"
       "  --seed N       workload input seed (default 1)\n"
@@ -131,14 +152,23 @@ int usage() {
       "  --budget X     code-size factor budget for replicate (default 2.0;\n"
       "                 sweep default 16.0)\n"
       "  --jobs N       worker threads for the machine searches (replicate/\n"
-      "                 report/explain/sweep/lint; default: one per\n"
-      "                 hardware core). Results never depend on N\n"
+      "                 report/explain/timeline/sweep/lint; default: one\n"
+      "                 per hardware core). Results never depend on N\n"
       "  --dump         also print the transformed IR (replicate)\n"
-      "  --top N        Pareto entries to show/report (explain/report,\n"
-      "                 default 10)\n"
-      "  --branch ID    explain one branch's strategy selection in detail\n"
+      "  --top N        Pareto entries to show/report (explain/report/\n"
+      "                 timeline, default 10)\n"
+      "  --branch ID    explain one branch's strategy selection in detail,\n"
+      "                 or show one branch's windowed series (timeline)\n"
+      "  --window N     timeline window width in branch events (power of\n"
+      "                 two between 16 and 67108864; default 1024). When\n"
+      "                 the run outgrows the window budget, adjacent\n"
+      "                 windows merge and the width doubles\n"
+      "  --phases       timeline also prints the detected phases and the\n"
+      "                 per-phase split of the top branches (conflicts\n"
+      "                 with --branch)\n"
       "  --format F     output format: table (default), csv, or json\n"
-      "                 (explain; report accepts table and csv; lint\n"
+      "                 (explain/timeline; report and sweep accept table\n"
+      "                 and csv; compare accepts table and json; lint\n"
       "                 accepts table, json and sarif)\n"
       "  --fail-on S    lint severity threshold for exit code 1: warning\n"
       "                 or error (default error)\n"
@@ -148,10 +178,13 @@ int usage() {
       "  --annotate     print the transformed IR with per-branch strategy\n"
       "                 and measured miss-rate annotations (explain)\n"
       "  --metrics FILE write a JSON run report (trace/analyze/replicate/\n"
-      "                 report/sweep/explain)\n"
+      "                 report/sweep/explain/timeline)\n"
+      "  --timeline-out FILE\n"
+      "                 write the timeline document as JSON (timeline)\n"
       "  --trace-out FILE\n"
       "                 write a span timeline (Chrome Trace Format JSON,\n"
-      "                 loadable in Perfetto / chrome://tracing)\n"
+      "                 loadable in Perfetto / chrome://tracing); pipeline\n"
+      "                 runs add windowed miss-rate counter tracks\n"
       "  --threshold-file FILE\n"
       "                 relative-delta thresholds for compare (JSON; see\n"
       "                 docs/OBSERVABILITY.md)\n"
@@ -171,9 +204,9 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
     return parseError("no command given");
   A.Command = Argv[1];
 
-  static const char *Known[] = {"list",   "dump",    "trace",
-                                "analyze", "replicate", "report",
-                                "sweep",   "explain", "lint",   "compare"};
+  static const char *Known[] = {"list",   "dump",    "trace",    "analyze",
+                                "replicate", "report", "sweep", "explain",
+                                "timeline", "lint",   "compare"};
   bool KnownCommand = false;
   for (const char *C : Known)
     KnownCommand |= A.Command == C;
@@ -235,14 +268,15 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       if (!V || !ParseU64(V, N) || N == 0 || N > 1024)
         return parseError(
             "option '--jobs' needs an integer value between 1 and 1024");
-      static const char *Searching[] = {"replicate", "report", "sweep",
-                                        "explain", "lint"};
+      static const char *Searching[] = {"replicate", "report",   "sweep",
+                                        "explain",   "timeline", "lint"};
       bool Ok = false;
       for (const char *C : Searching)
         Ok |= A.Command == C;
       if (!Ok)
         return parseError("option '--jobs' only applies to the replicate, "
-                          "report, sweep, explain and lint commands");
+                          "report, sweep, explain, timeline and lint "
+                          "commands");
       A.Jobs = static_cast<unsigned>(N);
     } else if (Opt == "--dump") {
       A.Dump = true;
@@ -255,10 +289,35 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       uint64_t N = 0;
       if (!V || !ParseU64(V, N) || N > INT32_MAX)
         return parseError("option '--branch' needs a branch id");
-      if (A.Command != "explain")
-        return parseError(
-            "option '--branch' only applies to the explain command");
+      if (A.Command != "explain" && A.Command != "timeline")
+        return parseError("option '--branch' only applies to the explain "
+                          "and timeline commands");
       A.Branch = static_cast<int64_t>(N);
+    } else if (Opt == "--window") {
+      const char *V = Next();
+      uint64_t N = 0;
+      if (!V || !ParseU64(V, N))
+        return parseError("option '--window' needs an integer value");
+      if (A.Command != "timeline")
+        return parseError(
+            "option '--window' only applies to the timeline command");
+      if (!isPowerOfTwo(N) || N < 16 || N > (uint64_t{1} << 26))
+        return parseError("option '--window' must be a power of two "
+                          "between 16 and 67108864");
+      A.Window = N;
+    } else if (Opt == "--phases") {
+      if (A.Command != "timeline")
+        return parseError(
+            "option '--phases' only applies to the timeline command");
+      A.Phases = true;
+    } else if (Opt == "--timeline-out") {
+      const char *V = Next();
+      if (!V)
+        return parseError("option '--timeline-out' needs a file argument");
+      if (A.Command != "timeline")
+        return parseError(
+            "option '--timeline-out' only applies to the timeline command");
+      A.TimelineOut = V;
     } else if (Opt == "--format") {
       const char *V = Next();
       if (!V)
@@ -268,13 +327,16 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
         if (A.Format != "table" && A.Format != "json" && A.Format != "sarif")
           return parseError(
               "lint '--format' must be table, json or sarif");
+      } else if (A.Command == "compare") {
+        if (A.Format != "table" && A.Format != "json")
+          return parseError("compare '--format' must be table or json");
       } else {
         if (A.Format != "table" && A.Format != "csv" && A.Format != "json")
           return parseError("option '--format' must be table, csv or json");
         if (A.Command != "explain" && A.Command != "report" &&
-            A.Command != "sweep")
+            A.Command != "sweep" && A.Command != "timeline")
           return parseError("option '--format' only applies to explain, "
-                            "report, sweep and lint");
+                            "timeline, report, sweep, compare and lint");
         if ((A.Command == "report" || A.Command == "sweep") &&
             A.Format == "json")
           return parseError(A.Command + " emits JSON via --metrics; "
@@ -322,6 +384,10 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       return parseError("unknown option '" + Opt + "'");
     }
   }
+  if (A.Command == "timeline" && A.Phases && A.Branch >= 0)
+    return parseError("options '--phases' and '--branch' are mutually "
+                      "exclusive: phase splits already cover the top "
+                      "branches (pick one view)");
   return true;
 }
 
@@ -409,7 +475,10 @@ int cmdCompare(const Args &A) {
   }
 
   CompareResult R = compareReports(OldDoc, NewDoc, Opts);
-  std::printf("%s", renderCompareResult(R).c_str());
+  if (A.Format == "json")
+    std::printf("%s\n", compareResultJson(R).dump(2).c_str());
+  else
+    std::printf("%s", renderCompareResult(R).c_str());
   if (!R.Errors.empty())
     return 2;
   return R.Regressions ? 1 : 0;
@@ -539,6 +608,7 @@ bool runPipeline(const Args &A, const Workload &W, Module &M, Trace &T,
   Opts.Strategy.NodeBudget = 50'000;
   Opts.Strategy.Jobs = A.Jobs;
   Opts.MaxSizeFactor = A.Budget;
+  Opts.TimelineWindowEvents = A.Window;
   PR = replicateModule(M, T, Opts);
   if (!verifyModule(PR.Transformed).empty()) {
     std::fprintf(stderr,
@@ -678,17 +748,25 @@ int cmdReport(const Args &A) {
   return writeMetrics(A, &PR) ? 0 : 1;
 }
 
-/// Writes \p Text to \p Path, or stdout when \p Path is empty.
-bool emitText(const std::string &Path, const std::string &Text) {
+/// Writes \p Text to \p Path, or stdout when \p Path is empty. \returns
+/// false and sets \p Error (path + reason, e.g. the missing parent
+/// directory's ENOENT) on failure.
+bool emitText(const std::string &Path, const std::string &Text,
+              std::string &Error) {
   if (Path.empty()) {
     std::printf("%s", Text.c_str());
     return true;
   }
   std::FILE *F = std::fopen(Path.c_str(), "wb");
-  if (!F)
+  if (!F) {
+    Error =
+        "cannot open '" + Path + "' for writing: " + std::strerror(errno);
     return false;
+  }
   bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
   Ok &= std::fclose(F) == 0;
+  if (!Ok)
+    Error = "short write to '" + Path + "'";
   return Ok;
 }
 
@@ -728,9 +806,9 @@ int cmdSweep(const Args &A) {
   if (!A.Output.empty()) {
     std::string Text =
         A.Format == "csv" ? Table.renderCsv() : Table.render();
-    if (!emitText(A.Output, Text)) {
-      std::fprintf(stderr, "bpcr: error: cannot write %s\n",
-                   A.Output.c_str());
+    std::string Error;
+    if (!emitText(A.Output, Text, Error)) {
+      std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
       return 1;
     }
     std::printf("wrote %s\n", A.Output.c_str());
@@ -955,6 +1033,188 @@ int cmdExplain(const Args &A) {
   return writeMetrics(A, &PR) ? 0 : 1;
 }
 
+/// Phase index per window, for the series table's phase column.
+std::vector<uint32_t> phaseOfWindow(const TimeSeriesData &TS,
+                                    const std::vector<PhaseSegment> &Phases) {
+  std::vector<uint32_t> Out(TS.Windows.size(), 0);
+  for (size_t P = 0; P < Phases.size(); ++P)
+    for (uint32_t W = Phases[P].FirstWindow; W <= Phases[P].LastWindow; ++W)
+      Out[W] = static_cast<uint32_t>(P);
+  return Out;
+}
+
+/// The timeline document for `--format json` and `--timeline-out`: run
+/// context plus the same "timeline" object the v3 report embeds.
+JsonValue timelineDoc(const Args &A, const PipelineResult &PR) {
+  std::vector<int32_t> TopIds;
+  for (const BranchAttribution *B :
+       PR.Attribution.topByMispredictions(A.Top))
+    TopIds.push_back(B->BranchId);
+  JsonValue Doc = JsonValue::object();
+  Doc.set("tool", JsonValue::str("bpcr"));
+  Doc.set("command", JsonValue::str("timeline"));
+  Doc.set("workload", JsonValue::str(A.Target));
+  Doc.set("seed", JsonValue::integer(A.Seed));
+  Doc.set("events", JsonValue::integer(A.Events));
+  Doc.set("timeline", timelineJson(PR.Timeline, TopIds));
+  return Doc;
+}
+
+int cmdTimeline(const Args &A) {
+  const Workload *W = findWorkload(A.Target);
+  if (!W)
+    return 1;
+  Module M;
+  Trace T;
+  PipelineResult PR;
+  if (!runPipeline(A, *W, M, T, PR))
+    return 1;
+  const TimeSeriesData &TS = PR.Timeline;
+  if (TS.empty()) {
+    std::fprintf(stderr, "bpcr: error: timeline is empty (the workload "
+                         "produced no branch events?)\n");
+    return 1;
+  }
+  if (A.Branch >= 0 && static_cast<uint64_t>(A.Branch) >= TS.NumBranches) {
+    std::fprintf(stderr,
+                 "bpcr: error: branch %lld out of range (%u static "
+                 "branches)\n",
+                 static_cast<long long>(A.Branch), TS.NumBranches);
+    return 1;
+  }
+
+  // Everything printed below is derived from event counts alone — no
+  // timings, no rates-per-second — so the output is byte-identical for
+  // every --jobs value; the determinism test relies on that.
+  std::vector<PhaseSegment> Phases = segmentPhases(TS);
+  if (A.Format == "json") {
+    std::printf("%s\n", timelineDoc(A, PR).dump(2).c_str());
+  } else {
+    if (A.Format != "csv")
+      std::printf("%s seed=%llu: %llu events, window %llu events, %zu "
+                  "windows, %zu phases, warmup %llu events\n\n",
+                  W->Name, static_cast<unsigned long long>(A.Seed),
+                  static_cast<unsigned long long>(TS.TotalEvents),
+                  static_cast<unsigned long long>(TS.WindowEvents),
+                  TS.Windows.size(), Phases.size(),
+                  static_cast<unsigned long long>(
+                      estimateWarmupEvents(TS, Phases)));
+
+    if (A.Branch >= 0) {
+      TablePrinter Table("Branch " + std::to_string(A.Branch) +
+                         " windowed series (window " +
+                         std::to_string(TS.WindowEvents) + " events)");
+      Table.setHeader({"window", "start event", "executions", "taken %",
+                       "miss %"});
+      for (size_t I = 0; I < TS.Windows.size(); ++I) {
+        const TimeSeriesWindow &Win = TS.Windows[I];
+        TimeSeriesCell C;
+        if (static_cast<size_t>(A.Branch) < Win.Branches.size())
+          C = Win.Branches[static_cast<size_t>(A.Branch)];
+        Table.addRow(
+            {std::to_string(I), std::to_string(I * TS.WindowEvents),
+             std::to_string(C.Events),
+             formatPercent(TimeSeriesData::percent(C.Taken, C.Events)),
+             formatPercent(
+                 TimeSeriesData::percent(C.Mispredictions, C.Events))});
+      }
+      printTable(Table, A);
+    } else {
+      std::vector<uint32_t> PhaseOf = phaseOfWindow(TS, Phases);
+      TablePrinter Table("Windowed misprediction series (window " +
+                         std::to_string(TS.WindowEvents) + " events)");
+      Table.setHeader({"window", "start event", "events", "taken %",
+                       "miss %", "phase"});
+      for (size_t I = 0; I < TS.Windows.size(); ++I) {
+        const TimeSeriesWindow &Win = TS.Windows[I];
+        Table.addRow(
+            {std::to_string(I), std::to_string(I * TS.WindowEvents),
+             std::to_string(Win.Events),
+             formatPercent(TimeSeriesData::percent(Win.Taken, Win.Events)),
+             formatPercent(
+                 TimeSeriesData::percent(Win.Mispredictions, Win.Events)),
+             std::to_string(PhaseOf[I])});
+      }
+      printTable(Table, A);
+    }
+
+    if (A.Phases) {
+      if (A.Format != "csv")
+        std::printf("\n");
+      uint64_t Warmup = estimateWarmupEvents(TS, Phases);
+      TablePrinter PT("Phases (change points of the windowed "
+                      "misprediction rate)");
+      PT.setHeader({"phase", "windows", "start event", "events", "taken %",
+                    "miss %", "note"});
+      for (size_t P = 0; P < Phases.size(); ++P) {
+        const PhaseSegment &S = Phases[P];
+        const char *Note = "";
+        if (Phases.size() > 1) {
+          if (P + 1 == Phases.size())
+            Note = "steady";
+          else if (Warmup > 0 && S.StartEvent < Warmup)
+            Note = "warmup";
+        }
+        PT.addRow({std::to_string(P),
+                   std::to_string(S.FirstWindow) + "-" +
+                       std::to_string(S.LastWindow),
+                   std::to_string(S.StartEvent), std::to_string(S.Events),
+                   formatPercent(S.takenPercent()),
+                   formatPercent(S.missRatePercent()), Note});
+      }
+      printTable(PT, A);
+
+      // Per-phase split of the attribution ledger's top branches: where in
+      // the run each suspect actually pays its mispredictions.
+      auto Top = PR.Attribution.topByMispredictions(A.Top);
+      if (!Top.empty()) {
+        if (A.Format != "csv")
+          std::printf("\n");
+        TablePrinter BT("Per-phase split of the top " +
+                        std::to_string(Top.size()) + " branches");
+        BT.setHeader({"phase", "branch", "executions", "mispred",
+                      "miss %"});
+        for (size_t P = 0; P < Phases.size(); ++P) {
+          const PhaseSegment &S = Phases[P];
+          for (const BranchAttribution *B : Top) {
+            if (B->BranchId < 0 ||
+                static_cast<uint32_t>(B->BranchId) >= TS.NumBranches)
+              continue;
+            TimeSeriesCell C;
+            for (uint32_t WI = S.FirstWindow; WI <= S.LastWindow; ++WI) {
+              const TimeSeriesWindow &Win = TS.Windows[WI];
+              if (static_cast<uint32_t>(B->BranchId) <
+                  Win.Branches.size()) {
+                const TimeSeriesCell &Cell =
+                    Win.Branches[static_cast<uint32_t>(B->BranchId)];
+                C.Events += Cell.Events;
+                C.Taken += Cell.Taken;
+                C.Mispredictions += Cell.Mispredictions;
+              }
+            }
+            BT.addRow({std::to_string(P), std::to_string(B->BranchId),
+                       std::to_string(C.Events),
+                       std::to_string(C.Mispredictions),
+                       formatPercent(TimeSeriesData::percent(
+                           C.Mispredictions, C.Events))});
+          }
+        }
+        printTable(BT, A);
+      }
+    }
+  }
+
+  if (!A.TimelineOut.empty()) {
+    std::string Error;
+    if (!emitText(A.TimelineOut, timelineDoc(A, PR).dump(2) + "\n", Error)) {
+      std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("wrote timeline to %s\n", A.TimelineOut.c_str());
+  }
+  return writeMetrics(A, &PR) ? 0 : 1;
+}
+
 int cmdLint(const Args &A) {
   // Resolve the target: a workload name first, then a module file in the
   // textual serializer format.
@@ -1043,8 +1303,9 @@ int cmdLint(const Args &A) {
                   countSeverity(Diags, sa::Severity::Note));
     Out += Buf;
   }
-  if (!emitText(A.Output, Out)) {
-    std::fprintf(stderr, "bpcr: error: cannot write %s\n", A.Output.c_str());
+  std::string EmitError;
+  if (!emitText(A.Output, Out, EmitError)) {
+    std::fprintf(stderr, "bpcr: error: %s\n", EmitError.c_str());
     return 2;
   }
   if (!A.Output.empty())
@@ -1075,9 +1336,11 @@ int main(int Argc, char **Argv) {
     return usage();
 
   // Metrics collection stays off unless this invocation reports, so the
-  // plain commands keep the zero-overhead path. explain needs it on: the
-  // attribution ledger is only filled behind the enabled() guard.
-  if (!A.Metrics.empty() || A.Command == "report" || A.Command == "explain")
+  // plain commands keep the zero-overhead path. explain and timeline need
+  // it on: the attribution ledger and the windowed series are only filled
+  // behind the enabled() guard.
+  if (!A.Metrics.empty() || A.Command == "report" ||
+      A.Command == "explain" || A.Command == "timeline")
     Registry::global().setEnabled(true);
 
   int RC = 2;
@@ -1097,6 +1360,8 @@ int main(int Argc, char **Argv) {
     RC = cmdSweep(A);
   else if (A.Command == "explain")
     RC = cmdExplain(A);
+  else if (A.Command == "timeline")
+    RC = cmdTimeline(A);
   else if (A.Command == "lint")
     RC = cmdLint(A);
   else if (A.Command == "compare")
