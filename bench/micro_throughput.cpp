@@ -19,6 +19,7 @@
 #include "core/SizeSweep.h"
 #include "interp/Interpreter.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/Report.h"
 #include "obs/TraceSpans.h"
 #include "predict/DynamicPredictors.h"
@@ -387,6 +388,89 @@ int runSweepBench() {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Self-profiling benchmark (--profile-bench): runs the size sweep on the
+// largest workload with the profiler armed and emits the schema-v4 report
+// (profile section included) as BENCH_profile.json plus a collapsed-stack
+// flamegraph. The compare gate holds the schedule-independent counts
+// (`profile.categories.*.opened`, search counters) to the baseline; every
+// time, RSS and allocator figure is report-only.
+//===----------------------------------------------------------------------===//
+
+int runProfileBench() {
+  uint64_t Events = 50'000;
+  if (const char *E = std::getenv("BPCR_SWEEP_EVENTS"))
+    Events = std::strtoull(E, nullptr, 10);
+
+  // Same selection rule as the sweep bench: largest workload by trace
+  // length, branch count breaking ties. Selection runs before the profiler
+  // is armed so the probe traces don't pollute the span counts.
+  const Workload *Largest = nullptr;
+  size_t LargestScore = 0;
+  for (const Workload &W : allWorkloads()) {
+    Module WM;
+    Trace WT = traceWorkload(W, 1, WM, Events);
+    ProgramAnalysis WPA(WM);
+    size_t Score = WT.size() * 8 + WPA.numBranches();
+    if (Score > LargestScore) {
+      LargestScore = Score;
+      Largest = &W;
+    }
+  }
+  std::printf("profile bench: largest workload is %s (%llu events cap)\n",
+              Largest->Name, static_cast<unsigned long long>(Events));
+
+  Registry::global().setEnabled(true);
+  Profiler &Prof = Profiler::global();
+  Prof.setEnabled(true);
+  SearchCache::global().clear();
+
+  Module M;
+  Trace T = traceWorkload(*Largest, 1, M, Events);
+  ProgramAnalysis PA(M);
+  Prof.sampleRss("profile_bench.traced");
+  ProfileSet Profiles = buildLoopAwareProfiles(PA, T);
+
+  SweepOptions Opts;
+  Opts.MaxStates = 8;
+  Opts.MaxSizeFactor = 16.0;
+  Opts.NodeBudget = 30'000;
+  Opts.Jobs = 4;
+  std::vector<SweepPoint> Points = computeSizeSweep(PA, Profiles, T, Opts);
+  benchmark::DoNotOptimize(Points.data());
+  Prof.sampleRss("profile_bench.sweep");
+
+  ProfileData Data = Prof.collect();
+  std::fputs(profileTable(Data, &Registry::global()).c_str(), stdout);
+
+  const char *Out = std::getenv("BPCR_METRICS_OUT");
+  if (!Out)
+    Out = "BENCH_profile.json";
+  ReportMeta Meta;
+  Meta.Tool = "micro_throughput";
+  Meta.Command = "profile-bench";
+  Meta.Workload = Largest->Name;
+  Meta.Events = Events;
+  Meta.Seed = 1;
+  std::string Error;
+  if (!writeReportFile(Out, buildReport(Meta, Registry::global()), Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("wrote metrics to %s\n", Out);
+
+  const char *Flame = std::getenv("BPCR_FLAME_OUT");
+  if (!Flame)
+    Flame = "BENCH_profile_flame.txt";
+  if (!writeProfileText(Flame, collapsedStacks(SpanTracer::global()),
+                        "flamegraph", Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("wrote flamegraph to %s\n", Flame);
+  return 0;
+}
+
 /// Console reporter that additionally mirrors every per-iteration result
 /// into the obs registry, so the run can be serialized as a BENCH_*.json
 /// trajectory point.
@@ -411,11 +495,14 @@ public:
 } // namespace
 
 int main(int argc, char **argv) {
-  // Standalone sweep wall-time mode; everything else belongs to
-  // google-benchmark.
-  for (int I = 1; I < argc; ++I)
+  // Standalone sweep wall-time / self-profiling modes; everything else
+  // belongs to google-benchmark.
+  for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--sweep-bench") == 0)
       return runSweepBench();
+    if (std::strcmp(argv[I], "--profile-bench") == 0)
+      return runProfileBench();
+  }
 
   // --trace-out must come out of argv before google-benchmark sees it.
   std::string TraceOut, TraceError;

@@ -30,6 +30,15 @@ namespace bpcr {
 /// (older) bits.
 class PatternTable {
 public:
+  /// Hash map type with the profiling allocator: pattern tables are built
+  /// per (branch, width) across the whole search, so their allocation
+  /// churn is worth tracking in `bpcr profile`.
+  using FullMap = std::unordered_map<
+      uint32_t, DirCounts, std::hash<uint32_t>, std::equal_to<uint32_t>,
+      CountingAllocator<std::pair<const uint32_t, DirCounts>,
+                        AllocTag::PatternTable>>;
+
+public:
   explicit PatternTable(unsigned MaxBits = 9) : MaxBits(MaxBits) {}
 
   /// Records one outcome under the current local history, then shifts it.
@@ -63,7 +72,7 @@ public:
   /// the paper's Table 2 fill rate.
   unsigned distinctPatterns(unsigned Bits) const;
 
-  const std::unordered_map<uint32_t, DirCounts> &full() const { return Full; }
+  const FullMap &full() const { return Full; }
   unsigned maxBits() const { return MaxBits; }
   uint64_t executions() const { return Executions; }
 
@@ -73,7 +82,7 @@ private:
   unsigned MaxBits;
   uint32_t Hist = 0;
   uint64_t Executions = 0;
-  std::unordered_map<uint32_t, DirCounts> Full;
+  FullMap Full;
 };
 
 /// Everything the machine construction needs about one branch.

@@ -11,6 +11,7 @@
 #include "core/LoopAwareProfiles.h"
 #include "interp/TimelineSink.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/TimeSeries.h"
 #include "obs/TraceSpans.h"
 #include "sa/ReplicationSoundness.h"
@@ -103,12 +104,15 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   // (the machine state resets on loop re-entry). Each phase carries both a
   // ScopedTimer (aggregate histogram) and a Span (timeline) under the same
   // name so the trace view and the report line up.
+  Profiler::global().sampleRss("pipeline.start");
+
   ScopedTimer TLoops("pipeline.phase.loop_analysis");
   Span SLoops("pipeline.phase.loop_analysis");
   ProgramAnalysis PA(M);
   SLoops.arg("branches", static_cast<uint64_t>(PA.numBranches()));
   SLoops.end();
   TLoops.stop();
+  Profiler::global().sampleRss("loop_analysis");
 
   ScopedTimer TProfile("pipeline.phase.profiling");
   Span SProfile("pipeline.phase.profiling");
@@ -117,6 +121,7 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   Stats.addTrace(T);
   SProfile.end();
   TProfile.stop();
+  Profiler::global().sampleRss("profiling");
 
   ScopedTimer TSearch("pipeline.phase.machine_search");
   Span SSearch("pipeline.phase.machine_search");
@@ -126,6 +131,7 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   SSearch.arg("strategies", static_cast<uint64_t>(R.Strategies.size()));
   SSearch.end();
   TSearch.stop();
+  Profiler::global().sampleRss("machine_search");
 
   // Estimated instructions a strategy's replication adds: the paper's cost
   // function weighing accuracy gain against code growth.
@@ -304,6 +310,7 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   SJoint.arg("plans", static_cast<uint64_t>(JointPlans.size()));
   SJoint.end();
   TJoint.stop();
+  Profiler::global().sampleRss("joint_planning");
 
   ScopedTimer TRepl("pipeline.phase.replication");
   Span SRepl("pipeline.phase.replication");
@@ -523,6 +530,7 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   SRepl.arg("correlated", static_cast<uint64_t>(R.CorrelatedReplications));
   SRepl.end();
   TRepl.stop();
+  Profiler::global().sampleRss("replication");
 
   ScopedTimer TAnnotate("pipeline.phase.annotation");
   Span SAnnotate("pipeline.phase.annotation");
@@ -530,6 +538,7 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   R.Transformed.assignBranchIds();
   SAnnotate.end();
   TAnnotate.stop();
+  Profiler::global().sampleRss("annotation");
 
   // Final soundness pass over the annotated module, this time also
   // cross-validating the materialized copy→original branch map (every

@@ -96,6 +96,9 @@ unsigned fillRungsByTruncation(IntraLoopLadder &L, const PatternTable &Table,
 IntraLoopLadder bpcr::buildIntraLoopLadder(const PatternTable &Table,
                                            const MachineOptions &Opts,
                                            unsigned MinBudget) {
+  Span S("search.intra_loop.ladder", "search");
+  S.arg("max_states", static_cast<uint64_t>(Opts.MaxStates));
+
   IntraLoopLadder L;
   L.MaxStates = Opts.MaxStates;
   L.MinBudget = std::max(2u, std::min(MinBudget, Opts.MaxStates));
@@ -174,6 +177,10 @@ CorrelatedLadder bpcr::buildCorrelatedLadder(int32_t BranchId,
                                              const PathProfile &Profile,
                                              const CorrelatedOptions &Opts,
                                              unsigned MinBudget) {
+  Span S("search.correlated.ladder", "search");
+  S.arg("branch", static_cast<int64_t>(BranchId));
+  S.arg("max_states", static_cast<uint64_t>(Opts.MaxStates));
+
   CorrelatedLadder L;
   L.MaxStates = Opts.MaxStates;
   L.MinBudget = std::max(2u, std::min(MinBudget, Opts.MaxStates));

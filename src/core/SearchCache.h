@@ -30,6 +30,7 @@
 
 #include "core/CorrelatedMachine.h"
 #include "core/MachineSearch.h"
+#include "support/CountingAlloc.h"
 
 #include <atomic>
 #include <cassert>
@@ -49,7 +50,11 @@ namespace bpcr {
 template <typename MachineT> struct MachineLadder {
   unsigned MaxStates = 0;
   unsigned MinBudget = 2;
-  std::vector<MachineT> ByBudget;
+  /// Rung storage reports into the opt-in allocation tracker
+  /// (support/CountingAlloc.h): the cached ladders dominate the search's
+  /// resident memory, so `bpcr profile` accounts them separately.
+  std::vector<MachineT, CountingAllocator<MachineT, AllocTag::Ladder>>
+      ByBudget;
 
   const MachineT &at(unsigned Budget) const {
     assert(Budget >= MinBudget && Budget <= MaxStates &&

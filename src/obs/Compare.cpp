@@ -51,6 +51,14 @@ std::vector<CompareRule> bpcr::defaultCompareRules() {
   // Span sampling drops depend on tracing configuration, not the workload.
   Rules.push_back(
       {"counters.obs.trace.*", 0.0, DeltaDirection::Both, /*Skip=*/true});
+  // Pool telemetry (queue depth, utilization) varies with scheduling.
+  Rules.push_back({"gauges.pool.*", 0.0, DeltaDirection::Both, /*Skip=*/true});
+  // In the profile section only the span-open counts are schedule- and
+  // machine-independent; recorded counts, times, RSS and allocator bytes
+  // all vary with thread count, clock or stdlib version.
+  Rules.push_back({"profile.categories.*.opened", 0.0, DeltaDirection::Both,
+                   /*Skip=*/false});
+  Rules.push_back({"profile.*", 0.0, DeltaDirection::Both, /*Skip=*/true});
   Rules.push_back({"*", 0.0, DeltaDirection::Both, /*Skip=*/false});
   return Rules;
 }
@@ -147,6 +155,14 @@ bpcr::flattenReportMetrics(const JsonValue &Report) {
     std::vector<std::pair<std::string, double>> Tl;
     flattenInto(*T, "timeline", Tl);
     Out.insert(Out.end(), Tl.begin(), Tl.end());
+  }
+  if (const JsonValue *P = Report.find("profile")) {
+    // The rss_samples array is plot data and skipped like all arrays; the
+    // category/site/allocator scalars flatten, and the default rules gate
+    // only the schedule-independent opened counts.
+    std::vector<std::pair<std::string, double>> Pr;
+    flattenInto(*P, "profile", Pr);
+    Out.insert(Out.end(), Pr.begin(), Pr.end());
   }
   return Out;
 }

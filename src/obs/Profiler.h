@@ -1,0 +1,229 @@
+//===- obs/Profiler.h - Process self-profiling ------------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The toolchain's self-profiling layer: turns the raw span timeline
+/// (obs/TraceSpans.h) into per-category and per-site self-time vs
+/// total-time statistics (wall and per-thread CPU), samples process RSS at
+/// phase boundaries, folds in the counting-allocator totals
+/// (support/CountingAlloc.h), and exports a collapsed-stack flamegraph
+/// consumable by speedscope / FlameGraph.
+///
+/// Self time is a span's duration minus its *recorded* direct children's
+/// durations, reconstructed per thread from the (Tid, Depth, StartNs)
+/// nesting. When the per-category sampling cap dropped spans, the recorded
+/// totals under-report; the profile keeps the schedule-independent opened
+/// counts next to the recorded ones, flags affected categories, and carries
+/// an estimated scale so readers are never silently misled (satellite of
+/// ISSUE 7).
+///
+/// Determinism contract: `categories.*.opened` and the allocator counts are
+/// pure functions of the work done — byte-identical across --jobs for one
+/// binary. Everything carrying a clock reading (self/total/CPU times, p50,
+/// RSS) is inherently run-dependent and is skipped by the compare gate.
+///
+/// Output surfaces: `bpcr profile <command>` (--profile-out JSON,
+/// --flame-out collapsed stacks, --format table|json) and the gated
+/// "profile" section of report schema v4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_OBS_PROFILER_H
+#define BPCR_OBS_PROFILER_H
+
+#include "obs/TraceSpans.h"
+#include "support/CountingAlloc.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace bpcr {
+
+class JsonValue;
+class Registry;
+
+/// Aggregated statistics for one (category, name) instrumentation site,
+/// over the *recorded* spans only.
+struct ProfileSiteStats {
+  std::string Category;
+  std::string Name;
+  uint64_t Count = 0;
+  uint64_t TotalWallNs = 0;
+  uint64_t SelfWallNs = 0;
+  uint64_t TotalCpuNs = 0;
+  uint64_t SelfCpuNs = 0;
+  /// Exact nearest-rank quantiles over the recorded wall durations.
+  uint64_t WallP50Ns = 0;
+  uint64_t WallP95Ns = 0;
+};
+
+/// Aggregated statistics for one span category.
+struct ProfileCategoryStats {
+  std::string Category;
+  /// Spans opened while tracing — schedule-independent (see
+  /// SpanCategoryCount); the count the cross-machine gates compare.
+  uint64_t Opened = 0;
+  /// Spans that landed in a buffer; the times below cover only these.
+  uint64_t Recorded = 0;
+  uint64_t Dropped = 0;
+  /// True when sampling dropped spans in this category: recorded times
+  /// under-report true totals by roughly SampleScale.
+  bool SampleCapped = false;
+  /// Opened / Recorded (1.0 when nothing was dropped; 0 when nothing was
+  /// recorded at all). Multiply the self/total times by this for a
+  /// first-order estimate of the unsampled truth.
+  double SampleScale = 1.0;
+  uint64_t TotalWallNs = 0;
+  uint64_t SelfWallNs = 0;
+  uint64_t TotalCpuNs = 0;
+  uint64_t SelfCpuNs = 0;
+  uint64_t WallP50Ns = 0;
+  uint64_t WallP95Ns = 0;
+};
+
+/// One RSS reading, stamped in the tracer's timestamp domain.
+struct RssSample {
+  std::string Label;
+  uint64_t Ns = 0;
+  uint64_t RssBytes = 0;
+};
+
+/// Per-tag counting-allocator totals with the tag's stable name.
+struct ProfileAllocStats {
+  std::string Tag;
+  AllocTracker::TagStats Stats;
+};
+
+/// Everything Profiler::collect() derives; the input to the JSON / table /
+/// flamegraph renderers.
+struct ProfileData {
+  /// Sorted by category name.
+  std::vector<ProfileCategoryStats> Categories;
+  /// Sorted by (category, name).
+  std::vector<ProfileSiteStats> Sites;
+  std::vector<RssSample> RssSamples;
+  /// getrusage(RUSAGE_SELF) peak RSS; 0 where unsupported.
+  uint64_t PeakRssBytes = 0;
+  uint64_t SpansDropped = 0;
+  /// Tracer-epoch elapsed time at collection — the "total wall" the
+  /// acceptance bound (sum of top-level self times <= this) is against.
+  uint64_t WallTotalNs = 0;
+  std::vector<ProfileAllocStats> Allocs;
+};
+
+/// Coordinates the self-profiling switches and owns the RSS sample log.
+/// Enabling cascades to the span tracer and the allocation tracker so one
+/// flag arms every collection point.
+class Profiler {
+public:
+  static Profiler &global() {
+    static Profiler P;
+    return P;
+  }
+
+  Profiler() = default;
+  Profiler(const Profiler &) = delete;
+  Profiler &operator=(const Profiler &) = delete;
+
+  bool enabled() const { return Enabled; }
+
+  /// Arms (or disarms) self-profiling: the span tracer (if not already on)
+  /// and the counting-allocator tracker follow this flag.
+  void setEnabled(bool On) {
+    Enabled = On;
+    AllocTracker::global().setEnabled(On);
+    if (On && !SpanTracer::global().enabled())
+      SpanTracer::global().setEnabled(true);
+  }
+
+  /// Current resident set size in bytes, from /proc/self/statm on Linux;
+  /// 0 where unsupported. Header-inline (like the span recording half) so
+  /// core can sample at phase boundaries without linking bpcr_obs.
+  static uint64_t currentRssBytes() {
+#if defined(__linux__)
+    std::FILE *F = std::fopen("/proc/self/statm", "r");
+    if (!F)
+      return 0;
+    unsigned long long Size = 0, Resident = 0;
+    int Got = std::fscanf(F, "%llu %llu", &Size, &Resident);
+    std::fclose(F);
+    if (Got != 2)
+      return 0;
+    long Page = sysconf(_SC_PAGESIZE);
+    if (Page <= 0)
+      Page = 4096;
+    return static_cast<uint64_t>(Resident) * static_cast<uint64_t>(Page);
+#else
+    return 0;
+#endif
+  }
+
+  /// Records the process's current RSS under \p Label (a phase name). A
+  /// no-op when disabled or where /proc is unavailable.
+  void sampleRss(const char *Label) {
+    if (!Enabled)
+      return;
+    uint64_t Rss = currentRssBytes();
+    if (Rss == 0)
+      return;
+    RssSample S;
+    S.Label = Label;
+    S.Ns =
+        SpanTracer::global().enabled() ? SpanTracer::global().elapsedNs() : 0;
+    S.RssBytes = Rss;
+    std::lock_guard<std::mutex> Lock(Mu);
+    Samples.push_back(std::move(S));
+  }
+
+  /// Aggregates the tracer's spans, category counts, the RSS log and the
+  /// allocator totals into one ProfileData. Call after work has quiesced.
+  ProfileData collect(const SpanTracer &T = SpanTracer::global()) const;
+
+  /// Drops the RSS log; the enabled flag is left alone.
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Samples.clear();
+  }
+
+private:
+  bool Enabled = false;
+  mutable std::mutex Mu;
+  std::vector<RssSample> Samples;
+};
+
+// -- Renderers and writers (obs/Profiler.cpp) -------------------------------
+
+/// The profile as a JSON object — the standalone `--profile-out` document
+/// body and the report's "profile" section. \p Reg contributes the pool.*
+/// utilization metrics when non-null and enabled.
+JsonValue profileJson(const ProfileData &P, const Registry *Reg = nullptr);
+
+/// Human-readable table rendering (the `--format table` default).
+std::string profileTable(const ProfileData &P, const Registry *Reg = nullptr);
+
+/// Collapsed-stack flamegraph lines ("bpcr;parent;child <self-us>\n",
+/// sorted), derived from the recorded span tree. Values are self wall time
+/// in integer microseconds; zero-valued stacks are kept so every recorded
+/// frame appears.
+std::string collapsedStacks(const SpanTracer &T);
+
+/// Writes \p Text to \p Path. \returns false and sets \p Error to an
+/// errno-descriptive message on failure. \p What names the artifact in the
+/// error ("profile", "flamegraph").
+bool writeProfileText(const std::string &Path, const std::string &Text,
+                      const char *What, std::string &Error);
+
+} // namespace bpcr
+
+#endif // BPCR_OBS_PROFILER_H

@@ -7,6 +7,7 @@
 #include "obs/Report.h"
 
 #include "core/Pipeline.h"
+#include "obs/Profiler.h"
 #include "obs/TimeSeries.h"
 
 #include <cerrno>
@@ -135,6 +136,10 @@ JsonValue bpcr::buildReport(const ReportMeta &Meta, const Registry &R,
       Doc.set("timeline", timelineJson(PR->Timeline, TopIds));
     }
   }
+  // Self-profiling is opt-in (`bpcr profile`), so ordinary reports stay
+  // byte-identical with and without the profiler compiled in.
+  if (Profiler::global().enabled())
+    Doc.set("profile", profileJson(Profiler::global().collect(), &R));
   return Doc;
 }
 

@@ -34,7 +34,11 @@ struct PipelineResult;
 ///   3 — adds the "timeline" section (windowed misprediction series, phase
 ///       segmentation, warmup boundary, per-phase top-K branch splits) to
 ///       pipeline reports.
-constexpr int ReportSchemaVersion = 3;
+///   4 — adds the gated "profile" section (self-profiling: per-category
+///       self/total wall+CPU span times with opened/recorded/dropped
+///       counts, per-site stats, RSS samples, counting-allocator totals,
+///       pool.* utilization) when the profiler is enabled.
+constexpr int ReportSchemaVersion = 4;
 
 /// Context describing the run being reported.
 struct ReportMeta {

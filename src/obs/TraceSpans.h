@@ -36,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -64,11 +65,25 @@ struct SpanEvent {
   /// Nanoseconds since the tracer was enabled.
   uint64_t StartNs = 0;
   uint64_t DurNs = 0;
+  /// CPU nanoseconds the recording thread spent inside the span, from
+  /// CLOCK_THREAD_CPUTIME_ID captured at open and close. Zero when the
+  /// platform has no per-thread CPU clock.
+  uint64_t CpuDurNs = 0;
   /// Tracer-local thread number (0 for the first thread).
   uint32_t Tid = 0;
   /// Nesting depth at open time (0 = top level on its thread).
   uint32_t Depth = 0;
   std::vector<SpanArg> Args;
+};
+
+/// Per-category span accounting. Opened counts every span constructed while
+/// the tracer was enabled — including ones the sampling cap then dropped —
+/// so it is a pure function of the work done, independent of thread count
+/// and schedule. Recorded counts only the spans that landed in a buffer;
+/// the difference is what sampling dropped.
+struct SpanCategoryCount {
+  uint64_t Opened = 0;
+  uint64_t Recorded = 0;
 };
 
 /// One sample on a counter track ("ph":"C" in the Chrome format): a value
@@ -127,6 +142,21 @@ public:
   /// Spans dropped by sampling since the last clear().
   uint64_t droppedCount() const {
     return Dropped.load(std::memory_order_relaxed);
+  }
+
+  /// Per-category opened/recorded counts summed across all threads. Opened
+  /// totals are schedule-independent (see SpanCategoryCount); Recorded
+  /// totals depend on how work spread over threads once sampling kicks in.
+  std::map<std::string, SpanCategoryCount, std::less<>> categoryCounts() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    std::map<std::string, SpanCategoryCount, std::less<>> Out;
+    for (const auto &B : Buffers)
+      for (const auto &[Cat, C] : B->CategoryCounts) {
+        auto &Sum = Out[Cat];
+        Sum.Opened += C.Opened;
+        Sum.Recorded += C.Recorded;
+      }
+    return Out;
   }
 
   /// Snapshot of every thread's completed spans (export order: by thread,
@@ -189,8 +219,8 @@ private:
     uint32_t Tid = 0;
     uint32_t Depth = 0;
     std::vector<SpanEvent> Events;
-    /// Recorded spans per category, for the sampling cap.
-    std::map<std::string, uint64_t, std::less<>> CategoryCounts;
+    /// Opened/recorded spans per category; Recorded drives the sampling cap.
+    std::map<std::string, SpanCategoryCount, std::less<>> CategoryCounts;
   };
 
   /// Fetch-or-create the calling thread's buffer. A thread_local cache
@@ -258,9 +288,10 @@ public:
     Buf = &T.threadBuf();
     auto It = Buf->CategoryCounts.find(std::string_view(Category));
     if (It == Buf->CategoryCounts.end())
-      It = Buf->CategoryCounts.emplace(Category, 0).first;
-    uint64_t &Seen = It->second;
-    if (Seen >= T.sampleLimit()) {
+      It = Buf->CategoryCounts.emplace(Category, SpanCategoryCount{}).first;
+    SpanCategoryCount &Seen = It->second;
+    ++Seen.Opened;
+    if (Seen.Recorded >= T.sampleLimit()) {
       Tracer->Dropped.fetch_add(1, std::memory_order_relaxed);
       Registry &Reg = Registry::global();
       if (Reg.enabled()) {
@@ -280,12 +311,13 @@ public:
       }
       Sampled = false;
     } else {
-      ++Seen;
+      ++Seen.Recorded;
       Ev.Name = Name;
       Ev.Category = Category;
       Ev.Tid = Buf->Tid;
       Ev.Depth = Buf->Depth;
       Ev.StartNs = T.nowNs();
+      CpuStartNs = threadCpuNowNs();
     }
     ++Buf->Depth;
   }
@@ -335,9 +367,22 @@ public:
       --Buf->Depth;
     if (Sampled) {
       Ev.DurNs = Tracer->nowNs() - Ev.StartNs;
+      uint64_t CpuEnd = threadCpuNowNs();
+      Ev.CpuDurNs = CpuEnd > CpuStartNs ? CpuEnd - CpuStartNs : 0;
       Buf->Events.push_back(std::move(Ev));
     }
     Tracer = nullptr;
+  }
+
+  /// The calling thread's CPU clock, or 0 where the platform lacks one.
+  static uint64_t threadCpuNowNs() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+    timespec Ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts) == 0)
+      return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ull +
+             static_cast<uint64_t>(Ts.tv_nsec);
+#endif
+    return 0;
   }
 
 private:
@@ -346,6 +391,7 @@ private:
   SpanTracer *Tracer = nullptr;
   SpanTracer::ThreadBuf *Buf = nullptr;
   bool Sampled = true;
+  uint64_t CpuStartNs = 0;
   SpanEvent Ev;
 };
 

@@ -28,16 +28,37 @@
 #ifndef BPCR_SUPPORT_THREADPOOL_H
 #define BPCR_SUPPORT_THREADPOOL_H
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace bpcr {
+
+/// A quiesced snapshot of a pool's utilization telemetry. Valid once every
+/// submitted future has been waited on (or after the pool is destroyed —
+/// callers keeping a copy): per-worker slots are written lock-free by their
+/// owning worker, so sampling mid-task reads whatever has been flushed.
+struct PoolStats {
+  uint64_t TasksSubmitted = 0;
+  /// Deepest the queue ever got (measured at each enqueue).
+  uint64_t QueueDepthHwm = 0;
+  /// Per-worker nanoseconds spent running tasks / waiting for work.
+  std::vector<uint64_t> WorkerBusyNs;
+  std::vector<uint64_t> WorkerIdleNs;
+  /// Submission-to-start latency: time tasks sat in the queue.
+  uint64_t SubmitLatencyCount = 0;
+  uint64_t SubmitLatencyTotalNs = 0;
+  uint64_t SubmitLatencyMaxNs = 0;
+};
 
 class ThreadPool {
 public:
@@ -60,6 +81,9 @@ public:
   /// (lowest index) is rethrown here.
   void parallelFor(size_t N, const std::function<void(size_t)> &Body);
 
+  /// Utilization telemetry so far; see PoolStats for when it is exact.
+  PoolStats stats() const;
+
   /// std::thread::hardware_concurrency() clamped to at least 1.
   static unsigned hardwareThreads();
 
@@ -70,13 +94,36 @@ public:
   }
 
 private:
-  void workerLoop();
+  /// Queued task plus its enqueue timestamp, for submit-to-start latency.
+  struct QueueItem {
+    std::packaged_task<void()> Task;
+    std::chrono::steady_clock::time_point EnqueuedAt;
+  };
+
+  /// One worker's telemetry slot. The owning worker writes with relaxed
+  /// atomics (tearing-free for concurrent stats() readers); LatencySamples
+  /// is owner-written and only read after join, in the destructor's
+  /// metrics flush.
+  struct WorkerTelemetry {
+    std::atomic<uint64_t> BusyNs{0};
+    std::atomic<uint64_t> IdleNs{0};
+    std::atomic<uint64_t> LatCount{0};
+    std::atomic<uint64_t> LatTotalNs{0};
+    std::atomic<uint64_t> LatMaxNs{0};
+    std::vector<uint64_t> LatencySamples;
+  };
+
+  void workerLoop(unsigned WorkerIndex);
+  void flushMetrics();
 
   std::vector<std::thread> Workers;
-  std::deque<std::packaged_task<void()>> Queue;
-  std::mutex Mu;
+  std::deque<QueueItem> Queue;
+  mutable std::mutex Mu;
   std::condition_variable CV;
   bool Stopping = false;
+  uint64_t QueueDepthHwm = 0; // guarded by Mu
+  std::atomic<uint64_t> TasksSubmitted{0};
+  std::unique_ptr<WorkerTelemetry[]> WorkerTel;
 };
 
 /// Runs Body(0..N-1) on \p Jobs resolved workers. Jobs <= 1 (or N <= 1)

@@ -15,6 +15,8 @@
 #ifndef BPCR_TRACE_TRACE_H
 #define BPCR_TRACE_TRACE_H
 
+#include "support/CountingAlloc.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -30,8 +32,12 @@ struct BranchEvent {
   }
 };
 
-/// A program run's branch event sequence, in execution order.
-using Trace = std::vector<BranchEvent>;
+/// A program run's branch event sequence, in execution order. The buffer
+/// is one of the process's largest allocations, so it reports into the
+/// opt-in allocation tracker (support/CountingAlloc.h) for `bpcr profile`.
+using Trace =
+    std::vector<BranchEvent,
+                CountingAllocator<BranchEvent, AllocTag::TraceBuffer>>;
 
 } // namespace bpcr
 

@@ -10,6 +10,7 @@
 #include "obs/DecisionLog.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/Report.h"
 #include "obs/TimeSeries.h"
 #include "workloads/Workload.h"
@@ -436,6 +437,121 @@ TEST(Compare, FlattensTimelineLeavesButNotWindowsArray) {
 
   CompareResult CR = compareReports(Report, Report, CompareOptions());
   EXPECT_TRUE(CR.ok());
+}
+
+namespace {
+
+/// A minimal profile section: one category, one site, one RSS sample and
+/// one allocator pool — enough to exercise every flattening shape.
+JsonValue profileReportWith(uint64_t Opened, uint64_t SelfWallNs) {
+  ProfileData P;
+  ProfileCategoryStats C;
+  C.Category = "search";
+  C.Opened = Opened;
+  C.Recorded = Opened;
+  C.TotalWallNs = SelfWallNs + 1000;
+  C.SelfWallNs = SelfWallNs;
+  P.Categories.push_back(C);
+  ProfileSiteStats S;
+  S.Category = "search";
+  S.Name = "search.ladder";
+  S.Count = Opened;
+  S.TotalWallNs = SelfWallNs + 1000;
+  S.SelfWallNs = SelfWallNs;
+  P.Sites.push_back(S);
+  RssSample R;
+  R.Label = "pipeline.start";
+  R.Ns = 10;
+  R.RssBytes = 1 << 20;
+  P.RssSamples.push_back(R);
+  P.PeakRssBytes = 2u << 20;
+  ProfileAllocStats A;
+  A.Tag = "ladder";
+  A.Stats.Allocs = 3;
+  A.Stats.BytesAllocated = 128;
+  P.Allocs.push_back(A);
+
+  JsonValue Report = JsonValue::object();
+  Report.set("schema_version",
+             JsonValue::integer(int64_t{ReportSchemaVersion}));
+  Report.set("profile", profileJson(P));
+  return Report;
+}
+
+} // namespace
+
+TEST(Compare, FlattensProfileLeavesButNotRssArray) {
+  JsonValue Report = profileReportWith(10, 4000);
+  auto Flat = flattenReportMetrics(Report);
+  auto Value = [&](const std::string &Name) -> const double * {
+    for (const auto &[N, V] : Flat)
+      if (N == Name)
+        return &V;
+    return nullptr;
+  };
+  const double *Opened = Value("profile.categories.search.opened");
+  ASSERT_NE(Opened, nullptr);
+  EXPECT_NEAR(*Opened, 10.0, 1e-9);
+  ASSERT_NE(Value("profile.memory.peak_rss_bytes"), nullptr);
+  ASSERT_NE(Value("profile.memory.allocs.ladder.allocs"), nullptr);
+  // The RSS sample log is plot data and stays out of the gated set, like
+  // every array.
+  for (const auto &[N, V] : Flat)
+    EXPECT_EQ(N.find("rss_samples"), std::string::npos) << N;
+
+  CompareResult CR = compareReports(Report, Report, CompareOptions());
+  EXPECT_TRUE(CR.ok());
+}
+
+TEST(Compare, DefaultRulesGateOpenedCountsButSkipProfileTimes) {
+  JsonValue Old = profileReportWith(10, 4000);
+
+  // Times drifting (here 2x) is run-to-run noise: report-only.
+  CompareResult Drift =
+      compareReports(Old, profileReportWith(10, 8000), CompareOptions());
+  EXPECT_TRUE(Drift.ok());
+
+  // The schedule-independent opened count moving at all is a regression.
+  CompareResult Moved =
+      compareReports(Old, profileReportWith(11, 4000), CompareOptions());
+  EXPECT_FALSE(Moved.ok());
+  bool SawOpenedRule = false;
+  for (const MetricDelta &D : Moved.Deltas)
+    if (D.Name == "profile.categories.search.opened") {
+      EXPECT_TRUE(D.Regressed);
+      EXPECT_EQ(D.RulePattern, "profile.categories.*.opened");
+      SawOpenedRule = true;
+    }
+  EXPECT_TRUE(SawOpenedRule);
+}
+
+TEST(Compare, PoolGaugesAreReportOnlyByDefault) {
+  auto ReportWith = [](double Utilization, double Other) {
+    JsonValue Gauges = JsonValue::object();
+    Gauges.set("pool.utilization_percent", JsonValue::number(Utilization));
+    Gauges.set("pool.queue_depth_hwm", JsonValue::number(Utilization));
+    Gauges.set("search.quality", JsonValue::number(Other));
+    JsonValue Metrics = JsonValue::object();
+    Metrics.set("gauges", Gauges);
+    JsonValue Report = JsonValue::object();
+    Report.set("schema_version",
+               JsonValue::integer(int64_t{ReportSchemaVersion}));
+    Report.set("metrics", Metrics);
+    return Report;
+  };
+
+  // Utilization swings are runner noise: skipped by gauges.pool.*.
+  CompareResult PoolOnly =
+      compareReports(ReportWith(10.0, 5.0), ReportWith(90.0, 5.0),
+                     CompareOptions());
+  EXPECT_TRUE(PoolOnly.ok());
+
+  // Control: a non-pool gauge moving past the default band still fails,
+  // proving the pass above came from the pool skip rule.
+  CompareResult Control =
+      compareReports(ReportWith(10.0, 5.0), ReportWith(10.0, 10.0),
+                     CompareOptions());
+  EXPECT_FALSE(Control.ok());
 }
 
 TEST(Compare, ResultJsonCarriesDeltasAndSpellsInfinity) {

@@ -18,6 +18,8 @@
 //                [--annotate]
 //   bpcr timeline <workload> [--window N] [--branch ID] [--phases]
 //                [--format table|csv|json] [--timeline-out FILE]
+//   bpcr profile <replicate|report|sweep|timeline> <workload>
+//                [--format table|json] [--profile-out FILE] [--flame-out FILE]
 //   bpcr lint <workload|module-file> [--seed N] [--format table|json|sarif]
 //             [--fail-on warning|error] [--replicate]
 //   bpcr compare OLD.json NEW.json [--threshold-file FILE]
@@ -45,6 +47,14 @@
 // --replicate) accept --jobs N to fan the per-branch machine searches over
 // a worker pool. Results never depend on the worker count.
 //
+// `profile` wraps one of replicate/report/sweep/timeline with the
+// self-profiler armed and appends the collected profile (per-category
+// self-vs-total span times, RSS and allocation accounting, pool.*
+// utilization); --profile-out writes it as JSON and --flame-out writes a
+// collapsed-stack flamegraph derived from the span tree. Its --format
+// selects the profile rendering; the wrapped command keeps its default
+// output.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/LoopAwareProfiles.h"
@@ -56,6 +66,7 @@
 #include "ir/Verifier.h"
 #include "obs/Compare.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/Report.h"
 #include "obs/TimeSeries.h"
 #include "obs/TraceSpans.h"
@@ -110,6 +121,10 @@ struct Args {
   // lint options.
   std::string FailOn = "error";
   bool Replicate = false;
+  // profile options (the wrapped command and the artifact paths).
+  std::string ProfileInner;
+  std::string ProfileOut;
+  std::string FlameOut;
 };
 
 int usage() {
@@ -136,6 +151,12 @@ int usage() {
       "                               the replicated program, with phase\n"
       "                               segmentation (deterministic output,\n"
       "                               byte-identical for every --jobs)\n"
+      "  profile <cmd> <workload>     run replicate/report/sweep/timeline\n"
+      "                               with the self-profiler armed and\n"
+      "                               append the profile: per-category\n"
+      "                               self-vs-total span times (wall + CPU),\n"
+      "                               RSS/allocation accounting, pool\n"
+      "                               utilization\n"
       "  lint <workload|module-file>  run the static-analysis passes and\n"
       "                               report diagnostics (exit 1 when any\n"
       "                               reach the --fail-on severity)\n"
@@ -169,7 +190,8 @@ int usage() {
       "  --format F     output format: table (default), csv, or json\n"
       "                 (explain/timeline; report and sweep accept table\n"
       "                 and csv; compare accepts table and json; lint\n"
-      "                 accepts table, json and sarif)\n"
+      "                 accepts table, json and sarif; profile accepts\n"
+      "                 table and json, applied to the profile rendering)\n"
       "  --fail-on S    lint severity threshold for exit code 1: warning\n"
       "                 or error (default error)\n"
       "  --replicate    lint also runs the replication pipeline and checks\n"
@@ -185,6 +207,11 @@ int usage() {
       "                 write a span timeline (Chrome Trace Format JSON,\n"
       "                 loadable in Perfetto / chrome://tracing); pipeline\n"
       "                 runs add windowed miss-rate counter tracks\n"
+      "  --profile-out FILE\n"
+      "                 write the collected profile as JSON (profile)\n"
+      "  --flame-out FILE\n"
+      "                 write a collapsed-stack flamegraph (speedscope,\n"
+      "                 flamegraph.pl) derived from the span tree (profile)\n"
       "  --threshold-file FILE\n"
       "                 relative-delta thresholds for compare (JSON; see\n"
       "                 docs/OBSERVABILITY.md)\n"
@@ -206,7 +233,7 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
 
   static const char *Known[] = {"list",   "dump",    "trace",    "analyze",
                                 "replicate", "report", "sweep", "explain",
-                                "timeline", "lint",   "compare"};
+                                "timeline", "lint",   "compare", "profile"};
   bool KnownCommand = false;
   for (const char *C : Known)
     KnownCommand |= A.Command == C;
@@ -221,12 +248,34 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
           "compare OLD.json NEW.json");
     A.CompareOld = Argv[I++];
     A.CompareNew = Argv[I++];
+  } else if (A.Command == "profile") {
+    if (I >= Argc || Argv[I][0] == '-')
+      return parseError(
+          "command 'profile' needs a command argument: "
+          "profile <replicate|report|sweep|timeline> <workload>");
+    A.ProfileInner = Argv[I++];
+    static const char *Wrappable[] = {"replicate", "report", "sweep",
+                                      "timeline"};
+    bool CanWrap = false;
+    for (const char *C : Wrappable)
+      CanWrap |= A.ProfileInner == C;
+    if (!CanWrap)
+      return parseError("command 'profile' wraps replicate, report, sweep "
+                        "or timeline, not '" +
+                        A.ProfileInner + "'");
+    if (I >= Argc || Argv[I][0] == '-')
+      return parseError("command 'profile' needs a workload argument");
+    A.Target = Argv[I++];
   } else if (A.Command != "list") {
     if (I >= Argc || Argv[I][0] == '-')
       return parseError("command '" + A.Command +
                         "' needs a workload argument");
     A.Target = Argv[I++];
   }
+
+  // Option applicability under `profile` follows the wrapped command, so
+  // `profile timeline x --phases` parses exactly like `timeline x --phases`.
+  const std::string Eff = A.Command == "profile" ? A.ProfileInner : A.Command;
   for (; I < Argc; ++I) {
     std::string Opt = Argv[I];
     auto Next = [&]() -> const char * {
@@ -272,7 +321,7 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
                                         "explain",   "timeline", "lint"};
       bool Ok = false;
       for (const char *C : Searching)
-        Ok |= A.Command == C;
+        Ok |= Eff == C;
       if (!Ok)
         return parseError("option '--jobs' only applies to the replicate, "
                           "report, sweep, explain, timeline and lint "
@@ -289,7 +338,7 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       uint64_t N = 0;
       if (!V || !ParseU64(V, N) || N > INT32_MAX)
         return parseError("option '--branch' needs a branch id");
-      if (A.Command != "explain" && A.Command != "timeline")
+      if (Eff != "explain" && Eff != "timeline")
         return parseError("option '--branch' only applies to the explain "
                           "and timeline commands");
       A.Branch = static_cast<int64_t>(N);
@@ -298,7 +347,7 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       uint64_t N = 0;
       if (!V || !ParseU64(V, N))
         return parseError("option '--window' needs an integer value");
-      if (A.Command != "timeline")
+      if (Eff != "timeline")
         return parseError(
             "option '--window' only applies to the timeline command");
       if (!isPowerOfTwo(N) || N < 16 || N > (uint64_t{1} << 26))
@@ -306,7 +355,7 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
                           "between 16 and 67108864");
       A.Window = N;
     } else if (Opt == "--phases") {
-      if (A.Command != "timeline")
+      if (Eff != "timeline")
         return parseError(
             "option '--phases' only applies to the timeline command");
       A.Phases = true;
@@ -314,7 +363,7 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       const char *V = Next();
       if (!V)
         return parseError("option '--timeline-out' needs a file argument");
-      if (A.Command != "timeline")
+      if (Eff != "timeline")
         return parseError(
             "option '--timeline-out' only applies to the timeline command");
       A.TimelineOut = V;
@@ -323,7 +372,10 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       if (!V)
         return parseError("option '--format' needs a value");
       A.Format = V;
-      if (A.Command == "lint") {
+      if (A.Command == "profile") {
+        if (A.Format != "table" && A.Format != "json")
+          return parseError("profile '--format' must be table or json");
+      } else if (A.Command == "lint") {
         if (A.Format != "table" && A.Format != "json" && A.Format != "sarif")
           return parseError(
               "lint '--format' must be table, json or sarif");
@@ -367,6 +419,22 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       if (!V)
         return parseError("option '--metrics' needs a file argument");
       A.Metrics = V;
+    } else if (Opt == "--profile-out") {
+      const char *V = Next();
+      if (!V)
+        return parseError("option '--profile-out' needs a file argument");
+      if (A.Command != "profile")
+        return parseError(
+            "option '--profile-out' only applies to the profile command");
+      A.ProfileOut = V;
+    } else if (Opt == "--flame-out") {
+      const char *V = Next();
+      if (!V)
+        return parseError("option '--flame-out' needs a file argument");
+      if (A.Command != "profile")
+        return parseError(
+            "option '--flame-out' only applies to the profile command");
+      A.FlameOut = V;
     } else if (Opt == "--threshold-file") {
       const char *V = Next();
       if (!V)
@@ -384,7 +452,7 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       return parseError("unknown option '" + Opt + "'");
     }
   }
-  if (A.Command == "timeline" && A.Phases && A.Branch >= 0)
+  if (Eff == "timeline" && A.Phases && A.Branch >= 0)
     return parseError("options '--phases' and '--branch' are mutually "
                       "exclusive: phase splits already cover the top "
                       "branches (pick one view)");
@@ -1215,6 +1283,60 @@ int cmdTimeline(const Args &A) {
   return writeMetrics(A, &PR) ? 0 : 1;
 }
 
+// -- profile ------------------------------------------------------------------
+
+/// Wraps one searching command with the self-profiler armed, then renders
+/// the collected profile and optionally writes the JSON profile
+/// (--profile-out) and a collapsed-stack flamegraph (--flame-out).
+int cmdProfile(const Args &A) {
+  Profiler::global().setEnabled(true);
+
+  Args Inner = A;
+  Inner.Command = A.ProfileInner;
+  // --format under profile selects the profile rendering; the wrapped
+  // command runs with its default output format.
+  Inner.Format = "table";
+  int RC;
+  if (Inner.Command == "replicate")
+    RC = cmdReplicate(Inner);
+  else if (Inner.Command == "report")
+    RC = cmdReport(Inner);
+  else if (Inner.Command == "sweep")
+    RC = cmdSweep(Inner);
+  else
+    RC = cmdTimeline(Inner);
+  if (RC != 0)
+    return RC;
+
+  Profiler::global().sampleRss("profile.end");
+  ProfileData P = Profiler::global().collect();
+  Registry &Obs = Registry::global();
+
+  if (A.Format == "json")
+    std::printf("%s\n", profileJson(P, &Obs).dump(2).c_str());
+  else
+    std::printf("\n%s", profileTable(P, &Obs).c_str());
+
+  std::string Error;
+  if (!A.ProfileOut.empty()) {
+    if (!writeProfileText(A.ProfileOut, profileJson(P, &Obs).dump(2) + "\n",
+                          "profile", Error)) {
+      std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("wrote profile to %s\n", A.ProfileOut.c_str());
+  }
+  if (!A.FlameOut.empty()) {
+    if (!writeProfileText(A.FlameOut, collapsedStacks(SpanTracer::global()),
+                          "flamegraph", Error)) {
+      std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("wrote flamegraph to %s\n", A.FlameOut.c_str());
+  }
+  return 0;
+}
+
 int cmdLint(const Args &A) {
   // Resolve the target: a workload name first, then a module file in the
   // textual serializer format.
@@ -1340,7 +1462,8 @@ int main(int Argc, char **Argv) {
   // it on: the attribution ledger and the windowed series are only filled
   // behind the enabled() guard.
   if (!A.Metrics.empty() || A.Command == "report" ||
-      A.Command == "explain" || A.Command == "timeline")
+      A.Command == "explain" || A.Command == "timeline" ||
+      A.Command == "profile")
     Registry::global().setEnabled(true);
 
   int RC = 2;
@@ -1362,6 +1485,8 @@ int main(int Argc, char **Argv) {
     RC = cmdExplain(A);
   else if (A.Command == "timeline")
     RC = cmdTimeline(A);
+  else if (A.Command == "profile")
+    RC = cmdProfile(A);
   else if (A.Command == "lint")
     RC = cmdLint(A);
   else if (A.Command == "compare")
