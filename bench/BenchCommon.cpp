@@ -6,6 +6,7 @@
 
 #include "bench/BenchCommon.h"
 
+#include "obs/Ledger.h"
 #include "obs/Metrics.h"
 #include "obs/Report.h"
 #include "obs/TraceSpans.h"
@@ -49,7 +50,8 @@ std::vector<std::string> bpcr::suiteHeader(const std::string &RowLabel) {
   return H;
 }
 
-bool bpcr::parseBenchArgs(int &Argc, char **Argv, BenchRunOptions &Opts) {
+bool bpcr::parseBenchArgs(int &Argc, char **Argv, BenchRunOptions &Opts,
+                          bool KeepUnknown) {
   std::string Error;
   if (!extractTraceOutFlag(Argc, Argv, Opts.TraceOut, Error)) {
     std::fprintf(stderr, "%s: error: %s\n", Argv[0], Error.c_str());
@@ -84,6 +86,7 @@ bool bpcr::parseBenchArgs(int &Argc, char **Argv, BenchRunOptions &Opts) {
                      Argv[0]);
         return false;
       }
+      Opts.EventsSet = true;
     } else if (std::strcmp(Opt, "--jobs") == 0) {
       const char *V = Next();
       uint64_t Jobs = 0;
@@ -104,7 +107,22 @@ bool bpcr::parseBenchArgs(int &Argc, char **Argv, BenchRunOptions &Opts) {
         return false;
       }
       Opts.MetricsOut = V;
+    } else if (std::strcmp(Opt, "--ledger") == 0) {
+      const char *V = Next();
+      if (!V) {
+        std::fprintf(stderr,
+                     "%s: error: option '--ledger' needs a file argument\n",
+                     Argv[0]);
+        return false;
+      }
+      Opts.LedgerOut = V;
     } else if (Opt[0] == '-' && Opt[1] == '-') {
+      if (KeepUnknown) {
+        // Forwarded verbatim (google-benchmark flags like
+        // --benchmark_filter carry their value after '=').
+        Argv[Kept++] = Argv[I];
+        continue;
+      }
       std::fprintf(stderr, "%s: error: unknown option '%s'\n", Argv[0], Opt);
       return false;
     } else {
@@ -115,26 +133,49 @@ bool bpcr::parseBenchArgs(int &Argc, char **Argv, BenchRunOptions &Opts) {
   }
   Argc = Kept;
 
-  if (!Opts.MetricsOut.empty())
+  // Environment fallbacks let CI arm every bench invocation of a job
+  // without threading flags through each runner's command line.
+  if (Opts.MetricsOut.empty())
+    if (const char *Env = std::getenv("BPCR_METRICS_OUT"))
+      Opts.MetricsOut = Env;
+  if (Opts.LedgerOut.empty())
+    if (const char *Env = std::getenv("BPCR_LEDGER_OUT"))
+      Opts.LedgerOut = Env;
+
+  if (!Opts.MetricsOut.empty() || !Opts.LedgerOut.empty())
     Registry::global().setEnabled(true);
   return true;
 }
 
-int bpcr::finishBench(const BenchRunOptions &Opts, const char *Tool) {
+int bpcr::finishBench(const BenchRunOptions &Opts, const char *Tool,
+                      const char *Command, const char *Workload) {
   int RC = 0;
-  if (!Opts.MetricsOut.empty()) {
+  if (!Opts.MetricsOut.empty() || !Opts.LedgerOut.empty()) {
     ReportMeta Meta;
     Meta.Tool = Tool;
-    Meta.Command = "bench";
+    Meta.Command = Command;
+    Meta.Workload = Workload;
     Meta.Seed = Opts.Seed;
     Meta.Events = Opts.Events;
+    JsonValue Doc = buildReport(Meta, Registry::global());
     std::string Error;
-    if (!writeReportFile(Opts.MetricsOut,
-                         buildReport(Meta, Registry::global()), Error)) {
-      std::fprintf(stderr, "%s: error: %s\n", Tool, Error.c_str());
-      RC = 1;
-    } else {
-      std::printf("wrote metrics to %s\n", Opts.MetricsOut.c_str());
+    if (!Opts.MetricsOut.empty()) {
+      if (!writeReportFile(Opts.MetricsOut, Doc, Error)) {
+        std::fprintf(stderr, "%s: error: %s\n", Tool, Error.c_str());
+        RC = 1;
+      } else {
+        std::printf("wrote metrics to %s\n", Opts.MetricsOut.c_str());
+      }
+    }
+    if (!Opts.LedgerOut.empty()) {
+      LedgerMeta LM = currentLedgerMeta();
+      LM.Jobs = Opts.Jobs;
+      if (!appendReportToLedger(Opts.LedgerOut, Doc, LM, Error)) {
+        std::fprintf(stderr, "%s: error: %s\n", Tool, Error.c_str());
+        RC = 1;
+      } else {
+        std::printf("appended run record to %s\n", Opts.LedgerOut.c_str());
+      }
     }
   }
   if (!Opts.TraceOut.empty()) {

@@ -55,25 +55,39 @@ std::vector<std::string> suiteHeader(const std::string &RowLabel);
 
 /// Flags shared by every bench binary: `--seed N`, `--events N`,
 /// `--jobs N` (worker threads; 0 = hardware concurrency, 1 = serial),
-/// `--metrics FILE` (JSON run report) and `--trace-out FILE` (Chrome Trace
-/// span timeline). CI uses the seed/event knobs to run the benches on a
-/// small budget and the report for the `bpcr compare` regression gate.
+/// `--metrics FILE` (JSON run report), `--ledger FILE` (append one record
+/// to the cross-run ledger, obs/Ledger.h) and `--trace-out FILE` (Chrome
+/// Trace span timeline). The report and ledger destinations also fall back
+/// to $BPCR_METRICS_OUT / $BPCR_LEDGER_OUT so CI can arm every bench via
+/// the environment. CI uses the seed/event knobs to run the benches on a
+/// small budget, the report for the `bpcr compare` regression gate, and
+/// the ledger for `bpcr trend`.
 struct BenchRunOptions {
   uint64_t Seed = 1;
   uint64_t Events = 1'000'000;
+  /// True when --events was given (runners with a different default budget,
+  /// like micro_throughput's sweep modes, honor an explicit value only).
+  bool EventsSet = false;
   unsigned Jobs = 0;
   std::string MetricsOut;
+  std::string LedgerOut;
   std::string TraceOut;
 };
 
 /// Parses and splices the shared flags out of argv (positional arguments
 /// are left for the caller), enabling the metrics registry and the span
-/// tracer as requested. \returns false after printing an error message.
-bool parseBenchArgs(int &Argc, char **Argv, BenchRunOptions &Opts);
+/// tracer as requested. With \p KeepUnknown, unrecognized `--` options are
+/// kept in argv for the caller (micro_throughput forwards them to
+/// google-benchmark) instead of being an error. \returns false after
+/// printing an error message.
+bool parseBenchArgs(int &Argc, char **Argv, BenchRunOptions &Opts,
+                    bool KeepUnknown = false);
 
-/// Writes the requested run report and span trace. \returns a process exit
-/// code (0 ok).
-int finishBench(const BenchRunOptions &Opts, const char *Tool);
+/// Writes the requested run report, appends it to the run ledger and
+/// finishes the span trace. \p Command/\p Workload fill the corresponding
+/// report and ledger metadata fields. \returns a process exit code (0 ok).
+int finishBench(const BenchRunOptions &Opts, const char *Tool,
+                const char *Command = "bench", const char *Workload = "");
 
 } // namespace bpcr
 

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchCommon.h"
 #include "core/CorrelatedMachine.h"
 #include "core/LoopAwareProfiles.h"
 #include "core/MachineSearch.h"
@@ -243,16 +244,23 @@ void legacySweepSearches(const ProgramAnalysis &PA, const ProfileSet &Profiles,
   }
 }
 
-int runSweepBench() {
+int runSweepBench(BenchRunOptions RunOpts) {
   uint64_t Events = 50'000;
   if (const char *E = std::getenv("BPCR_SWEEP_EVENTS"))
     Events = std::strtoull(E, nullptr, 10);
+  if (RunOpts.EventsSet)
+    Events = RunOpts.Events;
   // Each configuration is timed best-of-N to keep the wall-time gauges
   // stable on noisy (shared/single-core) runners. N is fixed so the
   // deterministic search counters stay reproducible run to run.
   unsigned Reps = 3;
   if (const char *R = std::getenv("BPCR_SWEEP_REPS"))
     Reps = std::max(1u, static_cast<unsigned>(std::strtoul(R, nullptr, 10)));
+
+  // Nothing before the timed region may record (parseBenchArgs arms the
+  // registry at parse time when a report or ledger was requested); the
+  // report carries the search counters of the timed sweeps only.
+  Registry::global().setEnabled(false);
 
   // The acceptance target is the *largest* workload's sweep; pick it by
   // trace length (branch count breaks ties) instead of hardcoding a name.
@@ -370,22 +378,12 @@ int runSweepBench() {
               HitRate, static_cast<unsigned long long>(ColdStats.Hits),
               static_cast<unsigned long long>(Lookups));
 
-  const char *Out = std::getenv("BPCR_METRICS_OUT");
-  if (!Out)
-    Out = "BENCH_sweep.json";
-  ReportMeta Meta;
-  Meta.Tool = "micro_throughput";
-  Meta.Command = "sweep-bench";
-  Meta.Workload = Largest->Name;
-  Meta.Events = Events;
-  Meta.Seed = 1;
-  std::string Error;
-  if (!writeReportFile(Out, buildReport(Meta, Obs), Error)) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 1;
-  }
-  std::printf("wrote metrics to %s\n", Out);
-  return 0;
+  if (RunOpts.MetricsOut.empty())
+    RunOpts.MetricsOut = "BENCH_sweep.json";
+  RunOpts.Seed = 1;
+  RunOpts.Events = Events;
+  return finishBench(RunOpts, "micro_throughput", "sweep-bench",
+                     Largest->Name);
 }
 
 //===----------------------------------------------------------------------===//
@@ -397,14 +395,18 @@ int runSweepBench() {
 // time, RSS and allocator figure is report-only.
 //===----------------------------------------------------------------------===//
 
-int runProfileBench() {
+int runProfileBench(BenchRunOptions RunOpts) {
   uint64_t Events = 50'000;
   if (const char *E = std::getenv("BPCR_SWEEP_EVENTS"))
     Events = std::strtoull(E, nullptr, 10);
+  if (RunOpts.EventsSet)
+    Events = RunOpts.Events;
 
   // Same selection rule as the sweep bench: largest workload by trace
   // length, branch count breaking ties. Selection runs before the profiler
-  // is armed so the probe traces don't pollute the span counts.
+  // is armed — and with the registry off, in case parseBenchArgs enabled
+  // it — so the probe traces pollute neither span nor interp counts.
+  Registry::global().setEnabled(false);
   const Workload *Largest = nullptr;
   size_t LargestScore = 0;
   for (const Workload &W : allWorkloads()) {
@@ -443,25 +445,19 @@ int runProfileBench() {
   ProfileData Data = Prof.collect();
   std::fputs(profileTable(Data, &Registry::global()).c_str(), stdout);
 
-  const char *Out = std::getenv("BPCR_METRICS_OUT");
-  if (!Out)
-    Out = "BENCH_profile.json";
-  ReportMeta Meta;
-  Meta.Tool = "micro_throughput";
-  Meta.Command = "profile-bench";
-  Meta.Workload = Largest->Name;
-  Meta.Events = Events;
-  Meta.Seed = 1;
-  std::string Error;
-  if (!writeReportFile(Out, buildReport(Meta, Registry::global()), Error)) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 1;
-  }
-  std::printf("wrote metrics to %s\n", Out);
+  if (RunOpts.MetricsOut.empty())
+    RunOpts.MetricsOut = "BENCH_profile.json";
+  RunOpts.Seed = 1;
+  RunOpts.Events = Events;
+  int RC = finishBench(RunOpts, "micro_throughput", "profile-bench",
+                       Largest->Name);
+  if (RC != 0)
+    return RC;
 
   const char *Flame = std::getenv("BPCR_FLAME_OUT");
   if (!Flame)
     Flame = "BENCH_profile_flame.txt";
+  std::string Error;
   if (!writeProfileText(Flame, collapsedStacks(SpanTracer::global()),
                         "flamegraph", Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
@@ -495,22 +491,22 @@ public:
 } // namespace
 
 int main(int argc, char **argv) {
-  // Standalone sweep wall-time / self-profiling modes; everything else
-  // belongs to google-benchmark.
+  // The shared bench flags (--seed/--events/--jobs/--metrics/--ledger/
+  // --trace-out plus the $BPCR_*_OUT fallbacks) come out of argv first;
+  // everything left over belongs to google-benchmark, so unknown options
+  // are kept rather than rejected.
+  BenchRunOptions Opts;
+  if (!parseBenchArgs(argc, argv, Opts, /*KeepUnknown=*/true))
+    return 1;
+
+  // Standalone sweep wall-time / self-profiling modes.
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--sweep-bench") == 0)
-      return runSweepBench();
+      return runSweepBench(Opts);
     if (std::strcmp(argv[I], "--profile-bench") == 0)
-      return runProfileBench();
+      return runProfileBench(Opts);
   }
 
-  // --trace-out must come out of argv before google-benchmark sees it.
-  std::string TraceOut, TraceError;
-  if (!extractTraceOutFlag(argc, argv, TraceOut, TraceError)) {
-    std::fprintf(stderr, "micro_throughput: error: %s\n",
-                 TraceError.c_str());
-    return 1;
-  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
@@ -528,21 +524,14 @@ int main(int argc, char **argv) {
   benchmark::Shutdown();
 
   Registry::global().setEnabled(true);
-  const char *Out = std::getenv("BPCR_METRICS_OUT");
-  if (!Out)
-    Out = "BENCH_micro_throughput.json";
-  ReportMeta Meta;
-  Meta.Tool = "micro_throughput";
-  Meta.Command = "bench";
-  std::string Error;
-  if (!writeReportFile(Out, buildReport(Meta, Registry::global()), Error)) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 1;
-  }
-  std::printf("wrote metrics to %s\n", Out);
+  if (Opts.MetricsOut.empty())
+    Opts.MetricsOut = "BENCH_micro_throughput.json";
+  // The micro benches have no workload seed or event cap; keep the meta
+  // fields zero like the reports always carried.
+  Opts.Seed = 0;
+  if (!Opts.EventsSet)
+    Opts.Events = 0;
   if (TraceRequested)
     SpanTracer::global().setEnabled(true);
-  if (!TraceOut.empty())
-    return finishSpanTrace(TraceOut, "micro_throughput");
-  return 0;
+  return finishBench(Opts, "micro_throughput");
 }

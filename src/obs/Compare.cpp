@@ -174,6 +174,7 @@ CompareResult bpcr::compareReports(const JsonValue &OldDoc,
 
   const JsonValue *Docs[2] = {&OldDoc, &NewDoc};
   const char *Labels[2] = {"old", "new"};
+  int64_t Schemas[2] = {0, 0};
   for (int K = 0; K < 2; ++K) {
     const char *Label = Labels[K];
     const JsonValue *V = Docs[K]->find("schema_version");
@@ -181,13 +182,23 @@ CompareResult bpcr::compareReports(const JsonValue &OldDoc,
       R.Errors.push_back(std::string(Label) +
                          " report has no schema_version (not a bpcr run "
                          "report?)");
-    else if (V->asInt() != ReportSchemaVersion)
+    else if (V->asInt() < 1 || V->asInt() > ReportSchemaVersion)
       R.Errors.push_back(std::string(Label) + " report has schema_version " +
                          std::to_string(V->asInt()) + ", this tool speaks " +
                          std::to_string(ReportSchemaVersion));
+    else
+      Schemas[K] = V->asInt();
   }
   if (!R.Errors.empty())
     return R;
+  // Differing (but supported) schemas diff fine — sections absent from one
+  // side surface as added/removed metrics — but deserve a loud note so a
+  // schema skew is never mistaken for a genuine metric change.
+  if (Schemas[0] != Schemas[1])
+    R.Warnings.push_back(
+        "schema versions differ: old=" + std::to_string(Schemas[0]) +
+        " new=" + std::to_string(Schemas[1]) +
+        "; metrics absent from one schema appear as added/removed");
 
   noteContextDiffs(OldDoc, NewDoc, R);
 
@@ -202,6 +213,10 @@ CompareResult bpcr::compareReports(const JsonValue &OldDoc,
   std::vector<CompareRule> Rules = Opts.Rules;
   for (CompareRule &Def : defaultCompareRules())
     Rules.push_back(std::move(Def));
+  // User-supplied rules (the first Opts.Rules.size() entries) that match
+  // nothing are usually typos in the threshold file — warn rather than let
+  // the intended gate silently not exist.
+  std::vector<bool> RuleMatched(Rules.size(), false);
 
   for (const auto &[Name, Vals] : Union) {
     MetricDelta D;
@@ -213,9 +228,10 @@ CompareResult bpcr::compareReports(const JsonValue &OldDoc,
 
     // The built-in "*" rule guarantees a match.
     const CompareRule *Rule = &Rules.back();
-    for (const CompareRule &Cand : Rules)
-      if (globMatch(Cand.Pattern, Name)) {
-        Rule = &Cand;
+    for (size_t I = 0; I < Rules.size(); ++I)
+      if (globMatch(Rules[I].Pattern, Name)) {
+        Rule = &Rules[I];
+        RuleMatched[I] = true;
         break;
       }
     D.RulePattern = Rule->Pattern;
@@ -256,6 +272,11 @@ CompareResult bpcr::compareReports(const JsonValue &OldDoc,
       ++R.Regressions;
     R.Deltas.push_back(std::move(D));
   }
+
+  for (size_t I = 0; I < Opts.Rules.size(); ++I)
+    if (!RuleMatched[I])
+      R.Warnings.push_back("threshold rule '" + Opts.Rules[I].Pattern +
+                           "' matched no metrics");
   return R;
 }
 

@@ -22,27 +22,28 @@ namespace bpcr {
 
 namespace {
 
-/// Event-weighted miss-rate statistics over a half-open window range,
-/// backed by prefix sums so segment costs are O(1).
+/// Weighted value statistics over a half-open range, backed by prefix sums
+/// so segment costs are O(1). For the timeline this is the event-weighted
+/// miss rate; for cross-run trends (obs/Trend.h) it is the per-run metric
+/// value with unit weights.
 struct PrefixStats {
-  // Index I holds sums over windows [0, I).
-  std::vector<double> WeightPfx;  // events
-  std::vector<double> SumPfx;     // events * rate (= mispredictions)
-  std::vector<double> SumSqPfx;   // events * rate^2
+  // Index I holds sums over elements [0, I).
+  std::vector<double> WeightPfx;
+  std::vector<double> SumPfx;     // weight * value
+  std::vector<double> SumSqPfx;   // weight * value^2
 
-  explicit PrefixStats(const TimeSeriesData &TS) {
-    size_t N = TS.Windows.size();
+  PrefixStats(const std::vector<double> &Values,
+              const std::vector<double> &Weights) {
+    size_t N = Values.size();
     WeightPfx.assign(N + 1, 0.0);
     SumPfx.assign(N + 1, 0.0);
     SumSqPfx.assign(N + 1, 0.0);
     for (size_t I = 0; I < N; ++I) {
-      const TimeSeriesWindow &W = TS.Windows[I];
-      double Weight = double(W.Events);
-      double Rate =
-          W.Events == 0 ? 0.0 : double(W.Mispredictions) / double(W.Events);
+      double Weight = Weights[I];
+      double Value = Values[I];
       WeightPfx[I + 1] = WeightPfx[I] + Weight;
-      SumPfx[I + 1] = SumPfx[I] + Weight * Rate;
-      SumSqPfx[I + 1] = SumSqPfx[I] + Weight * Rate * Rate;
+      SumPfx[I + 1] = SumPfx[I] + Weight * Value;
+      SumSqPfx[I + 1] = SumSqPfx[I] + Weight * Value * Value;
     }
   }
 
@@ -69,16 +70,18 @@ struct PrefixStats {
 
 /// Recursively splits [Lo, Hi) at the boundary with the largest cost
 /// reduction, keeping a split only when both sides meet the minimum size
-/// and their mean rates differ by MinDelta. Appends boundaries to \p Cuts.
+/// and their weighted means differ by MinDelta. Appends boundaries to
+/// \p Cuts.
 void splitRange(const PrefixStats &P, size_t Lo, size_t Hi,
-                const SegmentationOptions &Opts, size_t &PhasesLeft,
+                const SeriesSegmentationOptions &Opts, size_t &SegmentsLeft,
                 std::vector<size_t> &Cuts) {
-  if (PhasesLeft <= 1 || Hi - Lo < 2 * size_t(Opts.MinWindows))
+  if (SegmentsLeft <= 1 || Hi - Lo < 2 * size_t(Opts.MinSegment))
     return;
   double Whole = P.cost(Lo, Hi);
   double BestGain = 0.0;
   size_t BestCut = 0;
-  for (size_t Cut = Lo + Opts.MinWindows; Cut + Opts.MinWindows <= Hi; ++Cut) {
+  for (size_t Cut = Lo + Opts.MinSegment; Cut + Opts.MinSegment <= Hi;
+       ++Cut) {
     double Gain = Whole - P.cost(Lo, Cut) - P.cost(Cut, Hi);
     if (Gain > BestGain) { // strict ">": ties resolve to the lowest index
       BestGain = Gain;
@@ -87,19 +90,31 @@ void splitRange(const PrefixStats &P, size_t Lo, size_t Hi,
   }
   if (BestCut == 0)
     return;
-  double DeltaPercent =
-      100.0 * std::fabs(P.mean(Lo, BestCut) - P.mean(BestCut, Hi));
-  if (DeltaPercent < Opts.MinDeltaPercent)
+  double Delta = std::fabs(P.mean(Lo, BestCut) - P.mean(BestCut, Hi));
+  if (Delta < Opts.MinDelta)
     return;
-  --PhasesLeft;
+  --SegmentsLeft;
   Cuts.push_back(BestCut);
-  // Left first so recursion order (and hence PhasesLeft consumption) is
+  // Left first so recursion order (and hence SegmentsLeft consumption) is
   // deterministic.
-  splitRange(P, Lo, BestCut, Opts, PhasesLeft, Cuts);
-  splitRange(P, BestCut, Hi, Opts, PhasesLeft, Cuts);
+  splitRange(P, Lo, BestCut, Opts, SegmentsLeft, Cuts);
+  splitRange(P, BestCut, Hi, Opts, SegmentsLeft, Cuts);
 }
 
 } // namespace
+
+std::vector<size_t> segmentSeries(const std::vector<double> &Values,
+                                  const std::vector<double> &Weights,
+                                  const SeriesSegmentationOptions &Opts) {
+  std::vector<size_t> Cuts;
+  if (Values.empty() || Values.size() != Weights.size())
+    return Cuts;
+  PrefixStats P(Values, Weights);
+  size_t SegmentsLeft = Opts.MaxSegments == 0 ? 1 : Opts.MaxSegments;
+  splitRange(P, 0, Values.size(), Opts, SegmentsLeft, Cuts);
+  std::sort(Cuts.begin(), Cuts.end());
+  return Cuts;
+}
 
 std::vector<PhaseSegment> segmentPhases(const TimeSeriesData &TS,
                                         const SegmentationOptions &Opts) {
@@ -107,10 +122,21 @@ std::vector<PhaseSegment> segmentPhases(const TimeSeriesData &TS,
   if (TS.Windows.empty())
     return Phases;
 
-  PrefixStats P(TS);
-  std::vector<size_t> Cuts;
-  size_t PhasesLeft = Opts.MaxPhases == 0 ? 1 : Opts.MaxPhases;
-  splitRange(P, 0, TS.Windows.size(), Opts, PhasesLeft, Cuts);
+  // The series is the per-window miss rate weighted by window events; the
+  // percentage-point knob maps onto the generic core's value-unit MinDelta.
+  std::vector<double> Values, Weights;
+  Values.reserve(TS.Windows.size());
+  Weights.reserve(TS.Windows.size());
+  for (const TimeSeriesWindow &W : TS.Windows) {
+    Weights.push_back(double(W.Events));
+    Values.push_back(W.Events == 0 ? 0.0 : double(W.Mispredictions) /
+                                               double(W.Events));
+  }
+  SeriesSegmentationOptions SOpts;
+  SOpts.MinDelta = Opts.MinDeltaPercent / 100.0;
+  SOpts.MinSegment = Opts.MinWindows;
+  SOpts.MaxSegments = Opts.MaxPhases;
+  std::vector<size_t> Cuts = segmentSeries(Values, Weights, SOpts);
   Cuts.push_back(0);
   Cuts.push_back(TS.Windows.size());
   std::sort(Cuts.begin(), Cuts.end());

@@ -257,6 +257,31 @@ struct SegmentationOptions {
   uint32_t MaxPhases = 16;
 };
 
+/// Knobs for the generic weighted-series change-point core. Same algorithm
+/// as SegmentationOptions, but in the value units of the series instead of
+/// percentage points — the cross-run trend engine (obs/Trend.h) reuses the
+/// detector over per-run metric values, where "percent" has no meaning.
+struct SeriesSegmentationOptions {
+  /// A split is kept only if the two sides' weighted means differ by at
+  /// least this much (in the series' own units).
+  double MinDelta = 0.0;
+  /// Minimum points per segment; suppresses single-point noise segments.
+  uint32_t MinSegment = 2;
+  /// Upper bound on produced segments (cuts + 1).
+  uint32_t MaxSegments = 16;
+};
+
+/// The binary-segmentation change-point core: recursively splits
+/// [0, Values.size()) at the boundary with the largest reduction in
+/// weight-weighted squared error. Deterministic (ties resolve to the lowest
+/// split index; left half recurses first). \p Weights must be the same
+/// length as \p Values; pass all-ones for an unweighted series. \returns
+/// the sorted interior cut indices (a cut at i starts a new segment at
+/// element i); empty when no split clears the gates.
+std::vector<size_t> segmentSeries(const std::vector<double> &Values,
+                                  const std::vector<double> &Weights,
+                                  const SeriesSegmentationOptions &Opts);
+
 /// Change-point detection on the windowed misprediction rate: recursive
 /// binary segmentation choosing the split that maximally reduces the
 /// event-weighted squared error. Deterministic (ties resolve to the lowest

@@ -1,0 +1,469 @@
+//===- obs/Trend.cpp - Cross-run trend analytics and gating ---------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trend.h"
+
+#include "obs/TimeSeries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+using namespace bpcr;
+
+namespace {
+
+constexpr double Eps = 1e-12;
+/// Scale factor making the MAD consistent with a normal sigma.
+constexpr double MadToSigma = 1.4826;
+
+double median(std::vector<double> V) {
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  size_t Mid = V.size() / 2;
+  return V.size() % 2 ? V[Mid] : 0.5 * (V[Mid - 1] + V[Mid]);
+}
+
+double madn(const std::vector<double> &V, double Median) {
+  std::vector<double> Devs;
+  Devs.reserve(V.size());
+  for (double X : V)
+    Devs.push_back(std::fabs(X - Median));
+  return MadToSigma * median(std::move(Devs));
+}
+
+/// Noise sigma from successive differences: robust to the very level
+/// shifts we are hunting, unlike the whole-series MAD.
+double successiveDiffSigma(const std::vector<double> &V) {
+  if (V.size() < 2)
+    return 0.0;
+  std::vector<double> Diffs;
+  Diffs.reserve(V.size() - 1);
+  for (size_t I = 1; I < V.size(); ++I)
+    Diffs.push_back(std::fabs(V[I] - V[I - 1]));
+  return MadToSigma * median(std::move(Diffs)) / std::sqrt(2.0);
+}
+
+double relDelta(double Before, double Delta) {
+  if (Before == 0.0)
+    return Delta == 0.0 ? 0.0 : HUGE_VAL;
+  return Delta / std::fabs(Before);
+}
+
+bool badDirection(double Delta, DeltaDirection Dir) {
+  switch (Dir) {
+  case DeltaDirection::Up:
+    return Delta > 0.0;
+  case DeltaDirection::Down:
+    return Delta < 0.0;
+  case DeltaDirection::Both:
+    return Delta != 0.0;
+  }
+  return false;
+}
+
+const CompareRule *matchRule(const std::vector<CompareRule> &Rules,
+                             const std::string &Name) {
+  for (const CompareRule &R : Rules)
+    if (globMatch(R.Pattern, Name))
+      return &R;
+  return nullptr;
+}
+
+std::vector<CompareRule> effectiveRules(const TrendOptions &Opts) {
+  std::vector<CompareRule> Rules = Opts.Rules.Rules;
+  std::vector<CompareRule> Defaults = defaultCompareRules();
+  Rules.insert(Rules.end(), Defaults.begin(), Defaults.end());
+  return Rules;
+}
+
+/// "tool/workload" context key; series from different contexts must not be
+/// spliced into one trend line.
+std::string contextKey(const LedgerMeta &M) {
+  return M.Tool + "/" + M.Workload;
+}
+
+std::string formatValue(double V) {
+  char Buf[64];
+  if (V == static_cast<int64_t>(V) && std::fabs(V) < 1e15)
+    std::snprintf(Buf, sizeof(Buf), "%lld", (long long)V);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.4g", V);
+  return Buf;
+}
+
+std::string sparkline(const std::vector<double> &V) {
+  static const char *const Blocks[] = {"▁", "▂", "▃",
+                                       "▄", "▅", "▆",
+                                       "▇", "█"};
+  double Lo = V[0], Hi = V[0];
+  for (double X : V) {
+    Lo = std::min(Lo, X);
+    Hi = std::max(Hi, X);
+  }
+  std::string Out;
+  for (double X : V) {
+    size_t Idx = 3; // flat series sits mid-scale
+    if (Hi > Lo)
+      Idx = std::min<size_t>(7, size_t((X - Lo) / (Hi - Lo) * 7.999));
+    Out += Blocks[Idx];
+  }
+  return Out;
+}
+
+} // namespace
+
+TrendResult bpcr::analyzeTrends(const std::vector<LedgerRecord> &Records,
+                                const TrendOptions &Opts) {
+  TrendResult Result;
+
+  size_t Begin = 0;
+  if (Opts.LastN != 0 && Records.size() > Opts.LastN)
+    Begin = Records.size() - Opts.LastN;
+  Result.RunsAnalyzed = Records.size() - Begin;
+
+  // Does the window mix tool/workload contexts? If so, prefix the series
+  // names so e.g. two benches' counters.interp.* never merge.
+  std::map<std::string, unsigned> Contexts;
+  for (size_t I = Begin; I < Records.size(); ++I)
+    ++Contexts[contextKey(Records[I].Meta)];
+  bool MixedContexts = Contexts.size() > 1;
+  if (MixedContexts)
+    Result.Warnings.push_back(
+        "ledger mixes " + std::to_string(Contexts.size()) +
+        " tool/workload contexts; series are prefixed with their context");
+
+  // Gather series in first-appearance order (oldest record first).
+  std::vector<TrendSeries> Series;
+  std::map<std::string, size_t> Index;
+  auto Add = [&](const std::string &Name, double Value, size_t Run) {
+    if (!globMatch(Opts.MetricGlob, Name))
+      return;
+    auto It = Index.find(Name);
+    if (It == Index.end()) {
+      It = Index.emplace(Name, Series.size()).first;
+      Series.emplace_back();
+      Series.back().Name = Name;
+    }
+    TrendSeries &S = Series[It->second];
+    S.Values.push_back(Value);
+    S.Runs.push_back(Run);
+  };
+  for (size_t I = Begin; I < Records.size(); ++I) {
+    const LedgerRecord &R = Records[I];
+    std::string Prefix =
+        MixedContexts ? contextKey(R.Meta) + ":" : std::string();
+    for (const auto &[Name, Value] : R.Metrics)
+      Add(Prefix + Name, Value, I);
+    for (const auto &[Name, Value] : R.Perf)
+      Add(Prefix + Name, Value, I);
+  }
+
+  std::vector<CompareRule> Rules = effectiveRules(Opts);
+  for (TrendSeries &S : Series) {
+    S.Median = median(S.Values);
+    S.Madn = madn(S.Values, S.Median);
+    S.Sigma = successiveDiffSigma(S.Values);
+
+    // The rule name match uses the unprefixed metric name so one threshold
+    // file serves every context.
+    std::string RuleName = S.Name;
+    if (MixedContexts) {
+      size_t Colon = RuleName.find(':');
+      if (Colon != std::string::npos)
+        RuleName = RuleName.substr(Colon + 1);
+    }
+    if (const CompareRule *Rule = matchRule(Rules, RuleName)) {
+      S.RulePattern = Rule->Pattern;
+      S.Threshold = Rule->MaxRelDelta;
+      S.Direction = Rule->Direction;
+      S.Skipped = Rule->Skip;
+    }
+    if (S.Values.size() < Opts.MinRuns) {
+      S.RulePattern = "(short history)";
+      S.Skipped = true;
+    }
+
+    // Outliers against the full-window band. The band floor keeps a
+    // constant deterministic series strict: any change at all is flagged.
+    double Band = Opts.OutlierK * S.Madn + Eps * std::max(1.0, std::fabs(S.Median));
+    for (size_t I = 0; I < S.Values.size(); ++I)
+      if (std::fabs(S.Values[I] - S.Median) > Band)
+        S.Outliers.push_back(I);
+
+    // Step detection: unit weights, noise-scaled MinDelta.
+    SeriesSegmentationOptions SOpts;
+    SOpts.MinDelta = Opts.StepK * S.Sigma;
+    SOpts.MinSegment = Opts.MinSegment;
+    SOpts.MaxSegments = 16;
+    std::vector<double> Weights(S.Values.size(), 1.0);
+    std::vector<size_t> Cuts = segmentSeries(S.Values, Weights, SOpts);
+    if (!Cuts.empty()) {
+      size_t Cut = Cuts.back();
+      size_t PrevLo = Cuts.size() >= 2 ? Cuts[Cuts.size() - 2] : 0;
+      double Before = 0.0, After = 0.0;
+      for (size_t I = PrevLo; I < Cut; ++I)
+        Before += S.Values[I];
+      Before /= double(Cut - PrevLo);
+      for (size_t I = Cut; I < S.Values.size(); ++I)
+        After += S.Values[I];
+      After /= double(S.Values.size() - Cut);
+      S.HasStep = true;
+      S.StepAt = Cut;
+      S.StepBefore = Before;
+      S.StepAfter = After;
+      S.StepRelDelta = relDelta(Before, After - Before);
+    }
+
+    if (!S.Skipped) {
+      if (S.HasStep && badDirection(S.StepAfter - S.StepBefore, S.Direction) &&
+          std::fabs(S.StepRelDelta) > S.Threshold + Eps) {
+        S.Regressed = true;
+        ++Result.Regressions;
+      }
+      if (!S.Outliers.empty() &&
+          S.Outliers.back() + 1 == S.Values.size())
+        ++Result.LatestOutliers;
+    }
+  }
+
+  Result.Series = std::move(Series);
+  return Result;
+}
+
+CompareResult
+bpcr::compareAgainstLedger(const std::vector<LedgerRecord> &History,
+                           const JsonValue &NewReport,
+                           const TrendOptions &Opts) {
+  CompareResult Result;
+
+  LedgerMeta Meta; // context only; volatile fields irrelevant here
+  LedgerRecord NewRecord;
+  std::string Error;
+  if (!makeLedgerRecord(NewReport, Meta, NewRecord, Error)) {
+    Result.Errors.push_back(Error);
+    return Result;
+  }
+
+  // Restrict the history to the report's tool/workload context when the
+  // ledger has matching records; otherwise fall back to everything.
+  std::string Key = contextKey(NewRecord.Meta);
+  std::vector<const LedgerRecord *> Relevant;
+  for (const LedgerRecord &R : History)
+    if (contextKey(R.Meta) == Key)
+      Relevant.push_back(&R);
+  if (Relevant.empty()) {
+    if (!History.empty())
+      Result.Warnings.push_back(
+          "no ledger records match context '" + Key +
+          "'; gating against all " + std::to_string(History.size()) +
+          " records");
+    for (const LedgerRecord &R : History)
+      Relevant.push_back(&R);
+  }
+  size_t Begin = 0;
+  if (Opts.LastN != 0 && Relevant.size() > Opts.LastN)
+    Begin = Relevant.size() - Opts.LastN;
+
+  std::map<std::string, std::vector<double>> Hist;
+  for (size_t I = Begin; I < Relevant.size(); ++I) {
+    for (const auto &[Name, Value] : Relevant[I]->Metrics)
+      Hist[Name].push_back(Value);
+    for (const auto &[Name, Value] : Relevant[I]->Perf)
+      Hist[Name].push_back(Value);
+  }
+
+  std::vector<CompareRule> Rules = effectiveRules(Opts);
+  auto Gate = [&](const std::string &Name, double Value) {
+    MetricDelta D;
+    D.Name = Name;
+    D.New = Value;
+    if (const CompareRule *Rule = matchRule(Rules, Name)) {
+      D.RulePattern = Rule->Pattern;
+      D.Threshold = Rule->MaxRelDelta;
+      D.Direction = Rule->Direction;
+      D.Skipped = Rule->Skip;
+    }
+    auto It = Hist.find(Name);
+    if (It == Hist.end() || It->second.size() < 2) {
+      // Not enough history to form a band; report, never gate.
+      D.MissingOld = It == Hist.end();
+      D.Skipped = true;
+      if (!D.MissingOld)
+        D.RulePattern = "(short history)";
+      Result.Deltas.push_back(std::move(D));
+      return;
+    }
+    double Median = median(It->second);
+    double Band = Opts.BandK * madn(It->second, Median);
+    D.Old = Median;
+    double Delta = Value - Median;
+    D.RelDelta = relDelta(Median, Delta);
+    if (!D.Skipped) {
+      double Allowed =
+          std::max(D.Threshold * std::fabs(Median), Band) +
+          Eps * std::max(1.0, std::fabs(Median));
+      if (badDirection(Delta, D.Direction) && std::fabs(Delta) > Allowed) {
+        D.Regressed = true;
+        ++Result.Regressions;
+      }
+    }
+    Result.Deltas.push_back(std::move(D));
+  };
+  for (const auto &[Name, Value] : NewRecord.Metrics)
+    Gate(Name, Value);
+  for (const auto &[Name, Value] : NewRecord.Perf)
+    Gate(Name, Value);
+
+  if (Hist.empty())
+    Result.Warnings.push_back("empty ledger history: nothing was gated");
+  return Result;
+}
+
+std::string bpcr::renderTrendTable(const TrendResult &R, bool Sparkline) {
+  std::string Out;
+  for (const std::string &W : R.Warnings)
+    Out += "warning: " + W + "\n";
+  for (const std::string &E : R.Errors)
+    Out += "error: " + E + "\n";
+
+  size_t NameWidth = 6;
+  for (const TrendSeries &S : R.Series)
+    NameWidth = std::max(NameWidth, S.Name.size());
+
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf), "%-*s  %4s  %12s  %10s  %12s  %s\n",
+                (int)NameWidth, "metric", "runs", "median", "madn",
+                "latest", Sparkline ? "trend  status" : "status");
+  Out += Buf;
+  for (const TrendSeries &S : R.Series) {
+    std::string Status;
+    if (S.Regressed) {
+      std::snprintf(Buf, sizeof(Buf), "REGRESSED step@%zu %+.1f%%",
+                    S.StepAt, S.StepRelDelta * 100.0);
+      Status = Buf;
+    } else if (S.HasStep && !S.Skipped) {
+      std::snprintf(Buf, sizeof(Buf), "step@%zu %+.1f%%", S.StepAt,
+                    S.StepRelDelta * 100.0);
+      Status = Buf;
+    } else if (S.Skipped) {
+      Status = "skip";
+      if (!S.RulePattern.empty())
+        Status += " (" + S.RulePattern + ")";
+    } else {
+      Status = "ok";
+    }
+    if (!S.Outliers.empty() && !S.Skipped) {
+      Status += "  outliers:";
+      for (size_t I = 0; I < S.Outliers.size(); ++I)
+        Status += (I ? "," : "") + std::to_string(S.Outliers[I]);
+    }
+    std::string Latest =
+        S.Values.empty() ? "-" : formatValue(S.Values.back());
+    std::string Spark =
+        Sparkline && !S.Values.empty() ? sparkline(S.Values) + "  " : "";
+    std::snprintf(Buf, sizeof(Buf), "%-*s  %4zu  %12s  %10.4g  %12s  ",
+                  (int)NameWidth, S.Name.c_str(), S.Values.size(),
+                  formatValue(S.Median).c_str(), S.Madn, Latest.c_str());
+    Out += Buf;
+    Out += Spark + Status + "\n";
+  }
+
+  std::snprintf(Buf, sizeof(Buf),
+                "\n%zu run%s, %zu series: %u step regression%s, %u latest-run "
+                "outlier%s\n",
+                R.RunsAnalyzed, R.RunsAnalyzed == 1 ? "" : "s",
+                R.Series.size(), R.Regressions, R.Regressions == 1 ? "" : "s",
+                R.LatestOutliers, R.LatestOutliers == 1 ? "" : "s");
+  Out += Buf;
+  return Out;
+}
+
+std::string bpcr::renderTrendCsv(const TrendResult &R) {
+  std::string Out = "metric,runs,median,madn,sigma,latest,outliers,step_at,"
+                    "step_rel_delta,rule,status\n";
+  char Buf[256];
+  for (const TrendSeries &S : R.Series) {
+    Out += S.Name + ",";
+    std::snprintf(Buf, sizeof(Buf), "%zu,%.17g,%.17g,%.17g,",
+                  S.Values.size(), S.Median, S.Madn, S.Sigma);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), "%.17g,",
+                  S.Values.empty() ? 0.0 : S.Values.back());
+    Out += Buf;
+    Out += std::to_string(S.Outliers.size()) + ",";
+    if (S.HasStep) {
+      std::snprintf(Buf, sizeof(Buf), "%zu,%.17g,", S.StepAt,
+                    S.StepRelDelta);
+      Out += Buf;
+    } else {
+      Out += ",,";
+    }
+    Out += S.RulePattern + ",";
+    Out += S.Regressed ? "regressed" : (S.Skipped ? "skip" : "ok");
+    Out += "\n";
+  }
+  return Out;
+}
+
+JsonValue bpcr::trendJson(const TrendResult &R) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("runs_analyzed",
+          JsonValue::integer(static_cast<int64_t>(R.RunsAnalyzed)));
+  Doc.set("step_regressions",
+          JsonValue::integer(static_cast<int64_t>(R.Regressions)));
+  Doc.set("latest_outliers",
+          JsonValue::integer(static_cast<int64_t>(R.LatestOutliers)));
+
+  JsonValue Warnings = JsonValue::array();
+  for (const std::string &W : R.Warnings)
+    Warnings.push(JsonValue::str(W));
+  Doc.set("warnings", std::move(Warnings));
+  JsonValue Errors = JsonValue::array();
+  for (const std::string &E : R.Errors)
+    Errors.push(JsonValue::str(E));
+  Doc.set("errors", std::move(Errors));
+
+  JsonValue Series = JsonValue::array();
+  for (const TrendSeries &S : R.Series) {
+    JsonValue Row = JsonValue::object();
+    Row.set("metric", JsonValue::str(S.Name));
+    Row.set("runs", JsonValue::integer(static_cast<int64_t>(S.Values.size())));
+    Row.set("median", JsonValue::number(S.Median));
+    Row.set("madn", JsonValue::number(S.Madn));
+    Row.set("sigma", JsonValue::number(S.Sigma));
+    JsonValue Values = JsonValue::array();
+    for (double V : S.Values)
+      Values.push(JsonValue::number(V));
+    Row.set("values", std::move(Values));
+    JsonValue Outliers = JsonValue::array();
+    for (size_t I : S.Outliers)
+      Outliers.push(JsonValue::integer(static_cast<int64_t>(I)));
+    Row.set("outliers", std::move(Outliers));
+    if (S.HasStep) {
+      JsonValue Step = JsonValue::object();
+      Step.set("at", JsonValue::integer(static_cast<int64_t>(S.StepAt)));
+      Step.set("run", JsonValue::integer(static_cast<int64_t>(
+                          S.Runs.empty() ? 0 : S.Runs[S.StepAt])));
+      Step.set("before", JsonValue::number(S.StepBefore));
+      Step.set("after", JsonValue::number(S.StepAfter));
+      if (std::isfinite(S.StepRelDelta))
+        Step.set("rel_delta", JsonValue::number(S.StepRelDelta));
+      else
+        Step.set("rel_delta", JsonValue::str("inf"));
+      Row.set("step", std::move(Step));
+    }
+    Row.set("rule", JsonValue::str(S.RulePattern));
+    Row.set("skipped", JsonValue::boolean(S.Skipped));
+    Row.set("regressed", JsonValue::boolean(S.Regressed));
+    Series.push(std::move(Row));
+  }
+  Doc.set("series", std::move(Series));
+  Doc.set("ok", JsonValue::boolean(R.Errors.empty() && R.Regressions == 0));
+  return Doc;
+}

@@ -1,0 +1,139 @@
+//===- obs/Trend.h - Cross-run trend analytics and gating -------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a run ledger (obs/Ledger.h) into per-metric longitudinal series
+/// and asks the statistical questions a single pairwise diff cannot:
+///
+///  * Where does a metric normally sit? Rolling median with a MAD band
+///    (MADN = 1.4826 * MAD, the normal-consistent scale), robust to the
+///    occasional bad run.
+///  * Which runs are anomalous? Values more than OutlierK * MADN from the
+///    median.
+///  * Did the level *shift*? The binary-segmentation change-point detector
+///    from obs/TimeSeries.h, applied across runs with unit weights. The
+///    noise floor for a credible step is estimated from successive
+///    differences (sigma = 1.4826 * median|v_i - v_{i-1}| / sqrt(2)),
+///    which stays honest even when the step itself inflates the global
+///    MAD.
+///
+/// Steps are gated through the same first-match-wins threshold rules as
+/// `bpcr compare` (skip rules silence wall-clock series; a matched
+/// max_rel_delta must be exceeded in the rule's bad direction for a step
+/// to count as a regression). `bpcr trend` maps the result to exit codes:
+/// 2 on step regressions, 1 when only the latest run is an outlier on a
+/// gated series, 0 otherwise.
+///
+/// compareAgainstLedger() is the second consumer: it gates a fresh report
+/// against median ± max(rule threshold * |median|, BandK * MADN) per
+/// metric — `bpcr compare --ledger`, replacing the single checked-in
+/// baseline file with the rolling band.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_OBS_TREND_H
+#define BPCR_OBS_TREND_H
+
+#include "obs/Compare.h"
+#include "obs/Ledger.h"
+
+#include <string>
+#include <vector>
+
+namespace bpcr {
+
+struct TrendOptions {
+  /// Glob over series names; non-matching series are dropped entirely.
+  std::string MetricGlob = "*";
+  /// Analyze only the newest N records (0 = all).
+  size_t LastN = 0;
+  /// Outlier band half-width in MADN units.
+  double OutlierK = 4.0;
+  /// Step credibility gate: a split must move the mean by at least
+  /// StepK * sigma (successive-difference noise estimate).
+  double StepK = 3.0;
+  /// Band half-width in MADN units for compareAgainstLedger().
+  double BandK = 4.0;
+  /// Series shorter than this are shown but never gated.
+  uint32_t MinRuns = 4;
+  /// Minimum runs on each side of a change point.
+  uint32_t MinSegment = 2;
+  /// Threshold rules (user rules first; defaults appended internally).
+  CompareOptions Rules;
+};
+
+/// One metric's history across the analyzed ledger window.
+struct TrendSeries {
+  /// Flattened metric name; prefixed "tool/workload:" only when the ledger
+  /// mixes runs from different contexts.
+  std::string Name;
+  /// Oldest to newest, one entry per analyzed record carrying the metric.
+  std::vector<double> Values;
+  /// Ledger record index (0-based, whole file) behind each value.
+  std::vector<size_t> Runs;
+  double Median = 0.0;
+  /// 1.4826 * median absolute deviation (0 for a constant series).
+  double Madn = 0.0;
+  /// Successive-difference noise sigma (step-robust).
+  double Sigma = 0.0;
+  /// Positions in Values outside median +- OutlierK * MADN.
+  std::vector<size_t> Outliers;
+  /// Last detected change point: Values[StepAt] starts the new level.
+  bool HasStep = false;
+  size_t StepAt = 0;
+  double StepBefore = 0.0;
+  double StepAfter = 0.0;
+  /// (after - before) / |before|; HUGE_VAL when before == 0.
+  double StepRelDelta = 0.0;
+  /// Matched threshold rule ("(short history)" when below MinRuns).
+  std::string RulePattern;
+  double Threshold = 0.0;
+  DeltaDirection Direction = DeltaDirection::Both;
+  bool Skipped = false;
+  /// Step moved the level beyond the threshold in the bad direction.
+  bool Regressed = false;
+};
+
+struct TrendResult {
+  std::vector<TrendSeries> Series;
+  std::vector<std::string> Warnings;
+  std::vector<std::string> Errors;
+  /// Gated series whose last level shift is a regression (exit 2).
+  unsigned Regressions = 0;
+  /// Gated series whose *latest* run is an outlier (exit 1). Historical
+  /// outliers are reported but do not fail the gate — they already did.
+  unsigned LatestOutliers = 0;
+  size_t RunsAnalyzed = 0;
+};
+
+/// Builds and analyzes every metric series of \p Records (oldest first,
+/// i.e. readLedger order) under \p Opts.
+TrendResult analyzeTrends(const std::vector<LedgerRecord> &Records,
+                          const TrendOptions &Opts);
+
+/// Gates \p NewReport against the rolling band of \p History: per metric,
+/// regression when the new value falls outside median +- max(threshold *
+/// |median|, BandK * MADN) in the rule's bad direction. History records
+/// from a different tool/workload context than the report are ignored
+/// (with a warning when that empties the history).
+CompareResult compareAgainstLedger(const std::vector<LedgerRecord> &History,
+                                   const JsonValue &NewReport,
+                                   const TrendOptions &Opts);
+
+/// Human table: one row per series (median, MADN, latest, outliers, step
+/// markers like "step@8"), optional unicode sparkline column, then a
+/// summary line. Exit-code mapping is the caller's job.
+std::string renderTrendTable(const TrendResult &R, bool Sparkline);
+
+/// CSV, one row per series, stable header order.
+std::string renderTrendCsv(const TrendResult &R);
+
+/// Machine-readable document for `bpcr trend --format json`.
+JsonValue trendJson(const TrendResult &R);
+
+} // namespace bpcr
+
+#endif // BPCR_OBS_TREND_H

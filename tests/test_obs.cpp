@@ -580,6 +580,132 @@ TEST(Compare, ResultJsonCarriesDeltasAndSpellsInfinity) {
   EXPECT_EQ(J, Back);
 }
 
+namespace {
+
+/// A two-counter report for the threshold-rule edge-case tests.
+JsonValue countersReport(double A, double B) {
+  JsonValue Counters = JsonValue::object();
+  Counters.set("search.steps", JsonValue::number(A));
+  Counters.set("searchXsteps", JsonValue::number(B));
+  JsonValue Metrics = JsonValue::object();
+  Metrics.set("counters", Counters);
+  JsonValue Report = JsonValue::object();
+  Report.set("schema_version",
+             JsonValue::integer(int64_t{ReportSchemaVersion}));
+  Report.set("metrics", Metrics);
+  return Report;
+}
+
+} // namespace
+
+TEST(Compare, OverlappingGlobsFirstMatchWins) {
+  // Both rules match counters.search.steps; the earlier (tighter) one must
+  // decide the verdict even though the later one would allow the delta.
+  CompareOptions Opts;
+  CompareRule Tight;
+  Tight.Pattern = "counters.search.*";
+  Tight.MaxRelDelta = 0.0;
+  CompareRule Loose;
+  Loose.Pattern = "counters.*";
+  Loose.MaxRelDelta = 10.0;
+  Opts.Rules = {Tight, Loose};
+
+  CompareResult R =
+      compareReports(countersReport(100, 5), countersReport(110, 5), Opts);
+  EXPECT_FALSE(R.ok());
+  for (const MetricDelta &D : R.Deltas)
+    if (D.Name == "counters.search.steps") {
+      EXPECT_EQ(D.RulePattern, "counters.search.*");
+      EXPECT_TRUE(D.Regressed);
+    }
+
+  // Reversed order: the loose rule is checked first and absorbs the delta.
+  Opts.Rules = {Loose, Tight};
+  CompareResult R2 =
+      compareReports(countersReport(100, 5), countersReport(110, 5), Opts);
+  EXPECT_TRUE(R2.ok());
+}
+
+TEST(Compare, GlobStarCrossesDotsAndDotIsLiteral) {
+  // '*' is a substring wildcard, not a path segment: counters.search.*
+  // must not leak onto counters.searchXsteps, and the '.' in a pattern
+  // matches only a literal dot (it is not a regex any-char).
+  EXPECT_TRUE(globMatch("counters.search.*", "counters.search.steps"));
+  EXPECT_TRUE(globMatch("counters.*", "counters.search.cache.hits"));
+  EXPECT_FALSE(globMatch("counters.search.*", "counters.searchXsteps"));
+  EXPECT_FALSE(globMatch("counters.search.steps", "countersXsearchXsteps"));
+  // '*' may match the empty string, including mid-pattern and at the ends.
+  EXPECT_TRUE(globMatch("*", ""));
+  EXPECT_TRUE(globMatch("a*b", "ab"));
+  EXPECT_TRUE(globMatch("*a*", "a"));
+
+  // End to end: a rule skipping counters.search.* leaves searchXsteps on
+  // the exact default rule, which flags its drift.
+  CompareOptions Opts;
+  CompareRule Skip;
+  Skip.Pattern = "counters.search.*";
+  Skip.Skip = true;
+  Opts.Rules = {Skip};
+  CompareResult R =
+      compareReports(countersReport(100, 5), countersReport(200, 6), Opts);
+  EXPECT_FALSE(R.ok());
+  for (const MetricDelta &D : R.Deltas) {
+    if (D.Name == "counters.search.steps") {
+      EXPECT_TRUE(D.Skipped);
+    }
+    if (D.Name == "counters.searchXsteps") {
+      EXPECT_FALSE(D.Skipped);
+      EXPECT_TRUE(D.Regressed);
+    }
+  }
+}
+
+TEST(Compare, RuleMatchingNoMetricsWarnsInsteadOfPassingSilently) {
+  // A typo'd pattern gates nothing; that must be visible, not a silent
+  // pass.
+  CompareOptions Opts;
+  CompareRule Typo;
+  Typo.Pattern = "counters.saerch.*"; // note the transposition
+  Typo.MaxRelDelta = 0.5;
+  Opts.Rules = {Typo};
+  CompareResult R =
+      compareReports(countersReport(100, 5), countersReport(100, 5), Opts);
+  EXPECT_TRUE(R.ok()); // a warning, not an error
+  ASSERT_EQ(R.Warnings.size(), 1u);
+  EXPECT_NE(R.Warnings[0].find("'counters.saerch.*' matched no metrics"),
+            std::string::npos)
+      << R.Warnings[0];
+
+  // Control: the same rule spelled right matches and draws no warning.
+  Opts.Rules[0].Pattern = "counters.search.*";
+  CompareResult R2 =
+      compareReports(countersReport(100, 5), countersReport(100, 5), Opts);
+  EXPECT_TRUE(R2.Warnings.empty());
+}
+
+TEST(Compare, DifferingSchemaVersionsWarnButStillDiff) {
+  // v2 vs v4 reports share most metric names; the diff proceeds with a
+  // warning instead of erroring out (satellite of the ledger work: old
+  // ledger records replay through compare).
+  JsonValue Old = countersReport(100, 5);
+  Old.set("schema_version", JsonValue::integer(int64_t{2}));
+  JsonValue New = countersReport(100, 5);
+
+  CompareResult R = compareReports(Old, New, CompareOptions());
+  EXPECT_TRUE(R.Errors.empty());
+  EXPECT_TRUE(R.ok());
+  bool SawSchemaNote = false;
+  for (const std::string &W : R.Warnings)
+    SawSchemaNote |= W.find("schema versions differ: old=2 new=4") !=
+                     std::string::npos;
+  EXPECT_TRUE(SawSchemaNote);
+
+  // Out-of-range versions are still structural errors.
+  Old.set("schema_version", JsonValue::integer(int64_t{0}));
+  CompareResult Bad = compareReports(Old, New, CompareOptions());
+  EXPECT_FALSE(Bad.Errors.empty());
+}
+
 // -- End-to-end pipeline report ----------------------------------------------
 
 TEST(Report, PipelineRunProducesPhasesAndDecisions) {

@@ -1,0 +1,360 @@
+//===- tests/test_trend.cpp - Cross-run trend analytics and gating --------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Compare.h"
+#include "obs/Ledger.h"
+#include "obs/Report.h"
+#include "obs/Trend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace bpcr;
+
+namespace {
+
+/// One deterministic-metric record per value, matching readLedger order
+/// (oldest first).
+std::vector<LedgerRecord> ledgerOf(const std::vector<double> &Values,
+                                   const std::string &Name =
+                                       "counters.bench.ops") {
+  std::vector<LedgerRecord> Records;
+  for (double V : Values) {
+    LedgerRecord R;
+    R.SchemaVersion = ReportSchemaVersion;
+    R.Meta.Tool = "bench_fixture";
+    R.Meta.Workload = "synthetic";
+    R.Metrics.emplace_back(Name, V);
+    Records.push_back(std::move(R));
+  }
+  return Records;
+}
+
+const TrendSeries *seriesNamed(const TrendResult &R, const std::string &N) {
+  for (const TrendSeries &S : R.Series)
+    if (S.Name == N)
+      return &S;
+  return nullptr;
+}
+
+/// The synthetic 12-run fixtures from tests/data/: a clean +30% step at run
+/// 8, and pure +-0.3% noise.
+const std::vector<double> StepValues = {1000, 1002, 999,  1001, 1000, 998,
+                                        1001, 1000, 1300, 1302, 1299, 1301};
+const std::vector<double> NoiseValues = {1000, 1002, 998, 1001, 999,  1003,
+                                         997,  1000, 1002, 998, 1001, 999};
+
+} // namespace
+
+// -- Robust statistics --------------------------------------------------------
+
+TEST(Trend, RobustStatsOnKnownSeries) {
+  TrendResult R = analyzeTrends(ledgerOf(NoiseValues), TrendOptions());
+  ASSERT_EQ(R.Series.size(), 1u);
+  const TrendSeries &S = R.Series[0];
+  EXPECT_EQ(S.Values.size(), 12u);
+  // Median of the noise fixture is 1000 (or the midpoint of the two middle
+  // values); the MAD band is a couple of counts wide.
+  EXPECT_NEAR(S.Median, 1000.0, 0.5);
+  EXPECT_GT(S.Madn, 0.0);
+  EXPECT_LT(S.Madn, 10.0);
+  EXPECT_GT(S.Sigma, 0.0);
+}
+
+TEST(Trend, ConstantSeriesHasZeroSpreadAndNoFindings) {
+  TrendResult R =
+      analyzeTrends(ledgerOf({5, 5, 5, 5, 5, 5}), TrendOptions());
+  ASSERT_EQ(R.Series.size(), 1u);
+  const TrendSeries &S = R.Series[0];
+  EXPECT_DOUBLE_EQ(S.Madn, 0.0);
+  EXPECT_DOUBLE_EQ(S.Sigma, 0.0);
+  EXPECT_TRUE(S.Outliers.empty());
+  EXPECT_FALSE(S.HasStep);
+  EXPECT_EQ(R.Regressions, 0u);
+  EXPECT_EQ(R.LatestOutliers, 0u);
+}
+
+// -- Step detection -----------------------------------------------------------
+
+TEST(Trend, DetectsInjectedStepAtTheRightRun) {
+  TrendResult R = analyzeTrends(ledgerOf(StepValues), TrendOptions());
+  ASSERT_EQ(R.Series.size(), 1u);
+  const TrendSeries &S = R.Series[0];
+  ASSERT_TRUE(S.HasStep);
+  EXPECT_EQ(S.StepAt, 8u); // Values[8] starts the new level
+  EXPECT_NEAR(S.StepBefore, 1000.0, 2.0);
+  EXPECT_NEAR(S.StepAfter, 1300.0, 2.0);
+  EXPECT_NEAR(S.StepRelDelta, 0.3, 0.01);
+  // A deterministic counter moving at all regresses under the default
+  // exact-match tail rule; direction Both catches either sign.
+  EXPECT_TRUE(S.Regressed);
+  EXPECT_EQ(R.Regressions, 1u);
+}
+
+TEST(Trend, PureNoiseStaysClean) {
+  TrendResult R = analyzeTrends(ledgerOf(NoiseValues), TrendOptions());
+  ASSERT_EQ(R.Series.size(), 1u);
+  const TrendSeries &S = R.Series[0];
+  EXPECT_FALSE(S.HasStep);
+  EXPECT_FALSE(S.Regressed);
+  EXPECT_TRUE(S.Outliers.empty());
+  EXPECT_EQ(R.Regressions, 0u);
+  EXPECT_EQ(R.LatestOutliers, 0u);
+}
+
+TEST(Trend, DownwardStepAlsoRegressesUnderBothDirection) {
+  std::vector<double> Down = {1000, 1001, 999, 1000, 1002, 1000,
+                              700,  701,  699, 700,  702,  700};
+  TrendResult R = analyzeTrends(ledgerOf(Down), TrendOptions());
+  ASSERT_EQ(R.Series.size(), 1u);
+  ASSERT_TRUE(R.Series[0].HasStep);
+  EXPECT_EQ(R.Series[0].StepAt, 6u);
+  EXPECT_LT(R.Series[0].StepRelDelta, 0.0);
+  EXPECT_TRUE(R.Series[0].Regressed);
+}
+
+// -- Outliers -----------------------------------------------------------------
+
+TEST(Trend, LatestRunOutlierFailsButHistoricalOnesOnlyReport) {
+  // One historic spike: reported, but the gate already failed on that run.
+  std::vector<double> Historic = NoiseValues;
+  Historic[4] = 1500;
+  TrendResult R1 = analyzeTrends(ledgerOf(Historic), TrendOptions());
+  ASSERT_EQ(R1.Series.size(), 1u);
+  ASSERT_EQ(R1.Series[0].Outliers.size(), 1u);
+  EXPECT_EQ(R1.Series[0].Outliers[0], 4u);
+  EXPECT_EQ(R1.LatestOutliers, 0u);
+
+  // The same spike on the newest run fails the gate.
+  std::vector<double> Latest = NoiseValues;
+  Latest.back() = 1500;
+  TrendResult R2 = analyzeTrends(ledgerOf(Latest), TrendOptions());
+  ASSERT_EQ(R2.Series.size(), 1u);
+  ASSERT_FALSE(R2.Series[0].Outliers.empty());
+  EXPECT_EQ(R2.LatestOutliers, 1u);
+}
+
+// -- Rules, windowing, contexts -----------------------------------------------
+
+TEST(Trend, SkipRuleSilencesWallClockSeries) {
+  // A stepping perf series matches the built-in *per_sec* skip: shown, but
+  // never a regression.
+  TrendResult R = analyzeTrends(
+      ledgerOf(StepValues, "gauges.interp.events_per_sec"), TrendOptions());
+  ASSERT_EQ(R.Series.size(), 1u);
+  EXPECT_TRUE(R.Series[0].Skipped);
+  EXPECT_EQ(R.Series[0].RulePattern, "*per_sec*");
+  EXPECT_FALSE(R.Series[0].Regressed);
+  EXPECT_EQ(R.Regressions, 0u);
+  EXPECT_EQ(R.LatestOutliers, 0u);
+}
+
+TEST(Trend, UserRuleThresholdAllowsTheStep) {
+  // A user rule allowing 50% drift outranks the default exact tail.
+  TrendOptions Opts;
+  CompareRule Rule;
+  Rule.Pattern = "counters.bench.*";
+  Rule.MaxRelDelta = 0.5;
+  Opts.Rules.Rules.push_back(Rule);
+  TrendResult R = analyzeTrends(ledgerOf(StepValues), Opts);
+  ASSERT_EQ(R.Series.size(), 1u);
+  EXPECT_TRUE(R.Series[0].HasStep);
+  EXPECT_FALSE(R.Series[0].Regressed);
+  EXPECT_EQ(R.Series[0].RulePattern, "counters.bench.*");
+}
+
+TEST(Trend, ShortHistoryIsNeverGated) {
+  TrendResult R = analyzeTrends(ledgerOf({1000, 1300, 1301}), TrendOptions());
+  ASSERT_EQ(R.Series.size(), 1u);
+  EXPECT_TRUE(R.Series[0].Skipped);
+  EXPECT_EQ(R.Series[0].RulePattern, "(short history)");
+  EXPECT_EQ(R.Regressions, 0u);
+  EXPECT_EQ(R.LatestOutliers, 0u);
+}
+
+TEST(Trend, LastNRestrictsTheWindow) {
+  TrendOptions Opts;
+  Opts.LastN = 4;
+  TrendResult R = analyzeTrends(ledgerOf(StepValues), Opts);
+  EXPECT_EQ(R.RunsAnalyzed, 4u);
+  ASSERT_EQ(R.Series.size(), 1u);
+  // Only the post-step plateau remains: no step, and the run indices still
+  // point into the whole file.
+  EXPECT_EQ(R.Series[0].Values.size(), 4u);
+  EXPECT_FALSE(R.Series[0].HasStep);
+  EXPECT_EQ(R.Series[0].Runs.front(), 8u);
+}
+
+TEST(Trend, MetricGlobDropsNonMatchingSeries) {
+  std::vector<LedgerRecord> Records = ledgerOf(NoiseValues);
+  for (LedgerRecord &R : Records)
+    R.Perf.emplace_back("gauges.interp.events_per_sec", 50000.0);
+  TrendOptions Opts;
+  Opts.MetricGlob = "counters.*";
+  TrendResult R = analyzeTrends(Records, Opts);
+  ASSERT_EQ(R.Series.size(), 1u);
+  EXPECT_EQ(R.Series[0].Name, "counters.bench.ops");
+}
+
+TEST(Trend, MixedContextsPrefixSeriesAndStillMatchRules) {
+  // Two tools in one ledger: same metric name, different series — and the
+  // rule match still sees the unprefixed name.
+  std::vector<LedgerRecord> A = ledgerOf(StepValues);
+  std::vector<LedgerRecord> B = ledgerOf(NoiseValues);
+  for (LedgerRecord &R : B)
+    R.Meta.Tool = "other_bench";
+  std::vector<LedgerRecord> All = A;
+  All.insert(All.end(), B.begin(), B.end());
+
+  TrendResult R = analyzeTrends(All, TrendOptions());
+  ASSERT_EQ(R.Warnings.size(), 1u);
+  EXPECT_NE(R.Warnings[0].find("mixes 2 tool/workload contexts"),
+            std::string::npos);
+  const TrendSeries *SA =
+      seriesNamed(R, "bench_fixture/synthetic:counters.bench.ops");
+  const TrendSeries *SB =
+      seriesNamed(R, "other_bench/synthetic:counters.bench.ops");
+  ASSERT_NE(SA, nullptr);
+  ASSERT_NE(SB, nullptr);
+  EXPECT_TRUE(SA->Regressed);
+  EXPECT_FALSE(SB->Regressed);
+  EXPECT_EQ(SA->RulePattern, "*"); // matched unprefixed
+}
+
+// -- Renderers ----------------------------------------------------------------
+
+TEST(Trend, TableMarksRegressionsAndSummarizes) {
+  TrendResult R = analyzeTrends(ledgerOf(StepValues), TrendOptions());
+  std::string Table = renderTrendTable(R, /*Sparkline=*/false);
+  EXPECT_NE(Table.find("REGRESSED step@8 +30.0%"), std::string::npos)
+      << Table;
+  EXPECT_NE(Table.find("12 runs, 1 series: 1 step regression"),
+            std::string::npos)
+      << Table;
+
+  std::string Csv = renderTrendCsv(R);
+  EXPECT_EQ(Csv.rfind("metric,runs,median,madn,sigma,latest,outliers,"
+                      "step_at,step_rel_delta,rule,status\n",
+                      0),
+            0u);
+  EXPECT_NE(Csv.find("counters.bench.ops,12,"), std::string::npos);
+  EXPECT_NE(Csv.find(",regressed\n"), std::string::npos);
+}
+
+TEST(Trend, JsonCarriesStepAndRoundTrips) {
+  TrendResult R = analyzeTrends(ledgerOf(StepValues), TrendOptions());
+  JsonValue J = trendJson(R);
+  EXPECT_FALSE(J.find("ok")->asBool());
+  EXPECT_EQ(J.find("step_regressions")->asInt(), 1);
+  const JsonValue &Row = J.find("series")->at(0);
+  EXPECT_EQ(Row.find("metric")->asString(), "counters.bench.ops");
+  ASSERT_NE(Row.find("step"), nullptr);
+  EXPECT_EQ(Row.find("step")->find("at")->asInt(), 8);
+  std::string Error;
+  JsonValue Back = parseJson(J.dump(2), Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(J, Back);
+}
+
+// -- compareAgainstLedger -----------------------------------------------------
+
+namespace {
+
+JsonValue reportWithOps(double Ops) {
+  JsonValue Counters = JsonValue::object();
+  Counters.set("bench.ops", JsonValue::number(Ops));
+  JsonValue Metrics = JsonValue::object();
+  Metrics.set("counters", Counters);
+  JsonValue Report = JsonValue::object();
+  Report.set("schema_version",
+             JsonValue::integer(int64_t{ReportSchemaVersion}));
+  Report.set("tool", JsonValue::str("bench_fixture"));
+  Report.set("workload", JsonValue::str("synthetic"));
+  Report.set("metrics", Metrics);
+  return Report;
+}
+
+} // namespace
+
+TEST(Trend, LedgerCompareGatesAgainstTheRollingBand) {
+  std::vector<LedgerRecord> History = ledgerOf(NoiseValues);
+  TrendOptions Opts;
+  // Allow 2% around the rolling median before the MAD band takes over.
+  CompareRule Rule;
+  Rule.Pattern = "counters.bench.*";
+  Rule.MaxRelDelta = 0.02;
+  Opts.Rules.Rules.push_back(Rule);
+
+  // In-band value passes.
+  CompareResult Ok = compareAgainstLedger(History, reportWithOps(1003), Opts);
+  EXPECT_TRUE(Ok.ok()) << renderCompareResult(Ok);
+  ASSERT_EQ(Ok.Deltas.size(), 1u);
+  EXPECT_NEAR(Ok.Deltas[0].Old, 1000.0, 0.5); // Old is the rolling median
+
+  // A step far outside both the threshold and the MAD band fails.
+  CompareResult Bad = compareAgainstLedger(History, reportWithOps(1300), Opts);
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.Regressions, 1u);
+  EXPECT_TRUE(Bad.Deltas[0].Regressed);
+}
+
+TEST(Trend, LedgerCompareNeverGatesShortOrMissingHistory) {
+  // One-record history: too short for a band.
+  CompareResult Short = compareAgainstLedger(ledgerOf({1000}),
+                                             reportWithOps(9999),
+                                             TrendOptions());
+  EXPECT_TRUE(Short.ok());
+  ASSERT_EQ(Short.Deltas.size(), 1u);
+  EXPECT_TRUE(Short.Deltas[0].Skipped);
+  EXPECT_EQ(Short.Deltas[0].RulePattern, "(short history)");
+
+  // Metric absent from the history: reported as missing, never gated.
+  CompareResult Missing = compareAgainstLedger(
+      ledgerOf(NoiseValues, "counters.other.metric"), reportWithOps(1000),
+      TrendOptions());
+  EXPECT_TRUE(Missing.ok());
+  bool SawMissing = false;
+  for (const MetricDelta &D : Missing.Deltas)
+    if (D.Name == "counters.bench.ops") {
+      EXPECT_TRUE(D.MissingOld);
+      EXPECT_TRUE(D.Skipped);
+      SawMissing = true;
+    }
+  EXPECT_TRUE(SawMissing);
+}
+
+TEST(Trend, LedgerCompareFiltersHistoryToTheReportContext) {
+  // Matching-context records form the band; foreign-context records with a
+  // wildly different level are ignored.
+  std::vector<LedgerRecord> History = ledgerOf(NoiseValues);
+  std::vector<LedgerRecord> Foreign = ledgerOf(
+      std::vector<double>(12, 500000.0));
+  for (LedgerRecord &R : Foreign)
+    R.Meta.Tool = "other_bench";
+  History.insert(History.end(), Foreign.begin(), Foreign.end());
+
+  CompareResult R =
+      compareAgainstLedger(History, reportWithOps(1001), TrendOptions());
+  EXPECT_TRUE(R.Warnings.empty());
+  ASSERT_EQ(R.Deltas.size(), 1u);
+  EXPECT_NEAR(R.Deltas[0].Old, 1000.0, 0.5);
+
+  // No matching context at all: fall back to everything, with a warning.
+  std::vector<LedgerRecord> OnlyForeign = Foreign;
+  CompareResult Fallback =
+      compareAgainstLedger(OnlyForeign, reportWithOps(1001), TrendOptions());
+  ASSERT_EQ(Fallback.Warnings.size(), 1u);
+  EXPECT_NE(Fallback.Warnings[0].find("no ledger records match context"),
+            std::string::npos);
+}
+
+TEST(Trend, LedgerCompareRejectsNonReports) {
+  CompareResult R = compareAgainstLedger(ledgerOf(NoiseValues),
+                                         JsonValue::object(), TrendOptions());
+  ASSERT_EQ(R.Errors.size(), 1u);
+  EXPECT_FALSE(R.ok());
+}

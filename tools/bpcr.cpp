@@ -65,11 +65,13 @@
 #include "ir/Serializer.h"
 #include "ir/Verifier.h"
 #include "obs/Compare.h"
+#include "obs/Ledger.h"
 #include "obs/Metrics.h"
 #include "obs/Profiler.h"
 #include "obs/Report.h"
 #include "obs/TimeSeries.h"
 #include "obs/TraceSpans.h"
+#include "obs/Trend.h"
 #include "obs/Sarif.h"
 #include "predict/DynamicPredictors.h"
 #include "predict/Evaluator.h"
@@ -118,6 +120,11 @@ struct Args {
   std::string CompareOld;
   std::string CompareNew;
   std::string ThresholdFile;
+  // trend options (Ledger and Last are shared with compare --ledger).
+  std::string Ledger;
+  uint64_t Last = 0;
+  std::string MetricGlob = "*";
+  bool Sparkline = false;
   // lint options.
   std::string FailOn = "error";
   bool Replicate = false;
@@ -164,7 +171,19 @@ int usage() {
       "                               deltas. exit codes: 0 all gates\n"
       "                               passed, 1 at least one metric\n"
       "                               regressed, 2 unreadable report or\n"
-      "                               schema mismatch\n"
+      "                               schema mismatch. With --ledger FILE,\n"
+      "                               takes one NEW.json and gates it\n"
+      "                               against the rolling median +- k*MAD\n"
+      "                               band of the ledger history instead\n"
+      "                               of a single baseline file\n"
+      "  trend                        cross-run trend analytics over a run\n"
+      "                               ledger (--ledger FILE): per-metric\n"
+      "                               rolling median/MAD bands, outlier\n"
+      "                               runs, and step changes found by the\n"
+      "                               change-point detector across runs.\n"
+      "                               exit codes: 0 clean, 1 latest run is\n"
+      "                               an outlier on a gated metric, 2 step\n"
+      "                               regression or unreadable ledger\n"
       "\n"
       "options:\n"
       "  --seed N       workload input seed (default 1)\n"
@@ -213,8 +232,16 @@ int usage() {
       "                 write a collapsed-stack flamegraph (speedscope,\n"
       "                 flamegraph.pl) derived from the span tree (profile)\n"
       "  --threshold-file FILE\n"
-      "                 relative-delta thresholds for compare (JSON; see\n"
-      "                 docs/OBSERVABILITY.md)\n"
+      "                 relative-delta thresholds for compare and trend\n"
+      "                 (JSON; see docs/OBSERVABILITY.md)\n"
+      "  --ledger FILE  run ledger (JSONL, appended by the bench runners;\n"
+      "                 see docs/OBSERVABILITY.md) to analyze (trend) or\n"
+      "                 gate against (compare)\n"
+      "  --last N       analyze only the newest N ledger records\n"
+      "                 (trend/compare --ledger; default: all)\n"
+      "  --metric GLOB  only analyze metrics matching GLOB (trend;\n"
+      "                 default '*')\n"
+      "  --sparkline    add a unicode sparkline column to the trend table\n"
       "  -o FILE        output file (trace: .bpct; dump/replicate: module\n"
       "                 text; sweep: curve table)\n");
   return 2;
@@ -233,7 +260,8 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
 
   static const char *Known[] = {"list",   "dump",    "trace",    "analyze",
                                 "replicate", "report", "sweep", "explain",
-                                "timeline", "lint",   "compare", "profile"};
+                                "timeline", "lint",   "compare", "profile",
+                                "trend"};
   bool KnownCommand = false;
   for (const char *C : Known)
     KnownCommand |= A.Command == C;
@@ -242,12 +270,14 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
 
   int I = 2;
   if (A.Command == "compare") {
-    if (I + 1 >= Argc || Argv[I][0] == '-' || Argv[I + 1][0] == '-')
-      return parseError(
-          "command 'compare' needs two run-report arguments: "
-          "compare OLD.json NEW.json");
-    A.CompareOld = Argv[I++];
-    A.CompareNew = Argv[I++];
+    // One or two leading report positionals; which count is legal depends
+    // on --ledger, so it is validated after the option loop.
+    while (I < Argc && Argv[I][0] != '-' && A.CompareNew.empty()) {
+      if (A.CompareOld.empty())
+        A.CompareOld = Argv[I++];
+      else
+        A.CompareNew = Argv[I++];
+    }
   } else if (A.Command == "profile") {
     if (I >= Argc || Argv[I][0] == '-')
       return parseError(
@@ -266,7 +296,7 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
     if (I >= Argc || Argv[I][0] == '-')
       return parseError("command 'profile' needs a workload argument");
     A.Target = Argv[I++];
-  } else if (A.Command != "list") {
+  } else if (A.Command != "list" && A.Command != "trend") {
     if (I >= Argc || Argv[I][0] == '-')
       return parseError("command '" + A.Command +
                         "' needs a workload argument");
@@ -382,6 +412,9 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       } else if (A.Command == "compare") {
         if (A.Format != "table" && A.Format != "json")
           return parseError("compare '--format' must be table or json");
+      } else if (A.Command == "trend") {
+        if (A.Format != "table" && A.Format != "csv" && A.Format != "json")
+          return parseError("trend '--format' must be table, csv or json");
       } else {
         if (A.Format != "table" && A.Format != "csv" && A.Format != "json")
           return parseError("option '--format' must be table, csv or json");
@@ -439,10 +472,38 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       const char *V = Next();
       if (!V)
         return parseError("option '--threshold-file' needs a file argument");
-      if (A.Command != "compare")
-        return parseError(
-            "option '--threshold-file' only applies to the compare command");
+      if (A.Command != "compare" && A.Command != "trend")
+        return parseError("option '--threshold-file' only applies to the "
+                          "compare and trend commands");
       A.ThresholdFile = V;
+    } else if (Opt == "--ledger") {
+      const char *V = Next();
+      if (!V)
+        return parseError("option '--ledger' needs a file argument");
+      if (A.Command != "compare" && A.Command != "trend")
+        return parseError("option '--ledger' only applies to the compare "
+                          "and trend commands");
+      A.Ledger = V;
+    } else if (Opt == "--last") {
+      const char *V = Next();
+      if (!V || !ParseU64(V, A.Last) || A.Last == 0)
+        return parseError("option '--last' needs a positive integer value");
+      if (A.Command != "compare" && A.Command != "trend")
+        return parseError(
+            "option '--last' only applies to the compare and trend commands");
+    } else if (Opt == "--metric") {
+      const char *V = Next();
+      if (!V || *V == '\0')
+        return parseError("option '--metric' needs a glob argument");
+      if (A.Command != "trend")
+        return parseError(
+            "option '--metric' only applies to the trend command");
+      A.MetricGlob = V;
+    } else if (Opt == "--sparkline") {
+      if (A.Command != "trend")
+        return parseError(
+            "option '--sparkline' only applies to the trend command");
+      A.Sparkline = true;
     } else if (Opt == "-o") {
       const char *V = Next();
       if (!V)
@@ -456,6 +517,21 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
     return parseError("options '--phases' and '--branch' are mutually "
                       "exclusive: phase splits already cover the top "
                       "branches (pick one view)");
+  if (A.Command == "compare") {
+    if (!A.Ledger.empty()) {
+      if (A.CompareOld.empty() || !A.CompareNew.empty())
+        return parseError("'compare --ledger' takes one run-report "
+                          "argument: compare NEW.json --ledger FILE");
+      // The single positional is the fresh report being gated.
+      A.CompareNew = A.CompareOld;
+      A.CompareOld.clear();
+    } else if (A.CompareOld.empty() || A.CompareNew.empty()) {
+      return parseError("command 'compare' needs two run-report arguments: "
+                        "compare OLD.json NEW.json (or one with --ledger)");
+    }
+  }
+  if (A.Command == "trend" && A.Ledger.empty())
+    return parseError("command 'trend' needs a ledger: trend --ledger FILE");
   return true;
 }
 
@@ -508,41 +584,66 @@ bool readFile(const std::string &Path, std::string &Out, std::string &Error) {
   return Ok;
 }
 
-int cmdCompare(const Args &A) {
-  auto LoadReport = [](const std::string &Path, JsonValue &Doc) {
-    std::string Text, Error;
-    if (!readFile(Path, Text, Error)) {
-      std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
-      return false;
-    }
-    Doc = parseJson(Text, Error);
-    if (!Error.empty()) {
-      std::fprintf(stderr, "bpcr: error: %s: %s\n", Path.c_str(),
-                   Error.c_str());
-      return false;
-    }
-    return true;
-  };
+bool loadReport(const std::string &Path, JsonValue &Doc) {
+  std::string Text, Error;
+  if (!readFile(Path, Text, Error)) {
+    std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
+    return false;
+  }
+  Doc = parseJson(Text, Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "bpcr: error: %s: %s\n", Path.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  return true;
+}
 
-  JsonValue OldDoc, NewDoc;
-  if (!LoadReport(A.CompareOld, OldDoc) || !LoadReport(A.CompareNew, NewDoc))
+bool loadThresholdFile(const std::string &Path, CompareOptions &Opts) {
+  if (Path.empty())
+    return true;
+  std::string Text, Error;
+  if (!readFile(Path, Text, Error)) {
+    std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
+    return false;
+  }
+  if (!parseThresholdRules(Text, Opts, Error)) {
+    std::fprintf(stderr, "bpcr: error: %s: %s\n", Path.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmdCompare(const Args &A) {
+  JsonValue NewDoc;
+  if (!loadReport(A.CompareNew, NewDoc))
+    return 2;
+  CompareOptions Opts;
+  if (!loadThresholdFile(A.ThresholdFile, Opts))
     return 2;
 
-  CompareOptions Opts;
-  if (!A.ThresholdFile.empty()) {
-    std::string Text, Error;
-    if (!readFile(A.ThresholdFile, Text, Error)) {
+  CompareResult R;
+  if (!A.Ledger.empty()) {
+    std::vector<LedgerRecord> History;
+    std::vector<std::string> Warnings;
+    std::string Error;
+    if (!readLedger(A.Ledger, History, Warnings, Error)) {
       std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
       return 2;
     }
-    if (!parseThresholdRules(Text, Opts, Error)) {
-      std::fprintf(stderr, "bpcr: error: %s: %s\n", A.ThresholdFile.c_str(),
-                   Error.c_str());
+    TrendOptions TOpts;
+    TOpts.LastN = A.Last;
+    TOpts.Rules = Opts;
+    R = compareAgainstLedger(History, NewDoc, TOpts);
+    R.Warnings.insert(R.Warnings.begin(), Warnings.begin(), Warnings.end());
+  } else {
+    JsonValue OldDoc;
+    if (!loadReport(A.CompareOld, OldDoc))
       return 2;
-    }
+    R = compareReports(OldDoc, NewDoc, Opts);
   }
 
-  CompareResult R = compareReports(OldDoc, NewDoc, Opts);
   if (A.Format == "json")
     std::printf("%s\n", compareResultJson(R).dump(2).c_str());
   else
@@ -550,6 +651,37 @@ int cmdCompare(const Args &A) {
   if (!R.Errors.empty())
     return 2;
   return R.Regressions ? 1 : 0;
+}
+
+int cmdTrend(const Args &A) {
+  std::vector<LedgerRecord> Records;
+  std::vector<std::string> Warnings;
+  std::string Error;
+  if (!readLedger(A.Ledger, Records, Warnings, Error)) {
+    std::fprintf(stderr, "bpcr: error: %s\n", Error.c_str());
+    return 2;
+  }
+  CompareOptions Opts;
+  if (!loadThresholdFile(A.ThresholdFile, Opts))
+    return 2;
+
+  TrendOptions TOpts;
+  TOpts.MetricGlob = A.MetricGlob;
+  TOpts.LastN = A.Last;
+  TOpts.Rules = Opts;
+  TrendResult R = analyzeTrends(Records, TOpts);
+  R.Warnings.insert(R.Warnings.begin(), Warnings.begin(), Warnings.end());
+
+  if (A.Format == "json")
+    std::printf("%s\n", trendJson(R).dump(2).c_str());
+  else if (A.Format == "csv")
+    std::printf("%s", renderTrendCsv(R).c_str());
+  else
+    std::printf("%s", renderTrendTable(R, A.Sparkline).c_str());
+
+  if (!R.Errors.empty() || R.Regressions)
+    return 2;
+  return R.LatestOutliers ? 1 : 0;
 }
 
 int cmdList() {
@@ -1491,6 +1623,8 @@ int main(int Argc, char **Argv) {
     RC = cmdLint(A);
   else if (A.Command == "compare")
     RC = cmdCompare(A);
+  else if (A.Command == "trend")
+    RC = cmdTrend(A);
   else
     return usage();
 
