@@ -128,6 +128,14 @@ public:
     P.Table.record(Taken);
   }
 
+  /// Records one event into the outcome stream only, leaving the pattern
+  /// table empty. Used for branches whose direction is statically proven:
+  /// the machine search is pruned for them, so their table is never read,
+  /// and skipping the fill keeps the proof savings real.
+  void recordOutcomeOnly(int32_t Id, bool Taken) {
+    Profiles[static_cast<uint32_t>(Id)].Outcomes.push_back(Taken ? 1 : 0);
+  }
+
   /// Marks a loop re-entry for branch \p Id: the next recorded outcome
   /// starts from a zero-filled history.
   void resetHistory(int32_t Id) {

@@ -6,12 +6,15 @@
 
 #include "core/LoopAwareProfiles.h"
 
+#include "sa/Dataflow.h"
+
 #include <map>
 
 using namespace bpcr;
 
 ProfileSet bpcr::buildLoopAwareProfiles(const ProgramAnalysis &PA,
-                                        const Trace &T, unsigned MaxBits) {
+                                        const Trace &T, unsigned MaxBits,
+                                        const sa::BranchProofs *Proofs) {
   uint32_t NumBranches = PA.numBranches();
   ProfileSet P(NumBranches, MaxBits);
 
@@ -60,7 +63,13 @@ ProfileSet bpcr::buildLoopAwareProfiles(const ProgramAnalysis &PA,
     if (LI >= 0 &&
         Loops[static_cast<size_t>(LI)].LastOutside > LastExec[Id])
       P.resetHistory(E.BranchId);
-    P.record(E.BranchId, E.Taken);
+    // Proven-unidirectional branches keep their outcome stream (profile
+    // scores and Table 5 need it) but skip the pattern-table fill: no
+    // machine search will ever consult their table.
+    if (Proofs && Proofs->proven(E.BranchId))
+      P.recordOutcomeOnly(E.BranchId, E.Taken);
+    else
+      P.record(E.BranchId, E.Taken);
     LastExec[Id] = Time;
   }
   return P;

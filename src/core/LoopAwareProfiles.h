@@ -25,12 +25,21 @@
 
 namespace bpcr {
 
+namespace sa {
+struct BranchProofs;
+} // namespace sa
+
 /// Builds per-branch profiles where a loop branch's history resets whenever
 /// an event outside its innermost loop occurred since its last execution.
 /// Events from other functions count as outside (a fresh call re-enters the
 /// loop through its header).
+///
+/// When \p Proofs is non-null, branches proven unidirectional record their
+/// outcome stream but skip the pattern-table fill — the machine search is
+/// pruned for them, so nothing ever reads their table.
 ProfileSet buildLoopAwareProfiles(const ProgramAnalysis &PA, const Trace &T,
-                                  unsigned MaxBits = 9);
+                                  unsigned MaxBits = 9,
+                                  const sa::BranchProofs *Proofs = nullptr);
 
 } // namespace bpcr
 

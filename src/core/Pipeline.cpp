@@ -14,6 +14,7 @@
 #include "obs/Profiler.h"
 #include "obs/TimeSeries.h"
 #include "obs/TraceSpans.h"
+#include "sa/Dataflow.h"
 #include "sa/ReplicationSoundness.h"
 
 #include <algorithm>
@@ -114,9 +115,30 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   TLoops.stop();
   Profiler::global().sampleRss("loop_analysis");
 
+  // Branch-direction proofs: interval propagation over the original module
+  // proves some branches unidirectional before any profiling happens. The
+  // proofs prune the pattern-table fill and the machine search below and
+  // fold the static prediction after annotation.
+  ScopedTimer TProof("pipeline.phase.proof_analysis");
+  Span SProof("pipeline.phase.proof_analysis");
+  sa::BranchProofs Proofs;
+  if (Opts.UseProofPruning)
+    Proofs = sa::computeBranchProofs(M);
+  const sa::BranchProofs *ProofsPtr =
+      Opts.UseProofPruning ? &Proofs : nullptr;
+  SProof.arg("proven", static_cast<uint64_t>(Proofs.provenCount()));
+  SProof.end();
+  TProof.stop();
+  if (ObsOn)
+    Registry::global()
+        .gauge("sa.proofs.pruned_branches")
+        .set(static_cast<double>(Proofs.provenCount()));
+  Profiler::global().sampleRss("proof_analysis");
+
   ScopedTimer TProfile("pipeline.phase.profiling");
   Span SProfile("pipeline.phase.profiling");
-  ProfileSet Profiles = buildLoopAwareProfiles(PA, T);
+  ProfileSet Profiles = buildLoopAwareProfiles(PA, T, /*MaxBits=*/9,
+                                               ProofsPtr);
   TraceStats Stats(PA.numBranches());
   Stats.addTrace(T);
   SProfile.end();
@@ -126,7 +148,9 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   ScopedTimer TSearch("pipeline.phase.machine_search");
   Span SSearch("pipeline.phase.machine_search");
   SelectionTrace SelTrace;
-  R.Strategies = selectStrategies(PA, Profiles, T, Opts.Strategy,
+  StrategyOptions StratOpts = Opts.Strategy;
+  StratOpts.Proofs = ProofsPtr;
+  R.Strategies = selectStrategies(PA, Profiles, T, StratOpts,
                                   ObsOn ? &SelTrace : nullptr);
   SSearch.arg("strategies", static_cast<uint64_t>(R.Strategies.size()));
   SSearch.end();
@@ -536,6 +560,42 @@ PipelineResult bpcr::replicateModule(const Module &M, const Trace &T,
   Span SAnnotate("pipeline.phase.annotation");
   annotateProfilePredictions(R.Transformed, Stats);
   R.Transformed.assignBranchIds();
+
+  if (ProofsPtr && Proofs.provenCount() > 0) {
+    // Fold the proofs into the static predictions. For executed proven
+    // branches the trace majority already equals the proven direction, so
+    // this is an identity rewrite; for proven branches the training trace
+    // never reached it upgrades the annotation from a guess to a fact.
+    for (Function &F : R.Transformed.Functions)
+      for (BasicBlock &BB : F.Blocks)
+        for (Instruction &I : BB.Insts)
+          if (I.isConditionalBranch() && Proofs.proven(I.OrigBranchId))
+            I.Predicted = Proofs.dirOf(I.OrigBranchId);
+
+    // Re-validate every fold: a single training-trace event disagreeing
+    // with a proof means the interval analysis is unsound somewhere, which
+    // is a soundness error, not a quality regression.
+    for (uint32_t Id = 0; Id < PA.numBranches(); ++Id) {
+      if (!Proofs.proven(static_cast<int32_t>(Id)))
+        continue;
+      const BranchStats &BS = Stats.branch(static_cast<int32_t>(Id));
+      Prediction Dir = Proofs.dirOf(static_cast<int32_t>(Id));
+      uint64_t Contradicting = Dir == Prediction::Taken
+                                   ? BS.Executions - BS.TakenCount
+                                   : BS.TakenCount;
+      if (Contradicting == 0)
+        continue;
+      sa::Location Loc;
+      R.Soundness.push_back(sa::makeDiag(
+          sa::Severity::Error, "const-prop", "proof-contradicted-by-trace",
+          Loc,
+          "branch #" + std::to_string(Id) + " is proven " +
+              (Dir == Prediction::Taken ? "always-taken" : "never-taken") +
+              " but the training trace records " +
+              std::to_string(Contradicting) +
+              " executions in the other direction"));
+    }
+  }
   SAnnotate.end();
   TAnnotate.stop();
   Profiler::global().sampleRss("annotation");

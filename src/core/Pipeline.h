@@ -49,6 +49,16 @@ struct PipelineOptions {
   /// TimeSeriesOptions default of 1024). Surfaced as `bpcr timeline
   /// --window`.
   uint64_t TimelineWindowEvents = 0;
+  /// Run the const-prop proof engine (sa/Dataflow.h) first and fold its
+  /// branch-direction proofs through the pipeline: proven branches skip
+  /// the pattern-table fill and the machine search (counted in
+  /// `search.pruned_by_proof`; proven total in the
+  /// `sa.proofs.pruned_branches` gauge), their static prediction is folded
+  /// from the proof after annotation, and the soundness report gains an
+  /// error if the training trace ever contradicts a proof. Quality gauges
+  /// are identical with the flag off — pruning only skips work that could
+  /// not have changed the outcome.
+  bool UseProofPruning = true;
 };
 
 /// Outcome of replicateModule.

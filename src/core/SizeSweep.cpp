@@ -9,7 +9,9 @@
 #include "core/CorrelatedMachine.h"
 #include "core/MachineSearch.h"
 #include "core/SearchCache.h"
+#include "obs/Metrics.h"
 #include "obs/TraceSpans.h"
+#include "sa/Dataflow.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -83,6 +85,8 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
     const BranchProfile &P = Profiles.branch(static_cast<int32_t>(Id));
     if (P.executions() < Opts.MinExecutions)
       continue;
+    if (Opts.Proofs && Opts.Proofs->proven(static_cast<int32_t>(Id)))
+      continue;
     const BranchClass &C = PA.classOf(static_cast<int32_t>(Id));
     if (C.Kind != BranchKind::NonLoop && !Opts.CorrelatedForLoopBranches)
       continue;
@@ -106,6 +110,17 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
     L.Correct.assign(Opts.MaxStates + 1, 0);
     L.Correct[1] = P.executions() - P.profileMispredictions();
     L.CorrCost.assign(Opts.MaxStates + 1, 0);
+
+    // Proven-unidirectional branches keep a flat ladder: the profile rung
+    // already predicts every execution, so deeper rungs cannot gain and
+    // the ladder search (SearchCache stays untouched) is skipped.
+    if (Opts.Proofs && Opts.Proofs->proven(static_cast<int32_t>(Id))) {
+      if (Registry::global().enabled())
+        Registry::global().counter("search.pruned_by_proof").inc();
+      for (unsigned N = 2; N <= Opts.MaxStates; ++N)
+        L.Correct[N] = L.Correct[1];
+      return;
+    }
 
     if (P.executions() < Opts.MinExecutions) {
       for (unsigned N = 2; N <= Opts.MaxStates; ++N)

@@ -55,6 +55,11 @@ struct SweepOptions {
   /// hardware core, 1 = serial (no pool). The sweep result is identical
   /// for every value.
   unsigned Jobs = 0;
+  /// Branch-direction proofs from sa const-prop (sa/Dataflow.h). Proven
+  /// branches get a flat ladder (their profile rung is already perfect),
+  /// so the sweep never grows them and the machine search skips them,
+  /// counted in `search.pruned_by_proof`.
+  const sa::BranchProofs *Proofs = nullptr;
 };
 
 /// Computes the greedy misprediction-vs-size curve. The first point is the

@@ -8,6 +8,7 @@
 
 #include "core/SearchCache.h"
 #include "obs/Metrics.h"
+#include "sa/Dataflow.h"
 #include "support/ThreadPool.h"
 
 #include <cassert>
@@ -48,6 +49,8 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
     const BranchProfile &P = Profiles.branch(static_cast<int32_t>(Id));
     if (P.executions() < Opts.MinExecutions)
       continue;
+    if (Opts.Proofs && Opts.Proofs->proven(static_cast<int32_t>(Id)))
+      continue; // proven branches collect no paths: their search is pruned
     const BranchClass &C = PA.classOf(static_cast<int32_t>(Id));
     if (C.Kind != BranchKind::NonLoop && !Opts.CorrelatedForLoopBranches)
       continue;
@@ -100,6 +103,18 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
           break;
         }
     };
+
+    // A branch proven unidirectional never consults its pattern table and
+    // never enters the machine search: its profile prediction already gets
+    // every execution right, so Correct == Total and no machine's strict
+    // `>` comparison could win. The skip is therefore score-preserving.
+    if (Opts.Proofs && Opts.Proofs->proven(static_cast<int32_t>(Id))) {
+      if (ObsOn)
+        Obs.counter("search.pruned_by_proof").inc();
+      MarkChosen(S);
+      Out[Idx] = std::move(S);
+      return;
+    }
 
     if (P.executions() < Opts.MinExecutions) {
       if (ObsOn)

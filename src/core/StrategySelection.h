@@ -32,6 +32,10 @@
 
 namespace bpcr {
 
+namespace sa {
+struct BranchProofs;
+} // namespace sa
+
 /// Which prediction scheme a branch ended up with.
 enum class StrategyKind : uint8_t { Profile, IntraLoop, LoopExit, Correlated };
 
@@ -80,6 +84,12 @@ struct StrategyOptions {
   /// hardware core, 1 = serial (no pool). The selection is identical for
   /// every value.
   unsigned Jobs = 0;
+  /// Branch-direction proofs from sa const-prop (sa/Dataflow.h). A proven
+  /// branch keeps the profile strategy without scoring any machine — its
+  /// profile prediction is already perfect, so no machine can beat it and
+  /// skipping the search cannot change the chosen strategies. Each skip
+  /// increments the `search.pruned_by_proof` counter.
+  const sa::BranchProofs *Proofs = nullptr;
 };
 
 /// Optional record of every candidate strategy scored during selection,

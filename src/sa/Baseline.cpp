@@ -1,0 +1,113 @@
+//===- sa/Baseline.cpp ----------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sa/Baseline.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+using namespace bpcr;
+using namespace bpcr::sa;
+
+static constexpr const char *kHeader = "# bpcr lint baseline v1";
+
+LintBaseline
+LintBaseline::fromDiagnostics(const std::vector<Diagnostic> &Diags) {
+  LintBaseline B;
+  std::unordered_set<std::string> Seen;
+  for (const Diagnostic &D : Diags) {
+    std::string Key = keyFor(D);
+    if (Seen.insert(Key).second)
+      B.Keys.push_back(std::move(Key));
+  }
+  return B;
+}
+
+std::string LintBaseline::serialize() const {
+  std::string Out = kHeader;
+  Out += "\n# one accepted finding per line: <pass.rule> <qualified-name>\n";
+  for (const std::string &K : Keys) {
+    Out += K;
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool LintBaseline::parse(const std::string &Text, LintBaseline &Out,
+                         std::string &Error) {
+  Out.Keys.clear();
+  std::istringstream In(Text);
+  std::string Line;
+  bool SawHeader = false;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (!SawHeader) {
+      if (Line != kHeader) {
+        Error = "line 1: expected header \"" + std::string(kHeader) + "\"";
+        return false;
+      }
+      SawHeader = true;
+      continue;
+    }
+    // Strip comments and surrounding whitespace.
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    size_t Begin = Line.find_first_not_of(" \t");
+    if (Begin == std::string::npos)
+      continue;
+    size_t End = Line.find_last_not_of(" \t");
+    Line = Line.substr(Begin, End - Begin + 1);
+    // A key is exactly "<pass.rule> <qualified-name>".
+    size_t Space = Line.find(' ');
+    if (Space == std::string::npos || Space == 0 ||
+        Space + 1 >= Line.size() ||
+        Line.find(' ', Space + 1) != std::string::npos) {
+      Error = "line " + std::to_string(LineNo) +
+              ": expected \"<pass.rule> <qualified-name>\", got \"" + Line +
+              "\"";
+      return false;
+    }
+    Out.Keys.push_back(Line);
+  }
+  if (!SawHeader) {
+    Error = "empty file: expected header \"" + std::string(kHeader) + "\"";
+    return false;
+  }
+  return true;
+}
+
+std::vector<Diagnostic>
+LintBaseline::apply(std::vector<Diagnostic> Diags) const {
+  std::unordered_set<std::string> KeySet(Keys.begin(), Keys.end());
+  std::unordered_set<std::string> Used;
+  std::vector<Diagnostic> Out;
+  Out.reserve(Diags.size());
+  for (Diagnostic &D : Diags) {
+    std::string Key = keyFor(D);
+    if (KeySet.count(Key)) {
+      Used.insert(std::move(Key));
+      continue;
+    }
+    Out.push_back(std::move(D));
+  }
+  // Stale entries in baseline order keep output deterministic.
+  for (const std::string &K : Keys) {
+    if (Used.count(K))
+      continue;
+    Location Loc;
+    Out.push_back(makeDiag(Severity::Warning, "lint-baseline", "stale-entry",
+                           Loc,
+                           "baseline entry \"" + K +
+                               "\" matched no finding; the underlying "
+                               "issue is fixed — remove the line"));
+  }
+  return Out;
+}

@@ -1,0 +1,67 @@
+//===- sa/Baseline.h - Lint finding baselines -------------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Known-findings baselines for `bpcr lint --baseline FILE`. A baseline is
+/// a plain-text ledger of accepted findings, one per line:
+///
+///   # bpcr lint baseline v1
+///   loop-shape.scattered-exits main.block7
+///   use-before-def.read-before-def lex.block2.inst4
+///
+/// Keys are `fullRuleId() qualifiedName()` — stable across diagnostic
+/// message wording changes but strict enough that a finding moving to a
+/// different block resurfaces. Applying a baseline removes matching
+/// findings from the diagnostic stream; entries that match nothing produce
+/// a `lint-baseline.stale-entry` warning so fixed findings get purged from
+/// the ledger instead of silently rotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SA_BASELINE_H
+#define BPCR_SA_BASELINE_H
+
+#include "sa/Diagnostic.h"
+
+#include <string>
+#include <vector>
+
+namespace bpcr {
+namespace sa {
+
+/// Parsed baseline file: an ordered list of suppression keys.
+struct LintBaseline {
+  std::vector<std::string> Keys;
+
+  /// Suppression key of one diagnostic.
+  static std::string keyFor(const Diagnostic &D) {
+    return D.fullRuleId() + " " + D.Loc.qualifiedName();
+  }
+
+  /// Records every diagnostic in \p Diags as a key, deduplicated,
+  /// preserving first-seen order.
+  static LintBaseline fromDiagnostics(const std::vector<Diagnostic> &Diags);
+
+  /// Serializes to the `# bpcr lint baseline v1` text format.
+  std::string serialize() const;
+
+  /// Parses the text format. Returns false (and sets \p Error) on a
+  /// missing/unknown header or a malformed line; blank lines and `#`
+  /// comments are ignored.
+  static bool parse(const std::string &Text, LintBaseline &Out,
+                    std::string &Error);
+
+  /// Filters \p Diags in place: findings matching a key are dropped.
+  /// Returns the surviving diagnostics plus one
+  /// `lint-baseline.stale-entry` warning per key that matched nothing,
+  /// appended in baseline order.
+  std::vector<Diagnostic> apply(std::vector<Diagnostic> Diags) const;
+};
+
+} // namespace sa
+} // namespace bpcr
+
+#endif // BPCR_SA_BASELINE_H

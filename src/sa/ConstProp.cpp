@@ -1,0 +1,105 @@
+//===- sa/ConstProp.cpp - Interval propagation and branch proofs ----------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Constant/interval propagation over each function (sa/Dataflow.h). The
+// pass reports every conditional branch whose condition interval proves a
+// single direction: `const-prop.always-taken` when the range excludes zero,
+// `const-prop.never-taken` when the range is exactly [0, 0]. These are
+// Note-severity facts, not defects — a defensive bounds check that can
+// never fire is normal code — but the pipeline consumes the same proofs
+// (computeBranchProofs) to fold static predictions and prune the machine
+// search, so the lint output doubles as the audit trail for that pruning.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "sa/Dataflow.h"
+#include "sa/Passes.h"
+
+#include <string>
+
+using namespace bpcr;
+using namespace bpcr::sa;
+
+namespace {
+
+constexpr const char *PassId = "const-prop";
+
+std::string intervalText(Interval V) {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  std::string Lo = V.Lo == kMin ? "-inf" : std::to_string(V.Lo);
+  std::string Hi = V.Hi == kMax ? "+inf" : std::to_string(V.Hi);
+  return "[" + Lo + ", " + Hi + "]";
+}
+
+class ConstPropPass : public FunctionPass {
+public:
+  const char *id() const override { return PassId; }
+  const char *description() const override {
+    return "interval propagation over registers; branches whose condition "
+           "range excludes zero (always-taken) or is exactly zero "
+           "(never-taken) are provably unidirectional and are pruned from "
+           "the pattern-table fill and machine search";
+  }
+
+  void runOnFunction(const Module &M, uint32_t FI,
+                     std::vector<Diagnostic> &Out) const override {
+    const Function &F = M.Functions[FI];
+    if (!isCfgBuildable(F))
+      return; // ir-verify reports the structural problem
+    CFG G(F);
+    IntervalAnalysis IA(F);
+
+    if (!IA.stats().Converged) {
+      Location Loc;
+      Loc.FuncIdx = static_cast<int32_t>(FI);
+      Loc.FuncName = F.Name;
+      Out.push_back(makeDiag(Severity::Warning, PassId, "solver-diverged",
+                             Loc,
+                             "interval solver hit its hard visit bound; "
+                             "results were widened to top"));
+      return;
+    }
+
+    for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
+      if (!G.isReachable(B))
+        continue; // dead-code reports unreachable blocks
+      const BasicBlock &BB = F.Blocks[B];
+      const Instruction &T = BB.terminator();
+      if (T.Op != Opcode::Br)
+        continue;
+      Interval Cond = IA.operandBefore(
+          B, static_cast<uint32_t>(BB.Insts.size() - 1), T.A);
+      if (Cond.isBottom())
+        continue;
+      bool Always = !Cond.contains(0);
+      bool Never = Cond.isConstant() && Cond.Lo == 0;
+      if (!Always && !Never)
+        continue;
+      Location Loc;
+      Loc.FuncIdx = static_cast<int32_t>(FI);
+      Loc.FuncName = F.Name;
+      Loc.BlockIdx = static_cast<int32_t>(B);
+      Loc.BlockName = BB.Name;
+      Loc.InstIdx = static_cast<int32_t>(BB.Insts.size() - 1);
+      Out.push_back(makeDiag(
+          Severity::Note, PassId, Always ? "always-taken" : "never-taken",
+          Loc,
+          std::string("branch condition interval ") + intervalText(Cond) +
+              (Always ? " excludes 0: every execution is taken"
+                      : " is exactly 0: no execution is taken") +
+              "; the pipeline folds the prediction and skips profiling "
+              "and machine search for this branch"));
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sa::createConstPropPass() {
+  return std::make_unique<ConstPropPass>();
+}

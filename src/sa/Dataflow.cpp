@@ -1,0 +1,418 @@
+//===- sa/Dataflow.cpp ----------------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sa/Dataflow.h"
+
+#include "sa/Passes.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bpcr;
+using namespace bpcr::sa;
+
+namespace {
+
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+bool finite(Interval A) { return A.Lo != kMin && A.Hi != kMax; }
+
+/// Smallest (2^k - 1) >= V, for V >= 0. Upper bound of Or/Xor over
+/// non-negative operands.
+int64_t bitCeilMask(int64_t V) {
+  int64_t M = 0;
+  while (M < V && M != kMax)
+    M = (M << 1) | 1;
+  return M;
+}
+
+/// The interpreter's exact semantics for singleton operands: wrapping
+/// unsigned arithmetic, masked shift counts, Div/Rem guarded against zero
+/// and the INT64_MIN / -1 overflow.
+int64_t exactBinop(Opcode Op, int64_t A, int64_t B) {
+  uint64_t UA = static_cast<uint64_t>(A), UB = static_cast<uint64_t>(B);
+  switch (Op) {
+  case Opcode::Add:
+    return static_cast<int64_t>(UA + UB);
+  case Opcode::Sub:
+    return static_cast<int64_t>(UA - UB);
+  case Opcode::Mul:
+    return static_cast<int64_t>(UA * UB);
+  case Opcode::Div:
+    if (B == 0)
+      return 0;
+    if (A == kMin && B == -1)
+      return kMin;
+    return A / B;
+  case Opcode::Rem:
+    if (B == 0)
+      return 0;
+    if (A == kMin && B == -1)
+      return 0;
+    return A % B;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return static_cast<int64_t>(UA << (UB & 63));
+  case Opcode::Shr:
+    return A >> (UB & 63);
+  case Opcode::CmpEq:
+    return A == B ? 1 : 0;
+  case Opcode::CmpNe:
+    return A != B ? 1 : 0;
+  case Opcode::CmpLt:
+    return A < B ? 1 : 0;
+  case Opcode::CmpLe:
+    return A <= B ? 1 : 0;
+  case Opcode::CmpGt:
+    return A > B ? 1 : 0;
+  case Opcode::CmpGe:
+    return A >= B ? 1 : 0;
+  default:
+    return 0;
+  }
+}
+
+Interval evalCompare(Opcode Op, Interval A, Interval B) {
+  // Intervals are ordinary signed ranges here, so bound comparisons are
+  // conservative even when a bound is the "unbounded" sentinel.
+  bool True = false, False = false;
+  switch (Op) {
+  case Opcode::CmpEq:
+    True = A.isConstant() && B.isConstant() && A.Lo == B.Lo;
+    False = A.Hi < B.Lo || A.Lo > B.Hi;
+    break;
+  case Opcode::CmpNe:
+    True = A.Hi < B.Lo || A.Lo > B.Hi;
+    False = A.isConstant() && B.isConstant() && A.Lo == B.Lo;
+    break;
+  case Opcode::CmpLt:
+    True = A.Hi < B.Lo;
+    False = A.Lo >= B.Hi;
+    break;
+  case Opcode::CmpLe:
+    True = A.Hi <= B.Lo;
+    False = A.Lo > B.Hi;
+    break;
+  case Opcode::CmpGt:
+    True = A.Lo > B.Hi;
+    False = A.Hi <= B.Lo;
+    break;
+  case Opcode::CmpGe:
+    True = A.Lo >= B.Hi;
+    False = A.Hi < B.Lo;
+    break;
+  default:
+    break;
+  }
+  if (True)
+    return Interval::constant(1);
+  if (False)
+    return Interval::constant(0);
+  return Interval::range(0, 1);
+}
+
+} // namespace
+
+Interval bpcr::sa::hull(Interval A, Interval B) {
+  if (A.isBottom())
+    return B;
+  if (B.isBottom())
+    return A;
+  return Interval::range(std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi));
+}
+
+Interval bpcr::sa::evalBinop(Opcode Op, Interval A, Interval B) {
+  if (A.isBottom() || B.isBottom())
+    return Interval::bottom();
+  if (isCompare(Op))
+    return evalCompare(Op, A, B);
+  if (A.isConstant() && B.isConstant())
+    return Interval::constant(exactBinop(Op, A.Lo, B.Lo));
+
+  switch (Op) {
+  case Opcode::Add: {
+    // Wrap-around semantics: any possible overflow jumps to the far end of
+    // the range, so only the overflow-free finite case stays an interval.
+    int64_t Lo, Hi;
+    if (finite(A) && finite(B) && !__builtin_add_overflow(A.Lo, B.Lo, &Lo) &&
+        !__builtin_add_overflow(A.Hi, B.Hi, &Hi))
+      return Interval::range(Lo, Hi);
+    return Interval::top();
+  }
+  case Opcode::Sub: {
+    int64_t Lo, Hi;
+    if (finite(A) && finite(B) && !__builtin_sub_overflow(A.Lo, B.Hi, &Lo) &&
+        !__builtin_sub_overflow(A.Hi, B.Lo, &Hi))
+      return Interval::range(Lo, Hi);
+    return Interval::top();
+  }
+  case Opcode::Mul:
+    if ((A.isConstant() && A.Lo == 0) || (B.isConstant() && B.Lo == 0))
+      return Interval::constant(0);
+    return Interval::top();
+  case Opcode::Div:
+    // Truncating division is monotone in the dividend for a fixed nonzero
+    // divisor.
+    if (B.isConstant() && B.Lo != 0 && finite(A) && A.Lo != kMin) {
+      int64_t D = B.Lo;
+      if (D > 0)
+        return Interval::range(A.Lo / D, A.Hi / D);
+      if (D != -1)
+        return Interval::range(A.Hi / D, A.Lo / D);
+    }
+    return Interval::top();
+  case Opcode::Rem:
+    if (B.isConstant() && B.Lo != 0) {
+      // |a % m| <= |m| - 1 and the result keeps the dividend's sign.
+      uint64_t MagU = B.Lo == kMin
+                          ? static_cast<uint64_t>(kMax)
+                          : static_cast<uint64_t>(B.Lo < 0 ? -B.Lo : B.Lo) - 1;
+      int64_t Mag = static_cast<int64_t>(MagU);
+      int64_t Lo = A.Lo >= 0 ? 0 : -Mag;
+      int64_t Hi = A.Hi <= 0 ? 0 : Mag;
+      return Interval::range(Lo, Hi);
+    }
+    return Interval::top();
+  case Opcode::And:
+    // For a non-negative operand x, (x & y) is within [0, x]: AND never
+    // sets a bit the operand lacks, and the sign bit of the result is the
+    // AND of both sign bits.
+    if (A.nonNegative() && B.nonNegative())
+      return Interval::range(0, std::min(A.Hi, B.Hi));
+    if (A.nonNegative())
+      return Interval::range(0, A.Hi);
+    if (B.nonNegative())
+      return Interval::range(0, B.Hi);
+    return Interval::top();
+  case Opcode::Or:
+  case Opcode::Xor:
+    // For non-negative operands the result stays under the smallest
+    // all-ones mask covering both.
+    if (A.nonNegative() && B.nonNegative()) {
+      if (A.Hi == kMax || B.Hi == kMax)
+        return Interval::range(0, kMax);
+      return Interval::range(0, bitCeilMask(std::max(A.Hi, B.Hi)));
+    }
+    return Interval::top();
+  case Opcode::Shl:
+    return Interval::top();
+  case Opcode::Shr:
+    // Arithmetic right shift by a fixed masked count is monotone.
+    if (B.isConstant()) {
+      int64_t S = static_cast<int64_t>(static_cast<uint64_t>(B.Lo) & 63);
+      int64_t Lo = A.Lo == kMin ? kMin : (A.Lo >> S);
+      int64_t Hi = A.Hi == kMax ? kMax : (A.Hi >> S);
+      return Interval::range(Lo, Hi);
+    }
+    return Interval::top();
+  default:
+    return Interval::top();
+  }
+}
+
+// -- Interval client ---------------------------------------------------------
+
+namespace {
+
+class IntervalClient {
+public:
+  using State = IntervalState;
+
+  explicit IntervalClient(const Function &F) : F(F) {}
+
+  DataflowDirection direction() const { return DataflowDirection::Forward; }
+
+  State boundaryState() const {
+    State S;
+    S.Defined = true;
+    S.Regs.assign(F.NumRegs, Interval::constant(0));
+    for (uint32_t P = 0; P < F.NumParams && P < F.NumRegs; ++P)
+      S.Regs[P] = Interval::top();
+    return S;
+  }
+
+  State initialState() const { return State(); }
+
+  bool join(State &Dst, const State &Src, bool Widen) const {
+    if (!Src.Defined)
+      return false;
+    if (!Dst.Defined) {
+      Dst = Src;
+      return true;
+    }
+    bool Changed = false;
+    for (size_t R = 0; R < Dst.Regs.size() && R < Src.Regs.size(); ++R) {
+      Interval H = hull(Dst.Regs[R], Src.Regs[R]);
+      if (H != Dst.Regs[R]) {
+        if (Widen) {
+          // Accelerate: any bound that grew goes straight to unbounded.
+          if (H.Lo < Dst.Regs[R].Lo)
+            H.Lo = kMin;
+          if (H.Hi > Dst.Regs[R].Hi)
+            H.Hi = kMax;
+        }
+        Dst.Regs[R] = H;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  State transfer(uint32_t Block, const State &In) const {
+    State S = In;
+    if (!S.Defined)
+      return S;
+    for (const Instruction &I : F.Blocks[Block].Insts)
+      transferInst(I, S);
+    return S;
+  }
+
+  static void transferInst(const Instruction &I, State &S) {
+    auto Ev = [&S](const Operand &O) {
+      if (O.isImm())
+        return Interval::constant(O.Val);
+      if (O.isReg() && O.asReg() < S.Regs.size())
+        return S.Regs[O.asReg()];
+      return Interval::top();
+    };
+    if (!writesRegister(I.Op) || I.Dst >= S.Regs.size())
+      return;
+    Interval V = Interval::top();
+    if (I.Op == Opcode::Mov)
+      V = Ev(I.A);
+    else if (I.Op >= Opcode::Add && I.Op <= Opcode::CmpGe)
+      V = evalBinop(I.Op, Ev(I.A), Ev(I.B));
+    S.Regs[I.Dst] = V;
+  }
+
+  unsigned widenAfter() const { return 4; }
+  unsigned maxVisitsPerBlock() const {
+    // After widening each register bound can only step to the sentinel
+    // once, so convergence is bounded by 2 bounds per register.
+    return widenAfter() + 2u * static_cast<unsigned>(F.NumRegs) + 4u;
+  }
+  void forceTop(State &S) const {
+    S.Defined = true;
+    S.Regs.assign(F.NumRegs, Interval::top());
+  }
+
+private:
+  const Function &F;
+};
+
+} // namespace
+
+IntervalAnalysis::IntervalAnalysis(const Function &F) : F(F) {
+  CFG G(F);
+  IntervalClient C(F);
+  DataflowSolver<IntervalClient> Solver(G, C);
+  Stats = Solver.solve();
+  Entry.reserve(G.numBlocks());
+  for (uint32_t B = 0; B < G.numBlocks(); ++B)
+    Entry.push_back(Solver.before(B));
+}
+
+Interval IntervalAnalysis::operandBefore(uint32_t Block, uint32_t InstIdx,
+                                         const Operand &Op) const {
+  if (Op.isImm())
+    return Interval::constant(Op.Val);
+  if (!Op.isReg())
+    return Interval::top();
+  return valueBefore(Block, InstIdx, Op.asReg());
+}
+
+Interval IntervalAnalysis::valueBefore(uint32_t Block, uint32_t InstIdx,
+                                       Reg R) const {
+  if (Block >= Entry.size())
+    return Interval::top();
+  IntervalState S = Entry[Block];
+  if (!S.Defined)
+    return Interval::bottom();
+  const std::vector<Instruction> &Insts = F.Blocks[Block].Insts;
+  for (uint32_t I = 0; I < InstIdx && I < Insts.size(); ++I)
+    IntervalClient::transferInst(Insts[I], S);
+  if (R >= S.Regs.size())
+    return Interval::top();
+  return S.Regs[R];
+}
+
+// -- Liveness client ---------------------------------------------------------
+
+LivenessClient::State LivenessClient::boundaryState() const {
+  return State(F.NumRegs, 0);
+}
+
+LivenessClient::State LivenessClient::initialState() const {
+  return State(F.NumRegs, 0);
+}
+
+bool LivenessClient::join(State &Dst, const State &Src, bool) const {
+  bool Changed = false;
+  for (size_t R = 0; R < Dst.size() && R < Src.size(); ++R)
+    if (Src[R] && !Dst[R]) {
+      Dst[R] = 1;
+      Changed = true;
+    }
+  return Changed;
+}
+
+LivenessClient::State LivenessClient::transfer(uint32_t Block,
+                                               const State &In) const {
+  State S = In;
+  const std::vector<Instruction> &Insts = F.Blocks[Block].Insts;
+  for (size_t I = Insts.size(); I-- > 0;) {
+    const Instruction &Inst = Insts[I];
+    if (writesRegister(Inst.Op) && Inst.Dst < S.size())
+      S[Inst.Dst] = 0;
+    forEachReadRegister(Inst, [&S](Reg R) {
+      if (R < S.size())
+        S[R] = 1;
+    });
+  }
+  return S;
+}
+
+void LivenessClient::forceTop(State &S) const {
+  S.assign(F.NumRegs, 1);
+}
+
+// -- Branch proofs -----------------------------------------------------------
+
+BranchProofs bpcr::sa::computeBranchProofs(const Module &M) {
+  BranchProofs Proofs;
+  size_t NumBranches = M.conditionalBranchCount();
+  Proofs.Dir.assign(NumBranches, Prediction::Unknown);
+  if (NumBranches == 0)
+    return Proofs;
+
+  for (const Function &F : M.Functions) {
+    if (!isCfgBuildable(F))
+      continue;
+    IntervalAnalysis IA(F);
+    for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
+      const BasicBlock &BB = F.Blocks[B];
+      const Instruction &T = BB.terminator();
+      if (T.Op != Opcode::Br || T.BranchId < 0 ||
+          static_cast<size_t>(T.BranchId) >= NumBranches)
+        continue;
+      Interval Cond = IA.operandBefore(
+          B, static_cast<uint32_t>(BB.Insts.size() - 1), T.A);
+      if (Cond.isBottom())
+        continue; // Unreachable: never executes, nothing to prove.
+      if (!Cond.contains(0))
+        Proofs.Dir[static_cast<size_t>(T.BranchId)] = Prediction::Taken;
+      else if (Cond.isConstant())
+        Proofs.Dir[static_cast<size_t>(T.BranchId)] = Prediction::NotTaken;
+    }
+  }
+  return Proofs;
+}

@@ -1,0 +1,343 @@
+//===- sa/Dataflow.h - Monotone dataflow framework --------------*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotone-framework worklist solver over the bpcr IR, plus the two
+/// concrete lattices the analysis passes are built from:
+///
+///   DataflowSolver<Client>  generic forward/backward fixpoint engine.
+///                           Seeded in reverse post order, join-over-paths,
+///                           with guaranteed termination: after a per-block
+///                           visit threshold the client is asked to widen,
+///                           and past a hard visit bound the state is forced
+///                           to the lattice top.
+///
+///   Interval / IntervalState / IntervalAnalysis
+///                           value-range propagation over registers with
+///                           transfer functions that mirror the interpreter
+///                           exactly (wrapping 64-bit arithmetic, masked
+///                           shifts, guarded Div/Rem, zero-filled
+///                           registers). The `const-prop` pass and
+///                           computeBranchProofs() sit on top.
+///
+///   LivenessClient          backward block-level register liveness; the
+///                           cross-check fixture tests run against the
+///                           hand-rolled fixpoint in the dead-code pass.
+///
+/// A branch whose condition interval excludes zero (or is exactly [0,0]) is
+/// unidirectional on every execution; BranchProofs carries those facts to
+/// the pipeline, which folds the static prediction and skips pattern-table
+/// fill and machine search for the proven branches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SA_DATAFLOW_H
+#define BPCR_SA_DATAFLOW_H
+
+#include "analysis/CFG.h"
+#include "ir/Module.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace bpcr {
+namespace sa {
+
+// -- Generic solver ----------------------------------------------------------
+
+enum class DataflowDirection : uint8_t { Forward, Backward };
+
+/// Telemetry from one solve() run; Converged is false only when the hard
+/// visit bound tripped (a lattice/client bug — the framework still
+/// terminates and the result is sound-by-top).
+struct SolveStats {
+  uint64_t BlockVisits = 0;
+  uint64_t Widenings = 0;
+  uint64_t ForcedTop = 0;
+  bool Converged = true;
+};
+
+/// Generic worklist solver. The Client supplies the lattice:
+///
+///   using State = ...;               // copyable value state
+///   DataflowDirection direction() const;
+///   State boundaryState() const;     // at function entry (forward) or at
+///                                    // every exit block (backward)
+///   State initialState() const;      // optimistic bottom for inner blocks
+///   bool join(State &Dst, const State &Src, bool Widen) const;
+///                                    // returns true when Dst changed;
+///                                    // Widen asks for an accelerated join
+///   State transfer(uint32_t Block, const State &In) const;
+///   unsigned widenAfter() const;     // changed-joins before Widen = true
+///   unsigned maxVisitsPerBlock() const; // hard bound, then forceTop
+///   void forceTop(State &S) const;
+///
+/// Unreachable blocks are never visited (the CFG's RPO omits them) and
+/// their edges are ignored when joining.
+template <typename Client> class DataflowSolver {
+public:
+  using State = typename Client::State;
+
+  DataflowSolver(const CFG &G, const Client &C) : G(G), C(C) {}
+
+  /// Runs to fixpoint. Idempotent; returns the stats of the run.
+  const SolveStats &solve() {
+    uint32_t N = G.numBlocks();
+    Before.assign(N, C.initialState());
+    After.assign(N, C.initialState());
+    Visits.assign(N, 0);
+    Stats = SolveStats();
+
+    const bool Fwd = C.direction() == DataflowDirection::Forward;
+    const std::vector<uint32_t> &RPO = G.reversePostOrder();
+    std::vector<uint32_t> Order(RPO);
+    if (!Fwd) {
+      Order.assign(RPO.rbegin(), RPO.rend());
+    }
+
+    std::vector<uint8_t> Pending(N, 0);
+    std::vector<uint32_t> Worklist;
+    Worklist.reserve(Order.size());
+    for (uint32_t B : Order) {
+      Worklist.push_back(B);
+      Pending[B] = 1;
+    }
+
+    // Hard global bound: every pop either converges or is charged against a
+    // block's visit budget, so this never triggers for a monotone client.
+    uint64_t MaxTotal =
+        static_cast<uint64_t>(N) * (C.maxVisitsPerBlock() + 4u) + 16u;
+
+    size_t Head = 0;
+    while (Head < Worklist.size()) {
+      if (Stats.BlockVisits >= MaxTotal) {
+        Stats.Converged = false;
+        break;
+      }
+      uint32_t B = Worklist[Head++];
+      Pending[B] = 0;
+      ++Stats.BlockVisits;
+      if (Head > Worklist.size() / 2 && Head > 64) {
+        Worklist.erase(Worklist.begin(),
+                       Worklist.begin() + static_cast<std::ptrdiff_t>(Head));
+        Head = 0;
+      }
+
+      // Recompute the input side of B from its neighbours.
+      State In = inputFor(B, Fwd);
+      State &Slot = Fwd ? Before[B] : After[B];
+      Slot = std::move(In);
+
+      if (Visits[B] >= C.maxVisitsPerBlock()) {
+        C.forceTop(Slot);
+        ++Stats.ForcedTop;
+      }
+      ++Visits[B];
+
+      State Out = C.transfer(B, Slot);
+      State &OutSlot = Fwd ? After[B] : Before[B];
+      bool Changed = Visits[B] == 1;
+      bool Widen = Visits[B] > C.widenAfter();
+      if (C.join(OutSlot, Out, Widen))
+        Changed = true;
+      if (Widen && Changed)
+        ++Stats.Widenings;
+      if (!Changed)
+        continue;
+
+      const std::vector<uint32_t> &Next =
+          Fwd ? G.successors(B) : G.predecessors(B);
+      for (uint32_t S : Next) {
+        if (!G.isReachable(S) || Pending[S])
+          continue;
+        Pending[S] = 1;
+        Worklist.push_back(S);
+      }
+    }
+    return Stats;
+  }
+
+  /// State at the top of \p Block in program order.
+  const State &before(uint32_t Block) const { return Before[Block]; }
+  /// State at the bottom of \p Block in program order.
+  const State &after(uint32_t Block) const { return After[Block]; }
+  const SolveStats &stats() const { return Stats; }
+
+private:
+  State inputFor(uint32_t B, bool Fwd) {
+    State In = C.initialState();
+    bool Boundary =
+        Fwd ? B == 0 : G.successors(B).empty();
+    if (Boundary)
+      C.join(In, C.boundaryState(), false);
+    const std::vector<uint32_t> &Edges =
+        Fwd ? G.predecessors(B) : G.successors(B);
+    for (uint32_t P : Edges) {
+      if (!G.isReachable(P))
+        continue;
+      C.join(In, Fwd ? After[P] : Before[P], false);
+    }
+    return In;
+  }
+
+  const CFG &G;
+  const Client &C;
+  std::vector<State> Before, After;
+  std::vector<uint32_t> Visits;
+  SolveStats Stats;
+};
+
+// -- Interval lattice --------------------------------------------------------
+
+/// A signed 64-bit value range [Lo, Hi], inclusive. INT64_MIN / INT64_MAX
+/// bounds are treated as "unbounded" in that direction; Lo > Hi is the
+/// empty (bottom) interval. Transfer arithmetic returns top whenever the
+/// interpreter's wrap-around semantics could cross a bound.
+struct Interval {
+  int64_t Lo = std::numeric_limits<int64_t>::min();
+  int64_t Hi = std::numeric_limits<int64_t>::max();
+
+  static Interval top() { return Interval(); }
+  static Interval bottom() { return Interval{1, 0}; }
+  static Interval constant(int64_t V) { return Interval{V, V}; }
+  static Interval range(int64_t Lo, int64_t Hi) { return Interval{Lo, Hi}; }
+
+  bool isBottom() const { return Lo > Hi; }
+  bool isTop() const {
+    return Lo == std::numeric_limits<int64_t>::min() &&
+           Hi == std::numeric_limits<int64_t>::max();
+  }
+  bool isConstant() const { return Lo == Hi; }
+  bool contains(int64_t V) const { return !isBottom() && Lo <= V && V <= Hi; }
+  bool nonNegative() const { return !isBottom() && Lo >= 0; }
+
+  bool operator==(const Interval &O) const { return Lo == O.Lo && Hi == O.Hi; }
+  bool operator!=(const Interval &O) const { return !(*this == O); }
+};
+
+/// Smallest interval containing both (the lattice join).
+Interval hull(Interval A, Interval B);
+
+/// Transfer function for one ALU/compare op over intervals, mirroring the
+/// interpreter's semantics exactly (including Div/Rem guards and shift
+/// masking). Compares yield a sub-interval of [0, 1]; a singleton result
+/// on a Br condition is a direction proof.
+Interval evalBinop(Opcode Op, Interval A, Interval B);
+
+/// Per-program-point register environment. Defined = false is the bottom
+/// environment (no path reaches this point yet).
+struct IntervalState {
+  bool Defined = false;
+  std::vector<Interval> Regs;
+};
+
+/// Forward interval propagation over one function. The interpreter
+/// zero-fills every register and then copies arguments, so at function
+/// entry parameters are top and every other register is the constant 0.
+class IntervalAnalysis {
+public:
+  explicit IntervalAnalysis(const Function &F);
+
+  /// Environment at the top of \p Block (bottom for unreachable blocks).
+  const IntervalState &blockEntry(uint32_t Block) const {
+    return Entry[Block];
+  }
+
+  /// Interval of \p Op just before instruction \p InstIdx of \p Block.
+  Interval operandBefore(uint32_t Block, uint32_t InstIdx,
+                         const Operand &Op) const;
+
+  /// Interval of register \p R just before instruction \p InstIdx.
+  Interval valueBefore(uint32_t Block, uint32_t InstIdx, Reg R) const;
+
+  const SolveStats &stats() const { return Stats; }
+
+private:
+  const Function &F;
+  std::vector<IntervalState> Entry;
+  SolveStats Stats;
+};
+
+// -- Backward liveness (solver cross-check lattice) --------------------------
+
+/// Block-level register liveness as a DataflowSolver client. The dead-code
+/// pass keeps its original hand-rolled fixpoint; tests solve this client
+/// and assert both engines agree (and that every dead-store finding has a
+/// dead register after the defining instruction).
+class LivenessClient {
+public:
+  /// One bit per register; Live[R] != 0 means R may be read later.
+  using State = std::vector<uint8_t>;
+
+  explicit LivenessClient(const Function &F) : F(F) {}
+
+  DataflowDirection direction() const { return DataflowDirection::Backward; }
+  State boundaryState() const;
+  State initialState() const;
+  bool join(State &Dst, const State &Src, bool Widen) const;
+  State transfer(uint32_t Block, const State &In) const;
+  unsigned widenAfter() const { return 1u << 16; } // finite lattice: never
+  unsigned maxVisitsPerBlock() const {
+    return static_cast<unsigned>(F.NumRegs) + 4u;
+  }
+  void forceTop(State &S) const;
+
+private:
+  const Function &F;
+};
+
+/// Calls \p Fn with every register the instruction reads. Shared by the
+/// liveness lattice and (indirectly) the dead-code pass contract.
+template <typename Fn>
+void forEachReadRegister(const Instruction &I, Fn &&F) {
+  auto Rd = [&F](const Operand &O) {
+    if (O.isReg())
+      F(O.asReg());
+  };
+  Rd(I.A);
+  Rd(I.B);
+  Rd(I.C);
+  for (const Operand &O : I.Args)
+    Rd(O);
+}
+
+// -- Branch direction proofs -------------------------------------------------
+
+/// The per-branch facts const-prop proves, indexed by BranchId. Unknown
+/// means no proof; Taken / NotTaken mean every execution of the branch goes
+/// that way, so the pipeline may fold the prediction and skip the pattern
+/// table and machine search for it.
+struct BranchProofs {
+  std::vector<Prediction> Dir;
+
+  Prediction dirOf(int32_t BranchId) const {
+    if (BranchId < 0 || static_cast<size_t>(BranchId) >= Dir.size())
+      return Prediction::Unknown;
+    return Dir[static_cast<size_t>(BranchId)];
+  }
+  bool proven(int32_t BranchId) const {
+    return dirOf(BranchId) != Prediction::Unknown;
+  }
+  uint64_t provenCount() const {
+    uint64_t N = 0;
+    for (Prediction P : Dir)
+      N += P != Prediction::Unknown ? 1 : 0;
+    return N;
+  }
+};
+
+/// Runs interval analysis over every CFG-buildable function of \p M and
+/// returns direction proofs for its conditional branches. Requires branch
+/// ids to be assigned (module shapes without ids return an empty proof
+/// set).
+BranchProofs computeBranchProofs(const Module &M);
+
+} // namespace sa
+} // namespace bpcr
+
+#endif // BPCR_SA_DATAFLOW_H

@@ -53,7 +53,7 @@ void forEachRead(const Instruction &I, size_t NumRegs,
     Read(Arg);
 }
 
-class DeadCodePass : public Pass {
+class DeadCodePass : public FunctionPass {
 public:
   const char *id() const override { return PassId; }
   const char *description() const override {
@@ -61,14 +61,8 @@ public:
            "ever reads before the next write";
   }
 
-  void run(const Module &M, std::vector<Diagnostic> &Out) const override {
-    for (uint32_t FI = 0; FI < M.Functions.size(); ++FI)
-      runOnFunction(M, FI, Out);
-  }
-
-private:
   void runOnFunction(const Module &M, uint32_t FI,
-                     std::vector<Diagnostic> &Out) const {
+                     std::vector<Diagnostic> &Out) const override {
     const Function &F = M.Functions[FI];
     if (!isCfgBuildable(F))
       return;

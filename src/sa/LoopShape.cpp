@@ -44,7 +44,7 @@ namespace {
 
 constexpr const char *PassId = "loop-shape";
 
-class LoopShapePass : public Pass {
+class LoopShapePass : public FunctionPass {
 public:
   const char *id() const override { return PassId; }
   const char *description() const override {
@@ -53,14 +53,8 @@ public:
            "that break LoopAwareProfiles' reset model";
   }
 
-  void run(const Module &M, std::vector<Diagnostic> &Out) const override {
-    for (uint32_t FI = 0; FI < M.Functions.size(); ++FI)
-      runOnFunction(M, FI, Out);
-  }
-
-private:
   void runOnFunction(const Module &M, uint32_t FI,
-                     std::vector<Diagnostic> &Out) const {
+                     std::vector<Diagnostic> &Out) const override {
     const Function &F = M.Functions[FI];
     if (!isCfgBuildable(F))
       return;

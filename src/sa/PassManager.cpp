@@ -8,6 +8,8 @@
 
 #include "ir/Verifier.h"
 #include "obs/Metrics.h"
+#include "obs/TraceSpans.h"
+#include "support/ThreadPool.h"
 
 #include <iterator>
 
@@ -70,15 +72,34 @@ void sa::addStandardPasses(PassManager &PM) {
   PM.add(createDeadCodePass());
   PM.add(createLoopShapePass());
   PM.add(createBranchHygienePass());
+  PM.add(createConstPropPass());
+  PM.add(createPredictabilityPass());
 }
 
-std::vector<Diagnostic> PassManager::run(const Module &M) const {
+std::vector<Diagnostic> PassManager::run(const Module &M,
+                                         unsigned Jobs) const {
   std::vector<Diagnostic> All;
   Registry &Reg = Registry::global();
   const bool ObsOn = Reg.enabled();
+  unsigned Workers = ThreadPool::resolveJobs(Jobs);
   for (const std::unique_ptr<Pass> &P : Passes) {
+    Span S(P->id(), "sa.pass");
     size_t Before = All.size();
-    P->run(M, All);
+    const FunctionPass *FP = P->asFunctionPass();
+    if (FP && Workers > 1 && M.Functions.size() > 1) {
+      // Per-function slots concatenated in function order: byte-identical
+      // to the serial FunctionPass::run loop regardless of worker count.
+      std::vector<std::vector<Diagnostic>> Slots(M.Functions.size());
+      parallelForJobs(Workers, M.Functions.size(), [&](size_t F) {
+        FP->runOnFunction(M, static_cast<uint32_t>(F), Slots[F]);
+      });
+      for (std::vector<Diagnostic> &Slot : Slots)
+        All.insert(All.end(), std::make_move_iterator(Slot.begin()),
+                   std::make_move_iterator(Slot.end()));
+    } else {
+      P->run(M, All);
+    }
+    S.arg("diags", static_cast<uint64_t>(All.size() - Before));
     if (ObsOn)
       Reg.gauge("sa.pass." + metricSegment(P->id()))
           .set(static_cast<double>(All.size() - Before));

@@ -23,10 +23,25 @@
 ///                    model and the loop replication transform
 ///   branch-hygiene   duplicate/missing branch ids and branches that can
 ///                    never execute but still own a profile slot
+///   const-prop       interval propagation (sa/Dataflow.h): branches whose
+///                    condition range excludes zero (or is exactly zero)
+///                    are provably unidirectional; the pipeline folds the
+///                    prediction and prunes them from the machine search
+///   predictability   per-branch predictability class (proved /
+///                    loop-exit-bounded / alternating / data-dependent)
+///                    cross-checked against predict/StaticHeuristics
+///   profile-verify   Kirchhoff flow conservation of an uploaded per-branch
+///                    profile against the CFG (sa/ProfileVerify.h); needs
+///                    counts, so it is registered explicitly, not standard
 ///
 /// The replication soundness checker (sa/ReplicationSoundness.h) is the one
 /// analysis that needs two modules; createReplicationSoundnessPass adapts
 /// it to the single-module interface by capturing the original.
+///
+/// Function-local passes subclass FunctionPass; PassManager::run fans their
+/// per-function work out over support/ThreadPool when given a jobs count,
+/// writing diagnostics into per-function slots that are concatenated in
+/// function order — the output is byte-identical to the serial run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +57,8 @@
 namespace bpcr {
 namespace sa {
 
+class FunctionPass;
+
 /// One static analysis over a module.
 class Pass {
 public:
@@ -55,6 +72,27 @@ public:
 
   /// Appends findings for \p M to \p Out. Must not mutate the module.
   virtual void run(const Module &M, std::vector<Diagnostic> &Out) const = 0;
+
+  /// Non-null when the pass analyzes one function at a time and may be
+  /// parallelized over functions (no RTTI in this codebase).
+  virtual const FunctionPass *asFunctionPass() const { return nullptr; }
+};
+
+/// A pass whose work decomposes per function with no cross-function state.
+/// run() is final: it iterates functions in index order, which is exactly
+/// the order PassManager reassembles parallel per-function slots in.
+class FunctionPass : public Pass {
+public:
+  void run(const Module &M, std::vector<Diagnostic> &Out) const final {
+    for (uint32_t F = 0; F < M.Functions.size(); ++F)
+      runOnFunction(M, F, Out);
+  }
+
+  /// Appends findings for function \p FuncIdx of \p M.
+  virtual void runOnFunction(const Module &M, uint32_t FuncIdx,
+                             std::vector<Diagnostic> &Out) const = 0;
+
+  const FunctionPass *asFunctionPass() const override { return this; }
 };
 
 /// Runs a pass sequence and aggregates diagnostics.
@@ -66,8 +104,13 @@ public:
 
   /// Runs every pass over \p M in registration order. When the global
   /// observability registry is enabled, records per-severity gauges
-  /// (sa.diags.errors/warnings/notes) and one sa.pass.<id> gauge per pass.
-  std::vector<Diagnostic> run(const Module &M) const;
+  /// (sa.diags.errors/warnings/notes) and one sa.pass.<id> gauge per pass,
+  /// and emits one "sa.pass"-category trace span per pass.
+  ///
+  /// \p Jobs is the shared --jobs knob: 0 = one worker per hardware core,
+  /// 1 = serial. Function passes fan out over functions; diagnostics are
+  /// reassembled in function order, so output is identical for every value.
+  std::vector<Diagnostic> run(const Module &M, unsigned Jobs = 1) const;
 
 private:
   std::vector<std::unique_ptr<Pass>> Passes;
@@ -80,6 +123,8 @@ std::unique_ptr<Pass> createUseBeforeDefPass();
 std::unique_ptr<Pass> createDeadCodePass();
 std::unique_ptr<Pass> createLoopShapePass();
 std::unique_ptr<Pass> createBranchHygienePass();
+std::unique_ptr<Pass> createConstPropPass();
+std::unique_ptr<Pass> createPredictabilityPass();
 
 /// Adapts the two-module replication soundness checker to the Pass
 /// interface by capturing a copy of \p Original; running it over a module M

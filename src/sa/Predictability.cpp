@@ -1,0 +1,305 @@
+//===- sa/Predictability.cpp ----------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sa/Predictability.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "predict/StaticHeuristics.h"
+#include "sa/Passes.h"
+
+#include <cmath>
+#include <string>
+
+using namespace bpcr;
+using namespace bpcr::sa;
+
+namespace {
+
+constexpr const char *PassId = "predictability";
+
+/// Last write to \p R in \p BB strictly before instruction \p Before, or
+/// nullptr (the value flows in from outside the block).
+const Instruction *localDef(const BasicBlock &BB, size_t Before, Reg R) {
+  for (size_t I = Before; I-- > 0;) {
+    const Instruction &Inst = BB.Insts[I];
+    if (writesRegister(Inst.Op) && Inst.Dst == R)
+      return &Inst;
+  }
+  return nullptr;
+}
+
+/// Walks the in-block def chain of \p Op (bounded depth) and reports
+/// whether it reaches a Load/Call (data-dependent) or an And-with-1 parity
+/// of some register (alternating candidate; *ParityReg receives it).
+struct ChainFacts {
+  bool DataDependent = false;
+  bool Parity = false;
+  Reg ParityReg = 0;
+};
+
+void walkChain(const BasicBlock &BB, size_t Before, const Operand &Op,
+               unsigned Depth, ChainFacts &Facts) {
+  if (Depth == 0 || !Op.isReg())
+    return;
+  const Instruction *Def = localDef(BB, Before, Op.asReg());
+  if (!Def)
+    return;
+  size_t DefIdx = static_cast<size_t>(Def - BB.Insts.data());
+  if (Def->Op == Opcode::Load || Def->Op == Opcode::Call) {
+    Facts.DataDependent = true;
+    return;
+  }
+  if (Def->Op == Opcode::And &&
+      ((Def->B.isImm() && Def->B.Val == 1 && Def->A.isReg()) ||
+       (Def->A.isImm() && Def->A.Val == 1 && Def->B.isReg()))) {
+    Facts.Parity = true;
+    Facts.ParityReg = Def->B.isImm() ? Def->A.asReg() : Def->B.asReg();
+    return;
+  }
+  walkChain(BB, DefIdx, Def->A, Depth - 1, Facts);
+  walkChain(BB, DefIdx, Def->B, Depth - 1, Facts);
+  if (Def->Op == Opcode::Call)
+    return;
+}
+
+/// True when \p R is stepped by a constant-1 Add somewhere in loop \p L of
+/// \p F — the induction shape whose parity genuinely alternates.
+bool steppedByOne(const Function &F, const Loop &L, Reg R) {
+  for (uint32_t B : L.Blocks)
+    for (const Instruction &I : F.Blocks[B].Insts)
+      if (I.Op == Opcode::Add && I.Dst == R &&
+          ((I.A.isReg() && I.A.asReg() == R && I.B.isImm() &&
+            I.B.Val == 1) ||
+           (I.B.isReg() && I.B.asReg() == R && I.A.isImm() &&
+            I.A.Val == 1)))
+        return true;
+  return false;
+}
+
+/// Constant step added to \p R inside loop \p L when there is exactly one
+/// such update; 0 when absent or ambiguous.
+int64_t inductionStep(const Function &F, const Loop &L, Reg R) {
+  int64_t Step = 0;
+  int Count = 0;
+  for (uint32_t B : L.Blocks)
+    for (const Instruction &I : F.Blocks[B].Insts) {
+      if (!writesRegister(I.Op) || I.Dst != R)
+        continue;
+      if (I.Op == Opcode::Add && I.A.isReg() && I.A.asReg() == R &&
+          I.B.isImm()) {
+        Step = I.B.Val;
+        ++Count;
+      } else if (I.Op == Opcode::Sub && I.A.isReg() && I.A.asReg() == R &&
+                 I.B.isImm()) {
+        Step = -I.B.Val;
+        ++Count;
+      } else {
+        return 0; // some other write: not a simple induction
+      }
+    }
+  return Count == 1 ? Step : 0;
+}
+
+/// Constant initial value of \p R on entry to loop \p L: the last write in
+/// the closest dominating block outside the loop must be a movImm.
+bool inductionInit(const Function &F, const CFG &G, const Loop &L, Reg R,
+                   int64_t &Init) {
+  // Scan predecessors of the header that are outside the loop.
+  for (uint32_t P : G.predecessors(L.Header)) {
+    if (L.contains(P))
+      continue;
+    const Instruction *Def =
+        localDef(F.Blocks[P], F.Blocks[P].Insts.size(), R);
+    if (!Def || Def->Op != Opcode::Mov || !Def->A.isImm())
+      return false;
+    Init = Def->A.Val;
+  }
+  return true;
+}
+
+} // namespace
+
+const char *sa::predictabilityClassName(PredictabilityClass C) {
+  switch (C) {
+  case PredictabilityClass::ProvenUnidirectional:
+    return "proven-unidirectional";
+  case PredictabilityClass::LoopExitBounded:
+    return "loop-exit-bounded";
+  case PredictabilityClass::Alternating:
+    return "alternating";
+  case PredictabilityClass::DataDependent:
+    return "data-dependent";
+  case PredictabilityClass::Mixed:
+    return "mixed";
+  }
+  return "mixed";
+}
+
+std::vector<BranchPredictability>
+sa::classifyPredictability(const Module &M, const BranchProofs &Proofs) {
+  std::vector<BranchPredictability> Out(M.conditionalBranchCount());
+  StaticPredictions BL = predictBallLarus(M);
+
+  for (uint32_t FI = 0; FI < M.Functions.size(); ++FI) {
+    const Function &F = M.Functions[FI];
+    if (!isCfgBuildable(F))
+      continue;
+    CFG G(F);
+    Dominators Dom(G);
+    LoopInfo LI(G, Dom);
+
+    for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
+      const BasicBlock &BB = F.Blocks[B];
+      const Instruction &T = BB.terminator();
+      if (T.Op != Opcode::Br || T.BranchId < 0 ||
+          static_cast<size_t>(T.BranchId) >= Out.size())
+        continue;
+      BranchPredictability &P = Out[static_cast<size_t>(T.BranchId)];
+      P.BranchId = T.BranchId;
+      P.FuncIdx = FI;
+      P.BlockIdx = B;
+      if (static_cast<size_t>(T.BranchId) < BL.size())
+        P.Heuristic = BL[static_cast<size_t>(T.BranchId)];
+
+      // 1. Proofs win outright.
+      Prediction Proved = Proofs.dirOf(T.BranchId);
+      if (Proved != Prediction::Unknown) {
+        P.Class = PredictabilityClass::ProvenUnidirectional;
+        P.ProvedDir = Proved;
+        P.ExpectedMispredictBound = 0.0;
+        P.HeuristicDisagrees =
+            P.Heuristic != Prediction::Unknown && P.Heuristic != Proved;
+        continue;
+      }
+
+      ChainFacts Facts;
+      size_t TermIdx = BB.Insts.size() - 1;
+      walkChain(BB, TermIdx, T.A, 4, Facts);
+
+      int32_t LoopIdx = LI.innermostLoop(B);
+      const Loop *L =
+          LoopIdx >= 0 ? &LI.loops()[static_cast<size_t>(LoopIdx)] : nullptr;
+
+      // 2. Loop exit with an inferable trip bound: condition is a compare
+      // of a recognized induction register against a constant.
+      if (L) {
+        bool Exits = false;
+        if (!L->contains(T.TrueTarget) || !L->contains(T.FalseTarget))
+          Exits = true;
+        const Instruction *CondDef =
+            T.A.isReg() ? localDef(BB, TermIdx, T.A.asReg()) : nullptr;
+        if (Exits && CondDef && isCompare(CondDef->Op) &&
+            CondDef->A.isReg() && CondDef->B.isImm()) {
+          Reg Ind = CondDef->A.asReg();
+          int64_t Step = inductionStep(F, *L, Ind);
+          int64_t Init = 0;
+          if (Step != 0 && inductionInit(F, G, *L, Ind, Init)) {
+            int64_t Span = CondDef->B.Val - Init;
+            if ((Step > 0 && Span >= 0) || (Step < 0 && Span <= 0)) {
+              int64_t Trip = Step == 0 ? 0 : Span / Step;
+              if (Trip > 0) {
+                P.Class = PredictabilityClass::LoopExitBounded;
+                P.TripBound = Trip;
+                P.ExpectedMispredictBound =
+                    1.0 / static_cast<double>(Trip);
+                continue;
+              }
+            }
+          }
+        }
+
+        // 3. Parity of an induction register stepping by one: alternates.
+        if (Facts.Parity && steppedByOne(F, *L, Facts.ParityReg)) {
+          P.Class = PredictabilityClass::Alternating;
+          P.ExpectedMispredictBound = 0.5;
+          continue;
+        }
+      }
+
+      // 4. Condition computed from memory or a call result.
+      if (Facts.DataDependent) {
+        P.Class = PredictabilityClass::DataDependent;
+        P.ExpectedMispredictBound = 0.5;
+        continue;
+      }
+
+      P.Class = PredictabilityClass::Mixed;
+      P.ExpectedMispredictBound = 0.5;
+    }
+  }
+  return Out;
+}
+
+std::vector<BranchPredictability>
+sa::classifyPredictability(const Module &M) {
+  return classifyPredictability(M, computeBranchProofs(M));
+}
+
+// -- Pass --------------------------------------------------------------------
+
+namespace {
+
+class PredictabilityPass : public FunctionPass {
+public:
+  const char *id() const override { return PassId; }
+  const char *description() const override {
+    return "per-branch predictability class (proven / loop-exit-bounded / "
+           "alternating / data-dependent) with expected-misprediction "
+           "bounds, cross-checked against the Ball-Larus heuristic chain";
+  }
+
+  void runOnFunction(const Module &M, uint32_t FI,
+                     std::vector<Diagnostic> &Out) const override {
+    const Function &F = M.Functions[FI];
+    if (!isCfgBuildable(F))
+      return;
+    // Classification is per function; restricting the module-level API to
+    // one function keeps the pass parallelizable with per-function slots.
+    // predictBallLarus is module-wide but pure, so recomputing it per
+    // function only costs time, never determinism.
+    std::vector<BranchPredictability> All = classifyPredictability(M);
+    CFG G(F);
+
+    for (const BranchPredictability &P : All) {
+      if (P.BranchId < 0 || P.FuncIdx != FI)
+        continue;
+      if (!G.isReachable(P.BlockIdx))
+        continue;
+      const BasicBlock &BB = F.Blocks[P.BlockIdx];
+      Location Loc;
+      Loc.FuncIdx = static_cast<int32_t>(FI);
+      Loc.FuncName = F.Name;
+      Loc.BlockIdx = static_cast<int32_t>(P.BlockIdx);
+      Loc.BlockName = BB.Name;
+      Loc.InstIdx = static_cast<int32_t>(BB.Insts.size() - 1);
+
+      if (P.Class == PredictabilityClass::ProvenUnidirectional &&
+          P.HeuristicDisagrees) {
+        Out.push_back(makeDiag(
+            Severity::Note, PassId, "heuristic-disagreement", Loc,
+            std::string("branch is proven ") +
+                (P.ProvedDir == Prediction::Taken ? "always-taken"
+                                                  : "never-taken") +
+                " but the Ball-Larus chain predicts the opposite "
+                "direction (it would mispredict every execution)"));
+      } else if (P.Class == PredictabilityClass::Alternating) {
+        Out.push_back(makeDiag(
+            Severity::Note, PassId, "alternating", Loc,
+            "branch condition is the parity of a unit-step induction "
+            "register: a profile majority mispredicts about half the "
+            "executions, a 2-state intra-loop machine removes them"));
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sa::createPredictabilityPass() {
+  return std::make_unique<PredictabilityPass>();
+}

@@ -1,0 +1,87 @@
+//===- sa/Predictability.h - Per-branch predictability classes --*- C++ -*-===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies every conditional branch by how predictable it is before any
+/// profile exists — the framing of "Branch Prediction Is Not a Solved
+/// Problem": separate the trivially-predictable branches from the ones
+/// that need history. Classes, in decreasing order of static confidence:
+///
+///   ProvenUnidirectional  const-prop proved one direction; expected
+///                         mispredict rate 0
+///   LoopExitBounded       loop exit compare over a recognized induction
+///                         register with constant init/step/bound; the trip
+///                         count is inferable and a backward-taken
+///                         prediction mispredicts about once per trip
+///   Alternating           condition is the parity of an induction
+///                         register; a profile majority mispredicts ~1/2,
+///                         a 2-state intra-loop machine removes it
+///   DataDependent         the condition's def chain reaches a Load or
+///                         Call: nothing static bounds it
+///   Mixed                 everything else
+///
+/// The pass (createPredictabilityPass) reports only the actionable facts as
+/// notes — proofs the Ball-Larus heuristic chain would get wrong, and
+/// alternating branches — while this header's API exposes the full
+/// classification for tests, docs tables and `bpcr explain`-style tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BPCR_SA_PREDICTABILITY_H
+#define BPCR_SA_PREDICTABILITY_H
+
+#include "ir/Module.h"
+#include "sa/Dataflow.h"
+
+#include <vector>
+
+namespace bpcr {
+namespace sa {
+
+enum class PredictabilityClass : uint8_t {
+  ProvenUnidirectional,
+  LoopExitBounded,
+  Alternating,
+  DataDependent,
+  Mixed,
+};
+
+const char *predictabilityClassName(PredictabilityClass C);
+
+/// One branch's classification. ExpectedMispredictBound is an upper bound
+/// on the per-execution misprediction rate of the best semi-static
+/// strategy the class admits (profile majority, or the paper's machines
+/// for Alternating).
+struct BranchPredictability {
+  int32_t BranchId = -1;
+  uint32_t FuncIdx = 0;
+  uint32_t BlockIdx = 0;
+  PredictabilityClass Class = PredictabilityClass::Mixed;
+  Prediction ProvedDir = Prediction::Unknown;
+  /// Inferred loop trip bound for LoopExitBounded; -1 otherwise.
+  int64_t TripBound = -1;
+  double ExpectedMispredictBound = 0.5;
+  /// Ball-Larus chain prediction for the same branch.
+  Prediction Heuristic = Prediction::Unknown;
+  /// True when the branch is proven and the heuristic picked the wrong
+  /// direction (it would mispredict every execution).
+  bool HeuristicDisagrees = false;
+};
+
+/// Classifies every conditional branch of \p M (branch ids must be
+/// assigned). Entries are indexed by BranchId. \p Proofs may be shared
+/// with the pipeline to avoid re-running the interval analysis; pass the
+/// result of computeBranchProofs(M).
+std::vector<BranchPredictability>
+classifyPredictability(const Module &M, const BranchProofs &Proofs);
+
+/// Convenience overload that computes the proofs itself.
+std::vector<BranchPredictability> classifyPredictability(const Module &M);
+
+} // namespace sa
+} // namespace bpcr
+
+#endif // BPCR_SA_PREDICTABILITY_H

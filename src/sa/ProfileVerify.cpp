@@ -1,0 +1,306 @@
+//===- sa/ProfileVerify.cpp -----------------------------------------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sa/ProfileVerify.h"
+
+#include "analysis/CFG.h"
+#include "sa/Passes.h"
+
+#include <array>
+#include <optional>
+#include <string>
+
+using namespace bpcr;
+using namespace bpcr::sa;
+
+namespace {
+
+constexpr const char *PassId = "profile-verify";
+
+Location funcLoc(const Module &M, uint32_t FI) {
+  Location Loc;
+  Loc.FuncIdx = static_cast<int32_t>(FI);
+  Loc.FuncName = M.Functions[FI].Name;
+  return Loc;
+}
+
+Location blockLoc(const Module &M, uint32_t FI, uint32_t B) {
+  Location Loc = funcLoc(M, FI);
+  Loc.BlockIdx = static_cast<int32_t>(B);
+  Loc.BlockName = M.Functions[FI].Blocks[B].Name;
+  return Loc;
+}
+
+/// Flow inference over one function. Edge and block counts form the flat
+/// lattice Unknown < Known(n); contradictions become diagnostics instead
+/// of a Conflict element so every violation is reported at its block.
+struct FunctionFlow {
+  const Module &M;
+  const Function &F;
+  uint32_t FI;
+  const CFG G;
+  const BranchProfileCounts &P;
+  const ProfileVerifyOptions &Opts;
+  std::vector<Diagnostic> &Out;
+
+  /// Inferred terminator executions per block.
+  std::vector<std::optional<uint64_t>> Exec;
+  /// Inferred count per (block, successor-slot). Br blocks have slot 0 =
+  /// taken edge, slot 1 = fallthrough (collapsed to one slot when both
+  /// targets coincide); Jmp blocks have slot 0.
+  std::vector<std::array<std::optional<uint64_t>, 2>> EdgeOut;
+  /// One report per (rule, block) so fixpoint rounds never duplicate.
+  std::vector<uint8_t> ReportedMismatch;
+  std::vector<uint8_t> ReportedTail;
+
+  FunctionFlow(const Module &M, uint32_t FI, const BranchProfileCounts &P,
+               const ProfileVerifyOptions &Opts, std::vector<Diagnostic> &Out)
+      : M(M), F(M.Functions[FI]), FI(FI), G(F), P(P), Opts(Opts), Out(Out) {
+    Exec.assign(F.Blocks.size(), std::nullopt);
+    EdgeOut.assign(F.Blocks.size(), {std::nullopt, std::nullopt});
+    ReportedMismatch.assign(F.Blocks.size(), 0);
+    ReportedTail.assign(F.Blocks.size(), 0);
+  }
+
+  bool isEntryFunction() const { return FI == M.EntryFunction; }
+
+  const BranchCounts *countsFor(const Instruction &T) const {
+    if (T.BranchId < 0 || static_cast<size_t>(T.BranchId) >= P.Counts.size())
+      return nullptr;
+    return &P.Counts[static_cast<size_t>(T.BranchId)];
+  }
+
+  void seed() {
+    for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
+      const Instruction &T = F.Blocks[B].terminator();
+      if (T.Op != Opcode::Br)
+        continue;
+      const BranchCounts *C = countsFor(T);
+      if (!C)
+        continue;
+      if (!G.isReachable(B)) {
+        if (C->total() > 0)
+          Out.push_back(makeDiag(
+              Severity::Error, PassId, "unreachable-execution",
+              blockLoc(M, FI, B),
+              "branch #" + std::to_string(T.BranchId) + " recorded " +
+                  std::to_string(C->total()) +
+                  " executions but its block is unreachable from the "
+                  "function entry"));
+        continue;
+      }
+      Exec[B] = C->total();
+      if (T.TrueTarget == T.FalseTarget) {
+        EdgeOut[B][0] = C->total();
+      } else {
+        EdgeOut[B][0] = C->Taken;
+        EdgeOut[B][1] = C->NotTaken;
+      }
+    }
+  }
+
+  /// Sum of known in-edge counts of \p B; nullopt when any is unknown.
+  /// Adds EntryExecutions for the entry function's entry block.
+  std::optional<uint64_t> inFlow(uint32_t B) const {
+    uint64_t Sum = 0;
+    if (B == 0) {
+      if (!isEntryFunction())
+        return std::nullopt; // call count unknown
+      Sum = Opts.EntryExecutions;
+    }
+    for (uint32_t Pred : G.predecessors(B)) {
+      if (!G.isReachable(Pred))
+        continue;
+      const Instruction &T = F.Blocks[Pred].terminator();
+      uint64_t EdgeSum = 0;
+      bool Known = false;
+      if (T.Op == Opcode::Br && T.TrueTarget != T.FalseTarget) {
+        // A block can reach B through its taken edge, fallthrough edge or
+        // (pathologically) both; sum the slots that target B.
+        if (T.TrueTarget == B && EdgeOut[Pred][0]) {
+          EdgeSum += *EdgeOut[Pred][0];
+          Known = true;
+        }
+        if (T.FalseTarget == B && EdgeOut[Pred][1]) {
+          EdgeSum += *EdgeOut[Pred][1];
+          Known = true;
+        }
+        if ((T.TrueTarget == B && !EdgeOut[Pred][0]) ||
+            (T.FalseTarget == B && !EdgeOut[Pred][1]))
+          return std::nullopt;
+      } else {
+        if (!EdgeOut[Pred][0])
+          return std::nullopt;
+        EdgeSum = *EdgeOut[Pred][0];
+        Known = true;
+      }
+      if (Known)
+        Sum += EdgeSum;
+    }
+    return Sum;
+  }
+
+  void reportMismatch(uint32_t B, uint64_t In, uint64_t ExecCount) {
+    const char *Rule = B == 0 && isEntryFunction() ? "entry-flow-mismatch"
+                                                   : "flow-mismatch";
+    bool Tail = In > ExecCount;
+    if (Tail && !Opts.Strict) {
+      if (ReportedTail[B])
+        return;
+      ReportedTail[B] = 1;
+      Out.push_back(makeDiag(
+          Severity::Note, PassId, "truncated-tail", blockLoc(M, FI, B),
+          "block entered " + std::to_string(In) +
+              " times but its branch executed " + std::to_string(ExecCount) +
+              "; consistent with a trace cut off mid-run (strict mode "
+              "reports this as a flow mismatch)"));
+      return;
+    }
+    if (ReportedMismatch[B])
+      return;
+    ReportedMismatch[B] = 1;
+    Out.push_back(makeDiag(
+        Severity::Error, PassId, Rule, blockLoc(M, FI, B),
+        "flow conservation violated: in-flow " + std::to_string(In) +
+            " vs " + std::to_string(ExecCount) +
+            " recorded executions of the block's terminator"));
+  }
+
+  void solve() {
+    seed();
+    // Deterministic round-based fixpoint: each round scans blocks in index
+    // order; a round without changes ends the loop. Each round either
+    // fixes at least one unknown or stops, so rounds <= blocks + 1.
+    bool Changed = true;
+    size_t Rounds = 0;
+    while (Changed && Rounds++ <= F.Blocks.size() + 1) {
+      Changed = false;
+      for (uint32_t B : G.reversePostOrder()) {
+        const Instruction &T = F.Blocks[B].terminator();
+        // Infer block execution from in-flow.
+        std::optional<uint64_t> In = inFlow(B);
+        if (In) {
+          if (!Exec[B]) {
+            // Ret blocks and (under truncation) every block may execute
+            // their terminator less often than they are entered; the
+            // inferred entry count still bounds and, for complete flows,
+            // determines it.
+            Exec[B] = *In;
+            Changed = true;
+          } else if (*Exec[B] != *In) {
+            reportMismatch(B, *In, *Exec[B]);
+          }
+        }
+        // Jmp blocks forward their execution count on their single edge.
+        if (T.Op == Opcode::Jmp && Exec[B] && !EdgeOut[B][0]) {
+          EdgeOut[B][0] = *Exec[B];
+          Changed = true;
+        }
+      }
+    }
+
+    // Entry/exit balance: when every return block's count is known, the
+    // entry function must leave exactly as often as it enters.
+    if (isEntryFunction()) {
+      uint64_t Returns = 0;
+      bool AllKnown = true;
+      bool AnyRet = false;
+      for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
+        if (!G.isReachable(B))
+          continue;
+        if (F.Blocks[B].terminator().Op != Opcode::Ret)
+          continue;
+        AnyRet = true;
+        if (!Exec[B]) {
+          AllKnown = false;
+          break;
+        }
+        Returns += *Exec[B];
+      }
+      if (AnyRet && AllKnown && Returns != Opts.EntryExecutions) {
+        bool Tail = Returns < Opts.EntryExecutions;
+        if (Tail && !Opts.Strict) {
+          Out.push_back(makeDiag(
+              Severity::Note, PassId, "truncated-tail", funcLoc(M, FI),
+              "entry function returns " + std::to_string(Returns) +
+                  " of " + std::to_string(Opts.EntryExecutions) +
+                  " times; consistent with a trace cut off mid-run"));
+        } else {
+          Out.push_back(makeDiag(
+              Severity::Error, PassId, "exit-flow-mismatch", funcLoc(M, FI),
+              "entry function entered " +
+                  std::to_string(Opts.EntryExecutions) +
+                  " times but returns " + std::to_string(Returns) +
+                  " times"));
+        }
+      }
+    }
+  }
+};
+
+class ProfileVerifyPass : public Pass {
+public:
+  ProfileVerifyPass(BranchProfileCounts P, ProfileVerifyOptions Opts)
+      : P(std::move(P)), Opts(Opts) {}
+
+  const char *id() const override { return PassId; }
+  const char *description() const override {
+    return "Kirchhoff flow conservation of a per-branch profile against "
+           "the CFG: block in-flow equals out-flow, branch counts agree "
+           "with successor entry counts, and the entry function begins and "
+           "ends the expected number of times";
+  }
+
+  void run(const Module &M, std::vector<Diagnostic> &Out) const override {
+    std::vector<Diagnostic> Diags = verifyProfileRealizability(M, P, Opts);
+    Out.insert(Out.end(), std::make_move_iterator(Diags.begin()),
+               std::make_move_iterator(Diags.end()));
+  }
+
+private:
+  BranchProfileCounts P;
+  ProfileVerifyOptions Opts;
+};
+
+} // namespace
+
+std::vector<Diagnostic>
+bpcr::sa::verifyProfileRealizability(const Module &M,
+                                     const BranchProfileCounts &P,
+                                     const ProfileVerifyOptions &Opts) {
+  std::vector<Diagnostic> Out;
+  size_t NumBranches = M.conditionalBranchCount();
+  if (P.Counts.size() != NumBranches) {
+    Location Loc;
+    Out.push_back(makeDiag(
+        Severity::Error, PassId, "count-shape", Loc,
+        "profile carries " + std::to_string(P.Counts.size()) +
+            " branch slots but the module has " +
+            std::to_string(NumBranches) + " conditional branches"));
+    return Out;
+  }
+  if (P.OutOfRange > 0) {
+    Location Loc;
+    Out.push_back(makeDiag(
+        Severity::Error, PassId, "unknown-branch", Loc,
+        std::to_string(P.OutOfRange) +
+            " profile events reference branch ids outside the module"));
+  }
+
+  for (uint32_t FI = 0; FI < M.Functions.size(); ++FI) {
+    if (!isCfgBuildable(M.Functions[FI]))
+      continue;
+    FunctionFlow Flow(M, FI, P, Opts, Out);
+    Flow.solve();
+  }
+  return Out;
+}
+
+std::unique_ptr<Pass>
+bpcr::sa::createProfileVerifyPass(BranchProfileCounts P,
+                                  ProfileVerifyOptions Opts) {
+  return std::make_unique<ProfileVerifyPass>(std::move(P), Opts);
+}

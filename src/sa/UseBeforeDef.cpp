@@ -47,7 +47,7 @@ void transfer(const Instruction &I, RegSet &Undef, ReadFn Report) {
     Undef[I.Dst] = 0;
 }
 
-class UseBeforeDefPass : public Pass {
+class UseBeforeDefPass : public FunctionPass {
 public:
   const char *id() const override { return PassId; }
   const char *description() const override {
@@ -56,14 +56,8 @@ public:
            "value is almost certainly unintended)";
   }
 
-  void run(const Module &M, std::vector<Diagnostic> &Out) const override {
-    for (uint32_t FI = 0; FI < M.Functions.size(); ++FI)
-      runOnFunction(M, FI, Out);
-  }
-
-private:
   void runOnFunction(const Module &M, uint32_t FI,
-                     std::vector<Diagnostic> &Out) const {
+                     std::vector<Diagnostic> &Out) const override {
     const Function &F = M.Functions[FI];
     if (!isCfgBuildable(F))
       return; // ir-verify reports the structural problem

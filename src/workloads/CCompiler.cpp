@@ -311,6 +311,8 @@ Module bpcr::buildCCompiler(uint64_t Seed) {
   uint32_t NumEnd = B.newBlock("num_end");
   uint32_t RunParse = B.newBlock("run_parse");
   uint32_t Done = B.newBlock("done");
+  uint32_t SlotOob = B.newBlock("slot_oob");
+  uint32_t ProbePre = B.newBlock("probe_pre");
 
   B.setInsertPoint(Entry);
   B.movImm(I, 0);
@@ -424,6 +426,18 @@ Module bpcr::buildCCompiler(uint64_t Seed) {
   B.rem(Key, R(HashVal), K(999983));
   B.add(Key, R(Key), K(1)); // keys are nonzero
   B.rem(Slot, R(HashVal), K(HashSize));
+  // Defensive bounds check before indexing the symbol table. HashVal was
+  // masked non-negative above, so the remainder is already in
+  // [0, HashSize-1] and the guard can never fire. Both paths rejoin in a
+  // dedicated preheader so the probe loop keeps a unique dominating entry.
+  B.cmpGe(Cond, R(Slot), K(HashSize));
+  B.br(R(Cond), SlotOob, ProbePre);
+
+  B.setInsertPoint(SlotOob);
+  B.movImm(Slot, 0);
+  B.jmp(ProbePre);
+
+  B.setInsertPoint(ProbePre);
   B.jmp(Probe);
 
   B.setInsertPoint(Probe);

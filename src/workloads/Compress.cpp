@@ -178,6 +178,8 @@ Module bpcr::buildCompress(uint64_t Seed) {
   uint32_t ClearBody = B.newBlock("clear_body");
   uint32_t AfterMiss = B.newBlock("after_miss");
   uint32_t Done = B.newBlock("done");
+  uint32_t SlotOob = B.newBlock("slot_oob");
+  uint32_t ProbePre = B.newBlock("probe_pre");
 
   B.setInsertPoint(Entry);
   B.load(Prefix, K(Data), K(0));
@@ -200,6 +202,18 @@ Module bpcr::buildCompress(uint64_t Seed) {
   // h = (key * 40503) & (TS - 1).
   B.mul(H, R(Key), K(40503));
   B.band(Slot, R(H), K(TS - 1));
+  // Defensive bounds check before indexing the hash table. The mask above
+  // already confines Slot to [0, TS-1], so the guard can never fire. Both
+  // paths rejoin in a dedicated preheader so the probe loop keeps a unique
+  // dominating entry.
+  B.cmpGe(Cond, R(Slot), K(TS));
+  B.br(R(Cond), SlotOob, ProbePre);
+
+  B.setInsertPoint(SlotOob);
+  B.movImm(Slot, 0);
+  B.jmp(ProbePre);
+
+  B.setInsertPoint(ProbePre);
   B.jmp(Probe);
 
   B.setInsertPoint(Probe);

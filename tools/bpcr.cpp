@@ -18,10 +18,11 @@
 //                [--annotate]
 //   bpcr timeline <workload> [--window N] [--branch ID] [--phases]
 //                [--format table|csv|json] [--timeline-out FILE]
-//   bpcr profile <replicate|report|sweep|timeline> <workload>
+//   bpcr profile <replicate|report|sweep|timeline|lint> <workload>
 //                [--format table|json] [--profile-out FILE] [--flame-out FILE]
 //   bpcr lint <workload|module-file> [--seed N] [--format table|json|sarif]
-//             [--fail-on warning|error] [--replicate]
+//             [--fail-on warning|error] [--replicate] [--jobs N]
+//             [--baseline FILE] [--profile TRACE]
 //   bpcr compare OLD.json NEW.json [--threshold-file FILE]
 //                [--format table|json]
 //
@@ -47,7 +48,16 @@
 // --replicate) accept --jobs N to fan the per-branch machine searches over
 // a worker pool. Results never depend on the worker count.
 //
-// `profile` wraps one of replicate/report/sweep/timeline with the
+// `lint` runs the static-analysis pass pipeline (including the const-prop
+// proof engine and the predictability classifier) over a workload or a
+// serialized module. --profile TRACE additionally admits a recorded branch
+// trace through the profile-realizability verifier (Kirchhoff flow
+// conservation against the CFG). --baseline FILE suppresses known findings:
+// a missing file is written from the current findings (record mode), an
+// existing one filters them and warns about stale entries. Lint output is
+// deterministic and byte-identical for every --jobs value.
+//
+// `profile` wraps one of replicate/report/sweep/timeline/lint with the
 // self-profiler armed and appends the collected profile (per-category
 // self-vs-total span times, RSS and allocation accounting, pool.*
 // utilization); --profile-out writes it as JSON and --flame-out writes a
@@ -77,7 +87,9 @@
 #include "predict/Evaluator.h"
 #include "predict/SemiStaticPredictors.h"
 #include "support/TablePrinter.h"
+#include "sa/Baseline.h"
 #include "sa/Passes.h"
+#include "sa/ProfileVerify.h"
 #include "sa/ReplicationSoundness.h"
 #include "trace/TraceFile.h"
 #include "workloads/Workload.h"
@@ -128,6 +140,8 @@ struct Args {
   // lint options.
   std::string FailOn = "error";
   bool Replicate = false;
+  std::string BaselinePath;
+  std::string LintProfile;
   // profile options (the wrapped command and the artifact paths).
   std::string ProfileInner;
   std::string ProfileOut;
@@ -158,8 +172,8 @@ int usage() {
       "                               the replicated program, with phase\n"
       "                               segmentation (deterministic output,\n"
       "                               byte-identical for every --jobs)\n"
-      "  profile <cmd> <workload>     run replicate/report/sweep/timeline\n"
-      "                               with the self-profiler armed and\n"
+      "  profile <cmd> <workload>     run replicate/report/sweep/timeline/\n"
+      "                               lint with the self-profiler armed and\n"
       "                               append the profile: per-category\n"
       "                               self-vs-total span times (wall + CPU),\n"
       "                               RSS/allocation accounting, pool\n"
@@ -216,6 +230,15 @@ int usage() {
       "  --replicate    lint also runs the replication pipeline and checks\n"
       "                 the transformed module's simulation relation\n"
       "                 (workload targets only)\n"
+      "  --baseline FILE\n"
+      "                 lint known-findings baseline. Missing file: record\n"
+      "                 the current findings and exit 0. Existing file:\n"
+      "                 suppress matching findings; entries matching\n"
+      "                 nothing raise lint-baseline.stale-entry warnings\n"
+      "  --profile TRACE\n"
+      "                 lint also verifies the recorded branch trace\n"
+      "                 (.bpct) is flow-realizable on the target's CFG\n"
+      "                 (profile-verify pass; see docs/STATIC_ANALYSIS.md)\n"
       "  --annotate     print the transformed IR with per-branch strategy\n"
       "                 and measured miss-rate annotations (explain)\n"
       "  --metrics FILE write a JSON run report (trace/analyze/replicate/\n"
@@ -282,16 +305,16 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
     if (I >= Argc || Argv[I][0] == '-')
       return parseError(
           "command 'profile' needs a command argument: "
-          "profile <replicate|report|sweep|timeline> <workload>");
+          "profile <replicate|report|sweep|timeline|lint> <workload>");
     A.ProfileInner = Argv[I++];
     static const char *Wrappable[] = {"replicate", "report", "sweep",
-                                      "timeline"};
+                                      "timeline", "lint"};
     bool CanWrap = false;
     for (const char *C : Wrappable)
       CanWrap |= A.ProfileInner == C;
     if (!CanWrap)
-      return parseError("command 'profile' wraps replicate, report, sweep "
-                        "or timeline, not '" +
+      return parseError("command 'profile' wraps replicate, report, sweep, "
+                        "timeline or lint, not '" +
                         A.ProfileInner + "'");
     if (I >= Argc || Argv[I][0] == '-')
       return parseError("command 'profile' needs a workload argument");
@@ -431,17 +454,33 @@ bool parseArgs(int Argc, char **Argv, Args &A) {
       const char *V = Next();
       if (!V)
         return parseError("option '--fail-on' needs a value");
-      if (A.Command != "lint")
+      if (Eff != "lint")
         return parseError("option '--fail-on' only applies to the lint "
                           "command");
       A.FailOn = V;
       if (A.FailOn != "warning" && A.FailOn != "error")
         return parseError("option '--fail-on' must be warning or error");
     } else if (Opt == "--replicate") {
-      if (A.Command != "lint")
+      if (Eff != "lint")
         return parseError(
             "option '--replicate' only applies to the lint command");
       A.Replicate = true;
+    } else if (Opt == "--baseline") {
+      const char *V = Next();
+      if (!V)
+        return parseError("option '--baseline' needs a file argument");
+      if (Eff != "lint")
+        return parseError(
+            "option '--baseline' only applies to the lint command");
+      A.BaselinePath = V;
+    } else if (Opt == "--profile") {
+      const char *V = Next();
+      if (!V)
+        return parseError("option '--profile' needs a trace-file argument");
+      if (Eff != "lint")
+        return parseError(
+            "option '--profile' only applies to the lint command");
+      A.LintProfile = V;
     } else if (Opt == "--annotate") {
       if (A.Command != "explain")
         return parseError(
@@ -1417,6 +1456,8 @@ int cmdTimeline(const Args &A) {
 
 // -- profile ------------------------------------------------------------------
 
+int cmdLint(const Args &A);
+
 /// Wraps one searching command with the self-profiler armed, then renders
 /// the collected profile and optionally writes the JSON profile
 /// (--profile-out) and a collapsed-stack flamegraph (--flame-out).
@@ -1435,9 +1476,13 @@ int cmdProfile(const Args &A) {
     RC = cmdReport(Inner);
   else if (Inner.Command == "sweep")
     RC = cmdSweep(Inner);
+  else if (Inner.Command == "lint")
+    RC = cmdLint(Inner);
   else
     RC = cmdTimeline(Inner);
-  if (RC != 0)
+  // Lint's exit code carries finding severity, not failure; keep profiling
+  // output for it. Everything else treats nonzero as a hard error.
+  if (RC != 0 && Inner.Command != "lint")
     return RC;
 
   Profiler::global().sampleRss("profile.end");
@@ -1466,7 +1511,7 @@ int cmdProfile(const Args &A) {
     }
     std::printf("wrote flamegraph to %s\n", A.FlameOut.c_str());
   }
-  return 0;
+  return RC;
 }
 
 int cmdLint(const Args &A) {
@@ -1511,7 +1556,23 @@ int cmdLint(const Args &A) {
 
   sa::PassManager PM;
   sa::addStandardPasses(PM);
-  std::vector<sa::Diagnostic> Diags = PM.run(M);
+
+  // --profile TRACE: admit the recorded branch trace through the
+  // realizability verifier alongside the standard passes.
+  if (!A.LintProfile.empty()) {
+    Trace T;
+    std::string Error;
+    if (!readTraceFile(A.LintProfile, T, Error)) {
+      std::fprintf(stderr, "bpcr: error: cannot read trace '%s': %s\n",
+                   A.LintProfile.c_str(), Error.c_str());
+      return 2;
+    }
+    sa::BranchProfileCounts P =
+        sa::BranchProfileCounts::fromTrace(M.conditionalBranchCount(), T);
+    PM.add(sa::createProfileVerifyPass(std::move(P)));
+  }
+
+  std::vector<sa::Diagnostic> Diags = PM.run(M, A.Jobs);
 
   std::vector<SarifRuleInfo> Rules;
   for (const auto &P : PM.passes())
@@ -1538,6 +1599,38 @@ int cmdLint(const Args &A) {
          "and every copy folds onto the branch it simulates"});
     for (sa::Diagnostic &D : PR.Soundness)
       Diags.push_back(std::move(D));
+  }
+
+  // --baseline FILE: an existing baseline suppresses the findings it lists
+  // (stale entries surface as warnings); a missing one is recorded from the
+  // current findings so the next run starts clean.
+  if (!A.BaselinePath.empty()) {
+    std::string Text, Error;
+    if (readFile(A.BaselinePath, Text, Error)) {
+      sa::LintBaseline BL;
+      if (!sa::LintBaseline::parse(Text, BL, Error)) {
+        std::fprintf(stderr, "bpcr: error: baseline '%s': %s\n",
+                     A.BaselinePath.c_str(), Error.c_str());
+        return 2;
+      }
+      Diags = BL.apply(std::move(Diags));
+      Rules.push_back(
+          {"lint-baseline",
+           "baseline hygiene: a baseline entry that matches no current "
+           "finding is stale — the underlying issue is fixed, so the line "
+           "should be removed from the ledger"});
+    } else {
+      sa::LintBaseline BL = sa::LintBaseline::fromDiagnostics(Diags);
+      std::string EmitError;
+      if (!emitText(A.BaselinePath, BL.serialize(), EmitError)) {
+        std::fprintf(stderr, "bpcr: error: %s\n", EmitError.c_str());
+        return 2;
+      }
+      std::printf("recorded %zu baseline entr%s to %s\n", BL.Keys.size(),
+                  BL.Keys.size() == 1 ? "y" : "ies",
+                  A.BaselinePath.c_str());
+      Diags.clear();
+    }
   }
 
   std::string Out;
