@@ -16,6 +16,7 @@
 #include "core/CorrelatedMachine.h"
 #include "core/LoopAwareProfiles.h"
 #include "core/MachineSearch.h"
+#include "core/ScoreKernels.h"
 #include "core/SearchCache.h"
 #include "core/SizeSweep.h"
 #include "interp/Interpreter.h"
@@ -32,11 +33,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <tuple>
 
 using namespace bpcr;
 
@@ -280,6 +283,8 @@ int runSweepBench(BenchRunOptions RunOpts) {
               Largest->Name, static_cast<unsigned long long>(Events));
   Module M;
   Trace T = traceWorkload(*Largest, 1, M, Events);
+  Module MC;
+  ColumnarTrace CT = traceWorkloadColumnar(*Largest, 1, MC, Events);
   ProgramAnalysis PA(M);
   ProfileSet Profiles = buildLoopAwareProfiles(PA, T);
 
@@ -292,6 +297,9 @@ int runSweepBench(BenchRunOptions RunOpts) {
   Obs.setEnabled(true);
   SearchCache &Cache = SearchCache::global();
 
+  // The timed sweeps run on the columnar trace (the production layout);
+  // the cross-layout guard below re-runs one sweep on the legacy event
+  // vector and requires the identical curve.
   auto RunAt = [&](unsigned Jobs, bool Cold,
                    std::vector<SweepPoint> &Out) -> double {
     double Best = 0.0;
@@ -300,7 +308,7 @@ int runSweepBench(BenchRunOptions RunOpts) {
         Cache.clear();
       SweepOptions O = Opts;
       O.Jobs = Jobs;
-      double Ms = wallMs([&] { Out = computeSizeSweep(PA, Profiles, T, O); });
+      double Ms = wallMs([&] { Out = computeSizeSweep(PA, Profiles, CT, O); });
       if (I == 0 || Ms < Best)
         Best = Ms;
     }
@@ -341,6 +349,20 @@ int runSweepBench(BenchRunOptions RunOpts) {
                  "sweep bench: FAIL — curves differ across --jobs runs\n");
     return 1;
   }
+  // Cross-layout guard: the legacy event-of-structs trace must produce
+  // the identical curve.
+  std::vector<SweepPoint> PLegacy;
+  Cache.clear();
+  {
+    SweepOptions O = Opts;
+    O.Jobs = 4;
+    PLegacy = computeSizeSweep(PA, Profiles, T, O);
+  }
+  if (!SameCurve(P1, PLegacy)) {
+    std::fprintf(stderr, "sweep bench: FAIL — columnar and legacy traces "
+                         "produce different curves\n");
+    return 1;
+  }
 
   uint64_t Lookups = ColdStats.Hits + ColdStats.Misses;
   double HitRate = Lookups ? 100.0 * static_cast<double>(ColdStats.Hits) /
@@ -348,6 +370,83 @@ int runSweepBench(BenchRunOptions RunOpts) {
                            : 0.0;
   double SpeedJobs1 = Jobs1Ms > 0 ? LegacyMs / Jobs1Ms : 0.0;
   double SpeedJobs4 = Jobs4Ms > 0 ? LegacyMs / Jobs4Ms : 0.0;
+
+  //--------------------------------------------------------------------
+  // Columnar event path: the tentpole measurement. Legacy = one virtual
+  // sink call per event into an event-of-structs vector, then the
+  // hash-probe-per-event profile build. Columnar = batched emission into
+  // packed id/direction columns, then the flat-count fill kernel over
+  // 64-outcome words. Both are timed end to end (module build + trace +
+  // loop-aware profiles) best-of-N; the results must match exactly.
+  //--------------------------------------------------------------------
+  double LegacyPathMs = 0.0, ColumnarPathMs = 0.0;
+  Trace PathTrace;
+  ColumnarTrace PathCT;
+  ProfileSet LegacyProfiles(0), ColumnarProfiles(0);
+  for (unsigned I = 0; I < Reps; ++I) {
+    double Ms = wallMs([&] {
+      Module LM;
+      PathTrace = traceWorkload(*Largest, 1, LM, Events);
+      LegacyProfiles = buildLoopAwareProfiles(PA, PathTrace);
+    });
+    if (I == 0 || Ms < LegacyPathMs)
+      LegacyPathMs = Ms;
+  }
+  for (unsigned I = 0; I < Reps; ++I) {
+    double Ms = wallMs([&] {
+      Module CM;
+      PathCT = traceWorkloadColumnar(*Largest, 1, CM, Events);
+      ColumnarProfiles = buildLoopAwareProfiles(PA, PathCT);
+    });
+    if (I == 0 || Ms < ColumnarPathMs)
+      ColumnarPathMs = Ms;
+  }
+
+  // Correctness guards: identical event stream, identical profiles.
+  if (!(PathCT.materialize() == PathTrace)) {
+    std::fprintf(stderr, "sweep bench: FAIL — columnar trace does not "
+                         "round-trip the legacy event stream\n");
+    return 1;
+  }
+  auto SameProfiles = [](const ProfileSet &A, const ProfileSet &B) {
+    if (A.numBranches() != B.numBranches())
+      return false;
+    for (uint32_t Id = 0; Id < A.numBranches(); ++Id) {
+      const BranchProfile &PA_ = A.branch(static_cast<int32_t>(Id));
+      const BranchProfile &PB = B.branch(static_cast<int32_t>(Id));
+      if (PA_.Outcomes != PB.Outcomes ||
+          PA_.ResetPositions != PB.ResetPositions ||
+          PA_.Table.executions() != PB.Table.executions())
+        return false;
+      std::vector<std::tuple<uint32_t, uint64_t, uint64_t>> TA, TB;
+      for (const auto &[Pat, C] : PA_.Table.full())
+        TA.emplace_back(Pat, C.Taken, C.NotTaken);
+      for (const auto &[Pat, C] : PB.Table.full())
+        TB.emplace_back(Pat, C.Taken, C.NotTaken);
+      std::sort(TA.begin(), TA.end());
+      std::sort(TB.begin(), TB.end());
+      if (TA != TB)
+        return false;
+    }
+    return true;
+  };
+  if (!SameProfiles(LegacyProfiles, ColumnarProfiles)) {
+    std::fprintf(stderr, "sweep bench: FAIL — columnar profile build "
+                         "differs from the legacy build\n");
+    return 1;
+  }
+
+  double PathEvents = static_cast<double>(PathCT.size());
+  double LegacyEps =
+      LegacyPathMs > 0 ? 1000.0 * PathEvents / LegacyPathMs : 0.0;
+  double ColumnarEps =
+      ColumnarPathMs > 0 ? 1000.0 * PathEvents / ColumnarPathMs : 0.0;
+  double PathSpeedup = ColumnarPathMs > 0 ? LegacyPathMs / ColumnarPathMs
+                                          : 0.0;
+  double BytesPerEvent =
+      PathCT.size() ? static_cast<double>(PathCT.bytesUsed()) / PathEvents
+                    : 0.0;
+  double LegacyBytesPerEvent = static_cast<double>(sizeof(BranchEvent));
 
   Obs.gauge("sweep.workload_events").set(static_cast<double>(T.size()));
   Obs.gauge("sweep.wall_ms.legacy").set(LegacyMs);
@@ -363,6 +462,10 @@ int runSweepBench(BenchRunOptions RunOpts) {
   Obs.gauge("sweep.events_per_sec.jobs4")
       .set(Jobs4Ms > 0 ? 1000.0 * static_cast<double>(T.size()) / Jobs4Ms
                        : 0.0);
+  Obs.gauge("sweep.columnar.events_per_sec").set(ColumnarEps);
+  Obs.gauge("sweep.columnar.legacy_events_per_sec").set(LegacyEps);
+  Obs.gauge("sweep.columnar.speedup_vs_legacy").set(PathSpeedup);
+  Obs.gauge("sweep.columnar.bytes_per_event").set(BytesPerEvent);
 
   std::printf("sweep bench (%s, %zu events, states<=%u):\n", Largest->Name,
               T.size(), Opts.MaxStates);
@@ -377,6 +480,15 @@ int runSweepBench(BenchRunOptions RunOpts) {
               "lookups)\n",
               HitRate, static_cast<unsigned long long>(ColdStats.Hits),
               static_cast<unsigned long long>(Lookups));
+  std::printf("event path (%s, %.0f events, simd tier %s):\n",
+              Largest->Name, PathEvents,
+              simdTierName(activeSimdTier()));
+  std::printf("  legacy event path      : %8.1f ms  (%12.0f events/sec, "
+              "%5.2f bytes/event)\n",
+              LegacyPathMs, LegacyEps, LegacyBytesPerEvent);
+  std::printf("  columnar event path    : %8.1f ms  (%12.0f events/sec, "
+              "%5.2f bytes/event, %.2fx vs legacy)\n",
+              ColumnarPathMs, ColumnarEps, BytesPerEvent, PathSpeedup);
 
   if (RunOpts.MetricsOut.empty())
     RunOpts.MetricsOut = "BENCH_sweep.json";
@@ -427,18 +539,29 @@ int runProfileBench(BenchRunOptions RunOpts) {
   Prof.setEnabled(true);
   SearchCache::global().clear();
 
+  // The profiled run exercises the production (columnar) event path, so
+  // the interp/kernel profiler categories and the trace.columnar.* /
+  // search.simd.* counters land in the report.
   Module M;
-  Trace T = traceWorkload(*Largest, 1, M, Events);
+  ColumnarTrace CT;
+  double PathMs = wallMs([&] {
+    CT = traceWorkloadColumnar(*Largest, 1, M, Events);
+  });
   ProgramAnalysis PA(M);
   Prof.sampleRss("profile_bench.traced");
-  ProfileSet Profiles = buildLoopAwareProfiles(PA, T);
+  ProfileSet Profiles(0);
+  PathMs += wallMs([&] { Profiles = buildLoopAwareProfiles(PA, CT); });
+  Registry::global()
+      .gauge("profile_bench.columnar.events_per_sec")
+      .set(PathMs > 0 ? 1000.0 * static_cast<double>(CT.size()) / PathMs
+                      : 0.0);
 
   SweepOptions Opts;
   Opts.MaxStates = 8;
   Opts.MaxSizeFactor = 16.0;
   Opts.NodeBudget = 30'000;
   Opts.Jobs = 4;
-  std::vector<SweepPoint> Points = computeSizeSweep(PA, Profiles, T, Opts);
+  std::vector<SweepPoint> Points = computeSizeSweep(PA, Profiles, CT, Opts);
   benchmark::DoNotOptimize(Points.data());
   Prof.sampleRss("profile_bench.sweep");
 

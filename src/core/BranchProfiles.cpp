@@ -6,6 +6,10 @@
 
 #include "core/BranchProfiles.h"
 
+#include "core/ScoreKernels.h"
+#include "trace/ColumnarTrace.h"
+
+#include <cassert>
 #include <unordered_set>
 
 using namespace bpcr;
@@ -51,6 +55,42 @@ void ProfileSet::addTrace(const Trace &T) {
   }
   for (const BranchEvent &E : T)
     record(E.BranchId, E.Taken);
+}
+
+void ProfileSet::addTrace(const ColumnarTrace &CT) {
+  assert(CT.indexed() && "finalize() the columnar trace first");
+  const uint32_t NumBranches = std::min<uint32_t>(
+      static_cast<uint32_t>(Profiles.size()), CT.numBranches());
+
+  // Whole-trace profiling never resets histories, so each branch's pattern
+  // table is one continuous fill over its per-branch bitstream. The flat
+  // count array is reused across branches (2^(MaxBits+1) words, 8 KB at
+  // the paper's 9 bits).
+  std::vector<uint64_t> Counts;
+  for (uint32_t Id = 0; Id < NumBranches; ++Id) {
+    BranchColumn Col = CT.branch(Id);
+    if (!Col.Executions)
+      continue;
+    BranchProfile &P = Profiles[Id];
+    size_t Old = P.Outcomes.size();
+    P.Outcomes.resize(Old + Col.Executions);
+    expandBitsToBytes(Col.Bits, P.Outcomes.data() + Old);
+    P.DirBits.appendBits(Col.Bits);
+
+    if (Old == 0) {
+      unsigned MaxBits = P.Table.maxBits();
+      Counts.assign(size_t(2) << MaxBits, 0);
+      uint32_t FinalHist = fillPatternCounts(Col.Bits.data(), 0,
+                                             Col.Executions, MaxBits,
+                                             /*StartHist=*/0, Counts.data());
+      P.Table.assignCounts(Counts.data(), FinalHist, Col.Executions);
+    } else {
+      // Appending to an already-filled profile: fall back to the
+      // incremental path to preserve the running history.
+      for (uint64_t I = 0; I < Col.Executions; ++I)
+        P.Table.record(Col.Bits.bit(I));
+    }
+  }
 }
 
 uint32_t ProfileSet::executedBranches() const {

@@ -16,6 +16,7 @@
 #define BPCR_CORE_BRANCHPROFILES_H
 
 #include "predict/SemiStaticPredictors.h" // DirCounts
+#include "trace/Bitstream.h"
 #include "trace/Trace.h"
 
 #include <algorithm>
@@ -24,6 +25,8 @@
 #include <vector>
 
 namespace bpcr {
+
+class ColumnarTrace;
 
 /// Local-history pattern table of one branch: counts per full-width pattern.
 /// Shorter-pattern counts are derived by marginalizing over the high
@@ -64,6 +67,29 @@ public:
     Full.reserve(static_cast<size_t>(std::min(Executions, Cap)));
   }
 
+  /// Bulk fill from a flat count array as produced by fillPatternCounts
+  /// (core/ScoreKernels.h): \p Counts holds 2^(MaxBits+1) entries,
+  /// [2*pattern + taken]. Replaces the map contents with every pattern
+  /// whose counts are nonzero and fast-forwards the rolling history to
+  /// \p FinalHist — the exact end state of an equivalent record() stream,
+  /// only reached without a hash probe per event.
+  void assignCounts(const uint64_t *Counts, uint32_t FinalHist,
+                    uint64_t NumExecutions) {
+    Full.clear();
+    const uint32_t Patterns = 1U << MaxBits;
+    size_t NonZero = 0;
+    for (uint32_t P = 0; P < Patterns; ++P)
+      NonZero += (Counts[2 * P] | Counts[2 * P + 1]) != 0;
+    Full.reserve(NonZero);
+    for (uint32_t P = 0; P < Patterns; ++P) {
+      uint64_t NT = Counts[2 * P], T = Counts[2 * P + 1];
+      if (NT | T)
+        Full.emplace(P, DirCounts{T, NT});
+    }
+    Hist = FinalHist & mask();
+    Executions = NumExecutions;
+  }
+
   /// Counts aggregated over all full patterns whose last \p Len outcomes
   /// equal \p Bits (bit 0 = most recent).
   DirCounts countsFor(uint32_t Bits, unsigned Len) const;
@@ -89,6 +115,10 @@ private:
 struct BranchProfile {
   /// Outcome stream in execution order (1 = taken).
   std::vector<uint8_t> Outcomes;
+  /// The same stream bit-packed (64 outcomes per word). ProfileSet keeps
+  /// it in sync with Outcomes; machine simulation walks these words
+  /// instead of the byte vector, and takenCount() popcounts them.
+  BitstreamBuilder DirBits;
   /// Positions in Outcomes before which the history was reset (loop
   /// re-entries); empty for plain whole-trace profiling.
   std::vector<uint64_t> ResetPositions;
@@ -98,6 +128,10 @@ struct BranchProfile {
 
   uint64_t executions() const { return Outcomes.size(); }
   uint64_t takenCount() const {
+    // The packed copy is authoritative when in sync; code that builds
+    // Outcomes by hand (tests) still gets the byte-loop answer.
+    if (DirBits.size() == Outcomes.size())
+      return popcountBitsScalar(DirBits.view());
     uint64_t N = 0;
     for (uint8_t O : Outcomes)
       N += O;
@@ -121,10 +155,18 @@ public:
   /// Accumulates a whole trace.
   void addTrace(const Trace &T);
 
+  /// Columnar fast path: per-branch outcome streams come straight from the
+  /// finalized index and the pattern tables from the flat-count fill
+  /// kernel — no per-event hash probes. The resulting set is equivalent to
+  /// addTrace(CT.materialize()) (pattern maps may differ in iteration
+  /// order only, which nothing downstream observes).
+  void addTrace(const ColumnarTrace &CT);
+
   /// Records one event.
   void record(int32_t Id, bool Taken) {
     BranchProfile &P = Profiles[static_cast<uint32_t>(Id)];
     P.Outcomes.push_back(Taken ? 1 : 0);
+    P.DirBits.push(Taken);
     P.Table.record(Taken);
   }
 
@@ -133,7 +175,9 @@ public:
   /// the machine search is pruned for them, so their table is never read,
   /// and skipping the fill keeps the proof savings real.
   void recordOutcomeOnly(int32_t Id, bool Taken) {
-    Profiles[static_cast<uint32_t>(Id)].Outcomes.push_back(Taken ? 1 : 0);
+    BranchProfile &P = Profiles[static_cast<uint32_t>(Id)];
+    P.Outcomes.push_back(Taken ? 1 : 0);
+    P.DirBits.push(Taken);
   }
 
   /// Marks a loop re-entry for branch \p Id: the next recorded outcome
@@ -146,6 +190,21 @@ public:
 
   const BranchProfile &branch(int32_t Id) const {
     return Profiles[static_cast<uint32_t>(Id)];
+  }
+
+  /// Mutable access for the columnar bulk-fill builders
+  /// (core/LoopAwareProfiles.cpp), which write outcome streams and reset
+  /// positions wholesale instead of event-at-a-time.
+  BranchProfile &branchMutable(int32_t Id) {
+    return Profiles[static_cast<uint32_t>(Id)];
+  }
+
+  /// Bulk pattern-table fill for branch \p Id; see
+  /// PatternTable::assignCounts.
+  void assignTable(int32_t Id, const uint64_t *Counts, uint32_t FinalHist,
+                   uint64_t NumExecutions) {
+    Profiles[static_cast<uint32_t>(Id)].Table.assignCounts(Counts, FinalHist,
+                                                           NumExecutions);
   }
 
   uint32_t numBranches() const {

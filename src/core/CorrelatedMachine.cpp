@@ -6,6 +6,8 @@
 
 #include "core/CorrelatedMachine.h"
 
+#include "trace/ColumnarTrace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -59,9 +61,15 @@ int CorrelatedMachine::match(const std::vector<PathStep> &Recent) const {
   return -1;
 }
 
-std::vector<PathProfile> bpcr::profilePaths(
+namespace {
+
+/// Shared global-order pass of profilePaths. \p EventAt yields the I-th
+/// event (id, taken) so the legacy vector-of-structs trace and the
+/// columnar trace share one body and stay bit-identical.
+template <class EventFn>
+std::vector<PathProfile> profilePathsImpl(
     const std::vector<std::vector<BranchPath>> &CandidatesByBranch,
-    const Trace &T, unsigned MaxPathLen) {
+    size_t NumEvents, EventFn EventAt, unsigned MaxPathLen) {
   size_t NumBranches = CandidatesByBranch.size();
   std::vector<PathProfile> Out(NumBranches);
 
@@ -85,7 +93,8 @@ std::vector<PathProfile> bpcr::profilePaths(
   Window.reserve(MaxPathLen + 1);
   SymbolString Key;
   Key.reserve(MaxPathLen);
-  for (const BranchEvent &E : T) {
+  for (size_t I = 0; I < NumEvents; ++I) {
+    const PathStep E = EventAt(I);
     size_t B = static_cast<size_t>(E.BranchId);
     if (B < NumBranches && !Lookup[B].empty()) {
       bool Matched = false;
@@ -106,7 +115,7 @@ std::vector<PathProfile> bpcr::profilePaths(
     }
     if (Window.size() == MaxPathLen)
       Window.erase(Window.begin());
-    Window.push_back(encodeStep({E.BranchId, E.Taken}));
+    Window.push_back(encodeStep(E));
   }
 
   for (size_t B = 0; B < NumBranches; ++B) {
@@ -115,6 +124,33 @@ std::vector<PathProfile> bpcr::profilePaths(
       Out[B].PerPath.emplace_back(Path, Counts);
   }
   return Out;
+}
+
+} // namespace
+
+std::vector<PathProfile> bpcr::profilePaths(
+    const std::vector<std::vector<BranchPath>> &CandidatesByBranch,
+    const Trace &T, unsigned MaxPathLen) {
+  return profilePathsImpl(
+      CandidatesByBranch, T.size(),
+      [&T](size_t I) {
+        return PathStep{T[I].BranchId, T[I].Taken};
+      },
+      MaxPathLen);
+}
+
+std::vector<PathProfile> bpcr::profilePaths(
+    const std::vector<std::vector<BranchPath>> &CandidatesByBranch,
+    const ColumnarTrace &CT, unsigned MaxPathLen) {
+  const int32_t *Ids = CT.ids().data();
+  const uint64_t *Dirs = CT.directions().data();
+  return profilePathsImpl(
+      CandidatesByBranch, CT.size(),
+      [Ids, Dirs](size_t I) {
+        bool Taken = (Dirs[I >> 6] >> (I & 63)) & 1;
+        return PathStep{Ids[I], Taken};
+      },
+      MaxPathLen);
 }
 
 CorrelatedMachine

@@ -30,6 +30,8 @@
 
 namespace bpcr {
 
+class ColumnarTrace;
+
 /// A fitted correlated-branch machine for one branch.
 struct CorrelatedMachine {
   int32_t BranchId = -1;
@@ -92,6 +94,12 @@ SymbolString encodePathSteps(const BranchPath &P);
 std::vector<PathProfile>
 profilePaths(const std::vector<std::vector<BranchPath>> &CandidatesByBranch,
              const Trace &T, unsigned MaxPathLen);
+
+/// Columnar overload: same global-order pass over ids() plus the packed
+/// direction words; identical profiles to the legacy trace.
+std::vector<PathProfile>
+profilePaths(const std::vector<std::vector<BranchPath>> &CandidatesByBranch,
+             const ColumnarTrace &CT, unsigned MaxPathLen);
 
 /// Fits a correlated machine from a precomputed profile.
 CorrelatedMachine buildCorrelatedMachineFromProfile(

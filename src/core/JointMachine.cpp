@@ -6,9 +6,12 @@
 
 #include "core/JointMachine.h"
 
+#include "trace/ColumnarTrace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <utility>
 
 using namespace bpcr;
 
@@ -336,9 +339,15 @@ std::string JointLoopMachine::describe() const {
   return Out;
 }
 
-JointProfile bpcr::profileJointLoop(const ProgramAnalysis &PA,
-                                    const std::vector<int32_t> &Members,
-                                    const Trace &T, unsigned MaxLen) {
+namespace {
+
+/// Shared global-order pass of profileJointLoop; \p EventAt yields the
+/// I-th (id, taken) so both trace layouts share one body.
+template <class EventFn>
+JointProfile profileJointLoopImpl(const ProgramAnalysis &PA,
+                                  const std::vector<int32_t> &Members,
+                                  size_t NumEvents, EventFn EventAt,
+                                  unsigned MaxLen) {
   JointProfile Out;
   uint32_t FuncIdx = 0;
   const Loop *L = nullptr;
@@ -355,26 +364,55 @@ JointProfile bpcr::profileJointLoop(const ProgramAnalysis &PA,
   };
 
   SymbolString History;
-  for (const BranchEvent &E : T) {
-    const BranchRef &R = PA.ref(E.BranchId);
+  for (size_t I = 0; I < NumEvents; ++I) {
+    const auto [Id, Taken] = EventAt(I);
+    const BranchRef &R = PA.ref(Id);
     bool Inside = R.FuncIdx == FuncIdx && L->contains(R.BlockIdx);
     if (!Inside) {
       History.clear();
       continue;
     }
-    int MI = MemberIdxOf(E.BranchId);
+    int MI = MemberIdxOf(Id);
     if (MI < 0)
       continue; // in-loop non-member: no transition, no reset
     auto &PerMember = Out.PerPattern[History];
     if (PerMember.empty())
       PerMember.resize(Sorted.size());
-    PerMember[static_cast<size_t>(MI)].record(E.Taken);
+    PerMember[static_cast<size_t>(MI)].record(Taken);
     ++Out.Executions;
-    History.push_back(symbolOf(MI, E.Taken));
+    History.push_back(symbolOf(MI, Taken));
     if (History.size() > MaxLen)
       History.erase(History.begin());
   }
   return Out;
+}
+
+} // namespace
+
+JointProfile bpcr::profileJointLoop(const ProgramAnalysis &PA,
+                                    const std::vector<int32_t> &Members,
+                                    const Trace &T, unsigned MaxLen) {
+  return profileJointLoopImpl(
+      PA, Members, T.size(),
+      [&T](size_t I) {
+        return std::pair<int32_t, bool>(T[I].BranchId, T[I].Taken);
+      },
+      MaxLen);
+}
+
+JointProfile bpcr::profileJointLoop(const ProgramAnalysis &PA,
+                                    const std::vector<int32_t> &Members,
+                                    const ColumnarTrace &CT,
+                                    unsigned MaxLen) {
+  const int32_t *Ids = CT.ids().data();
+  const uint64_t *Dirs = CT.directions().data();
+  return profileJointLoopImpl(
+      PA, Members, CT.size(),
+      [Ids, Dirs](size_t I) {
+        bool Taken = (Dirs[I >> 6] >> (I & 63)) & 1;
+        return std::pair<int32_t, bool>(Ids[I], Taken);
+      },
+      MaxLen);
 }
 
 JointLoopMachine

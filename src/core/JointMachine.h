@@ -37,6 +37,8 @@
 
 namespace bpcr {
 
+class ColumnarTrace;
+
 /// A fitted joint machine for one loop.
 class JointLoopMachine {
 public:
@@ -95,6 +97,11 @@ struct JointProfile {
 JointProfile profileJointLoop(const ProgramAnalysis &PA,
                               const std::vector<int32_t> &Members,
                               const Trace &T, unsigned MaxLen);
+
+/// Columnar overload: identical profile from the SoA trace.
+JointProfile profileJointLoop(const ProgramAnalysis &PA,
+                              const std::vector<int32_t> &Members,
+                              const ColumnarTrace &CT, unsigned MaxLen);
 
 /// Selects the best joint machine by branch-and-bound over candidate
 /// suffix states (per-(state, member) majority scoring).

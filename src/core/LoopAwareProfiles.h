@@ -41,6 +41,19 @@ ProfileSet buildLoopAwareProfiles(const ProgramAnalysis &PA, const Trace &T,
                                   unsigned MaxBits = 9,
                                   const sa::BranchProofs *Proofs = nullptr);
 
+/// Columnar fast path, equivalent to the Trace overload on
+/// CT.materialize(): the reset scan costs O(loop-nesting depth) per event
+/// instead of O(tracked loops) — each tracked loop carries an
+/// inside-event counter, and a branch re-entered its loop iff the events
+/// since its last execution were not all inside — and the pattern tables
+/// come from the flat-count fill kernel over the per-branch bitstreams
+/// (one segment per reset) instead of a hash probe per event. \p CT must
+/// be finalized for PA.numBranches().
+ProfileSet buildLoopAwareProfiles(const ProgramAnalysis &PA,
+                                  const ColumnarTrace &CT,
+                                  unsigned MaxBits = 9,
+                                  const sa::BranchProofs *Proofs = nullptr);
+
 } // namespace bpcr
 
 #endif // BPCR_CORE_LOOPAWAREPROFILES_H

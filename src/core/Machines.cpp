@@ -13,9 +13,51 @@ using namespace bpcr;
 
 BranchMachine::~BranchMachine() = default;
 
+bool bpcr::denseEncode(const BranchMachine &M, DenseMachine &Out) {
+  unsigned N = M.numStates();
+  if (N == 0 || N > 16)
+    return false;
+  Out = DenseMachine();
+  Out.NumStates = static_cast<uint8_t>(N);
+  Out.Initial = static_cast<uint8_t>(M.initialState());
+  for (unsigned S = 0; S < N; ++S) {
+    for (unsigned B = 0; B < 2; ++B) {
+      unsigned Next = M.next(S, B != 0);
+      if (Next >= N)
+        return false;
+      Out.NextTab[B] |= static_cast<uint64_t>(Next) << (4 * S);
+    }
+    if (M.predictTaken(S))
+      Out.PredMask |= static_cast<uint16_t>(1U << S);
+  }
+  return true;
+}
+
+namespace {
+
+/// Packs a byte outcome stream for the kernels.
+void packOutcomes(const std::vector<uint8_t> &Outcomes,
+                  BitstreamBuilder &Bits) {
+  Bits.reserveBits(Outcomes.size());
+  for (uint8_t O : Outcomes)
+    Bits.push(O != 0);
+}
+
+} // namespace
+
 PredictionStats
 BranchMachine::simulate(const std::vector<uint8_t> &Outcomes) const {
   PredictionStats Stats;
+  DenseMachine DM;
+  if (denseEncode(*this, DM)) {
+    // Packed fast path: identical predictions, no virtual call per event.
+    BitstreamBuilder Bits;
+    packOutcomes(Outcomes, Bits);
+    uint64_t Correct = scoreMachine(DM, Bits.view());
+    Stats.Predictions = Outcomes.size();
+    Stats.Mispredictions = Outcomes.size() - Correct;
+    return Stats;
+  }
   unsigned S = initialState();
   for (uint8_t O : Outcomes) {
     bool Taken = O != 0;
@@ -28,6 +70,33 @@ BranchMachine::simulate(const std::vector<uint8_t> &Outcomes) const {
 PredictionStats
 BranchMachine::simulateSegmented(const BranchProfile &P) const {
   PredictionStats Stats;
+  DenseMachine DM;
+  if (denseEncode(*this, DM)) {
+    // Each reset restarts the walk from the initial state, so the stream
+    // decomposes into independent segments scored over the packed words.
+    BitstreamBuilder Scratch;
+    BitstreamView Bits;
+    if (P.DirBits.size() == P.Outcomes.size()) {
+      Bits = P.DirBits.view();
+    } else {
+      packOutcomes(P.Outcomes, Scratch);
+      Bits = Scratch.view();
+    }
+    uint64_t Correct = 0;
+    uint64_t Start = 0;
+    for (size_t S = 0; S <= P.ResetPositions.size(); ++S) {
+      uint64_t End = S < P.ResetPositions.size()
+                         ? std::min<uint64_t>(P.ResetPositions[S],
+                                              P.Outcomes.size())
+                         : P.Outcomes.size();
+      if (End > Start)
+        Correct += scoreMachineRange(DM, Bits.data(), Start, End - Start);
+      Start = std::max(Start, End);
+    }
+    Stats.Predictions = P.Outcomes.size();
+    Stats.Mispredictions = P.Outcomes.size() - Correct;
+    return Stats;
+  }
   unsigned S = initialState();
   size_t NextReset = 0;
   for (size_t I = 0; I < P.Outcomes.size(); ++I) {

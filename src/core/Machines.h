@@ -22,6 +22,7 @@
 #define BPCR_CORE_MACHINES_H
 
 #include "core/BranchProfiles.h"
+#include "core/ScoreKernels.h"
 #include "core/SuffixSelect.h"
 #include "support/Statistics.h"
 
@@ -62,6 +63,14 @@ public:
   uint64_t Correct = 0;
   uint64_t Total = 0;
 };
+
+/// Densifies \p M into the kernel representation (core/ScoreKernels.h):
+/// nibble transition tables and a prediction bitmask. \returns false when
+/// the machine does not fit 16 states, in which case callers fall back to
+/// the virtual-dispatch walk. The encoding queries next()/predictTaken()
+/// once per (state, outcome) — 2*numStates virtual calls total instead of
+/// one per trace event.
+bool denseEncode(const BranchMachine &M, DenseMachine &Out);
 
 /// Intra-loop machine: states are history strings over {0,1} (oldest symbol
 /// first, most recent last), transition appends the outcome and rematches by

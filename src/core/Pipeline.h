@@ -107,6 +107,13 @@ struct PipelineResult {
 PipelineResult replicateModule(const Module &M, const Trace &T,
                                const PipelineOptions &Opts);
 
+/// Columnar primary: the whole pipeline (profiling, strategy search,
+/// joint-loop profiling, measurement sizing) reads the SoA trace. The
+/// legacy Trace overload packs its events and delegates here. \p CT must
+/// be finalized for the module's branch count.
+PipelineResult replicateModule(const Module &M, const ColumnarTrace &CT,
+                               const PipelineOptions &Opts);
+
 } // namespace bpcr
 
 #endif // BPCR_CORE_PIPELINE_H

@@ -13,6 +13,7 @@
 #include "obs/TraceSpans.h"
 #include "sa/Dataflow.h"
 #include "support/ThreadPool.h"
+#include "trace/ColumnarTrace.h"
 
 #include <algorithm>
 #include <map>
@@ -67,10 +68,15 @@ uint64_t estimateCorrelatedCost(const CorrelatedMachine &M,
 
 } // namespace
 
-std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
-                                               const ProfileSet &Profiles,
-                                               const Trace &T,
-                                               const SweepOptions &Opts) {
+namespace {
+
+/// Shared body; \p T is either the legacy Trace or a ColumnarTrace (the
+/// only trace use is the single profilePaths pass, overloaded for both).
+template <class TraceT>
+std::vector<SweepPoint> computeSizeSweepImpl(const ProgramAnalysis &PA,
+                                             const ProfileSet &Profiles,
+                                             const TraceT &T,
+                                             const SweepOptions &Opts) {
   Span SweepSpan("sweep.compute", "sweep");
   const Module &Mod = PA.module();
   const uint64_t OrigSize = Mod.instructionCount();
@@ -284,4 +290,20 @@ std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
   }
   SweepSpan.arg("points", static_cast<uint64_t>(Points.size()));
   return Points;
+}
+
+} // namespace
+
+std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
+                                               const ProfileSet &Profiles,
+                                               const Trace &T,
+                                               const SweepOptions &Opts) {
+  return computeSizeSweepImpl(PA, Profiles, T, Opts);
+}
+
+std::vector<SweepPoint> bpcr::computeSizeSweep(const ProgramAnalysis &PA,
+                                               const ProfileSet &Profiles,
+                                               const ColumnarTrace &CT,
+                                               const SweepOptions &Opts) {
+  return computeSizeSweepImpl(PA, Profiles, CT, Opts);
 }

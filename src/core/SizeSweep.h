@@ -26,6 +26,8 @@
 
 namespace bpcr {
 
+class ColumnarTrace;
+
 /// One point of the misprediction/size curve.
 struct SweepPoint {
   /// Estimated code size relative to the original program.
@@ -67,6 +69,12 @@ struct SweepOptions {
 std::vector<SweepPoint> computeSizeSweep(const ProgramAnalysis &PA,
                                          const ProfileSet &Profiles,
                                          const Trace &T,
+                                         const SweepOptions &Opts);
+
+/// Columnar overload: identical curve driven by the SoA trace.
+std::vector<SweepPoint> computeSizeSweep(const ProgramAnalysis &PA,
+                                         const ProfileSet &Profiles,
+                                         const ColumnarTrace &CT,
                                          const SweepOptions &Opts);
 
 } // namespace bpcr

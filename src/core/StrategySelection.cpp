@@ -8,6 +8,7 @@
 
 #include "core/SearchCache.h"
 #include "obs/Metrics.h"
+#include "trace/ColumnarTrace.h"
 #include "sa/Dataflow.h"
 #include "support/ThreadPool.h"
 
@@ -29,10 +30,16 @@ const char *bpcr::strategyKindName(StrategyKind K) {
   return "<bad>";
 }
 
+namespace {
+
+/// Shared body; \p T is either the legacy Trace or a ColumnarTrace (the
+/// only trace use is the single profilePaths pass, which is overloaded
+/// for both layouts and produces identical profiles).
+template <class TraceT>
 std::vector<BranchStrategy>
-bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
-                       const Trace &T, const StrategyOptions &Opts,
-                       SelectionTrace *TraceOut) {
+selectStrategiesImpl(const ProgramAnalysis &PA, const ProfileSet &Profiles,
+                     const TraceT &T, const StrategyOptions &Opts,
+                     SelectionTrace *TraceOut) {
   assert(Opts.MaxStates >= 2 && "strategy selection needs a state budget");
   if (TraceOut) {
     TraceOut->PerBranch.clear();
@@ -196,6 +203,22 @@ bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
   };
   parallelForJobs(Opts.Jobs, Out.size(), ScoreBranch);
   return Out;
+}
+
+} // namespace
+
+std::vector<BranchStrategy>
+bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
+                       const Trace &T, const StrategyOptions &Opts,
+                       SelectionTrace *TraceOut) {
+  return selectStrategiesImpl(PA, Profiles, T, Opts, TraceOut);
+}
+
+std::vector<BranchStrategy>
+bpcr::selectStrategies(const ProgramAnalysis &PA, const ProfileSet &Profiles,
+                       const ColumnarTrace &CT, const StrategyOptions &Opts,
+                       SelectionTrace *TraceOut) {
+  return selectStrategiesImpl(PA, Profiles, CT, Opts, TraceOut);
 }
 
 PredictionStats

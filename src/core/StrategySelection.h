@@ -32,6 +32,8 @@
 
 namespace bpcr {
 
+class ColumnarTrace;
+
 namespace sa {
 struct BranchProofs;
 } // namespace sa
@@ -104,6 +106,14 @@ struct SelectionTrace {
 std::vector<BranchStrategy> selectStrategies(const ProgramAnalysis &PA,
                                              const ProfileSet &Profiles,
                                              const Trace &T,
+                                             const StrategyOptions &Opts,
+                                             SelectionTrace *TraceOut = nullptr);
+
+/// Columnar overload: identical selection driven by the SoA trace (the
+/// correlated-path profiling pass reads packed direction words).
+std::vector<BranchStrategy> selectStrategies(const ProgramAnalysis &PA,
+                                             const ProfileSet &Profiles,
+                                             const ColumnarTrace &CT,
                                              const StrategyOptions &Opts,
                                              SelectionTrace *TraceOut = nullptr);
 

@@ -45,8 +45,46 @@ int64_t shiftRight(int64_t A, int64_t B) {
 
 } // namespace
 
-ExecResult bpcr::execute(const Module &M, TraceSink *Sink,
-                         const ExecOptions &Opts) {
+namespace {
+
+/// Emitter policies for the templated execution loop. The interpreter is
+/// instantiated once per policy, so the no-sink run pays nothing per
+/// branch and the sink run pays one buffered store per event plus one
+/// virtual onBatch per flush — never a virtual call per event.
+struct NullEmitter {
+  static constexpr bool HasSink = false;
+  void emit(const Instruction &, bool) {}
+  void flush() {}
+};
+
+struct BatchEmitter {
+  static constexpr bool HasSink = true;
+  static constexpr size_t BatchSize = 256;
+
+  explicit BatchEmitter(TraceSink *Sink) : Sink(Sink) {}
+
+  void emit(const Instruction &Br, bool Taken) {
+    Buf[N].Br = &Br;
+    Buf[N].Taken = Taken;
+    if (++N == BatchSize)
+      flush();
+  }
+
+  void flush() {
+    if (N) {
+      Sink->onBatch(Buf, N);
+      N = 0;
+    }
+  }
+
+  TraceSink *Sink;
+  BranchBatchEvent Buf[BatchSize];
+  size_t N = 0;
+};
+
+template <class Emitter>
+ExecResult executeImpl(const Module &M, Emitter &Emit,
+                       const ExecOptions &Opts) {
   ExecResult R;
 
   // Observability is sampled at run granularity only: one enabled() check
@@ -276,8 +314,7 @@ ExecResult bpcr::execute(const Module &M, TraceSink *Sink,
 
     case Opcode::Br: {
       bool Taken = Eval(I.A) != 0;
-      if (Sink)
-        Sink->onBranch(I, Taken);
+      Emit.emit(I, Taken);
       ++R.BranchEvents;
       F.Block = Taken ? I.TrueTarget : I.FalseTarget;
       F.Inst = 0;
@@ -313,6 +350,10 @@ ExecResult bpcr::execute(const Module &M, TraceSink *Sink,
     }
   }
 
+  // Deliver any buffered events before the run result is observable —
+  // every exit path (return, error, branch limit) funnels through here.
+  Emit.flush();
+
   R.Ok = !Errored;
   R.ReturnValue = RetVal;
   R.Memory = std::move(Mem);
@@ -331,7 +372,7 @@ ExecResult bpcr::execute(const Module &M, TraceSink *Sink,
     Obs.counter("interp.runs").inc();
     Obs.counter("interp.instructions").add(R.InstructionsExecuted);
     Obs.counter("interp.branch_events").add(R.BranchEvents);
-    if (!Sink)
+    if (!Emitter::HasSink)
       // Events that were produced but had no sink to receive them.
       Obs.counter("interp.events_dropped").add(R.BranchEvents);
     if (R.HitBranchLimit)
@@ -346,4 +387,16 @@ ExecResult bpcr::execute(const Module &M, TraceSink *Sink,
     }
   }
   return R;
+}
+
+} // namespace
+
+ExecResult bpcr::execute(const Module &M, TraceSink *Sink,
+                         const ExecOptions &Opts) {
+  if (!Sink) {
+    NullEmitter E;
+    return executeImpl(M, E, Opts);
+  }
+  BatchEmitter E(Sink);
+  return executeImpl(M, E, Opts);
 }

@@ -16,9 +16,19 @@
 
 #include "ir/Instruction.h"
 
+#include <cstddef>
+
 namespace bpcr {
 
-/// Receives one callback per executed conditional branch.
+/// One buffered branch event: the interpreter batches these and flushes a
+/// block at a time instead of paying a virtual call per event.
+struct BranchBatchEvent {
+  const Instruction *Br;
+  bool Taken;
+};
+
+/// Receives executed conditional branches, either one at a time or in
+/// batches.
 class TraceSink {
 public:
   virtual ~TraceSink();
@@ -27,6 +37,15 @@ public:
   /// The instruction carries BranchId, OrigBranchId and any static
   /// prediction annotation.
   virtual void onBranch(const Instruction &Br, bool Taken) = 0;
+
+  /// Batched delivery: \p N events in execution order. The interpreter
+  /// calls only this (one virtual call per buffer flush); the default
+  /// forwards event-at-a-time so existing sinks observe the exact legacy
+  /// stream. Columnar/bulk sinks override it to append whole batches.
+  virtual void onBatch(const BranchBatchEvent *Events, size_t N) {
+    for (size_t I = 0; I < N; ++I)
+      onBranch(*Events[I].Br, Events[I].Taken);
+  }
 };
 
 } // namespace bpcr

@@ -6,6 +6,8 @@
 
 #include "predict/Evaluator.h"
 
+#include "trace/ColumnarTrace.h"
+
 using namespace bpcr;
 
 PredictionStats bpcr::evaluatePredictor(Predictor &P, const Trace &T) {
@@ -13,6 +15,20 @@ PredictionStats bpcr::evaluatePredictor(Predictor &P, const Trace &T) {
   for (const BranchEvent &E : T) {
     S.record(P.predict(E.BranchId) == E.Taken);
     P.update(E.BranchId, E.Taken);
+  }
+  return S;
+}
+
+PredictionStats bpcr::evaluatePredictor(Predictor &P,
+                                        const ColumnarTrace &CT) {
+  PredictionStats S;
+  const int32_t *Ids = CT.ids().data();
+  const uint64_t *Dirs = CT.directions().data();
+  size_t N = CT.size();
+  for (size_t I = 0; I < N; ++I) {
+    bool Taken = (Dirs[I >> 6] >> (I & 63)) & 1;
+    S.record(P.predict(Ids[I]) == Taken);
+    P.update(Ids[I], Taken);
   }
   return S;
 }
@@ -26,6 +42,23 @@ bpcr::evaluatePredictorPerBranch(Predictor &P, const Trace &T,
     P.update(E.BranchId, E.Taken);
     if (static_cast<uint32_t>(E.BranchId) < NumBranches)
       Per[E.BranchId].record(Correct);
+  }
+  return Per;
+}
+
+std::vector<PredictionStats>
+bpcr::evaluatePredictorPerBranch(Predictor &P, const ColumnarTrace &CT,
+                                 uint32_t NumBranches) {
+  std::vector<PredictionStats> Per(NumBranches);
+  const int32_t *Ids = CT.ids().data();
+  const uint64_t *Dirs = CT.directions().data();
+  size_t N = CT.size();
+  for (size_t I = 0; I < N; ++I) {
+    bool Taken = (Dirs[I >> 6] >> (I & 63)) & 1;
+    bool Correct = P.predict(Ids[I]) == Taken;
+    P.update(Ids[I], Taken);
+    if (static_cast<uint32_t>(Ids[I]) < NumBranches)
+      Per[Ids[I]].record(Correct);
   }
   return Per;
 }

@@ -24,13 +24,23 @@
 
 namespace bpcr {
 
+class ColumnarTrace;
+
 /// Streams \p T through \p P (predict, compare, update per event).
 PredictionStats evaluatePredictor(Predictor &P, const Trace &T);
+
+/// Columnar overload: same event order from ids() plus packed directions.
+PredictionStats evaluatePredictor(Predictor &P, const ColumnarTrace &CT);
 
 /// Like evaluatePredictor but also splits the statistics per branch.
 /// \param NumBranches upper bound on branch ids in \p T.
 std::vector<PredictionStats>
 evaluatePredictorPerBranch(Predictor &P, const Trace &T, uint32_t NumBranches);
+
+/// Columnar overload of evaluatePredictorPerBranch.
+std::vector<PredictionStats>
+evaluatePredictorPerBranch(Predictor &P, const ColumnarTrace &CT,
+                           uint32_t NumBranches);
 
 /// Per-branch outcome detail of one predictor run: executions, taken
 /// outcomes and mispredictions. `bpcr explain` shows this as the dynamic

@@ -8,6 +8,7 @@
 
 #include "analysis/CFG.h"
 #include "sa/Passes.h"
+#include "trace/ColumnarTrace.h"
 
 #include <array>
 #include <optional>
@@ -266,6 +267,29 @@ private:
 };
 
 } // namespace
+
+BranchProfileCounts
+bpcr::sa::BranchProfileCounts::fromColumnar(size_t NumBranches,
+                                            const ColumnarTrace &CT) {
+  BranchProfileCounts P;
+  P.Counts.assign(NumBranches, BranchCounts{});
+  const int32_t *Ids = CT.ids().data();
+  const uint64_t *Dirs = CT.directions().data();
+  size_t N = CT.size();
+  for (size_t I = 0; I < N; ++I) {
+    int32_t Id = Ids[I];
+    if (Id < 0 || static_cast<size_t>(Id) >= NumBranches) {
+      ++P.OutOfRange;
+      continue;
+    }
+    BranchCounts &C = P.Counts[static_cast<size_t>(Id)];
+    if ((Dirs[I >> 6] >> (I & 63)) & 1)
+      ++C.Taken;
+    else
+      ++C.NotTaken;
+  }
+  return P;
+}
 
 std::vector<Diagnostic>
 bpcr::sa::verifyProfileRealizability(const Module &M,

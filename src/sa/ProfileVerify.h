@@ -49,6 +49,9 @@
 #include <vector>
 
 namespace bpcr {
+
+class ColumnarTrace;
+
 namespace sa {
 
 class Pass;
@@ -84,6 +87,14 @@ struct BranchProfileCounts {
     }
     return P;
   }
+
+  /// Columnar equivalent of fromTrace: walks the id column plus packed
+  /// direction words, so `bpcr lint --profile` never materializes an
+  /// event-of-structs copy of the trace. Identical counts (including
+  /// OutOfRange) to fromTrace on the same event stream; works on
+  /// unfinalized traces.
+  static BranchProfileCounts fromColumnar(size_t NumBranches,
+                                          const ColumnarTrace &CT);
 };
 
 struct ProfileVerifyOptions {

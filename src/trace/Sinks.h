@@ -14,6 +14,7 @@
 #define BPCR_TRACE_SINKS_H
 
 #include "interp/TraceSink.h"
+#include "trace/ColumnarTrace.h"
 #include "trace/Trace.h"
 
 #include <vector>
@@ -29,6 +30,11 @@ public:
 
   void onBranch(const Instruction &Br, bool Taken) override {
     Events.push_back({Br.BranchId, Taken});
+  }
+
+  void onBatch(const BranchBatchEvent *Ev, size_t N) override {
+    for (size_t I = 0; I < N; ++I)
+      Events.push_back({Ev[I].Br->BranchId, Ev[I].Taken});
   }
 
   const Trace &trace() const { return Events; }
@@ -48,6 +54,11 @@ public:
     Events.push_back({Br.OrigBranchId, Taken});
   }
 
+  void onBatch(const BranchBatchEvent *Ev, size_t N) override {
+    for (size_t I = 0; I < N; ++I)
+      Events.push_back({Ev[I].Br->OrigBranchId, Ev[I].Taken});
+  }
+
   const Trace &trace() const { return Events; }
   Trace takeTrace() { return std::move(Events); }
 
@@ -62,6 +73,12 @@ public:
     ++Total;
     if (Taken)
       ++TakenCount;
+  }
+
+  void onBatch(const BranchBatchEvent *Ev, size_t N) override {
+    Total += N;
+    for (size_t I = 0; I < N; ++I)
+      TakenCount += Ev[I].Taken ? 1 : 0;
   }
 
   uint64_t total() const { return Total; }
@@ -82,8 +99,48 @@ public:
       S->onBranch(Br, Taken);
   }
 
+  /// Forwards whole batches so each child pays one virtual call per flush
+  /// (children without an override expand them in registration order,
+  /// preserving the exact legacy event interleaving).
+  void onBatch(const BranchBatchEvent *Ev, size_t N) override {
+    for (TraceSink *S : Sinks)
+      S->onBatch(Ev, N);
+  }
+
 private:
   std::vector<TraceSink *> Sinks;
+};
+
+/// Appends every event to a ColumnarTrace: the id column and the packed
+/// direction bits, no per-event virtual call (batches arrive via
+/// onBatch). Set \p UseOrigIds to record original branch ids, like
+/// OrigIdCollectingSink.
+class ColumnarCollectingSink : public TraceSink {
+public:
+  explicit ColumnarCollectingSink(bool UseOrigIds = false)
+      : UseOrigIds(UseOrigIds) {}
+
+  void reserve(size_t N) { Events.reserve(N); }
+
+  void onBranch(const Instruction &Br, bool Taken) override {
+    Events.append(UseOrigIds ? Br.OrigBranchId : Br.BranchId, Taken);
+  }
+
+  void onBatch(const BranchBatchEvent *Ev, size_t N) override {
+    if (UseOrigIds)
+      for (size_t I = 0; I < N; ++I)
+        Events.append(Ev[I].Br->OrigBranchId, Ev[I].Taken);
+    else
+      for (size_t I = 0; I < N; ++I)
+        Events.append(Ev[I].Br->BranchId, Ev[I].Taken);
+  }
+
+  const ColumnarTrace &trace() const { return Events; }
+  ColumnarTrace takeTrace() { return std::move(Events); }
+
+private:
+  ColumnarTrace Events;
+  bool UseOrigIds;
 };
 
 /// Historical name of MultiSink.

@@ -15,6 +15,8 @@
 
 #include "trace/TraceFile.h"
 
+#include "trace/ColumnarTrace.h"
+
 #include <cstdio>
 
 using namespace bpcr;
@@ -56,6 +58,67 @@ int64_t unzigzag(uint64_t V) {
 constexpr uint8_t Magic[4] = {'B', 'P', 'C', 'T'};
 constexpr uint8_t Version = 1;
 
+/// Shared decode loop: parses the header and event groups, handing each
+/// run to \p Emit(Id, Taken, Run). \p Reserve(Count) is called once with
+/// the declared event count; \p Decoded must be advanced by the caller's
+/// emitter so the error messages match the legacy decoder exactly.
+template <class ReserveFn, class EmitFn>
+bool decodeTraceImpl(const std::vector<uint8_t> &Buf, std::string &Error,
+                     ReserveFn Reserve, EmitFn Emit) {
+  Error.clear();
+  auto Fail = [&Error](std::string Msg) {
+    Error = std::move(Msg);
+    return false;
+  };
+
+  if (Buf.size() < 5)
+    return Fail("trace header truncated: " + std::to_string(Buf.size()) +
+                " bytes, need at least 5 (magic + version)");
+  for (int I = 0; I < 4; ++I)
+    if (Buf[I] != Magic[I])
+      return Fail("bad magic: not a BPCT trace file");
+  if (Buf[4] != Version)
+    return Fail("unsupported trace version " + std::to_string(Buf[4]) +
+                " (expected " + std::to_string(Version) + ")");
+
+  size_t Pos = 5;
+  uint64_t Count = 0;
+  if (!getVarint(Buf, Pos, Count))
+    return Fail("truncated or overlong varint in event count at byte " +
+                std::to_string(Pos));
+  Reserve(Count);
+
+  int64_t PrevId = 0;
+  uint64_t Decoded = 0;
+  while (Decoded < Count) {
+    size_t GroupStart = Pos;
+    uint64_t Header = 0, RunMinus1 = 0;
+    if (!getVarint(Buf, Pos, Header) || !getVarint(Buf, Pos, RunMinus1))
+      return Fail("truncated event group at byte " +
+                  std::to_string(GroupStart) + " (decoded " +
+                  std::to_string(Decoded) + " of " +
+                  std::to_string(Count) + " events)");
+    bool Taken = Header & 1;
+    int64_t Id = PrevId + unzigzag(Header >> 1);
+    if (Id < 0 || Id > INT32_MAX)
+      return Fail("branch id " + std::to_string(Id) +
+                  " out of range at byte " + std::to_string(GroupStart));
+    uint64_t Run = RunMinus1 + 1;
+    if (Decoded + Run > Count)
+      return Fail("run of " + std::to_string(Run) +
+                  " events at byte " + std::to_string(GroupStart) +
+                  " overflows the declared event count " +
+                  std::to_string(Count));
+    Emit(static_cast<int32_t>(Id), Taken, Run);
+    Decoded += Run;
+    PrevId = Id;
+  }
+  if (Pos != Buf.size())
+    return Fail(std::to_string(Buf.size() - Pos) +
+                " trailing bytes after the last event");
+  return true;
+}
+
 } // namespace
 
 std::vector<uint8_t> bpcr::encodeTrace(const Trace &T) {
@@ -87,57 +150,22 @@ std::vector<uint8_t> bpcr::encodeTrace(const Trace &T) {
 bool bpcr::decodeTrace(const std::vector<uint8_t> &Buf, Trace &Out,
                        std::string &Error) {
   Out.clear();
-  Error.clear();
-  auto Fail = [&Error](std::string Msg) {
-    Error = std::move(Msg);
-    return false;
-  };
+  return decodeTraceImpl(
+      Buf, Error, [&Out](uint64_t Count) { Out.reserve(Count); },
+      [&Out](int32_t Id, bool Taken, uint64_t Run) {
+        for (uint64_t K = 0; K < Run; ++K)
+          Out.push_back({Id, Taken});
+      });
+}
 
-  if (Buf.size() < 5)
-    return Fail("trace header truncated: " + std::to_string(Buf.size()) +
-                " bytes, need at least 5 (magic + version)");
-  for (int I = 0; I < 4; ++I)
-    if (Buf[I] != Magic[I])
-      return Fail("bad magic: not a BPCT trace file");
-  if (Buf[4] != Version)
-    return Fail("unsupported trace version " + std::to_string(Buf[4]) +
-                " (expected " + std::to_string(Version) + ")");
-
-  size_t Pos = 5;
-  uint64_t Count = 0;
-  if (!getVarint(Buf, Pos, Count))
-    return Fail("truncated or overlong varint in event count at byte " +
-                std::to_string(Pos));
-  Out.reserve(Count);
-
-  int64_t PrevId = 0;
-  while (Out.size() < Count) {
-    size_t GroupStart = Pos;
-    uint64_t Header = 0, RunMinus1 = 0;
-    if (!getVarint(Buf, Pos, Header) || !getVarint(Buf, Pos, RunMinus1))
-      return Fail("truncated event group at byte " +
-                  std::to_string(GroupStart) + " (decoded " +
-                  std::to_string(Out.size()) + " of " +
-                  std::to_string(Count) + " events)");
-    bool Taken = Header & 1;
-    int64_t Id = PrevId + unzigzag(Header >> 1);
-    if (Id < 0 || Id > INT32_MAX)
-      return Fail("branch id " + std::to_string(Id) +
-                  " out of range at byte " + std::to_string(GroupStart));
-    uint64_t Run = RunMinus1 + 1;
-    if (Out.size() + Run > Count)
-      return Fail("run of " + std::to_string(Run) +
-                  " events at byte " + std::to_string(GroupStart) +
-                  " overflows the declared event count " +
-                  std::to_string(Count));
-    for (uint64_t K = 0; K < Run; ++K)
-      Out.push_back({static_cast<int32_t>(Id), Taken});
-    PrevId = Id;
-  }
-  if (Pos != Buf.size())
-    return Fail(std::to_string(Buf.size() - Pos) +
-                " trailing bytes after the last event");
-  return true;
+bool bpcr::decodeTraceColumnar(const std::vector<uint8_t> &Buf,
+                               ColumnarTrace &Out, std::string &Error) {
+  Out.clear();
+  return decodeTraceImpl(
+      Buf, Error, [&Out](uint64_t Count) { Out.reserve(Count); },
+      [&Out](int32_t Id, bool Taken, uint64_t Run) {
+        Out.appendRun(Id, Taken, Run);
+      });
 }
 
 bool bpcr::writeTraceFile(const std::string &Path, const Trace &T) {
@@ -151,14 +179,15 @@ bool bpcr::writeTraceFile(const std::string &Path, const Trace &T) {
   return Ok;
 }
 
-bool bpcr::readTraceFile(const std::string &Path, Trace &Out,
-                         std::string &Error) {
+namespace {
+
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Buf,
+                   std::string &Error) {
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     Error = "cannot open '" + Path + "'";
     return false;
   }
-  std::vector<uint8_t> Buf;
   uint8_t Chunk[65536];
   size_t N;
   while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
@@ -169,7 +198,29 @@ bool bpcr::readTraceFile(const std::string &Path, Trace &Out,
     Error = "I/O error reading '" + Path + "'";
     return false;
   }
+  return true;
+}
+
+} // namespace
+
+bool bpcr::readTraceFile(const std::string &Path, Trace &Out,
+                         std::string &Error) {
+  std::vector<uint8_t> Buf;
+  if (!readFileBytes(Path, Buf, Error))
+    return false;
   if (!decodeTrace(Buf, Out, Error)) {
+    Error = "'" + Path + "': " + Error;
+    return false;
+  }
+  return true;
+}
+
+bool bpcr::readTraceFileColumnar(const std::string &Path, ColumnarTrace &Out,
+                                 std::string &Error) {
+  std::vector<uint8_t> Buf;
+  if (!readFileBytes(Path, Buf, Error))
+    return false;
+  if (!decodeTraceColumnar(Buf, Out, Error)) {
     Error = "'" + Path + "': " + Error;
     return false;
   }

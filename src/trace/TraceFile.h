@@ -23,6 +23,8 @@
 
 namespace bpcr {
 
+class ColumnarTrace;
+
 /// Encodes \p T into the compact binary format.
 std::vector<uint8_t> encodeTrace(const Trace &T);
 
@@ -51,6 +53,16 @@ inline bool readTraceFile(const std::string &Path, Trace &Out) {
   std::string Error;
   return readTraceFile(Path, Out, Error);
 }
+
+/// Decodes straight into the columnar layout: run-length groups become
+/// appendRun calls, so no event-of-structs copy is ever built. Identical
+/// acceptance and error messages to decodeTrace.
+bool decodeTraceColumnar(const std::vector<uint8_t> &Buf, ColumnarTrace &Out,
+                         std::string &Error);
+
+/// Columnar counterpart of readTraceFile.
+bool readTraceFileColumnar(const std::string &Path, ColumnarTrace &Out,
+                           std::string &Error);
 
 } // namespace bpcr
 

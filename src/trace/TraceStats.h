@@ -14,6 +14,7 @@
 #ifndef BPCR_TRACE_TRACESTATS_H
 #define BPCR_TRACE_TRACESTATS_H
 
+#include "trace/ColumnarTrace.h"
 #include "trace/Trace.h"
 
 #include <cstdint>
@@ -49,6 +50,19 @@ public:
   void addTrace(const Trace &T) {
     for (const BranchEvent &E : T)
       record(E.BranchId, E.Taken);
+  }
+
+  /// Columnar fast path: counts come straight from the finalized index
+  /// (no per-event work at all). Identical totals to addTrace on
+  /// CT.materialize().
+  void addTrace(const ColumnarTrace &CT) {
+    uint32_t N = CT.numBranches() < numBranches() ? CT.numBranches()
+                                                  : numBranches();
+    for (uint32_t Id = 0; Id < N; ++Id) {
+      BranchColumn Col = CT.branch(Id);
+      PerBranch[Id].Executions += Col.Executions;
+      PerBranch[Id].TakenCount += Col.TakenCount;
+    }
   }
 
   void record(int32_t BranchId, bool Taken) {

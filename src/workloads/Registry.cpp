@@ -58,3 +58,25 @@ Trace bpcr::traceWorkload(const Workload &W, uint64_t Seed, Module &OutModule,
   (void)R;
   return Sink.takeTrace();
 }
+
+ColumnarTrace bpcr::traceWorkloadColumnar(const Workload &W, uint64_t Seed,
+                                          Module &OutModule,
+                                          uint64_t MaxBranchEvents) {
+  Span S("workload.trace_columnar", "interp");
+  S.arg("workload", W.Name);
+  S.arg("seed", Seed);
+  OutModule = W.Build(Seed);
+  uint32_t NumBranches = OutModule.assignBranchIds();
+  ColumnarCollectingSink Sink;
+  Sink.reserve(static_cast<size_t>(
+      std::min<uint64_t>(MaxBranchEvents, 1u << 21)));
+  ExecOptions Opts;
+  Opts.MaxBranchEvents = MaxBranchEvents;
+  ExecResult R = execute(OutModule, &Sink, Opts);
+  assert(R.Ok && "workload execution failed");
+  S.arg("branch_events", R.BranchEvents);
+  (void)R;
+  ColumnarTrace CT = Sink.takeTrace();
+  CT.finalize(NumBranches);
+  return CT;
+}

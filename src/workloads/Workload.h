@@ -29,6 +29,7 @@
 #define BPCR_WORKLOADS_WORKLOAD_H
 
 #include "ir/Module.h"
+#include "trace/ColumnarTrace.h"
 #include "trace/Trace.h"
 
 #include <cstdint>
@@ -55,6 +56,14 @@ Module buildWorkload(const std::string &Name, uint64_t Seed);
 /// on \p OutModule.
 Trace traceWorkload(const Workload &W, uint64_t Seed, Module &OutModule,
                     uint64_t MaxBranchEvents = 1'000'000);
+
+/// Like traceWorkload but collects into the columnar representation
+/// (trace/ColumnarTrace.h) via batched emission, and finalizes the
+/// per-branch index for \p OutModule. Event-for-event identical to the
+/// legacy trace.
+ColumnarTrace traceWorkloadColumnar(const Workload &W, uint64_t Seed,
+                                    Module &OutModule,
+                                    uint64_t MaxBranchEvents = 1'000'000);
 
 // Individual builders (exposed for unit tests).
 Module buildAbalone(uint64_t Seed);

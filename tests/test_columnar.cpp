@@ -1,0 +1,565 @@
+//===- tests/test_columnar.cpp - Columnar event-path tests ----------------===//
+//
+// Part of the bpcr project (Krall, PLDI 1994 reproduction).
+//
+// The columnar trace (trace/ColumnarTrace.h) and the packed-word scoring
+// kernels (core/ScoreKernels.h) replace the object-at-a-time event path.
+// Everything here pins the bit-for-bit equivalence that lets the pipeline
+// route through the columnar layout without changing a single report:
+// round-trips against the legacy trace on all eight workloads, bitstream
+// word-boundary edges, scalar-vs-SIMD kernel equality under fuzz, and the
+// columnar overloads of profiling, decoding and predictor evaluation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LoopAwareProfiles.h"
+#include "core/Machines.h"
+#include "core/ScoreKernels.h"
+#include "predict/DynamicPredictors.h"
+#include "predict/Evaluator.h"
+#include "sa/ProfileVerify.h"
+#include "trace/Bitstream.h"
+#include "trace/ColumnarTrace.h"
+#include "trace/TraceFile.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+using namespace bpcr;
+
+namespace {
+
+/// Deterministic random direction stream of \p N bits with taken
+/// probability \p Num/\p Den.
+std::vector<uint8_t> randomBits(std::mt19937 &Rng, size_t N, unsigned Num = 1,
+                                unsigned Den = 2) {
+  std::vector<uint8_t> Bits(N);
+  for (size_t I = 0; I < N; ++I)
+    Bits[I] = (Rng() % Den) < Num ? 1 : 0;
+  return Bits;
+}
+
+BitstreamBuilder buildStream(const std::vector<uint8_t> &Bits) {
+  BitstreamBuilder B;
+  for (uint8_t Bit : Bits)
+    B.push(Bit != 0);
+  return B;
+}
+
+/// The tiers the running CPU/build can actually express; requesting an
+/// unsupported tier clamps, so only distinct resolved tiers are listed.
+std::vector<SimdTier> availableTiers() {
+  std::vector<SimdTier> Tiers{SimdTier::Scalar};
+  for (SimdTier T : {SimdTier::SSE2, SimdTier::AVX2}) {
+    setSimdTierForTest(T);
+    if (activeSimdTier() == T)
+      Tiers.push_back(T);
+  }
+  setSimdTierForTest(SimdTier::AVX2); // restore best supported
+  return Tiers;
+}
+
+/// Restores the best supported tier when a tier-flipping test exits.
+struct TierGuard {
+  ~TierGuard() { setSimdTierForTest(SimdTier::AVX2); }
+};
+
+bool sameProfiles(const ProfileSet &A, const ProfileSet &B) {
+  if (A.numBranches() != B.numBranches())
+    return false;
+  for (uint32_t Id = 0; Id < A.numBranches(); ++Id) {
+    const BranchProfile &PA = A.branch(Id);
+    const BranchProfile &PB = B.branch(Id);
+    if (PA.Outcomes != PB.Outcomes ||
+        PA.ResetPositions != PB.ResetPositions ||
+        PA.Table.executions() != PB.Table.executions())
+      return false;
+    const auto &FA = PA.Table.full();
+    const auto &FB = PB.Table.full();
+    if (FA.size() != FB.size())
+      return false;
+    for (const auto &[Pattern, Counts] : FA) {
+      auto It = FB.find(Pattern);
+      if (It == FB.end() || It->second.Taken != Counts.Taken ||
+          It->second.NotTaken != Counts.NotTaken)
+        return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round-trips against the legacy trace
+//===----------------------------------------------------------------------===//
+
+TEST(ColumnarTrace, RoundTripsAllEightWorkloads) {
+  for (const Workload &W : allWorkloads()) {
+    Module M1, M2;
+    Trace T = traceWorkload(W, 1, M1, 20000);
+    ColumnarTrace CT = traceWorkloadColumnar(W, 1, M2, 20000);
+    ASSERT_EQ(CT.size(), T.size()) << W.Name;
+    EXPECT_TRUE(CT.materialize() == T) << W.Name;
+    EXPECT_TRUE(ColumnarTrace::fromEvents(T).materialize() == T) << W.Name;
+    EXPECT_TRUE(CT.indexed()) << W.Name;
+  }
+}
+
+TEST(ColumnarTrace, IndexMatchesPerBranchSubsequence) {
+  Module M;
+  const Workload &W = allWorkloads()[2]; // compress
+  ColumnarTrace CT = traceWorkloadColumnar(W, 1, M, 20000);
+  Trace T = CT.materialize();
+  ASSERT_TRUE(CT.indexed());
+  ASSERT_EQ(CT.numBranches(), M.conditionalBranchCount());
+  for (uint32_t Id = 0; Id < CT.numBranches(); ++Id) {
+    std::vector<uint8_t> Expected;
+    uint64_t Taken = 0;
+    for (const BranchEvent &E : T) {
+      if (E.BranchId != static_cast<int32_t>(Id))
+        continue;
+      Expected.push_back(E.Taken ? 1 : 0);
+      Taken += E.Taken;
+    }
+    BranchColumn C = CT.branch(Id);
+    ASSERT_EQ(C.Executions, Expected.size()) << "branch " << Id;
+    EXPECT_EQ(C.TakenCount, Taken) << "branch " << Id;
+    ASSERT_EQ(C.Bits.size(), Expected.size()) << "branch " << Id;
+    for (uint64_t I = 0; I < C.Bits.size(); ++I)
+      ASSERT_EQ(C.Bits.bit(I), Expected[I] != 0)
+          << "branch " << Id << " event " << I;
+  }
+  EXPECT_EQ(CT.outOfRange(), 0u);
+}
+
+TEST(ColumnarTrace, OutOfRangeEventsCountedNotIndexed) {
+  ColumnarTrace CT;
+  CT.append(0, true);
+  CT.append(5, true);  // beyond NumBranches
+  CT.append(1, false);
+  CT.append(-3, true); // negative
+  CT.append(0, false);
+  CT.finalize(2);
+  EXPECT_EQ(CT.outOfRange(), 2u);
+  EXPECT_EQ(CT.branch(0).Executions, 2u);
+  EXPECT_EQ(CT.branch(0).TakenCount, 1u);
+  EXPECT_EQ(CT.branch(1).Executions, 1u);
+  EXPECT_EQ(CT.branch(1).TakenCount, 0u);
+  // The raw columns still hold all five events in order.
+  EXPECT_EQ(CT.size(), 5u);
+  Trace T = CT.materialize();
+  EXPECT_EQ(T[1].BranchId, 5);
+  EXPECT_EQ(T[3].BranchId, -3);
+}
+
+TEST(ColumnarTrace, EmptyAndSingleEventBranches) {
+  ColumnarTrace CT;
+  CT.appendRun(1, true, 1);
+  CT.finalize(3);
+  EXPECT_EQ(CT.branch(0).Executions, 0u);
+  EXPECT_EQ(CT.branch(0).Bits.size(), 0u);
+  EXPECT_EQ(CT.branch(1).Executions, 1u);
+  EXPECT_TRUE(CT.branch(1).Bits.bit(0));
+  EXPECT_EQ(CT.branch(2).Executions, 0u);
+
+  CT.clear();
+  EXPECT_TRUE(CT.empty());
+  EXPECT_FALSE(CT.indexed());
+  CT.finalize(0);
+  EXPECT_EQ(CT.numBranches(), 0u);
+  EXPECT_TRUE(CT.materialize().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Bitstream word-boundary edges
+//===----------------------------------------------------------------------===//
+
+TEST(Bitstream, AppendRunMatchesPushAtWordBoundaries) {
+  for (uint64_t N : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 130u}) {
+    for (bool Taken : {false, true}) {
+      BitstreamBuilder ByPush, ByRun;
+      for (uint64_t I = 0; I < N; ++I)
+        ByPush.push(Taken);
+      ByRun.appendRun(Taken, N);
+      ASSERT_EQ(ByRun.size(), N);
+      ASSERT_EQ(ByRun.view().numWords(), ByPush.view().numWords());
+      for (size_t W = 0; W < ByRun.view().numWords(); ++W)
+        ASSERT_EQ(ByRun.view().word(W), ByPush.view().word(W))
+            << "N=" << N << " taken=" << Taken << " word " << W;
+    }
+  }
+}
+
+TEST(Bitstream, AppendRunStraddlesWordsFromUnalignedStart) {
+  // 5 seed bits, then a 200-bit taken run: covers the partial head word,
+  // full middle words and the partial tail word of appendRun.
+  BitstreamBuilder ByRun = buildStream({1, 0, 1, 1, 0});
+  BitstreamBuilder ByPush = buildStream({1, 0, 1, 1, 0});
+  ByRun.appendRun(true, 200);
+  for (int I = 0; I < 200; ++I)
+    ByPush.push(true);
+  ByRun.appendRun(false, 70);
+  for (int I = 0; I < 70; ++I)
+    ByPush.push(false);
+  ASSERT_EQ(ByRun.size(), ByPush.size());
+  for (size_t W = 0; W < ByRun.view().numWords(); ++W)
+    ASSERT_EQ(ByRun.view().word(W), ByPush.view().word(W)) << "word " << W;
+}
+
+TEST(Bitstream, AppendBitsAlignedAndUnaligned) {
+  std::mt19937 Rng(7);
+  std::vector<uint8_t> Src = randomBits(Rng, 150);
+  BitstreamBuilder Source = buildStream(Src);
+
+  BitstreamBuilder Aligned;
+  Aligned.appendBits(Source.view()); // whole-word copy path
+  ASSERT_EQ(Aligned.size(), Source.size());
+  for (uint64_t I = 0; I < Aligned.size(); ++I)
+    ASSERT_EQ(Aligned.bit(I), Source.bit(I));
+
+  BitstreamBuilder Unaligned = buildStream({1, 1, 0});
+  Unaligned.appendBits(Source.view()); // bit-loop path
+  ASSERT_EQ(Unaligned.size(), 3 + Source.size());
+  for (uint64_t I = 0; I < Source.size(); ++I)
+    ASSERT_EQ(Unaligned.bit(3 + I), Source.bit(I));
+}
+
+TEST(Bitstream, TailBitsPastLogicalLengthStayZero) {
+  // Kernels read whole tail words, so bits past size() must be zero no
+  // matter how the stream was built.
+  std::mt19937 Rng(11);
+  for (uint64_t N : {1u, 37u, 63u, 65u, 100u}) {
+    BitstreamBuilder ByPush = buildStream(randomBits(Rng, N, 9, 10));
+    BitstreamBuilder ByRun;
+    ByRun.appendRun(true, N);
+    for (const BitstreamBuilder *B : {&ByPush, &ByRun}) {
+      BitstreamView V = B->view();
+      if (V.size() & 63) {
+        uint64_t Tail = V.word(V.numWords() - 1) >> (V.size() & 63);
+        EXPECT_EQ(Tail, 0u) << "N=" << N;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scalar-vs-SIMD kernel equality (fuzz)
+//===----------------------------------------------------------------------===//
+
+TEST(ScoreKernels, PopcountAndConstantScoreMatchScalarOnEveryTier) {
+  TierGuard Restore;
+  std::mt19937 Rng(23);
+  for (SimdTier Tier : availableTiers()) {
+    setSimdTierForTest(Tier);
+    for (uint64_t N : {0u, 1u, 64u, 100u, 500u, 4096u}) {
+      std::vector<uint8_t> Bits = randomBits(Rng, N, 3, 7);
+      BitstreamBuilder B = buildStream(Bits);
+      uint64_t Taken = popcountBitsScalar(B.view());
+      EXPECT_EQ(popcountBits(B.view()), Taken)
+          << simdTierName(Tier) << " N=" << N;
+      EXPECT_EQ(scoreConstant(B.view(), true), Taken);
+      EXPECT_EQ(scoreConstant(B.view(), false), N - Taken);
+    }
+  }
+}
+
+TEST(ScoreKernels, MachineWalkMatchesVirtualReferenceOnEveryTier) {
+  TierGuard Restore;
+  std::mt19937 Rng(31);
+  for (int Round = 0; Round < 20; ++Round) {
+    // A random dense machine: nibble successors < NumStates, random
+    // per-state predictions. This covers transition tables no real search
+    // would build, which is the point of a fuzz reference.
+    unsigned NumStates = 1 + Rng() % 16;
+    DenseMachine M;
+    M.NumStates = static_cast<uint8_t>(NumStates);
+    M.Initial = static_cast<uint8_t>(Rng() % NumStates);
+    M.PredMask = static_cast<uint16_t>(Rng() & 0xffff);
+    for (int Outcome = 0; Outcome < 2; ++Outcome)
+      for (unsigned S = 0; S < 16; ++S)
+        M.NextTab[Outcome] |=
+            static_cast<uint64_t>(Rng() % NumStates) << (S * 4);
+
+    uint64_t N = 1 + Rng() % 700;
+    std::vector<uint8_t> Bits = randomBits(Rng, static_cast<size_t>(N));
+    BitstreamBuilder B = buildStream(Bits);
+
+    auto Reference = [&](uint64_t Start, uint64_t Len) {
+      unsigned S = M.Initial;
+      uint64_t Correct = 0;
+      for (uint64_t I = Start; I < Start + Len; ++I) {
+        bool Taken = Bits[static_cast<size_t>(I)] != 0;
+        Correct += M.predictTaken(S) == Taken;
+        S = M.next(S, Taken);
+      }
+      return Correct;
+    };
+
+    uint64_t Start = Rng() % (N + 1);
+    uint64_t Len = N - Start;
+    for (SimdTier Tier : availableTiers()) {
+      setSimdTierForTest(Tier);
+      EXPECT_EQ(scoreMachine(M, B.view()), Reference(0, N))
+          << simdTierName(Tier) << " round " << Round;
+      EXPECT_EQ(scoreMachineRange(M, B.view().data(), Start, Len),
+                Reference(Start, Len))
+          << simdTierName(Tier) << " round " << Round << " start " << Start;
+    }
+  }
+}
+
+TEST(ScoreKernels, BatchScoringEqualsSingleMachineScores) {
+  TierGuard Restore;
+  std::mt19937 Rng(47);
+  for (size_t K : {1u, 2u, 3u, 4u, 5u, 8u, 9u}) {
+    std::vector<DenseMachine> Machines(K);
+    for (DenseMachine &M : Machines) {
+      unsigned NumStates = 1 + Rng() % 16;
+      M.NumStates = static_cast<uint8_t>(NumStates);
+      M.Initial = static_cast<uint8_t>(Rng() % NumStates);
+      M.PredMask = static_cast<uint16_t>(Rng() & 0xffff);
+      for (int Outcome = 0; Outcome < 2; ++Outcome)
+        for (unsigned S = 0; S < 16; ++S)
+          M.NextTab[Outcome] |=
+              static_cast<uint64_t>(Rng() % NumStates) << (S * 4);
+    }
+    std::vector<uint8_t> Bits = randomBits(Rng, 333);
+    BitstreamBuilder B = buildStream(Bits);
+    for (SimdTier Tier : availableTiers()) {
+      setSimdTierForTest(Tier);
+      std::vector<uint64_t> Batch(K);
+      scoreMachines(Machines.data(), K, B.view(), Batch.data());
+      for (size_t I = 0; I < K; ++I)
+        EXPECT_EQ(Batch[I], scoreMachine(Machines[I], B.view()))
+            << simdTierName(Tier) << " K=" << K << " machine " << I;
+    }
+  }
+}
+
+TEST(ScoreKernels, FillPatternCountsMatchesRecordLoop) {
+  TierGuard Restore;
+  std::mt19937 Rng(59);
+  for (unsigned MaxBits : {1u, 3u, 6u, 9u}) {
+    std::vector<uint8_t> Bits = randomBits(Rng, 900, 2, 3);
+    BitstreamBuilder B = buildStream(Bits);
+
+    PatternTable ByRecord(MaxBits);
+    for (uint8_t Bit : Bits)
+      ByRecord.record(Bit != 0);
+
+    for (SimdTier Tier : availableTiers()) {
+      setSimdTierForTest(Tier);
+      std::vector<uint64_t> Counts(2ull << MaxBits, 0);
+      uint32_t FinalHist = fillPatternCounts(B.view().data(), 0, Bits.size(),
+                                             MaxBits, 0, Counts.data());
+      PatternTable ByFill(MaxBits);
+      ByFill.assignCounts(Counts.data(), FinalHist, Bits.size());
+
+      EXPECT_EQ(ByFill.executions(), ByRecord.executions());
+      EXPECT_EQ(ByFill.full().size(), ByRecord.full().size());
+      for (const auto &[Pattern, C] : ByRecord.full()) {
+        auto It = ByFill.full().find(Pattern);
+        ASSERT_NE(It, ByFill.full().end())
+            << simdTierName(Tier) << " bits=" << MaxBits;
+        EXPECT_EQ(It->second.Taken, C.Taken);
+        EXPECT_EQ(It->second.NotTaken, C.NotTaken);
+      }
+      // Recording one more outcome exercises the fast-forwarded history.
+      PatternTable ContinueFill = ByFill, ContinueRecord = ByRecord;
+      ContinueFill.record(true);
+      ContinueRecord.record(true);
+      EXPECT_EQ(ContinueFill.countsFor(1, 1).Taken,
+                ContinueRecord.countsFor(1, 1).Taken);
+    }
+  }
+}
+
+TEST(ScoreKernels, FillPatternCountsSplitsAcrossCalls) {
+  // Two fills that hand the history across the boundary must equal one
+  // fill of the whole stream — the property the per-branch batched fill
+  // in BranchProfiles relies on.
+  std::mt19937 Rng(61);
+  std::vector<uint8_t> Bits = randomBits(Rng, 300);
+  BitstreamBuilder B = buildStream(Bits);
+  const unsigned MaxBits = 5;
+
+  std::vector<uint64_t> Whole(2ull << MaxBits, 0);
+  uint32_t WholeHist =
+      fillPatternCounts(B.view().data(), 0, Bits.size(), MaxBits, 0,
+                        Whole.data());
+
+  std::vector<uint64_t> Split(2ull << MaxBits, 0);
+  uint32_t Mid = 117; // deliberately not word-aligned
+  uint32_t H = fillPatternCounts(B.view().data(), 0, Mid, MaxBits, 0,
+                                 Split.data());
+  uint32_t SplitHist = fillPatternCounts(B.view().data(), Mid,
+                                         Bits.size() - Mid, MaxBits, H,
+                                         Split.data());
+  EXPECT_EQ(SplitHist, WholeHist);
+  EXPECT_EQ(Split, Whole);
+}
+
+TEST(ScoreKernels, DenseEncodeMatchesVirtualMachine) {
+  // A real search product, not a fuzz table: fit an exit chain and check
+  // the dense encoding agrees with the virtual walk everywhere.
+  std::mt19937 Rng(67);
+  PatternTable Table(9);
+  for (int I = 0; I < 400; ++I)
+    Table.record(I % 7 != 0);
+  ExitChainMachine Chain = ExitChainMachine::fit(Table, 5, true, true);
+
+  DenseMachine Dense;
+  ASSERT_TRUE(denseEncode(Chain, Dense));
+  ASSERT_EQ(Dense.NumStates, Chain.numStates());
+  ASSERT_EQ(Dense.Initial, Chain.initialState());
+  for (unsigned S = 0; S < Chain.numStates(); ++S) {
+    EXPECT_EQ(Dense.predictTaken(S), Chain.predictTaken(S)) << "state " << S;
+    for (bool Taken : {false, true})
+      EXPECT_EQ(Dense.next(S, Taken), Chain.next(S, Taken)) << "state " << S;
+  }
+
+  std::vector<uint8_t> Bits = randomBits(Rng, 500, 6, 7);
+  BitstreamBuilder B = buildStream(Bits);
+  PredictionStats Sim = Chain.simulate(Bits);
+  EXPECT_EQ(scoreMachine(Dense, B.view()),
+            Sim.Predictions - Sim.Mispredictions);
+}
+
+//===----------------------------------------------------------------------===//
+// Columnar overloads of the event-path consumers
+//===----------------------------------------------------------------------===//
+
+TEST(ColumnarConsumers, LoopAwareProfilesMatchLegacy) {
+  for (const char *Name : {"compress", "scheduler", "prolog"}) {
+    const Workload *W = nullptr;
+    for (const Workload &Cand : allWorkloads())
+      if (std::string(Cand.Name) == Name)
+        W = &Cand;
+    ASSERT_NE(W, nullptr) << Name;
+    Module M1, M2;
+    Trace T = traceWorkload(*W, 1, M1, 20000);
+    ColumnarTrace CT = traceWorkloadColumnar(*W, 1, M2, 20000);
+    ProgramAnalysis PA(M1);
+    ProfileSet Legacy = buildLoopAwareProfiles(PA, T);
+    ProfileSet Columnar = buildLoopAwareProfiles(PA, CT);
+    EXPECT_TRUE(sameProfiles(Legacy, Columnar)) << Name;
+  }
+}
+
+TEST(ColumnarConsumers, ProfileVerifyCountsMatchFromTrace) {
+  Module M;
+  const Workload &W = allWorkloads()[2]; // compress
+  ColumnarTrace CT = traceWorkloadColumnar(W, 1, M, 20000);
+  Trace T = CT.materialize();
+  size_t NumBranches = M.conditionalBranchCount();
+  sa::BranchProfileCounts Legacy =
+      sa::BranchProfileCounts::fromTrace(NumBranches, T);
+  sa::BranchProfileCounts Columnar =
+      sa::BranchProfileCounts::fromColumnar(NumBranches, CT);
+  ASSERT_EQ(Columnar.Counts.size(), Legacy.Counts.size());
+  EXPECT_EQ(Columnar.OutOfRange, Legacy.OutOfRange);
+  for (size_t I = 0; I < Legacy.Counts.size(); ++I) {
+    EXPECT_EQ(Columnar.Counts[I].Taken, Legacy.Counts[I].Taken) << I;
+    EXPECT_EQ(Columnar.Counts[I].NotTaken, Legacy.Counts[I].NotTaken) << I;
+  }
+
+  // fromColumnar also accepts unfinalized traces (the lint path decodes
+  // straight into one without finalizing).
+  ColumnarTrace Raw = ColumnarTrace::fromEvents(T);
+  sa::BranchProfileCounts FromRaw =
+      sa::BranchProfileCounts::fromColumnar(NumBranches, Raw);
+  EXPECT_EQ(FromRaw.OutOfRange, Legacy.OutOfRange);
+  for (size_t I = 0; I < Legacy.Counts.size(); ++I)
+    EXPECT_EQ(FromRaw.Counts[I].Taken, Legacy.Counts[I].Taken) << I;
+}
+
+TEST(ColumnarConsumers, EvaluatorMatchesLegacy) {
+  Module M;
+  const Workload &W = allWorkloads()[6]; // scheduler
+  ColumnarTrace CT = traceWorkloadColumnar(W, 1, M, 20000);
+  Trace T = CT.materialize();
+
+  LastDirectionPredictor Last;
+  PredictionStats LegacyStats = evaluatePredictor(Last, T);
+  Last.reset();
+  PredictionStats ColumnarStats = evaluatePredictor(Last, CT);
+  EXPECT_EQ(ColumnarStats.Predictions, LegacyStats.Predictions);
+  EXPECT_EQ(ColumnarStats.Mispredictions, LegacyStats.Mispredictions);
+
+  CounterPredictor Counter(2);
+  uint32_t NumBranches = M.conditionalBranchCount();
+  std::vector<PredictionStats> LegacyPer =
+      evaluatePredictorPerBranch(Counter, T, NumBranches);
+  Counter.reset();
+  std::vector<PredictionStats> ColumnarPer =
+      evaluatePredictorPerBranch(Counter, CT, NumBranches);
+  ASSERT_EQ(ColumnarPer.size(), LegacyPer.size());
+  for (size_t I = 0; I < LegacyPer.size(); ++I) {
+    EXPECT_EQ(ColumnarPer[I].Predictions, LegacyPer[I].Predictions) << I;
+    EXPECT_EQ(ColumnarPer[I].Mispredictions, LegacyPer[I].Mispredictions)
+        << I;
+  }
+}
+
+TEST(ColumnarConsumers, DecodeTraceColumnarMatchesLegacyDecoder) {
+  Module M;
+  const Workload &W = allWorkloads()[0]; // abalone
+  Trace T = traceWorkload(W, 1, M, 20000);
+  std::vector<uint8_t> Buf = encodeTrace(T);
+
+  Trace Legacy;
+  ColumnarTrace Columnar;
+  std::string LegacyError, ColumnarError;
+  ASSERT_TRUE(decodeTrace(Buf, Legacy, LegacyError));
+  ASSERT_TRUE(decodeTraceColumnar(Buf, Columnar, ColumnarError));
+  EXPECT_TRUE(Columnar.materialize() == Legacy);
+  EXPECT_TRUE(Legacy == T);
+}
+
+TEST(ColumnarConsumers, DecoderErrorsAreIdenticalAcrossLayouts) {
+  Module M;
+  Trace T = traceWorkload(allWorkloads()[0], 1, M, 2000);
+  std::vector<uint8_t> Good = encodeTrace(T);
+
+  std::vector<std::vector<uint8_t>> Corruptions;
+  Corruptions.push_back({});                         // empty
+  Corruptions.push_back({'B', 'P', 'C', 'T'});       // header truncated
+  {
+    std::vector<uint8_t> Bad = Good;
+    Bad[0] = 'X'; // bad magic
+    Corruptions.push_back(Bad);
+  }
+  {
+    std::vector<uint8_t> Bad = Good;
+    Bad[4] = 9; // unsupported version
+    Corruptions.push_back(Bad);
+  }
+  {
+    std::vector<uint8_t> Bad = Good;
+    Bad.resize(Bad.size() / 2); // truncated mid-group
+    Corruptions.push_back(Bad);
+  }
+  {
+    std::vector<uint8_t> Bad = Good;
+    Bad.push_back(0); // trailing bytes
+    Bad.push_back(0);
+    Corruptions.push_back(Bad);
+  }
+
+  for (size_t I = 0; I < Corruptions.size(); ++I) {
+    Trace LegacyOut;
+    ColumnarTrace ColumnarOut;
+    std::string LegacyError, ColumnarError;
+    bool LegacyOk = decodeTrace(Corruptions[I], LegacyOut, LegacyError);
+    bool ColumnarOk =
+        decodeTraceColumnar(Corruptions[I], ColumnarOut, ColumnarError);
+    EXPECT_EQ(ColumnarOk, LegacyOk) << "corruption " << I;
+    EXPECT_EQ(ColumnarError, LegacyError) << "corruption " << I;
+    EXPECT_FALSE(LegacyOk) << "corruption " << I;
+  }
+}

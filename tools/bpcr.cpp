@@ -91,6 +91,7 @@
 #include "sa/Passes.h"
 #include "sa/ProfileVerify.h"
 #include "sa/ReplicationSoundness.h"
+#include "trace/ColumnarTrace.h"
 #include "trace/TraceFile.h"
 #include "workloads/Workload.h"
 
@@ -1560,15 +1561,19 @@ int cmdLint(const Args &A) {
   // --profile TRACE: admit the recorded branch trace through the
   // realizability verifier alongside the standard passes.
   if (!A.LintProfile.empty()) {
-    Trace T;
+    // Columnar decode: run-length groups land directly in the packed
+    // id/direction columns and the counts come from one pass over those,
+    // so the verifier admits the trace without ever materializing an
+    // event-of-structs copy.
+    ColumnarTrace CT;
     std::string Error;
-    if (!readTraceFile(A.LintProfile, T, Error)) {
+    if (!readTraceFileColumnar(A.LintProfile, CT, Error)) {
       std::fprintf(stderr, "bpcr: error: cannot read trace '%s': %s\n",
                    A.LintProfile.c_str(), Error.c_str());
       return 2;
     }
     sa::BranchProfileCounts P =
-        sa::BranchProfileCounts::fromTrace(M.conditionalBranchCount(), T);
+        sa::BranchProfileCounts::fromColumnar(M.conditionalBranchCount(), CT);
     PM.add(sa::createProfileVerifyPass(std::move(P)));
   }
 
